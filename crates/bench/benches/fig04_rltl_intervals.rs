@@ -1,0 +1,115 @@
+//! Figure 4: stacked RLTL at 0.125/0.25/0.5/1/32 ms for open- and
+//! closed-row policies.
+//!
+//! Paper result: single-core 0.125ms-RLTL averages 66%, eight-core 77%;
+//! the row-buffer policy barely moves the numbers.
+
+use bench::{banner, mean, mixes, pct, workloads};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use memctrl::RowPolicy;
+use sim::exp::{default_threads, par_map, run_configured, ExpParams};
+use sim::SystemConfig;
+use traces::WorkloadSpec;
+
+/// Indices of the paper's Figure 4 intervals within the tracker buckets
+/// (0.125, 0.25, 0.5, 1, 8, 32 ms) — Figure 4 omits the 8 ms bucket.
+const FIG4_IDX: [usize; 5] = [0, 1, 2, 3, 5];
+const FIG4_LABELS: [&str; 5] = ["0.125ms", "0.25ms", "0.5ms", "1ms", "32ms"];
+
+fn run_policy_single(spec: &WorkloadSpec, policy: RowPolicy, p: &ExpParams) -> sim::RunResult {
+    let mut cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+    cfg.ctrl.row_policy = policy;
+    run_configured(cfg, std::slice::from_ref(spec), p)
+}
+
+fn run_policy_eight(mix: &traces::MixSpec, policy: RowPolicy, p: &ExpParams) -> sim::RunResult {
+    let mut cfg = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+    cfg.ctrl.row_policy = policy;
+    run_configured(cfg, &mix.apps, p)
+}
+
+fn print_row(name: &str, policy: &str, r: &sim::RunResult) -> Vec<f64> {
+    let fr: Vec<f64> = FIG4_IDX.iter().map(|&i| r.rltl.rltl_fraction[i]).collect();
+    print!("{name:<12} {policy:<7}");
+    for f in &fr {
+        print!(" {:>8}", pct(*f));
+    }
+    println!();
+    fr
+}
+
+fn main() {
+    let _ = ChargeCacheConfig::paper();
+    let p = ExpParams::bench();
+    banner(
+        "Figure 4: RLTL at 0.125/0.25/0.5/1/32 ms, open vs closed row",
+        "1-core 0.125ms-RLTL ≈ 66%, 8-core ≈ 77%; policy has little effect",
+    );
+
+    println!("--- (a) single-core workloads ---");
+    print!("{:<12} {:<7}", "workload", "policy");
+    for l in FIG4_LABELS {
+        print!(" {l:>8}");
+    }
+    println!();
+    let mut avg_open = vec![Vec::new(); 5];
+    let mut avg_closed = vec![Vec::new(); 5];
+    let specs = workloads();
+    let results = par_map(
+        specs
+            .iter()
+            .flat_map(|s| [(s.clone(), RowPolicy::Open), (s.clone(), RowPolicy::Closed)])
+            .collect::<Vec<_>>(),
+        default_threads(),
+        |(spec, pol)| (spec.name, pol, run_policy_single(&spec, pol, &p)),
+    );
+    for (name, pol, r) in results {
+        let label = if pol == RowPolicy::Open { "open" } else { "closed" };
+        let fr = print_row(name, label, &r);
+        if r.rltl.activations > 0 {
+            let store = if pol == RowPolicy::Open { &mut avg_open } else { &mut avg_closed };
+            for (acc, f) in store.iter_mut().zip(fr) {
+                acc.push(f);
+            }
+        }
+    }
+    print!("{:<12} {:<7}", "AVG", "open");
+    for acc in &avg_open {
+        print!(" {:>8}", pct(mean(acc)));
+    }
+    println!();
+    print!("{:<12} {:<7}", "AVG", "closed");
+    for acc in &avg_closed {
+        print!(" {:>8}", pct(mean(acc)));
+    }
+    println!();
+
+    println!("\n--- (b) eight-core workloads ---");
+    print!("{:<12} {:<7}", "mix", "policy");
+    for l in FIG4_LABELS {
+        print!(" {l:>8}");
+    }
+    println!();
+    let mut avg8 = vec![Vec::new(); 5];
+    let mix_list = mixes(20);
+    let results = par_map(
+        mix_list
+            .iter()
+            .flat_map(|m| [(m.clone(), RowPolicy::Open), (m.clone(), RowPolicy::Closed)])
+            .collect::<Vec<_>>(),
+        default_threads(),
+        |(mix, pol)| (mix.name.clone(), pol, run_policy_eight(&mix, pol, &p)),
+    );
+    for (name, pol, r) in results {
+        let label = if pol == RowPolicy::Open { "open" } else { "closed" };
+        let fr = print_row(&name, label, &r);
+        for (acc, f) in avg8.iter_mut().zip(fr) {
+            acc.push(f);
+        }
+    }
+    print!("{:<12} {:<7}", "AVG", "both");
+    for acc in &avg8 {
+        print!(" {:>8}", pct(mean(acc)));
+    }
+    println!();
+}

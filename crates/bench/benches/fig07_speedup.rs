@@ -1,0 +1,126 @@
+//! Figure 7: speedup of NUAT, ChargeCache, ChargeCache+NUAT and LL-DRAM
+//! over the DDR3 baseline, with the RMPKC overlay.
+//!
+//! Paper results: single-core ChargeCache up to 9.3%, average 2.1%;
+//! eight-core weighted speedup — NUAT 2.5%, ChargeCache 8.6%,
+//! ChargeCache+NUAT 9.6%, LL-DRAM ≈ 13.4%. Orderings:
+//! LL-DRAM ≥ CC+NUAT ≥ CC > NUAT on average, hmmer unaffected.
+
+use std::collections::HashMap;
+
+use bench::{all_eight, all_single, alone_ipcs, banner, mean, mixes, pct, ws_of};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::ExpParams;
+
+const MECHS: [MechanismKind; 4] = [
+    MechanismKind::Nuat,
+    MechanismKind::ChargeCache,
+    MechanismKind::CcNuat,
+    MechanismKind::LlDram,
+];
+
+fn main() {
+    let p = ExpParams::bench();
+    let cc = ChargeCacheConfig::paper();
+    banner(
+        "Figure 7: speedup over baseline (NUAT / CC / CC+NUAT / LL-DRAM)",
+        "1-core CC avg 2.1% (max 9.3%); 8-core NUAT 2.5%, CC 8.6%, CC+NUAT 9.6%",
+    );
+
+    // ---------- (a) single-core ----------
+    let base: Vec<_> = all_single(MechanismKind::Baseline, &cc, &p);
+    let mut per_mech: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
+    let mut rows: Vec<(String, f64, Vec<f64>)> = Vec::new();
+    let mech_results: Vec<_> = MECHS
+        .iter()
+        .map(|&k| (k, all_single(k, &cc, &p)))
+        .collect();
+    for (i, (spec, b)) in base.iter().enumerate() {
+        let b_ipc = b.ipc(0).max(1e-9);
+        let speedups: Vec<f64> = mech_results
+            .iter()
+            .map(|(_, rs)| rs[i].1.ipc(0) / b_ipc - 1.0)
+            .collect();
+        for (j, (k, _)) in mech_results.iter().enumerate() {
+            per_mech.entry(*k).or_default().push(speedups[j]);
+        }
+        rows.push((spec.name.to_string(), b.rmpkc(), speedups));
+    }
+    // The paper sorts Figure 7a by ascending RMPKC.
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("--- (a) single-core (sorted by RMPKC) ---");
+    println!(
+        "{:<12} {:>8} {:>9} {:>12} {:>9} {:>9}",
+        "workload", "RMPKC", "NUAT", "ChargeCache", "CC+NUAT", "LL-DRAM"
+    );
+    for (name, rmpkc, s) in &rows {
+        println!(
+            "{:<12} {:>8.2} {:>9} {:>12} {:>9} {:>9}",
+            name,
+            rmpkc,
+            pct(s[0]),
+            pct(s[1]),
+            pct(s[2]),
+            pct(s[3])
+        );
+    }
+    print!("{:<12} {:>8} ", "AVG", "");
+    for k in MECHS {
+        print!("{:>10}", pct(mean(&per_mech[&k])));
+    }
+    println!("\n");
+
+    // ---------- (b) eight-core (weighted speedup) ----------
+    println!("--- (b) eight-core (weighted speedup over baseline) ---");
+    let mix_list = mixes(20);
+    // Weighted speedup uses a common set of alone-IPC denominators (the
+    // baseline system's), so WS ratios reflect only the shared-run
+    // improvement — the paper's "system throughput" usage.
+    let alone_base = alone_ipcs(MechanismKind::Baseline, &cc, &p);
+    let base8 = all_eight(MechanismKind::Baseline, &cc, &p, &mix_list);
+    let ws_base: Vec<f64> = base8
+        .iter()
+        .map(|(m, r)| ws_of(m, r, &alone_base))
+        .collect();
+
+    println!(
+        "{:<6} {:>8} {:>9} {:>12} {:>9} {:>9}",
+        "mix", "RMPKC", "NUAT", "ChargeCache", "CC+NUAT", "LL-DRAM"
+    );
+    let mut per_mech8: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
+    let mech8: Vec<_> = MECHS
+        .iter()
+        .map(|&k| {
+            let runs = all_eight(k, &cc, &p, &mix_list);
+            let ws: Vec<f64> = runs
+                .iter()
+                .map(|(m, r)| ws_of(m, r, &alone_base))
+                .collect();
+            (k, ws)
+        })
+        .collect();
+    for (i, (mix, b)) in base8.iter().enumerate() {
+        let speedups: Vec<f64> = mech8
+            .iter()
+            .map(|(_, ws)| ws[i] / ws_base[i].max(1e-9) - 1.0)
+            .collect();
+        for (j, (k, _)) in mech8.iter().enumerate() {
+            per_mech8.entry(*k).or_default().push(speedups[j]);
+        }
+        println!(
+            "{:<6} {:>8.2} {:>9} {:>12} {:>9} {:>9}",
+            mix.name,
+            b.rmpkc(),
+            pct(speedups[0]),
+            pct(speedups[1]),
+            pct(speedups[2]),
+            pct(speedups[3])
+        );
+    }
+    print!("{:<6} {:>8} ", "AVG", "");
+    for k in MECHS {
+        print!("{:>10}", pct(mean(&per_mech8[&k])));
+    }
+    println!();
+}

@@ -1,0 +1,50 @@
+//! Figure 8: DRAM energy reduction of ChargeCache over the baseline.
+//!
+//! Paper results: average/maximum reductions of 1.8%/6.9% (single-core)
+//! and 7.9%/14.1% (eight-core). The saving comes from shorter execution
+//! for the same command work (less background + refresh energy).
+
+use bench::{all_eight, all_single, banner, mean, mixes, pct};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::ExpParams;
+
+fn main() {
+    let p = ExpParams::bench();
+    let cc = ChargeCacheConfig::paper();
+    banner(
+        "Figure 8: DRAM energy reduction of ChargeCache",
+        "1-core avg 1.8% / max 6.9%; 8-core avg 7.9% / max 14.1%",
+    );
+
+    println!("--- single-core ---");
+    println!("{:<12} {:>12} {:>12} {:>10}", "workload", "base (mJ)", "CC (mJ)", "saving");
+    let base = all_single(MechanismKind::Baseline, &cc, &p);
+    let ccr = all_single(MechanismKind::ChargeCache, &cc, &p);
+    let mut savings = Vec::new();
+    for ((spec, b), (_, c)) in base.iter().zip(&ccr) {
+        let (eb, ec) = (b.energy.total_mj(), c.energy.total_mj());
+        let saving = 1.0 - ec / eb.max(1e-12);
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>10}",
+            spec.name, eb, ec, pct(saving)
+        );
+        savings.push(saving);
+    }
+    let max1 = savings.iter().cloned().fold(f64::MIN, f64::max);
+    println!("AVG saving: {}   MAX saving: {}\n", pct(mean(&savings)), pct(max1));
+
+    println!("--- eight-core ---");
+    println!("{:<6} {:>12} {:>12} {:>10}", "mix", "base (mJ)", "CC (mJ)", "saving");
+    let mix_list = mixes(20);
+    let base8 = all_eight(MechanismKind::Baseline, &cc, &p, &mix_list);
+    let cc8 = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list);
+    let mut savings8 = Vec::new();
+    for ((mix, b), (_, c)) in base8.iter().zip(&cc8) {
+        let (eb, ec) = (b.energy.total_mj(), c.energy.total_mj());
+        let saving = 1.0 - ec / eb.max(1e-12);
+        println!("{:<6} {:>12.4} {:>12.4} {:>10}", mix.name, eb, ec, pct(saving));
+        savings8.push(saving);
+    }
+    let max8 = savings8.iter().cloned().fold(f64::MIN, f64::max);
+    println!("AVG saving: {}   MAX saving: {}", pct(mean(&savings8)), pct(max8));
+}

@@ -1,0 +1,58 @@
+//! Figure 9: ChargeCache hit rate versus capacity (1 ms caching
+//! duration), with the unlimited-capacity ceiling.
+//!
+//! Paper results: 128 entries/core yields 38% (single-core) and 66%
+//! (eight-core) hit rates; returns diminish toward the unlimited ceiling.
+
+use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::ExpParams;
+
+const CAPACITIES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+fn main() {
+    let p = ExpParams::bench();
+    banner(
+        "Figure 9: HCRAC hit rate vs capacity (1 ms duration)",
+        "128 entries → 38% (1-core) / 66% (8-core); dashed = unlimited ceiling",
+    );
+
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "entries", "1-core hit", "8-core hit"
+    );
+    let mix_list = mixes(sweep_mix_count());
+    for entries in CAPACITIES {
+        let cc = ChargeCacheConfig::with_entries(entries);
+        let h1: Vec<f64> = all_single(MechanismKind::ChargeCache, &cc, &p)
+            .iter()
+            .filter_map(|(_, r)| r.hcrac_hit_rate())
+            .collect();
+        let h8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list)
+            .iter()
+            .filter_map(|(_, r)| r.hcrac_hit_rate())
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>14}",
+            entries,
+            pct(mean(&h1)),
+            pct(mean(&h8))
+        );
+    }
+
+    let unl = ChargeCacheConfig::unlimited();
+    let h1: Vec<f64> = all_single(MechanismKind::ChargeCache, &unl, &p)
+        .iter()
+        .filter_map(|(_, r)| r.hcrac_hit_rate())
+        .collect();
+    let h8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &unl, &p, &mix_list)
+        .iter()
+        .filter_map(|(_, r)| r.hcrac_hit_rate())
+        .collect();
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "unlimited",
+        pct(mean(&h1)),
+        pct(mean(&h8))
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 10: speedup versus ChargeCache capacity.
+//!
+//! Paper results (eight-core): 128 entries → 8.8%, 1024 entries → 10.6%;
+//! benefits grow with capacity but diminish at the high end.
+
+use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::ExpParams;
+
+const CAPACITIES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+
+fn main() {
+    let p = ExpParams::bench();
+    banner(
+        "Figure 10: speedup vs HCRAC capacity",
+        "8-core: 8.8% at 128 entries, 10.6% at 1024; diminishing returns",
+    );
+
+    // Baselines are capacity-independent: run once.
+    let base1: Vec<f64> = all_single(MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p)
+        .iter()
+        .map(|(_, r)| r.ipc(0))
+        .collect();
+    let mix_list = mixes(sweep_mix_count());
+    let base8: Vec<f64> = all_eight(
+        MechanismKind::Baseline,
+        &ChargeCacheConfig::paper(),
+        &p,
+        &mix_list,
+    )
+    .iter()
+    .map(|(_, r)| r.ipc_sum())
+    .collect();
+
+    println!("{:<10} {:>14} {:>14}", "entries", "1-core spdup", "8-core spdup");
+    for entries in CAPACITIES {
+        let cc = ChargeCacheConfig::with_entries(entries);
+        let s1: Vec<f64> = all_single(MechanismKind::ChargeCache, &cc, &p)
+            .iter()
+            .zip(&base1)
+            .map(|((_, r), &b)| r.ipc(0) / b.max(1e-9) - 1.0)
+            .collect();
+        let s8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list)
+            .iter()
+            .zip(&base8)
+            .map(|((_, r), &b)| r.ipc_sum() / b.max(1e-9) - 1.0)
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>14}",
+            entries,
+            pct(mean(&s1)),
+            pct(mean(&s8))
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 11: speedup and hit rate versus caching duration.
+//!
+//! Paper result: longer caching durations raise the hit rate only
+//! slightly but weaken the timing reductions (Table 2), so 1 ms is the
+//! empirically best duration; speedup falls monotonically beyond it.
+
+use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::ExpParams;
+
+const DURATIONS_MS: [f64; 4] = [1.0, 4.0, 8.0, 16.0];
+
+fn main() {
+    let p = ExpParams::bench();
+    banner(
+        "Figure 11: speedup and HCRAC hit rate vs caching duration",
+        "1 ms is best; longer durations trade timing margin for few extra hits",
+    );
+
+    let base1: Vec<f64> = all_single(MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p)
+        .iter()
+        .map(|(_, r)| r.ipc(0))
+        .collect();
+    let mix_list = mixes(sweep_mix_count());
+    let base8: Vec<f64> = all_eight(
+        MechanismKind::Baseline,
+        &ChargeCacheConfig::paper(),
+        &p,
+        &mix_list,
+    )
+    .iter()
+    .map(|(_, r)| r.ipc_sum())
+    .collect();
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "duration", "ΔtRCD/ΔtRAS", "1c spdup", "1c hit", "8c spdup", "8c hit", ""
+    );
+    for d in DURATIONS_MS {
+        let cc = ChargeCacheConfig::with_duration_ms(d);
+        let r1 = all_single(MechanismKind::ChargeCache, &cc, &p);
+        let s1: Vec<f64> = r1
+            .iter()
+            .zip(&base1)
+            .map(|((_, r), &b)| r.ipc(0) / b.max(1e-9) - 1.0)
+            .collect();
+        let h1: Vec<f64> = r1.iter().filter_map(|(_, r)| r.hcrac_hit_rate()).collect();
+        let r8 = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list);
+        let s8: Vec<f64> = r8
+            .iter()
+            .zip(&base8)
+            .map(|((_, r), &b)| r.ipc_sum() / b.max(1e-9) - 1.0)
+            .collect();
+        let h8: Vec<f64> = r8.iter().filter_map(|(_, r)| r.hcrac_hit_rate()).collect();
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            format!("{d} ms"),
+            format!("{}/{}", cc.reductions.trcd_reduction, cc.reductions.tras_reduction),
+            pct(mean(&s1)),
+            pct(mean(&h1)),
+            pct(mean(&s8)),
+            pct(mean(&h8))
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Section 6.3: hardware area and power overhead of ChargeCache.
+//!
+//! Paper results (Equations 1 and 2, McPAT at 22 nm): 5376 bytes total
+//! storage for the 8-core / 2-channel / 128-entry configuration
+//! (672 bytes per core), 0.022 mm² (0.24% of a 4 MB LLC) and 0.149 mW
+//! (0.23% of the LLC).
+
+use bench::banner;
+use chargecache::OverheadModel;
+
+fn main() {
+    banner(
+        "Section 6.3: ChargeCache hardware overhead",
+        "5376 B storage, 0.022 mm² (0.24% of 4MB LLC), 0.149 mW (0.23%)",
+    );
+
+    let m = OverheadModel::paper_8core();
+    println!("entry size (Equation 2):  {} bits (+{} LRU)", m.entry_size_bits(), m.lru_bits());
+    println!("total storage (Equation 1): {} bytes", m.storage_bytes());
+    println!("storage per core:          {} bytes", m.storage_bytes_per_core());
+    println!("area @22nm:                {:.4} mm²", m.area_mm2());
+    println!("area vs 4MB LLC:           {:.2}%", m.area_fraction_of_4mb_llc() * 100.0);
+    println!("average power:             {:.3} mW", m.power_mw());
+    println!("power vs 4MB LLC:          {:.2}%", m.power_fraction_of_4mb_llc() * 100.0);
+
+    println!("\ncapacity sweep (Section 6.4.1 storage column):");
+    println!("{:>8} {:>14} {:>12} {:>12}", "entries", "bytes/core", "area (mm²)", "power (mW)");
+    for entries in [32u32, 64, 128, 256, 512, 1024] {
+        let m = OverheadModel {
+            entries,
+            ..OverheadModel::paper_8core()
+        };
+        println!(
+            "{:>8} {:>14} {:>12.4} {:>12.3}",
+            entries,
+            m.storage_bytes_per_core(),
+            m.area_mm2(),
+            m.power_mw()
+        );
+    }
+}

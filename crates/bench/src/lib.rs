@@ -1,0 +1,104 @@
+//! Shared helpers for the per-figure benchmark harnesses.
+//!
+//! Every `benches/figNN_*.rs` target regenerates one table or figure of
+//! the ChargeCache paper: it runs the relevant simulations at the default
+//! (laptop) scale — `CC_SCALE=N` scales run lengths by `N` — and prints
+//! the same rows/series the paper reports. Absolute numbers differ from
+//! the paper (synthetic workloads, scaled run lengths; see DESIGN.md),
+//! but the orderings and rough factors are the reproduction targets
+//! recorded in EXPERIMENTS.md.
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{default_threads, par_map, run_eight_core, run_single_core, ExpParams};
+use sim::RunResult;
+use traces::{eight_core_mixes, single_core_workloads, MixSpec, WorkloadSpec};
+
+/// Number of eight-core mixes used by the expensive sweep figures
+/// (9, 10, 11). The headline figures (3, 4, 7, 8) always use all 20.
+pub fn sweep_mix_count() -> usize {
+    std::env::var("CC_SWEEP_MIXES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str, paper_summary: &str) {
+    println!("\n=== {title} ===");
+    println!("paper: {paper_summary}");
+    println!("(synthetic workloads; compare shapes/orderings, not absolutes)\n");
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Arithmetic mean (the paper reports arithmetic means).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// All 22 single-core workloads.
+pub fn workloads() -> Vec<WorkloadSpec> {
+    single_core_workloads()
+}
+
+/// The first `n` eight-core mixes.
+pub fn mixes(n: usize) -> Vec<MixSpec> {
+    eight_core_mixes().into_iter().take(n).collect()
+}
+
+/// Runs every single-core workload under `kind`, in parallel.
+pub fn all_single(
+    kind: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+) -> Vec<(WorkloadSpec, RunResult)> {
+    let specs = workloads();
+    let results = par_map(specs.clone(), default_threads(), |spec| {
+        run_single_core(&spec, kind, cc, p)
+    });
+    specs.into_iter().zip(results).collect()
+}
+
+/// Runs every given mix under `kind`, in parallel.
+pub fn all_eight(
+    kind: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+    mix_list: &[MixSpec],
+) -> Vec<(MixSpec, RunResult)> {
+    let results = par_map(mix_list.to_vec(), default_threads(), |mix| {
+        run_eight_core(&mix, kind, cc, p)
+    });
+    mix_list.iter().cloned().zip(results).collect()
+}
+
+/// Per-application alone-IPCs under `kind` (weighted-speedup denominators),
+/// keyed by workload name.
+pub fn alone_ipcs(
+    kind: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+) -> std::collections::HashMap<&'static str, f64> {
+    all_single(kind, cc, p)
+        .into_iter()
+        .map(|(spec, r)| (spec.name, r.ipc(0)))
+        .collect()
+}
+
+/// Weighted speedup of an eight-core result against alone-IPCs.
+pub fn ws_of(
+    mix: &MixSpec,
+    r: &RunResult,
+    alone: &std::collections::HashMap<&'static str, f64>,
+) -> f64 {
+    let shared: Vec<f64> = (0..mix.apps.len()).map(|c| r.ipc(c)).collect();
+    let alone: Vec<f64> = mix.apps.iter().map(|a| alone[a.name].max(1e-9)).collect();
+    sim::weighted_speedup(&shared, &alone)
+}

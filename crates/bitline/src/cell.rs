@@ -1,0 +1,203 @@
+//! DRAM cell charge-retention model.
+//!
+//! A DRAM cell storing a logical `1` starts at `Vdd` right after an access
+//! (or refresh) restores it, and leaks exponentially toward ground. The
+//! charge-sharing deviation it can impose on the bitline is proportional to
+//! how far above `Vdd/2` it still sits.
+
+use crate::consts;
+
+/// Exponential-leakage model of a single DRAM cell.
+///
+/// The model is deliberately tiny: it has one state-free method family
+/// parameterized by the cell's *age* — the time in milliseconds since the
+/// charge was last replenished by an activation or refresh.
+///
+/// # Example
+///
+/// ```
+/// use bitline::CellModel;
+///
+/// let cell = CellModel::calibrated();
+/// assert!(cell.voltage_v(0.0) > cell.voltage_v(64.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellModel {
+    /// Supply voltage in volts.
+    vdd: f64,
+    /// Leakage time constant in milliseconds.
+    tau_leak_ms: f64,
+    /// Cell-to-bitline charge transfer ratio `C_cell/(C_cell + C_bl)`.
+    transfer_ratio: f64,
+}
+
+impl CellModel {
+    /// Creates the model with the calibration constants from
+    /// [`crate::consts`] (anchored to the paper's published numbers).
+    pub fn calibrated() -> Self {
+        Self {
+            vdd: consts::VDD,
+            tau_leak_ms: consts::tau_leak_ms(),
+            transfer_ratio: consts::transfer_ratio(),
+        }
+    }
+
+    /// Creates a model with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or if `transfer_ratio >= 1`.
+    pub fn new(vdd: f64, tau_leak_ms: f64, transfer_ratio: f64) -> Self {
+        assert!(vdd > 0.0, "vdd must be positive");
+        assert!(tau_leak_ms > 0.0, "tau_leak_ms must be positive");
+        assert!(
+            transfer_ratio > 0.0 && transfer_ratio < 1.0,
+            "transfer_ratio must be in (0, 1)"
+        );
+        Self {
+            vdd,
+            tau_leak_ms,
+            transfer_ratio,
+        }
+    }
+
+    /// Supply voltage in volts.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Leakage time constant in milliseconds.
+    pub fn tau_leak_ms(&self) -> f64 {
+        self.tau_leak_ms
+    }
+
+    /// Charge transfer ratio `C_cell/(C_cell + C_bl)`.
+    pub fn transfer_ratio(&self) -> f64 {
+        self.transfer_ratio
+    }
+
+    /// Cell capacitor voltage (storing a `1`) after `age_ms` milliseconds
+    /// of leakage, in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age_ms` is negative.
+    pub fn voltage_v(&self, age_ms: f64) -> f64 {
+        assert!(age_ms >= 0.0, "cell age cannot be negative");
+        self.vdd * (-age_ms / self.tau_leak_ms).exp()
+    }
+
+    /// Normalized remaining charge in `[0, 1]` (1.0 = freshly restored).
+    pub fn charge_fraction(&self, age_ms: f64) -> f64 {
+        self.voltage_v(age_ms) / self.vdd
+    }
+
+    /// Normalized charge deficit in `[0, 1]` (0.0 = freshly restored).
+    pub fn charge_deficit(&self, age_ms: f64) -> f64 {
+        1.0 - self.charge_fraction(age_ms)
+    }
+
+    /// Bitline deviation `δ` produced by charge sharing with a cell of the
+    /// given age, in volts.
+    ///
+    /// `δ = f · (V_cell − Vdd/2)` where `f` is the transfer ratio. The
+    /// result is negative once the cell has leaked below `Vdd/2`, i.e. its
+    /// stored value can no longer be sensed as a `1`.
+    pub fn sharing_deviation_v(&self, age_ms: f64) -> f64 {
+        self.transfer_ratio * (self.voltage_v(age_ms) - self.vdd / 2.0)
+    }
+
+    /// Bitline voltage right after charge sharing, in volts.
+    pub fn shared_bitline_v(&self, age_ms: f64) -> f64 {
+        self.vdd / 2.0 + self.sharing_deviation_v(age_ms)
+    }
+
+    /// Age at which the cell's deviation falls below `min_deviation_v` and
+    /// the stored `1` becomes unreadable, in milliseconds.
+    ///
+    /// Returns `None` if even a fresh cell cannot produce the deviation.
+    pub fn retention_limit_ms(&self, min_deviation_v: f64) -> Option<f64> {
+        if self.sharing_deviation_v(0.0) < min_deviation_v {
+            return None;
+        }
+        // Solve f·(Vdd·e^{-t/τ} − Vdd/2) = δ_min for t.
+        let target_cell_v = min_deviation_v / self.transfer_ratio + self.vdd / 2.0;
+        Some(self.tau_leak_ms * (self.vdd / target_cell_v).ln())
+    }
+}
+
+impl Default for CellModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts;
+
+    #[test]
+    fn fresh_cell_is_at_vdd() {
+        let c = CellModel::calibrated();
+        assert!((c.voltage_v(0.0) - consts::VDD).abs() < 1e-12);
+        assert!((c.charge_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_cell_retains_calibrated_fraction() {
+        let c = CellModel::calibrated();
+        let frac = c.charge_fraction(consts::REFRESH_WINDOW_MS);
+        assert!((frac - consts::RETENTION_FRACTION_AT_WINDOW).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_halves_over_refresh_window() {
+        // δ(64ms)/δ(0) = (0.75 − 0.5)/(1 − 0.5) = 0.5 — the ratio the
+        // sense-amp calibration in `consts` relies on.
+        let c = CellModel::calibrated();
+        let ratio =
+            c.sharing_deviation_v(consts::REFRESH_WINDOW_MS) / c.sharing_deviation_v(0.0);
+        assert!((ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_is_monotonically_decreasing() {
+        let c = CellModel::calibrated();
+        let mut prev = f64::INFINITY;
+        for i in 0..200 {
+            let age = i as f64 * 0.5;
+            let d = c.sharing_deviation_v(age);
+            assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn retention_limit_is_beyond_refresh_window() {
+        let c = CellModel::calibrated();
+        // The minimum sensible deviation: whatever the worst-case (64 ms)
+        // cell produces. Retention must then be exactly 64 ms.
+        let dmin = c.sharing_deviation_v(consts::REFRESH_WINDOW_MS);
+        let limit = c.retention_limit_ms(dmin).unwrap();
+        assert!((limit - consts::REFRESH_WINDOW_MS).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retention_limit_none_when_unreachable() {
+        let c = CellModel::calibrated();
+        assert!(c.retention_limit_ms(1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell age cannot be negative")]
+    fn negative_age_panics() {
+        CellModel::calibrated().voltage_v(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer_ratio")]
+    fn invalid_transfer_ratio_panics() {
+        CellModel::new(1.5, 100.0, 1.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Calibration constants for the analytic bitline model.
+//!
+//! Every constant is either a standard DDR3 datasheet value or derived in
+//! closed form from the anchor points published in the ChargeCache paper.
+//! The derivations are spelled out next to each constant so the calibration
+//! is auditable.
+
+/// DDR3 supply voltage in volts.
+pub const VDD: f64 = 1.5;
+
+/// Bitline precharge level, `Vdd/2`, in volts.
+pub const V_PRECHARGE: f64 = VDD / 2.0;
+
+/// Ready-to-access bitline level (`3·Vdd/4`, state 3 in the paper's
+/// Figure 2), in volts.
+pub const V_READY: f64 = 3.0 * VDD / 4.0;
+
+/// Bitline level at which the cell is considered fully restored
+/// (state 4 in the paper's Figure 2), in volts.
+pub const V_RESTORED: f64 = 0.975 * VDD;
+
+/// Duration of the charge-sharing phase in nanoseconds (wordline rise plus
+/// charge equalization). A fixed cost paid by every activation.
+pub const T_CHARGE_SHARE_NS: f64 = 2.0;
+
+/// Time the sense amplifier needs to reach ready-to-access on a
+/// *fully-charged* cell, in nanoseconds (paper Figure 6: 10 ns).
+pub const T_READY_FULL_NS: f64 = 10.0;
+
+/// Time the sense amplifier needs to reach ready-to-access on a cell that
+/// has leaked for a full 64 ms refresh window, in nanoseconds
+/// (paper Figure 6: 14.5 ns).
+pub const T_READY_WORST_NS: f64 = 14.5;
+
+/// `tRAS` reduction opportunity for a fully-charged cell, in nanoseconds
+/// (paper Figure 6: 9.6 ns).
+pub const TRAS_REDUCTION_FULL_NS: f64 = 9.6;
+
+/// DDR3-1600 baseline `tRAS` in nanoseconds (paper Table 2).
+pub const TRAS_BASE_NS: f64 = 35.0;
+
+/// DDR3-1600 baseline `tRCD` in nanoseconds (paper Table 2).
+pub const TRCD_BASE_NS: f64 = 13.75;
+
+/// DDR3 refresh window (retention time target) in milliseconds.
+pub const REFRESH_WINDOW_MS: f64 = 64.0;
+
+/// Fraction of its full charge a worst-case cell retains at the end of the
+/// 64 ms refresh window. 3/4 is the conventional "still reliably readable"
+/// margin; it fixes the leakage time constant below.
+pub const RETENTION_FRACTION_AT_WINDOW: f64 = 0.75;
+
+/// Cell leakage time constant in milliseconds.
+///
+/// Derived from `exp(-REFRESH_WINDOW / TAU_LEAK) = RETENTION_FRACTION`:
+/// `TAU_LEAK = 64 ms / ln(4/3) ≈ 222.49 ms`.
+pub fn tau_leak_ms() -> f64 {
+    REFRESH_WINDOW_MS / (1.0 / RETENTION_FRACTION_AT_WINDOW).ln()
+}
+
+/// Sense-amplifier regeneration time constant in nanoseconds.
+///
+/// The regenerative phase takes `τ_S · ln(δ_full/δ_worst)` longer for the
+/// worst-case cell. With the leakage model above, `δ_full/δ_worst = 2`
+/// (see [`crate::cell`]), and the paper gives the difference as
+/// `14.5 − 10 = 4.5 ns`, so `τ_S = 4.5 / ln 2 ≈ 6.492 ns`.
+pub fn tau_sense_ns() -> f64 {
+    (T_READY_WORST_NS - T_READY_FULL_NS) / 2.0_f64.ln()
+}
+
+/// Cell-to-bitline charge-transfer ratio `f = C_cell / (C_cell + C_bitline)`.
+///
+/// Solved from the fully-charged anchor:
+/// `T_READY_FULL = T_CHARGE_SHARE + τ_S · ln((Vdd/4) / (f·Vdd/2))`, i.e.
+/// `f = 0.5 · exp(-(T_READY_FULL − T_CHARGE_SHARE)/τ_S) ≈ 0.1457`,
+/// corresponding to a plausible `C_cell/C_bl ≈ 0.17`.
+pub fn transfer_ratio() -> f64 {
+    0.5 * (-(T_READY_FULL_NS - T_CHARGE_SHARE_NS) / tau_sense_ns()).exp()
+}
+
+/// Fixed duration of the restore phase (ready-to-access → fully restored)
+/// for a cell with no charge deficit, in nanoseconds.
+///
+/// Anchored so that a fully-charged cell restores at
+/// `TRAS_BASE − TRAS_REDUCTION_FULL = 25.4 ns`:
+/// `T_RESTORE_FIXED = 25.4 − T_READY_FULL = 15.4 ns`.
+pub fn t_restore_fixed_ns() -> f64 {
+    (TRAS_BASE_NS - TRAS_REDUCTION_FULL_NS) - T_READY_FULL_NS
+}
+
+/// Charge-deficit restore slope in nanoseconds per unit of normalized
+/// deficit (deficit 1.0 = completely discharged cell).
+///
+/// Anchored so that the worst-case cell (deficit `1 − 0.75 = 0.25`)
+/// restores exactly at the DDR3 `tRAS` of 35 ns:
+/// `T_READY_WORST + T_RESTORE_FIXED + 0.25·slope = 35` → `slope = 20.4 ns`.
+pub fn restore_slope_ns() -> f64 {
+    (TRAS_BASE_NS - T_READY_WORST_NS - t_restore_fixed_ns())
+        / (1.0 - RETENTION_FRACTION_AT_WINDOW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_leak_matches_retention_anchor() {
+        let v = (-REFRESH_WINDOW_MS / tau_leak_ms()).exp();
+        assert!((v - RETENTION_FRACTION_AT_WINDOW).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_sense_reproduces_ready_gap() {
+        // τ_S · ln 2 must equal the 4.5 ns Figure-6 gap.
+        assert!((tau_sense_ns() * 2.0_f64.ln() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_ratio_is_physically_plausible() {
+        let f = transfer_ratio();
+        // C_cell/C_bl between roughly 1/10 and 1/4 for commodity DRAM.
+        let ratio = f / (1.0 - f);
+        assert!(ratio > 0.09 && ratio < 0.30, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn restore_constants_hit_tras_anchors() {
+        let full = T_READY_FULL_NS + t_restore_fixed_ns();
+        assert!((full - (TRAS_BASE_NS - TRAS_REDUCTION_FULL_NS)).abs() < 1e-12);
+        let worst = T_READY_WORST_NS
+            + t_restore_fixed_ns()
+            + (1.0 - RETENTION_FRACTION_AT_WINDOW) * restore_slope_ns();
+        assert!((worst - TRAS_BASE_NS).abs() < 1e-12);
+    }
+}

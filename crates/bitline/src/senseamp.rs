@@ -1,0 +1,186 @@
+//! Sense-amplifier dynamics.
+//!
+//! The cross-coupled sense amplifier is modeled in two phases:
+//!
+//! * **Regenerative phase** — the initial deviation `δ` grows exponentially
+//!   with time constant `τ_S` until the bitline reaches the ready-to-access
+//!   level. The phase duration is therefore *logarithmic in `δ`*: smaller
+//!   initial charge → longer `tRCD`.
+//! * **Restore phase** — the bitline approaches the rail while the cell
+//!   capacitor is recharged through the access transistor; its duration has
+//!   a fixed component plus a component proportional to the cell's charge
+//!   deficit: bigger deficit → longer `tRAS`.
+
+use crate::consts;
+
+/// Two-phase sense-amplifier model.
+///
+/// # Example
+///
+/// ```
+/// use bitline::SenseAmpModel;
+///
+/// let sa = SenseAmpModel::calibrated();
+/// // A larger initial deviation is sensed faster.
+/// assert!(sa.regeneration_time_ns(0.10) < sa.regeneration_time_ns(0.05));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmpModel {
+    /// Regeneration time constant in nanoseconds.
+    tau_sense_ns: f64,
+    /// Target deviation for ready-to-access: `V_READY − Vdd/2` in volts.
+    ready_deviation_v: f64,
+    /// Fixed restore-phase duration in nanoseconds.
+    restore_fixed_ns: f64,
+    /// Restore-phase slope in nanoseconds per unit of charge deficit.
+    restore_slope_ns: f64,
+}
+
+impl SenseAmpModel {
+    /// Creates the model with the calibration constants from
+    /// [`crate::consts`].
+    pub fn calibrated() -> Self {
+        Self {
+            tau_sense_ns: consts::tau_sense_ns(),
+            ready_deviation_v: consts::V_READY - consts::V_PRECHARGE,
+            restore_fixed_ns: consts::t_restore_fixed_ns(),
+            restore_slope_ns: consts::restore_slope_ns(),
+        }
+    }
+
+    /// Creates a model with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_sense_ns`, `ready_deviation_v` or `restore_fixed_ns`
+    /// is non-positive, or if `restore_slope_ns` is negative.
+    pub fn new(
+        tau_sense_ns: f64,
+        ready_deviation_v: f64,
+        restore_fixed_ns: f64,
+        restore_slope_ns: f64,
+    ) -> Self {
+        assert!(tau_sense_ns > 0.0, "tau_sense_ns must be positive");
+        assert!(ready_deviation_v > 0.0, "ready_deviation_v must be positive");
+        assert!(restore_fixed_ns > 0.0, "restore_fixed_ns must be positive");
+        assert!(restore_slope_ns >= 0.0, "restore_slope_ns must be non-negative");
+        Self {
+            tau_sense_ns,
+            ready_deviation_v,
+            restore_fixed_ns,
+            restore_slope_ns,
+        }
+    }
+
+    /// Regeneration time constant in nanoseconds.
+    pub fn tau_sense_ns(&self) -> f64 {
+        self.tau_sense_ns
+    }
+
+    /// Deviation (in volts) the bitline must reach for ready-to-access.
+    pub fn ready_deviation_v(&self) -> f64 {
+        self.ready_deviation_v
+    }
+
+    /// Time for the regenerative phase to grow an initial deviation
+    /// `deviation_v` to the ready-to-access level, in nanoseconds.
+    ///
+    /// Returns `f64::INFINITY` for non-positive deviations (an unreadable
+    /// cell never reaches ready-to-access with the correct value).
+    pub fn regeneration_time_ns(&self, deviation_v: f64) -> f64 {
+        if deviation_v <= 0.0 {
+            return f64::INFINITY;
+        }
+        if deviation_v >= self.ready_deviation_v {
+            return 0.0;
+        }
+        self.tau_sense_ns * (self.ready_deviation_v / deviation_v).ln()
+    }
+
+    /// Bitline deviation after the regenerative phase has run for
+    /// `t_ns` nanoseconds starting from `deviation_v`, clamped at the
+    /// ready-to-access deviation.
+    pub fn deviation_at_ns(&self, deviation_v: f64, t_ns: f64) -> f64 {
+        assert!(t_ns >= 0.0, "time cannot be negative");
+        if deviation_v <= 0.0 {
+            return deviation_v;
+        }
+        (deviation_v * (t_ns / self.tau_sense_ns).exp()).min(self.ready_deviation_v)
+    }
+
+    /// Duration of the restore phase for a cell with the given normalized
+    /// charge deficit in `[0, 1]`, in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deficit` is outside `[0, 1]`.
+    pub fn restore_time_ns(&self, deficit: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&deficit), "deficit must be in [0, 1]");
+        self.restore_fixed_ns + deficit * self.restore_slope_ns
+    }
+}
+
+impl Default for SenseAmpModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{consts, CellModel};
+
+    #[test]
+    fn full_cell_hits_figure6_ready_anchor() {
+        let cell = CellModel::calibrated();
+        let sa = SenseAmpModel::calibrated();
+        let t = consts::T_CHARGE_SHARE_NS + sa.regeneration_time_ns(cell.sharing_deviation_v(0.0));
+        assert!((t - consts::T_READY_FULL_NS).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn worst_cell_hits_figure6_ready_anchor() {
+        let cell = CellModel::calibrated();
+        let sa = SenseAmpModel::calibrated();
+        let t = consts::T_CHARGE_SHARE_NS
+            + sa.regeneration_time_ns(cell.sharing_deviation_v(consts::REFRESH_WINDOW_MS));
+        assert!((t - consts::T_READY_WORST_NS).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn regeneration_time_is_zero_at_or_above_ready() {
+        let sa = SenseAmpModel::calibrated();
+        assert_eq!(sa.regeneration_time_ns(sa.ready_deviation_v()), 0.0);
+        assert_eq!(sa.regeneration_time_ns(1.0), 0.0);
+    }
+
+    #[test]
+    fn unreadable_deviation_never_becomes_ready() {
+        let sa = SenseAmpModel::calibrated();
+        assert!(sa.regeneration_time_ns(0.0).is_infinite());
+        assert!(sa.regeneration_time_ns(-0.1).is_infinite());
+    }
+
+    #[test]
+    fn deviation_growth_is_consistent_with_time() {
+        let sa = SenseAmpModel::calibrated();
+        let d0 = 0.03;
+        let t = sa.regeneration_time_ns(d0);
+        let d = sa.deviation_at_ns(d0, t);
+        assert!((d - sa.ready_deviation_v()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_time_grows_with_deficit() {
+        let sa = SenseAmpModel::calibrated();
+        assert!(sa.restore_time_ns(0.0) < sa.restore_time_ns(0.25));
+        assert!(sa.restore_time_ns(0.25) < sa.restore_time_ns(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "deficit")]
+    fn restore_rejects_out_of_range_deficit() {
+        SenseAmpModel::calibrated().restore_time_ns(1.5);
+    }
+}

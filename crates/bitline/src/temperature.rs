@@ -1,0 +1,117 @@
+//! Temperature dependence of cell leakage (paper Section 7.1).
+//!
+//! DRAM charge-leakage rate approximately doubles for every 10 °C
+//! increase in temperature. The paper makes two points with this fact:
+//!
+//! 1. AL-DRAM-style *dynamic latency scaling* exploits low temperatures,
+//!    but 3D-stacked parts run hot, limiting that approach.
+//! 2. ChargeCache is **temperature-independent**: its timing table is
+//!    validated at the worst-case temperature (85 °C), so a 1 ms-old row
+//!    is at least as charged as assumed at *any* operating temperature —
+//!    cooler operation only adds margin.
+//!
+//! This module makes both statements checkable: it scales the calibrated
+//! leakage model to any temperature and re-derives the safe timings.
+
+use crate::cell::CellModel;
+
+/// Worst-case (calibration) temperature in °C. DDR3 specifies timings at
+/// an 85 °C case temperature; the paper's SPICE numbers inherit it.
+pub const T_CALIBRATION_C: f64 = 85.0;
+
+/// Leakage doubles per this many °C.
+pub const DOUBLING_INTERVAL_C: f64 = 10.0;
+
+/// Relative leakage rate at `temp_c` versus the calibration temperature:
+/// `2^((T − 85) / 10)`.
+pub fn leakage_factor(temp_c: f64) -> f64 {
+    2f64.powf((temp_c - T_CALIBRATION_C) / DOUBLING_INTERVAL_C)
+}
+
+/// The calibrated cell model re-parameterized for an operating
+/// temperature: the leakage time constant shrinks (hotter) or grows
+/// (cooler) by [`leakage_factor`].
+///
+/// # Panics
+///
+/// Panics if `temp_c` is not finite.
+pub fn cell_at_temperature(temp_c: f64) -> CellModel {
+    assert!(temp_c.is_finite(), "temperature must be finite");
+    let base = CellModel::calibrated();
+    CellModel::new(
+        base.vdd(),
+        base.tau_leak_ms() / leakage_factor(temp_c),
+        base.transfer_ratio(),
+    )
+}
+
+/// The maximum caching duration (ms) at `temp_c` for which a row is at
+/// least as charged as a `duration_ms`-old row at the calibration
+/// temperature — i.e. for which the paper's Table 2 timings remain safe.
+///
+/// At or below 85 °C this is ≥ `duration_ms` (ChargeCache's margin only
+/// grows); above 85 °C the duration must shrink by the leakage factor.
+pub fn equivalent_duration_ms(duration_ms: f64, temp_c: f64) -> f64 {
+    assert!(duration_ms > 0.0, "duration must be positive");
+    duration_ms / leakage_factor(temp_c)
+}
+
+/// True if the Table 2 timings for `duration_ms` (validated at 85 °C)
+/// are safe at `temp_c` without any adjustment — the paper's
+/// temperature-independence claim for normal operating ranges.
+pub fn timings_safe_unadjusted(duration_ms: f64, temp_c: f64) -> bool {
+    equivalent_duration_ms(duration_ms, temp_c) >= duration_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{consts, ActivationModel, SenseAmpModel};
+
+    #[test]
+    fn leakage_doubles_every_ten_degrees() {
+        assert!((leakage_factor(85.0) - 1.0).abs() < 1e-12);
+        assert!((leakage_factor(95.0) - 2.0).abs() < 1e-12);
+        assert!((leakage_factor(75.0) - 0.5).abs() < 1e-12);
+        assert!((leakage_factor(105.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooler_cells_retain_more_charge() {
+        let hot = cell_at_temperature(85.0);
+        let cool = cell_at_temperature(45.0);
+        for age in [1.0, 8.0, 32.0, 64.0] {
+            assert!(cool.charge_fraction(age) > hot.charge_fraction(age));
+        }
+    }
+
+    #[test]
+    fn calibration_temperature_reproduces_the_anchors() {
+        let cell = cell_at_temperature(T_CALIBRATION_C);
+        let m = ActivationModel::new(cell, SenseAmpModel::calibrated());
+        assert!((m.ready_time_ns(0.0) - consts::T_READY_FULL_NS).abs() < 1e-9);
+        assert!((m.ready_time_ns(64.0) - consts::T_READY_WORST_NS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chargecache_is_safe_at_or_below_85c() {
+        for t in [0.0, 25.0, 45.0, 65.0, 85.0] {
+            assert!(timings_safe_unadjusted(1.0, t), "unsafe at {t}°C");
+        }
+    }
+
+    #[test]
+    fn stacked_dram_temperatures_need_shorter_durations() {
+        // A 95 °C 3D-stacked part leaks twice as fast: a 1 ms entry is
+        // only as charged as a 2 ms entry at 85 °C, so the 1 ms timings
+        // need a 0.5 ms duration instead.
+        assert!(!timings_safe_unadjusted(1.0, 95.0));
+        assert!((equivalent_duration_ms(1.0, 95.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cool_operation_extends_the_safe_duration() {
+        // At 65 °C the same charge level is reached 4× later.
+        assert!((equivalent_duration_ms(1.0, 65.0) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! Mechanisms the paper discusses composing ChargeCache with
+//! (Sections 7.1 and 8), plus a generic composition combinator.
+//!
+//! * [`AlDram`] — AL-DRAM-style *dynamic latency scaling* (Lee et al.,
+//!   HPCA 2015): at operating temperatures below the 85 °C worst case,
+//!   every cell leaks slower, so *all* accesses can use reduced timings.
+//!   Derived here from the calibrated circuit model's temperature scaling.
+//! * [`TlDram`] — Tiered-Latency-DRAM-style segmentation (Lee et al.,
+//!   HPCA 2013): rows in the near segment of each subarray have shorter
+//!   bitlines and activate faster, independent of charge state.
+//! * [`BestOf`] — runs two mechanisms side by side and applies whichever
+//!   offers the faster timings for each activation; this is exactly how
+//!   the paper argues ChargeCache stacks with orthogonal latency work.
+
+use bitline::derive::{CycleQuantized, ReducedTimings};
+use bitline::temperature;
+use dram::{ActTimings, BusCycle, TimingParams};
+
+use crate::mechanism::{LatencyMechanism, MechanismKind, MechanismStats};
+use crate::RowKey;
+
+/// AL-DRAM-style global latency scaling for a fixed operating temperature.
+#[derive(Debug, Clone)]
+pub struct AlDram {
+    reduced: ActTimings,
+    base: ActTimings,
+    activates: u64,
+    reduced_activates: u64,
+}
+
+impl AlDram {
+    /// Creates the mechanism for an operating temperature.
+    ///
+    /// At `temp_c`, a cell that has waited the full 64 ms window holds as
+    /// much charge as a `64 × 2^((temp−85)/10)` ms-old cell at 85 °C, so
+    /// the Table 2 timings for that *equivalent duration* are safe for
+    /// every access. At or above 85 °C no reduction is safe and the
+    /// mechanism degenerates to the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp_c` is not finite.
+    pub fn new(temp_c: f64, timing: &TimingParams) -> Self {
+        let base = timing.act_timings();
+        // A cell that has aged 64 ms at temp_c holds the charge of a cell
+        // aged 64 × leakage_factor ms at the 85 °C calibration point.
+        let equiv = 64.0 * temperature::leakage_factor(temp_c);
+        let reduced = if equiv >= 64.0 {
+            base
+        } else {
+            // Durations below the 1 ms anchor clamp to the 1 ms row — the
+            // circuit model publishes nothing more aggressive.
+            let q = CycleQuantized::from_timings(
+                ReducedTimings::for_duration_ms(equiv.max(1.0)),
+                timing.tck_ns,
+            );
+            base.reduced_by(q.trcd_reduction, q.tras_reduction)
+        };
+        Self {
+            reduced,
+            base,
+            activates: 0,
+            reduced_activates: 0,
+        }
+    }
+
+    /// The timings applied to every activation at this temperature.
+    pub fn timings(&self) -> ActTimings {
+        self.reduced
+    }
+}
+
+impl LatencyMechanism for AlDram {
+    fn on_activate(&mut self, _: BusCycle, _: usize, _: RowKey, _: BusCycle) -> ActTimings {
+        self.activates += 1;
+        if self.reduced != self.base {
+            self.reduced_activates += 1;
+        }
+        self.reduced
+    }
+
+    fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
+
+    fn stats(&self) -> MechanismStats {
+        MechanismStats {
+            activates: self.activates,
+            reduced_activates: self.reduced_activates,
+            hcrac: None,
+        }
+    }
+
+    fn kind(&self) -> MechanismKind {
+        // Reported as the baseline family: AL-DRAM has no HCRAC; callers
+        // distinguish composed stacks through `BestOf`'s labels.
+        MechanismKind::Baseline
+    }
+}
+
+/// TL-DRAM-style near/far segmentation.
+#[derive(Debug, Clone)]
+pub struct TlDram {
+    /// Rows per subarray.
+    subarray_rows: u32,
+    /// Near-segment rows per subarray (the first `near_rows` of each).
+    near_rows: u32,
+    near: ActTimings,
+    base: ActTimings,
+    activates: u64,
+    reduced_activates: u64,
+}
+
+impl TlDram {
+    /// Creates the mechanism. `near_rows` of every `subarray_rows`-row
+    /// subarray are near-segment rows activated with `trcd_reduction` /
+    /// `tras_reduction` fewer cycles (the shorter-bitline benefit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarray_rows` is zero or `near_rows > subarray_rows`.
+    pub fn new(
+        subarray_rows: u32,
+        near_rows: u32,
+        trcd_reduction: u32,
+        tras_reduction: u32,
+        timing: &TimingParams,
+    ) -> Self {
+        assert!(subarray_rows > 0, "subarrays must contain rows");
+        assert!(near_rows <= subarray_rows, "near segment exceeds subarray");
+        let base = timing.act_timings();
+        Self {
+            subarray_rows,
+            near_rows,
+            near: base.reduced_by(trcd_reduction, tras_reduction),
+            base,
+            activates: 0,
+            reduced_activates: 0,
+        }
+    }
+
+    /// The paper-adjacent default: 512-row subarrays with a 32-row near
+    /// segment, activating a near row 5/11 cycles faster.
+    pub fn typical(timing: &TimingParams) -> Self {
+        Self::new(512, 32, 5, 11, timing)
+    }
+
+    /// True if `row` lies in a near segment.
+    pub fn is_near(&self, key: RowKey) -> bool {
+        let row = (key.raw() & 0xFFFF_FFFF) as u32;
+        (row % self.subarray_rows) < self.near_rows
+    }
+}
+
+impl LatencyMechanism for TlDram {
+    fn on_activate(&mut self, _: BusCycle, _: usize, key: RowKey, _: BusCycle) -> ActTimings {
+        self.activates += 1;
+        if self.is_near(key) {
+            self.reduced_activates += 1;
+            self.near
+        } else {
+            self.base
+        }
+    }
+
+    fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
+
+    fn stats(&self) -> MechanismStats {
+        MechanismStats {
+            activates: self.activates,
+            reduced_activates: self.reduced_activates,
+            hcrac: None,
+        }
+    }
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Baseline
+    }
+}
+
+/// Composes two mechanisms: both observe every event; each activation uses
+/// the element-wise minimum (fastest safe) timing pair of the two.
+///
+/// Safety composes because each constituent only returns timings it has
+/// independently proven safe for the row, and the DRAM cell does not care
+/// *why* it is highly charged or on a short bitline.
+pub struct BestOf {
+    a: Box<dyn LatencyMechanism>,
+    b: Box<dyn LatencyMechanism>,
+}
+
+impl BestOf {
+    /// Composes `a` and `b`.
+    pub fn new(a: Box<dyn LatencyMechanism>, b: Box<dyn LatencyMechanism>) -> Self {
+        Self { a, b }
+    }
+}
+
+impl LatencyMechanism for BestOf {
+    fn on_activate(
+        &mut self,
+        now: BusCycle,
+        core: usize,
+        key: RowKey,
+        refresh_age: BusCycle,
+    ) -> ActTimings {
+        let ta = self.a.on_activate(now, core, key, refresh_age);
+        let tb = self.b.on_activate(now, core, key, refresh_age);
+        ActTimings {
+            trcd: ta.trcd.min(tb.trcd),
+            tras: ta.tras.min(tb.tras),
+        }
+    }
+
+    fn on_precharge(&mut self, now: BusCycle, core: usize, key: RowKey) {
+        self.a.on_precharge(now, core, key);
+        self.b.on_precharge(now, core, key);
+    }
+
+    fn tick(&mut self, now: BusCycle) {
+        self.a.tick(now);
+        self.b.tick(now);
+    }
+
+    fn stats(&self) -> MechanismStats {
+        let sa = self.a.stats();
+        let sb = self.b.stats();
+        MechanismStats {
+            activates: sa.activates.max(sb.activates),
+            // Upper bound: an activation reduced by either constituent.
+            reduced_activates: sa.reduced_activates.max(sb.reduced_activates),
+            hcrac: sa.hcrac.or(sb.hcrac),
+        }
+    }
+
+    fn kind(&self) -> MechanismKind {
+        self.a.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChargeCacheConfig;
+    use crate::mechanism::ChargeCache;
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn key(row: u32) -> RowKey {
+        RowKey::new(0, 0, 0, row)
+    }
+
+    #[test]
+    fn aldram_at_worst_case_temperature_is_baseline() {
+        let t = timing();
+        let mut m = AlDram::new(85.0, &t);
+        assert_eq!(m.on_activate(0, 0, key(1), 0), t.act_timings());
+        assert_eq!(m.stats().reduced_activates, 0);
+    }
+
+    #[test]
+    fn aldram_cooler_means_faster() {
+        let t = timing();
+        let hot = AlDram::new(85.0, &t).timings();
+        let warm = AlDram::new(65.0, &t).timings();
+        let cool = AlDram::new(45.0, &t).timings();
+        assert!(warm.trcd < hot.trcd);
+        assert!(cool.trcd <= warm.trcd);
+        // Clamped at the 1 ms anchor: never faster than a ChargeCache hit.
+        let cc_hit = t.act_timings().reduced_by(4, 8);
+        assert!(cool.trcd >= cc_hit.trcd);
+        assert!(cool.tras >= cc_hit.tras);
+    }
+
+    #[test]
+    fn aldram_above_85c_never_reduces() {
+        let t = timing();
+        let m = AlDram::new(95.0, &t);
+        assert_eq!(m.timings(), t.act_timings());
+    }
+
+    #[test]
+    fn tldram_distinguishes_near_and_far_rows() {
+        let t = timing();
+        let mut m = TlDram::typical(&t);
+        let near = m.on_activate(0, 0, key(5), 0); // row 5 % 512 < 32
+        let far = m.on_activate(0, 0, key(100), 0);
+        assert!(near.trcd < far.trcd);
+        assert_eq!(far, t.act_timings());
+        assert_eq!(m.stats().activates, 2);
+        assert_eq!(m.stats().reduced_activates, 1);
+    }
+
+    #[test]
+    fn bestof_takes_elementwise_minimum() {
+        let t = timing();
+        // TL-DRAM near rows + ChargeCache: a near-segment row that also
+        // hits in the HCRAC gets the better of each parameter.
+        let cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
+        let tl = TlDram::typical(&t);
+        let mut combo = BestOf::new(Box::new(cc), Box::new(tl));
+
+        // Near row, HCRAC cold: TL-DRAM timings apply.
+        let got = combo.on_activate(0, 0, key(5), u64::MAX);
+        assert_eq!(got.trcd, t.trcd - 5);
+
+        // Precharge and re-activate: HCRAC hit (4/8) + near (5/11) → the
+        // min of each: trcd −5 (TL), tras −11 (TL).
+        combo.on_precharge(10, 0, key(5));
+        let got = combo.on_activate(20, 0, key(5), u64::MAX);
+        assert_eq!(got.trcd, t.trcd - 5);
+        assert_eq!(got.tras, t.tras - 11);
+
+        // Far row that hits in the HCRAC: ChargeCache timings win.
+        combo.on_precharge(30, 0, key(100));
+        let got = combo.on_activate(40, 0, key(100), u64::MAX);
+        assert_eq!(got.trcd, t.trcd - 4);
+        assert_eq!(got.tras, t.tras - 8);
+    }
+
+    #[test]
+    fn bestof_forwards_ticks_and_precharges() {
+        let t = timing();
+        let cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
+        let dur = cc.duration_cycles();
+        let base = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
+        let mut combo = BestOf::new(Box::new(cc), Box::new(base));
+        combo.on_precharge(0, 0, key(9));
+        // Tick past the caching duration: both inner caches must expire.
+        combo.tick(dur + 1);
+        let got = combo.on_activate(dur + 2, 0, key(9), u64::MAX);
+        assert_eq!(got, t.act_timings());
+    }
+}

@@ -1,0 +1,169 @@
+//! Hardware-overhead model (paper Section 6.3, Equations 1 and 2).
+//!
+//! Storage is computed exactly from the paper's equations; area and power
+//! are scaled linearly from the paper's published 22 nm reference points
+//! (0.022 mm² and 0.149 mW for the 5376-byte eight-core configuration),
+//! standing in for the McPAT runs the authors performed.
+
+use serde::{Deserialize, Serialize};
+
+/// Paper reference point: storage of the 8-core / 2-channel / 128-entry
+/// configuration, in bytes.
+const REF_STORAGE_BYTES: f64 = 5376.0;
+/// Paper reference point: area of that configuration at 22 nm, in mm².
+const REF_AREA_MM2: f64 = 0.022;
+/// Paper reference point: average power of that configuration, in mW.
+const REF_POWER_MW: f64 = 0.149;
+/// Paper reference point: 4 MB LLC area such that the HCRAC is 0.24% of it.
+const REF_LLC_AREA_MM2: f64 = REF_AREA_MM2 / 0.0024;
+/// Paper reference point: 4 MB LLC average power such that the HCRAC is
+/// 0.23% of it.
+const REF_LLC_POWER_MW: f64 = REF_POWER_MW / 0.0023;
+
+/// Inputs to the overhead equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Number of cores (`C` in Equation 1).
+    pub cores: u32,
+    /// Number of memory channels (`MC` in Equation 1).
+    pub channels: u32,
+    /// HCRAC entries per core.
+    pub entries: u32,
+    /// Associativity (determines the LRU bits per entry).
+    pub ways: u32,
+    /// Ranks per channel (`R` in Equation 2).
+    pub ranks: u32,
+    /// Banks per rank (`B` in Equation 2).
+    pub banks: u32,
+    /// Rows per bank (`Ro` in Equation 2).
+    pub rows: u32,
+}
+
+impl OverheadModel {
+    /// The paper's eight-core evaluation point: 8 cores, 2 channels,
+    /// 128 entries, 2-way, 1 rank, 8 banks, 64K rows.
+    pub fn paper_8core() -> Self {
+        Self {
+            cores: 8,
+            channels: 2,
+            entries: 128,
+            ways: 2,
+            ranks: 1,
+            banks: 8,
+            rows: 65_536,
+        }
+    }
+
+    /// Equation 2: bits per HCRAC entry
+    /// (`log2(R) + log2(B) + log2(Ro) + 1`).
+    pub fn entry_size_bits(&self) -> u32 {
+        log2(self.ranks) + log2(self.banks) + log2(self.rows) + 1
+    }
+
+    /// LRU bits per entry: `log2(ways)` (1 bit for the paper's 2-way).
+    pub fn lru_bits(&self) -> u32 {
+        log2(self.ways.max(1))
+    }
+
+    /// Equation 1: total storage in bits
+    /// (`C × MC × Entries × (EntrySize + LRUbits)`).
+    pub fn storage_bits(&self) -> u64 {
+        u64::from(self.cores)
+            * u64::from(self.channels)
+            * u64::from(self.entries)
+            * u64::from(self.entry_size_bits() + self.lru_bits())
+    }
+
+    /// Total storage in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bits() / 8
+    }
+
+    /// Storage per core per channel in bytes (the "672 bytes per core,
+    /// two channels" figure).
+    pub fn storage_bytes_per_core(&self) -> u64 {
+        self.storage_bytes() / u64::from(self.cores)
+    }
+
+    /// Estimated area at 22 nm in mm², scaled from the paper's McPAT
+    /// reference point.
+    pub fn area_mm2(&self) -> f64 {
+        REF_AREA_MM2 * self.storage_bytes() as f64 / REF_STORAGE_BYTES
+    }
+
+    /// Estimated average power in mW, scaled from the paper's reference
+    /// point.
+    pub fn power_mw(&self) -> f64 {
+        REF_POWER_MW * self.storage_bytes() as f64 / REF_STORAGE_BYTES
+    }
+
+    /// Area as a fraction of a 4 MB LLC.
+    pub fn area_fraction_of_4mb_llc(&self) -> f64 {
+        self.area_mm2() / REF_LLC_AREA_MM2
+    }
+
+    /// Power as a fraction of a 4 MB LLC.
+    pub fn power_fraction_of_4mb_llc(&self) -> f64 {
+        self.power_mw() / REF_LLC_POWER_MW
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self::paper_8core()
+    }
+}
+
+fn log2(v: u32) -> u32 {
+    debug_assert!(v.is_power_of_two(), "overhead equations assume powers of two");
+    v.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_size_matches_paper() {
+        // log2(1) + log2(8) + log2(64K) + 1 = 0 + 3 + 16 + 1 = 20 bits.
+        let m = OverheadModel::paper_8core();
+        assert_eq!(m.entry_size_bits(), 20);
+        assert_eq!(m.lru_bits(), 1);
+    }
+
+    #[test]
+    fn storage_matches_paper_5376_bytes() {
+        let m = OverheadModel::paper_8core();
+        assert_eq!(m.storage_bytes(), 5376);
+        assert_eq!(m.storage_bytes_per_core(), 672);
+    }
+
+    #[test]
+    fn area_and_power_match_reference() {
+        let m = OverheadModel::paper_8core();
+        assert!((m.area_mm2() - 0.022).abs() < 1e-12);
+        assert!((m.power_mw() - 0.149).abs() < 1e-12);
+        assert!((m.area_fraction_of_4mb_llc() - 0.0024).abs() < 1e-9);
+        assert!((m.power_fraction_of_4mb_llc() - 0.0023).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_scales_linearly_with_entries() {
+        let mut m = OverheadModel::paper_8core();
+        m.entries = 1024;
+        assert_eq!(m.storage_bytes(), 5376 * 8);
+        // "5376 bytes per-core" for the 1024-entry point in Section 6.4.1.
+        assert_eq!(m.storage_bytes_per_core(), 5376);
+    }
+
+    #[test]
+    fn single_core_single_channel() {
+        let m = OverheadModel {
+            cores: 1,
+            channels: 1,
+            ..OverheadModel::paper_8core()
+        };
+        // 128 × 21 bits = 2688 bits = 336 bytes.
+        assert_eq!(m.storage_bytes(), 336);
+    }
+}

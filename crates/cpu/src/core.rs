@@ -1,0 +1,553 @@
+//! Trace-driven out-of-order core model.
+//!
+//! Reproduces Ramulator's CPU front-end (the model the paper's Table 1
+//! describes): a `W`-wide core with a fixed-size instruction window and a
+//! per-core MSHR budget. Each cycle the core retires up to `W` ready
+//! instructions from the window head and dispatches up to `W` new ones
+//! from the trace. Non-memory instructions are ready immediately; loads
+//! become ready when the cache hierarchy answers; stores are posted.
+//! A full window (typically: a load miss at the head) stalls dispatch —
+//! this is where DRAM latency becomes CPU performance.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{MemOp, TraceSource};
+
+/// Identifier of an in-flight load within one core.
+pub type LoadId = u64;
+
+/// Core configuration (paper Table 1: 3-wide, 128-entry window, 8 MSHRs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions retired/dispatched per cycle.
+    pub issue_width: u32,
+    /// Instruction window capacity.
+    pub window: usize,
+    /// Maximum outstanding load misses.
+    pub mshrs: usize,
+}
+
+impl CoreConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            issue_width: 3,
+            window: 128,
+            mshrs: 8,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-core statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Loads dispatched.
+    pub loads: u64,
+    /// Stores dispatched.
+    pub stores: u64,
+    /// Cycles dispatch was blocked (window full or resource retry).
+    pub stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A memory access the core asks the system to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Issuing core id.
+    pub core: usize,
+    /// The operation.
+    pub op: MemOp,
+    /// Load identifier (meaningful for loads only).
+    pub load_id: LoadId,
+}
+
+/// The system's reply to a [`MemAccess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessReply {
+    /// Load serviced by the cache; data ready at the given CPU cycle.
+    HitAt(u64),
+    /// Load sent to memory; [`Core::complete_load`] will be called with
+    /// this access's `load_id` when data returns.
+    Pending,
+    /// Store accepted (posted) or coalesced.
+    Done,
+    /// Resource exhausted (queue full); retry next cycle.
+    Retry,
+}
+
+/// Window slot: a run of ready instructions or one in-flight load.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Ready(u32),
+    Load { id: LoadId, ready: bool },
+}
+
+/// The trace-driven core.
+pub struct Core {
+    id: usize,
+    cfg: CoreConfig,
+    trace: Box<dyn TraceSource>,
+    window: VecDeque<Slot>,
+    occupancy: usize,
+    /// Non-memory instructions of the current entry not yet dispatched.
+    nonmem_credit: u32,
+    /// Memory op of the current entry awaiting dispatch.
+    pending_op: Option<MemOp>,
+    /// Loads that hit in the cache, waiting for their ready cycle.
+    hit_queue: Vec<(u64, LoadId)>,
+    /// Outstanding load misses (MSHR usage).
+    outstanding: usize,
+    next_load_id: LoadId,
+    trace_done: bool,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core replaying `trace`.
+    pub fn new(id: usize, cfg: CoreConfig, trace: Box<dyn TraceSource>) -> Self {
+        assert!(cfg.issue_width > 0 && cfg.window > 0 && cfg.mshrs > 0);
+        Self {
+            id,
+            cfg,
+            trace,
+            window: VecDeque::new(),
+            occupancy: 0,
+            nonmem_credit: 0,
+            pending_op: None,
+            hit_queue: Vec::new(),
+            outstanding: 0,
+            next_load_id: 0,
+            trace_done: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// True when the trace is exhausted and the pipeline has drained.
+    pub fn finished(&self) -> bool {
+        self.trace_done
+            && self.window.is_empty()
+            && self.pending_op.is_none()
+            && self.nonmem_credit == 0
+    }
+
+    /// Outstanding load misses.
+    pub fn outstanding_misses(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Marks a pending load ready (memory completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_id` does not match an in-flight load — that is a
+    /// harness wiring bug.
+    pub fn complete_load(&mut self, load_id: LoadId) {
+        let slot = self
+            .window
+            .iter_mut()
+            .find(|s| matches!(s, Slot::Load { id, ready: false } if *id == load_id))
+            .expect("completion for unknown load");
+        if let Slot::Load { ready, .. } = slot {
+            *ready = true;
+        }
+        self.outstanding -= 1;
+    }
+
+    /// Simulates one CPU cycle. `access` is invoked for each memory
+    /// operation the core dispatches this cycle (at most one) and must
+    /// return the system's reply.
+    pub fn step<F>(&mut self, now: u64, access: &mut F)
+    where
+        F: FnMut(MemAccess) -> AccessReply,
+    {
+        self.stats.cycles += 1;
+
+        // Promote cache hits whose data has arrived.
+        if !self.hit_queue.is_empty() {
+            let window = &mut self.window;
+            self.hit_queue.retain(|&(at, id)| {
+                if at <= now {
+                    if let Some(Slot::Load { ready, .. }) = window
+                        .iter_mut()
+                        .find(|s| matches!(s, Slot::Load { id: i, .. } if *i == id))
+                    {
+                        *ready = true;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        self.retire();
+        let dispatched = self.dispatch(now, access);
+        if dispatched == 0 && !self.finished() {
+            self.stats.stall_cycles += 1;
+        }
+    }
+
+    /// Retires up to `issue_width` ready instructions from the head.
+    fn retire(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        while budget > 0 {
+            match self.window.front_mut() {
+                Some(Slot::Ready(n)) => {
+                    let take = (*n).min(budget);
+                    *n -= take;
+                    budget -= take;
+                    self.stats.retired += u64::from(take);
+                    self.occupancy -= take as usize;
+                    if *n == 0 {
+                        self.window.pop_front();
+                    }
+                }
+                Some(Slot::Load { ready: true, .. }) => {
+                    self.window.pop_front();
+                    budget -= 1;
+                    self.stats.retired += 1;
+                    self.occupancy -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Dispatches up to `issue_width` instructions; returns the number
+    /// dispatched.
+    fn dispatch<F>(&mut self, now: u64, access: &mut F) -> u32
+    where
+        F: FnMut(MemAccess) -> AccessReply,
+    {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.issue_width {
+            if self.occupancy >= self.cfg.window {
+                break;
+            }
+            // Refill from the trace when the current entry is consumed.
+            if self.nonmem_credit == 0 && self.pending_op.is_none() {
+                match self.trace.next_entry() {
+                    Some(e) => {
+                        self.nonmem_credit = e.nonmem;
+                        self.pending_op = e.op;
+                    }
+                    None => {
+                        self.trace_done = true;
+                        break;
+                    }
+                }
+            }
+            // Plain instructions first.
+            if self.nonmem_credit > 0 {
+                let room = (self.cfg.window - self.occupancy) as u32;
+                let take = self
+                    .nonmem_credit
+                    .min(self.cfg.issue_width - dispatched)
+                    .min(room);
+                if take == 0 {
+                    break;
+                }
+                self.push_ready(take);
+                self.nonmem_credit -= take;
+                dispatched += take;
+                continue;
+            }
+            // Then the memory operation.
+            let Some(op) = self.pending_op else { continue };
+            match op {
+                MemOp::Load(_) => {
+                    if self.outstanding >= self.cfg.mshrs {
+                        break; // MSHRs exhausted: structural stall.
+                    }
+                    let load_id = self.next_load_id;
+                    match access(MemAccess {
+                        core: self.id,
+                        op,
+                        load_id,
+                    }) {
+                        AccessReply::HitAt(at) => {
+                            self.next_load_id += 1;
+                            self.window.push_back(Slot::Load {
+                                id: load_id,
+                                ready: false,
+                            });
+                            self.occupancy += 1;
+                            self.hit_queue.push((at.max(now + 1), load_id));
+                            self.stats.loads += 1;
+                            self.pending_op = None;
+                            dispatched += 1;
+                        }
+                        AccessReply::Pending => {
+                            self.next_load_id += 1;
+                            self.window.push_back(Slot::Load {
+                                id: load_id,
+                                ready: false,
+                            });
+                            self.occupancy += 1;
+                            self.outstanding += 1;
+                            self.stats.loads += 1;
+                            self.pending_op = None;
+                            dispatched += 1;
+                        }
+                        AccessReply::Done => {
+                            unreachable!("loads cannot complete instantaneously")
+                        }
+                        AccessReply::Retry => break,
+                    }
+                }
+                MemOp::Store(_) => {
+                    match access(MemAccess {
+                        core: self.id,
+                        op,
+                        load_id: 0,
+                    }) {
+                        AccessReply::Done => {
+                            // Stores are posted: they occupy a slot but are
+                            // immediately ready to retire.
+                            self.push_ready(1);
+                            self.stats.stores += 1;
+                            self.pending_op = None;
+                            dispatched += 1;
+                        }
+                        AccessReply::Retry => break,
+                        other => unreachable!("stores are posted, got {other:?}"),
+                    }
+                }
+            }
+        }
+        dispatched
+    }
+
+    fn push_ready(&mut self, n: u32) {
+        self.occupancy += n as usize;
+        if let Some(Slot::Ready(m)) = self.window.back_mut() {
+            *m += n;
+        } else {
+            self.window.push_back(Slot::Ready(n));
+        }
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("occupancy", &self.occupancy)
+            .field("outstanding", &self.outstanding)
+            .field("retired", &self.stats.retired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEntry, VecTrace};
+
+    fn loads(n: usize, stride: u64, nonmem: u32) -> Vec<TraceEntry> {
+        (0..n)
+            .map(|i| TraceEntry {
+                nonmem,
+                op: Some(MemOp::Load(i as u64 * stride)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_compute_retires_at_full_width() {
+        let entries = vec![TraceEntry {
+            nonmem: 300,
+            op: None,
+        }];
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
+        let mut nop = |_: MemAccess| -> AccessReply { unreachable!() };
+        let mut now = 0;
+        while !core.finished() && now < 1_000 {
+            core.step(now, &mut nop);
+            now += 1;
+        }
+        assert!(core.finished());
+        assert_eq!(core.retired(), 300);
+        // 3-wide: about 100 cycles (+ pipeline edges).
+        assert!(core.stats().cycles <= 105, "cycles = {}", core.stats().cycles);
+    }
+
+    #[test]
+    fn load_hits_complete_after_latency() {
+        let mut core = Core::new(
+            0,
+            CoreConfig::paper(),
+            Box::new(VecTrace::once(loads(4, 64, 0))),
+        );
+        let mut now = 0;
+        let mut hits = 0;
+        while !core.finished() && now < 500 {
+            core.step(now, &mut |_a| {
+                hits += 1;
+                AccessReply::HitAt(now + 20)
+            });
+            now += 1;
+        }
+        assert!(core.finished());
+        assert_eq!(hits, 4);
+        assert_eq!(core.retired(), 4);
+    }
+
+    #[test]
+    fn mshr_limit_caps_outstanding_misses() {
+        let cfg = CoreConfig {
+            issue_width: 3,
+            window: 128,
+            mshrs: 8,
+        };
+        let mut core = Core::new(0, cfg, Box::new(VecTrace::once(loads(50, 64, 0))));
+        let mut sent = Vec::new();
+        for now in 0..100 {
+            core.step(now, &mut |a| {
+                sent.push(a.load_id);
+                AccessReply::Pending
+            });
+            assert!(core.outstanding_misses() <= 8);
+        }
+        assert_eq!(core.outstanding_misses(), 8);
+        // Complete one; another dispatches.
+        core.complete_load(sent[0]);
+        core.step(100, &mut |a| {
+            sent.push(a.load_id);
+            AccessReply::Pending
+        });
+        assert_eq!(core.outstanding_misses(), 8);
+        assert_eq!(sent.len(), 9);
+    }
+
+    #[test]
+    fn window_fills_behind_blocked_load() {
+        // One never-completing load followed by lots of compute: the window
+        // must cap occupancy at 128 and stall.
+        let entries = vec![
+            TraceEntry {
+                nonmem: 0,
+                op: Some(MemOp::Load(0)),
+            },
+            TraceEntry {
+                nonmem: 100_000,
+                op: None,
+            },
+        ];
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
+        for now in 0..200 {
+            core.step(now, &mut |_| AccessReply::Pending);
+        }
+        // Nothing can retire past the blocked load at the head.
+        assert_eq!(core.retired(), 0);
+        assert!(core.stats().stall_cycles > 100);
+    }
+
+    #[test]
+    fn retry_stalls_then_succeeds() {
+        let mut core = Core::new(
+            0,
+            CoreConfig::paper(),
+            Box::new(VecTrace::once(loads(1, 64, 0))),
+        );
+        let mut attempts = 0;
+        for now in 0..10 {
+            core.step(now, &mut |_| {
+                attempts += 1;
+                if attempts < 3 {
+                    AccessReply::Retry
+                } else {
+                    AccessReply::HitAt(now + 5)
+                }
+            });
+        }
+        assert_eq!(attempts, 3);
+        assert_eq!(core.stats().loads, 1);
+    }
+
+    #[test]
+    fn stores_are_posted_and_retire() {
+        let entries = vec![TraceEntry {
+            nonmem: 2,
+            op: Some(MemOp::Store(64)),
+        }];
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
+        let mut now = 0;
+        while !core.finished() && now < 50 {
+            core.step(now, &mut |a| {
+                assert!(matches!(a.op, MemOp::Store(64)));
+                AccessReply::Done
+            });
+            now += 1;
+        }
+        assert!(core.finished());
+        assert_eq!(core.retired(), 3);
+        assert_eq!(core.stats().stores, 1);
+    }
+
+    #[test]
+    fn ipc_reflects_memory_latency() {
+        // Same trace, two latencies: higher latency → lower IPC.
+        let run = |latency: u64| {
+            let mut core = Core::new(
+                0,
+                CoreConfig::paper(),
+                Box::new(VecTrace::once(loads(64, 64, 2))),
+            );
+            let mut pend: Vec<(u64, LoadId)> = Vec::new();
+            let mut now = 0;
+            while !core.finished() && now < 100_000 {
+                while let Some(pos) = pend.iter().position(|&(at, _)| at <= now) {
+                    let (_, id) = pend.remove(pos);
+                    core.complete_load(id);
+                }
+                core.step(now, &mut |a| {
+                    pend.push((now + latency, a.load_id));
+                    AccessReply::Pending
+                });
+                now += 1;
+            }
+            core.stats().ipc()
+        };
+        let fast = run(10);
+        let slow = run(200);
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Trace-driven CPU front-end: cores and the shared last-level cache.
+//!
+//! The reproduction's substitute for the Pin-trace-driven processor model
+//! Ramulator provides (paper Table 1): each [`Core`] replays an
+//! instruction trace through a fixed-size window at a fixed issue width
+//! with a per-core MSHR budget; a shared [`Llc`] (4 MB, 16-way) filters
+//! the memory stream before it reaches the DRAM controller.
+//!
+//! The crate is deliberately memory-system-agnostic: a core talks to the
+//! outside world only through the [`core::AccessReply`] callback, so unit
+//! tests (and the `sim` crate) can wire it to anything.
+//!
+//! # Example
+//!
+//! ```
+//! use cpu::{AccessReply, Core, CoreConfig, MemOp, TraceEntry, VecTrace};
+//!
+//! let trace = VecTrace::once(vec![TraceEntry { nonmem: 5, op: Some(MemOp::Load(64)) }]);
+//! let mut core = Core::new(0, CoreConfig::paper(), Box::new(trace));
+//! let mut now = 0;
+//! while !core.finished() && now < 100 {
+//!     core.step(now, &mut |_access| AccessReply::HitAt(now + 20));
+//!     now += 1;
+//! }
+//! assert_eq!(core.retired(), 6);
+//! ```
+
+pub mod cache;
+pub mod core;
+pub mod trace;
+
+pub use cache::{Llc, LlcConfig, LlcOutcome, LlcStats};
+pub use core::{AccessReply, Core, CoreConfig, CoreStats, LoadId, MemAccess};
+pub use trace::{MemOp, TraceEntry, TraceSource, VecTrace};

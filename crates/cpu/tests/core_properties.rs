@@ -1,0 +1,98 @@
+//! Property tests for the core model: instruction accounting and window
+//! discipline hold for arbitrary traces and arbitrary memory behaviour.
+
+use cpu::{AccessReply, Core, CoreConfig, LoadId, MemOp, TraceEntry, VecTrace};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Behaviour {
+    /// Memory replies cycle through: hit(latency), pending(latency), retry.
+    hit_latency: u8,
+    pending_latency: u8,
+    retry_every: u8,
+}
+
+fn entry_strategy() -> impl Strategy<Value = TraceEntry> {
+    (0u32..20, prop_oneof![
+        Just(None),
+        (any::<u16>()).prop_map(|a| Some(MemOp::Load(u64::from(a) * 64))),
+        (any::<u16>()).prop_map(|a| Some(MemOp::Store(u64::from(a) * 64))),
+    ])
+        .prop_map(|(nonmem, op)| TraceEntry { nonmem, op })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every instruction in the trace is retired exactly once, regardless
+    /// of memory behaviour, and the core terminates.
+    #[test]
+    fn retired_equals_trace_instructions(
+        entries in prop::collection::vec(entry_strategy(), 1..80),
+        b in (1u8..40, 1u8..60, 2u8..9).prop_map(|(h, p, r)| Behaviour {
+            hit_latency: h,
+            pending_latency: p,
+            retry_every: r,
+        }),
+    ) {
+        let total: u64 = entries.iter().map(|e| e.instructions()).sum();
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
+        let mut pending: Vec<(u64, LoadId)> = Vec::new();
+        let mut counter = 0u64;
+        let mut now = 0u64;
+        // Generous bound: every instruction could stall for max latency.
+        let deadline = 200 + total * (u64::from(b.pending_latency) + 64);
+
+        while !core.finished() && now < deadline {
+            while let Some(pos) = pending.iter().position(|&(at, _)| at <= now) {
+                let (_, id) = pending.remove(pos);
+                core.complete_load(id);
+            }
+            core.step(now, &mut |a| {
+                counter += 1;
+                match a.op {
+                    MemOp::Store(_) => {
+                        if counter % u64::from(b.retry_every) == 0 {
+                            AccessReply::Retry
+                        } else {
+                            AccessReply::Done
+                        }
+                    }
+                    MemOp::Load(_) => match counter % 3 {
+                        0 => AccessReply::HitAt(now + u64::from(b.hit_latency)),
+                        1 => {
+                            pending.push((now + u64::from(b.pending_latency), a.load_id));
+                            AccessReply::Pending
+                        }
+                        _ => {
+                            if counter % u64::from(b.retry_every) == 0 {
+                                AccessReply::Retry
+                            } else {
+                                AccessReply::HitAt(now + u64::from(b.hit_latency))
+                            }
+                        }
+                    },
+                }
+            });
+            now += 1;
+            prop_assert!(core.outstanding_misses() <= CoreConfig::paper().mshrs);
+        }
+        prop_assert!(core.finished(), "core did not finish by {deadline}");
+        prop_assert_eq!(core.retired(), total);
+    }
+
+    /// IPC never exceeds the issue width.
+    #[test]
+    fn ipc_bounded_by_width(entries in prop::collection::vec(entry_strategy(), 1..60)) {
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
+        let mut now = 0;
+        while !core.finished() && now < 100_000 {
+            core.step(now, &mut |a| match a.op {
+                MemOp::Load(_) => AccessReply::HitAt(now + 1),
+                MemOp::Store(_) => AccessReply::Done,
+            });
+            now += 1;
+        }
+        prop_assert!(core.stats().ipc() <= 3.0 + 1e-9);
+    }
+}

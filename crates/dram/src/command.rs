@@ -1,0 +1,257 @@
+//! DRAM commands and addressing coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A DRAM row index within a bank.
+pub type RowId = u32;
+
+/// Coordinates of one bank in the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BankLoc {
+    /// Channel index.
+    pub channel: u8,
+    /// Rank index within the channel.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+}
+
+impl BankLoc {
+    /// The rank containing this bank.
+    pub fn rank_loc(&self) -> RankLoc {
+        RankLoc {
+            channel: self.channel,
+            rank: self.rank,
+        }
+    }
+}
+
+/// Coordinates of one rank in the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RankLoc {
+    /// Channel index.
+    pub channel: u8,
+    /// Rank index within the channel.
+    pub rank: u8,
+}
+
+/// The DDR3 command set used by the model.
+///
+/// `Rd`/`Wr` carry an `auto_pre` flag implementing the RDA/WRA variants:
+/// the bank precharges itself as soon as `tRAS` and `tRTP`/`tWR` allow,
+/// which the closed-row policy uses to avoid a separate PRE slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Activate (open) `row` in a bank.
+    Act {
+        /// Target bank.
+        loc: BankLoc,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Precharge (close) the open row of a bank.
+    Pre {
+        /// Target bank.
+        loc: BankLoc,
+    },
+    /// Precharge every bank in a rank.
+    PreAll {
+        /// Target rank.
+        rank: RankLoc,
+    },
+    /// Read a column burst from the open row.
+    Rd {
+        /// Target bank.
+        loc: BankLoc,
+        /// Column (cache-line granularity).
+        col: u32,
+        /// Auto-precharge after the read (RDA).
+        auto_pre: bool,
+    },
+    /// Write a column burst to the open row.
+    Wr {
+        /// Target bank.
+        loc: BankLoc,
+        /// Column (cache-line granularity).
+        col: u32,
+        /// Auto-precharge after the write (WRA).
+        auto_pre: bool,
+    },
+    /// Auto-refresh the next row group of a rank.
+    Ref {
+        /// Target rank.
+        rank: RankLoc,
+    },
+}
+
+/// Discriminant of [`Command`], used for statistics and energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Row activation.
+    Act,
+    /// Single-bank precharge.
+    Pre,
+    /// All-bank precharge.
+    PreAll,
+    /// Column read.
+    Rd,
+    /// Column read with auto-precharge.
+    RdA,
+    /// Column write.
+    Wr,
+    /// Column write with auto-precharge.
+    WrA,
+    /// Auto-refresh.
+    Ref,
+}
+
+impl Command {
+    /// Convenience constructor for `ACT`.
+    pub fn act(loc: BankLoc, row: RowId) -> Self {
+        Command::Act { loc, row }
+    }
+
+    /// Convenience constructor for `PRE`.
+    pub fn pre(loc: BankLoc) -> Self {
+        Command::Pre { loc }
+    }
+
+    /// Convenience constructor for `RD` (no auto-precharge).
+    pub fn rd(loc: BankLoc, col: u32) -> Self {
+        Command::Rd {
+            loc,
+            col,
+            auto_pre: false,
+        }
+    }
+
+    /// Convenience constructor for `RDA`.
+    pub fn rda(loc: BankLoc, col: u32) -> Self {
+        Command::Rd {
+            loc,
+            col,
+            auto_pre: true,
+        }
+    }
+
+    /// Convenience constructor for `WR` (no auto-precharge).
+    pub fn wr(loc: BankLoc, col: u32) -> Self {
+        Command::Wr {
+            loc,
+            col,
+            auto_pre: false,
+        }
+    }
+
+    /// Convenience constructor for `WRA`.
+    pub fn wra(loc: BankLoc, col: u32) -> Self {
+        Command::Wr {
+            loc,
+            col,
+            auto_pre: true,
+        }
+    }
+
+    /// The command's kind discriminant.
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Act { .. } => CommandKind::Act,
+            Command::Pre { .. } => CommandKind::Pre,
+            Command::PreAll { .. } => CommandKind::PreAll,
+            Command::Rd { auto_pre: false, .. } => CommandKind::Rd,
+            Command::Rd { auto_pre: true, .. } => CommandKind::RdA,
+            Command::Wr { auto_pre: false, .. } => CommandKind::Wr,
+            Command::Wr { auto_pre: true, .. } => CommandKind::WrA,
+            Command::Ref { .. } => CommandKind::Ref,
+        }
+    }
+
+    /// The channel this command targets.
+    pub fn channel(&self) -> u8 {
+        match self {
+            Command::Act { loc, .. }
+            | Command::Pre { loc }
+            | Command::Rd { loc, .. }
+            | Command::Wr { loc, .. } => loc.channel,
+            Command::PreAll { rank } | Command::Ref { rank } => rank.channel,
+        }
+    }
+
+    /// The rank this command targets.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Command::Act { loc, .. }
+            | Command::Pre { loc }
+            | Command::Rd { loc, .. }
+            | Command::Wr { loc, .. } => loc.rank,
+            Command::PreAll { rank } | Command::Ref { rank } => rank.rank,
+        }
+    }
+
+    /// The bank this command targets, if it is bank-scoped.
+    pub fn bank(&self) -> Option<u8> {
+        match self {
+            Command::Act { loc, .. }
+            | Command::Pre { loc }
+            | Command::Rd { loc, .. }
+            | Command::Wr { loc, .. } => Some(loc.bank),
+            Command::PreAll { .. } | Command::Ref { .. } => None,
+        }
+    }
+}
+
+impl CommandKind {
+    /// True for `Rd`/`RdA`.
+    pub fn is_read(&self) -> bool {
+        matches!(self, CommandKind::Rd | CommandKind::RdA)
+    }
+
+    /// True for `Wr`/`WrA`.
+    pub fn is_write(&self) -> bool {
+        matches!(self, CommandKind::Wr | CommandKind::WrA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOC: BankLoc = BankLoc {
+        channel: 1,
+        rank: 0,
+        bank: 5,
+    };
+
+    #[test]
+    fn kinds_match_constructors() {
+        assert_eq!(Command::act(LOC, 3).kind(), CommandKind::Act);
+        assert_eq!(Command::pre(LOC).kind(), CommandKind::Pre);
+        assert_eq!(Command::rd(LOC, 0).kind(), CommandKind::Rd);
+        assert_eq!(Command::rda(LOC, 0).kind(), CommandKind::RdA);
+        assert_eq!(Command::wr(LOC, 0).kind(), CommandKind::Wr);
+        assert_eq!(Command::wra(LOC, 0).kind(), CommandKind::WrA);
+    }
+
+    #[test]
+    fn scoping_accessors() {
+        let cmd = Command::act(LOC, 3);
+        assert_eq!(cmd.channel(), 1);
+        assert_eq!(cmd.rank(), 0);
+        assert_eq!(cmd.bank(), Some(5));
+
+        let rf = Command::Ref {
+            rank: LOC.rank_loc(),
+        };
+        assert_eq!(rf.channel(), 1);
+        assert_eq!(rf.bank(), None);
+    }
+
+    #[test]
+    fn read_write_predicates() {
+        assert!(CommandKind::Rd.is_read());
+        assert!(CommandKind::RdA.is_read());
+        assert!(!CommandKind::Rd.is_write());
+        assert!(CommandKind::WrA.is_write());
+        assert!(!CommandKind::Ref.is_read());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for command legality checks.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::command::BankLoc;
+
+/// Why a command cannot be issued in the current device state.
+///
+/// Timing (the command is legal but not yet) is *not* an error; it is
+/// reported as a future cycle by `earliest_issue`. These variants are
+/// structural: issuing would be meaningless regardless of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueError {
+    /// RD/WR/PRE-like command addressed to a bank with no open row.
+    NoOpenRow {
+        /// The bank in question.
+        loc: BankLoc,
+    },
+    /// ACT addressed to a bank that already has an open row.
+    RowAlreadyOpen {
+        /// The bank in question.
+        loc: BankLoc,
+        /// The row currently open.
+        open_row: u32,
+    },
+    /// REF while one or more banks still have open rows.
+    BanksNotPrecharged {
+        /// Channel of the rank.
+        channel: u8,
+        /// Rank index.
+        rank: u8,
+    },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::NoOpenRow { loc } => {
+                write!(f, "no open row in bank {loc:?}")
+            }
+            IssueError::RowAlreadyOpen { loc, open_row } => {
+                write!(f, "row {open_row} already open in bank {loc:?}")
+            }
+            IssueError::BanksNotPrecharged { channel, rank } => {
+                write!(
+                    f,
+                    "refresh requires all banks precharged (channel {channel}, rank {rank})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let loc = BankLoc {
+            channel: 0,
+            rank: 0,
+            bank: 3,
+        };
+        for e in [
+            IssueError::NoOpenRow { loc },
+            IssueError::RowAlreadyOpen { loc, open_row: 9 },
+            IssueError::BanksNotPrecharged { channel: 0, rank: 0 },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

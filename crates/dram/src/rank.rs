@@ -1,0 +1,270 @@
+//! Per-rank state: banks plus rank-scoped timing constraints.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::command::RowId;
+use crate::config::DramConfig;
+use crate::refresh::RefreshState;
+use crate::timing::{ActTimings, TimingParams};
+use crate::BusCycle;
+
+/// One rank: a set of banks operated in lockstep on the shared buses.
+///
+/// Enforces the rank-scoped DDR3 constraints:
+///
+/// * `tRRD` — minimum gap between ACTs to different banks;
+/// * `tFAW` — at most four ACTs in any `tFAW` window;
+/// * `tCCD` — column command spacing;
+/// * read/write bus turnaround (`tWTR` and the `tCL`/`tCWL` gap);
+/// * `tRFC` — refresh lockout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rank {
+    banks: Vec<Bank>,
+    /// Earliest next ACT to any bank (tRRD, tFAW).
+    next_act: BusCycle,
+    /// Earliest next RD command (tCCD, WR→RD turnaround).
+    next_rd: BusCycle,
+    /// Earliest next WR command (tCCD, RD→WR turnaround).
+    next_wr: BusCycle,
+    /// Issue times of the last four ACTs (tFAW sliding window).
+    act_window: VecDeque<BusCycle>,
+    /// Refresh rotation bookkeeping.
+    refresh: RefreshState,
+}
+
+impl Rank {
+    /// Creates a rank for the given configuration.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Self {
+            banks: (0..cfg.org.banks).map(|_| Bank::new()).collect(),
+            next_act: 0,
+            next_rd: 0,
+            next_wr: 0,
+            act_window: VecDeque::with_capacity(4),
+            refresh: RefreshState::new(
+                cfg.refresh_bins(),
+                cfg.rows_per_ref(),
+                BusCycle::from(cfg.timing.trefi),
+            ),
+        }
+    }
+
+    /// Immutable access to a bank.
+    pub fn bank(&self, bank: u8) -> &Bank {
+        &self.banks[bank as usize]
+    }
+
+    /// Mutable access to a bank.
+    pub fn bank_mut(&mut self, bank: u8) -> &mut Bank {
+        &mut self.banks[bank as usize]
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// True if every bank is precharged.
+    pub fn all_banks_precharged(&self) -> bool {
+        self.banks.iter().all(Bank::is_precharged)
+    }
+
+    /// Earliest cycle an ACT may issue to `bank`, combining bank- and
+    /// rank-scoped constraints.
+    pub fn earliest_act(&self, bank: u8, now: BusCycle, t: &TimingParams) -> BusCycle {
+        let mut at = self.banks[bank as usize]
+            .earliest_act(now)
+            .max(self.next_act);
+        if self.act_window.len() == 4 {
+            // A fifth ACT must wait for the oldest to leave the window.
+            at = at.max(self.act_window[0] + BusCycle::from(t.tfaw));
+        }
+        at
+    }
+
+    /// Earliest cycle a RD may issue to `bank`.
+    pub fn earliest_rd(&self, bank: u8, now: BusCycle) -> BusCycle {
+        self.banks[bank as usize].earliest_rd(now).max(self.next_rd)
+    }
+
+    /// Earliest cycle a WR may issue to `bank`.
+    pub fn earliest_wr(&self, bank: u8, now: BusCycle) -> BusCycle {
+        self.banks[bank as usize].earliest_wr(now).max(self.next_wr)
+    }
+
+    /// Earliest cycle a REF may issue (requires the refresh to be due is
+    /// the *controller's* policy; this reports only timing legality).
+    pub fn earliest_ref(&self, now: BusCycle) -> BusCycle {
+        // REF is gated by every bank being able to "activate" (i.e. out of
+        // tRP / tRFC lockout); bank next_act registers encode exactly that.
+        self.banks
+            .iter()
+            .map(|b| b.earliest_act(now))
+            .max()
+            .unwrap_or(now)
+    }
+
+    /// Applies an ACT.
+    pub fn issue_act(
+        &mut self,
+        bank: u8,
+        now: BusCycle,
+        act: ActTimings,
+        t: &TimingParams,
+        row: RowId,
+    ) {
+        self.banks[bank as usize].issue_act(now, act, t, row);
+        self.next_act = self.next_act.max(now + BusCycle::from(t.trrd));
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(now);
+    }
+
+    /// Applies a RD; updates rank-level column/bus constraints.
+    pub fn issue_rd(
+        &mut self,
+        bank: u8,
+        now: BusCycle,
+        t: &TimingParams,
+        auto_pre: bool,
+    ) -> Option<(RowId, BusCycle)> {
+        let closed = self.banks[bank as usize].issue_rd(now, t, auto_pre);
+        self.next_rd = self.next_rd.max(now + BusCycle::from(t.tccd));
+        // RD→WR: write data may not collide with the read burst;
+        // WR issues no earlier than tCL + tBL + 2 − tCWL after the RD.
+        let turnaround = BusCycle::from(t.tcl + t.tbl + 2).saturating_sub(BusCycle::from(t.tcwl));
+        self.next_wr = self.next_wr.max(now + turnaround);
+        closed
+    }
+
+    /// Applies a WR; updates rank-level column/bus constraints.
+    pub fn issue_wr(
+        &mut self,
+        bank: u8,
+        now: BusCycle,
+        t: &TimingParams,
+        auto_pre: bool,
+    ) -> Option<(RowId, BusCycle)> {
+        let closed = self.banks[bank as usize].issue_wr(now, t, auto_pre);
+        self.next_wr = self.next_wr.max(now + BusCycle::from(t.tccd));
+        // WR→RD: tWTR after the end of write data.
+        self.next_rd = self
+            .next_rd
+            .max(now + BusCycle::from(t.tcwl + t.tbl + t.twtr));
+        closed
+    }
+
+    /// Applies a REF at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if any bank still has an open row.
+    pub fn issue_ref(&mut self, now: BusCycle, t: &TimingParams) {
+        debug_assert!(self.all_banks_precharged());
+        for b in &mut self.banks {
+            b.apply_refresh(now, t);
+        }
+        self.refresh.apply_ref(now);
+    }
+
+    /// Cycle at which the next REF becomes due.
+    pub fn refresh_due(&self) -> BusCycle {
+        self.refresh.due_at()
+    }
+
+    /// Age of `row`'s last refresh at `now`.
+    pub fn refresh_age(&self, row: RowId, now: BusCycle) -> BusCycle {
+        self.refresh.refresh_age(row, now)
+    }
+
+    /// Total REF commands issued to this rank.
+    pub fn refs_issued(&self) -> u64 {
+        self.refresh.issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn setup() -> (Rank, TimingParams) {
+        let cfg = DramConfig::ddr3_1600_paper();
+        (Rank::new(&cfg), cfg.timing)
+    }
+
+    #[test]
+    fn trrd_spaces_activates_across_banks() {
+        let (mut r, t) = setup();
+        r.issue_act(0, 0, t.act_timings(), &t, 1);
+        assert_eq!(r.earliest_act(1, 0, &t), u64::from(t.trrd));
+    }
+
+    #[test]
+    fn tfaw_limits_four_activates() {
+        let (mut r, t) = setup();
+        let mut now = 0;
+        for b in 0..4 {
+            now = r.earliest_act(b, now, &t);
+            r.issue_act(b, now, t.act_timings(), &t, 1);
+        }
+        // Fourth ACT happened at 3 × tRRD; the fifth must wait for tFAW
+        // after the first.
+        let fifth = r.earliest_act(4, now, &t);
+        assert_eq!(fifth, u64::from(t.tfaw));
+        assert!(fifth > now + u64::from(t.trrd) - 1);
+    }
+
+    #[test]
+    fn tccd_spaces_reads() {
+        let (mut r, t) = setup();
+        r.issue_act(0, 0, t.act_timings(), &t, 1);
+        let rd_at = r.earliest_rd(0, 0);
+        r.issue_rd(0, rd_at, &t, false);
+        assert_eq!(r.earliest_rd(0, 0), rd_at + u64::from(t.tccd));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let (mut r, t) = setup();
+        r.issue_act(0, 0, t.act_timings(), &t, 1);
+        let wr_at = r.earliest_wr(0, 0);
+        r.issue_wr(0, wr_at, &t, false);
+        assert_eq!(
+            r.earliest_rd(0, 0),
+            wr_at + u64::from(t.tcwl + t.tbl + t.twtr)
+        );
+    }
+
+    #[test]
+    fn read_to_write_turnaround() {
+        let (mut r, t) = setup();
+        r.issue_act(0, 0, t.act_timings(), &t, 1);
+        let rd_at = r.earliest_rd(0, 0);
+        r.issue_rd(0, rd_at, &t, false);
+        let exp = rd_at + u64::from(t.tcl + t.tbl + 2) - u64::from(t.tcwl);
+        assert_eq!(r.earliest_wr(0, 0), exp);
+    }
+
+    #[test]
+    fn refresh_locks_out_all_banks() {
+        let (mut r, t) = setup();
+        r.issue_ref(100, &t);
+        for b in 0..8 {
+            assert_eq!(r.earliest_act(b, 0, &t), 100 + u64::from(t.trfc));
+        }
+    }
+
+    #[test]
+    fn refresh_due_tracks_schedule() {
+        let (mut r, t) = setup();
+        let due = r.refresh_due();
+        assert_eq!(due, u64::from(t.trefi));
+        r.issue_ref(due, &t);
+        assert_eq!(r.refresh_due(), 2 * u64::from(t.trefi));
+    }
+}

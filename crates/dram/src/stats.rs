@@ -1,0 +1,61 @@
+//! Command-count statistics for the device.
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::CommandKind;
+
+/// Running totals of every command kind issued to a device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Row activations.
+    pub acts: u64,
+    /// Single-bank precharges.
+    pub pres: u64,
+    /// All-bank precharges.
+    pub pre_alls: u64,
+    /// Reads (including RDA).
+    pub reads: u64,
+    /// Writes (including WRA).
+    pub writes: u64,
+    /// Auto-refreshes.
+    pub refs: u64,
+}
+
+impl DeviceStats {
+    /// Records one command.
+    pub fn record(&mut self, kind: CommandKind) {
+        match kind {
+            CommandKind::Act => self.acts += 1,
+            CommandKind::Pre => self.pres += 1,
+            CommandKind::PreAll => self.pre_alls += 1,
+            CommandKind::Rd | CommandKind::RdA => self.reads += 1,
+            CommandKind::Wr | CommandKind::WrA => self.writes += 1,
+            CommandKind::Ref => self.refs += 1,
+        }
+    }
+
+    /// Total column commands (reads + writes).
+    pub fn column_commands(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_kind() {
+        let mut s = DeviceStats::default();
+        s.record(CommandKind::Act);
+        s.record(CommandKind::Rd);
+        s.record(CommandKind::RdA);
+        s.record(CommandKind::WrA);
+        s.record(CommandKind::Ref);
+        assert_eq!(s.acts, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.refs, 1);
+        assert_eq!(s.column_commands(), 3);
+    }
+}

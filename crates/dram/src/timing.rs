@@ -1,0 +1,342 @@
+//! DDR3 timing parameters.
+//!
+//! All values are in DRAM bus cycles (tCK units). The defaults implement
+//! DDR3-1600 11-11-11 at a 800 MHz bus (tCK = 1.25 ns), matching the
+//! paper's Table 1 (`tRCD`/`tRAS` of 11/28 cycles).
+
+use serde::{Deserialize, Serialize};
+
+/// The `tRCD`/`tRAS` pair applied to a single activation.
+///
+/// This is the only seam ChargeCache needs: a hit in the HCRAC issues the
+/// `ACT` with a reduced pair, a miss issues it with the specification pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActTimings {
+    /// Activate-to-read/write delay for this activation, in bus cycles.
+    pub trcd: u32,
+    /// Activate-to-precharge delay for this activation, in bus cycles.
+    pub tras: u32,
+}
+
+impl ActTimings {
+    /// Applies cycle reductions, saturating at 1 cycle (a zero-cycle
+    /// `tRCD`/`tRAS` is physically meaningless).
+    pub fn reduced_by(self, trcd_reduction: u32, tras_reduction: u32) -> Self {
+        Self {
+            trcd: self.trcd.saturating_sub(trcd_reduction).max(1),
+            tras: self.tras.saturating_sub(tras_reduction).max(1),
+        }
+    }
+}
+
+/// Complete DDR3 timing parameter set, in bus cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Bus clock period in nanoseconds (1.25 for DDR3-1600).
+    pub tck_ns: f64,
+    /// Activate-to-read/write delay.
+    pub trcd: u32,
+    /// Read (CAS) latency.
+    pub tcl: u32,
+    /// Write (CAS write) latency.
+    pub tcwl: u32,
+    /// Precharge latency.
+    pub trp: u32,
+    /// Activate-to-precharge minimum.
+    pub tras: u32,
+    /// Activate-to-activate, same bank (row cycle time).
+    pub trc: u32,
+    /// Burst length on the bus (BL8 = 4 bus cycles).
+    pub tbl: u32,
+    /// Column-to-column delay.
+    pub tccd: u32,
+    /// Read-to-precharge delay.
+    pub trtp: u32,
+    /// Write recovery time (end of write data to precharge).
+    pub twr: u32,
+    /// Write-to-read turnaround (end of write data to read command).
+    pub twtr: u32,
+    /// Activate-to-activate, different banks of the same rank.
+    pub trrd: u32,
+    /// Four-activate window.
+    pub tfaw: u32,
+    /// Refresh cycle time.
+    pub trfc: u32,
+    /// Average refresh interval.
+    pub trefi: u32,
+    /// Rank-to-rank switch penalty on the data bus.
+    pub trtrs: u32,
+}
+
+/// Named speed/standard presets (paper Section 7.2: ChargeCache applies
+/// to any DDR-derived interface with explicit ACT/PRE commands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeedBin {
+    /// DDR3-1066 (CL 7).
+    Ddr3_1066,
+    /// DDR3-1333 (CL 9).
+    Ddr3_1333,
+    /// DDR3-1600 (CL 11) — the paper's Table 1 device.
+    Ddr3_1600,
+    /// DDR3-1866 (CL 13).
+    Ddr3_1866,
+    /// DDR4-2400-class timing on the same model (CL 17).
+    Ddr4_2400,
+    /// LPDDR3-1600-class timing (mobile; relaxed core timings).
+    Lpddr3_1600,
+}
+
+impl SpeedBin {
+    /// All presets.
+    pub const ALL: [SpeedBin; 6] = [
+        SpeedBin::Ddr3_1066,
+        SpeedBin::Ddr3_1333,
+        SpeedBin::Ddr3_1600,
+        SpeedBin::Ddr3_1866,
+        SpeedBin::Ddr4_2400,
+        SpeedBin::Lpddr3_1600,
+    ];
+
+    /// The timing parameter set for this bin.
+    pub fn timing(&self) -> TimingParams {
+        TimingParams::for_bin(*self)
+    }
+}
+
+impl TimingParams {
+    /// DDR3-1600 (11-11-11) parameters as used in the paper's Table 1.
+    ///
+    /// `tREFI` is 7.8125 µs (6250 cycles), giving exactly 8192 refresh
+    /// commands per 64 ms retention window; `tRFC` corresponds to a 4 Gb
+    /// device (260 ns).
+    pub fn ddr3_1600() -> Self {
+        Self {
+            tck_ns: 1.25,
+            trcd: 11,
+            tcl: 11,
+            tcwl: 8,
+            trp: 11,
+            tras: 28,
+            trc: 39,
+            tbl: 4,
+            tccd: 4,
+            trtp: 6,
+            twr: 12,
+            twtr: 6,
+            trrd: 5,
+            tfaw: 24,
+            trfc: 208,
+            trefi: 6250,
+            trtrs: 2,
+        }
+    }
+
+    /// Parameters for a named speed bin. Core analog timings (`tRCD`,
+    /// `tRAS`, `tRP`, `tRFC` in nanoseconds) are nearly constant across
+    /// bins; what changes is the clock they are quantized against.
+    pub fn for_bin(bin: SpeedBin) -> Self {
+        match bin {
+            SpeedBin::Ddr3_1066 => Self::from_ns(1.875, 13.125, 37.5, 13.125, 7, 6, 260.0),
+            SpeedBin::Ddr3_1333 => Self::from_ns(1.5, 13.5, 36.0, 13.5, 9, 7, 260.0),
+            SpeedBin::Ddr3_1600 => Self::ddr3_1600(),
+            SpeedBin::Ddr3_1866 => Self::from_ns(1.071, 13.91, 34.0, 13.91, 13, 9, 260.0),
+            SpeedBin::Ddr4_2400 => Self::from_ns(0.833, 14.16, 32.0, 14.16, 17, 12, 350.0),
+            SpeedBin::Lpddr3_1600 => Self::from_ns(1.25, 18.0, 42.0, 18.0, 12, 8, 210.0),
+        }
+    }
+
+    /// Builds a parameter set from analog (nanosecond) core timings and a
+    /// clock period, quantizing with ceiling division as JEDEC does.
+    fn from_ns(
+        tck_ns: f64,
+        trcd_ns: f64,
+        tras_ns: f64,
+        trp_ns: f64,
+        tcl: u32,
+        tcwl: u32,
+        trfc_ns: f64,
+    ) -> Self {
+        let cyc = |ns: f64| -> u32 { (ns / tck_ns).ceil() as u32 };
+        let trcd = cyc(trcd_ns);
+        let tras = cyc(tras_ns);
+        let trp = cyc(trp_ns);
+        Self {
+            tck_ns,
+            trcd,
+            tcl,
+            tcwl,
+            trp,
+            tras,
+            trc: tras + trp,
+            tbl: 4,
+            tccd: 4,
+            trtp: cyc(7.5),
+            twr: cyc(15.0),
+            twtr: cyc(7.5),
+            trrd: cyc(6.0),
+            tfaw: cyc(30.0),
+            trfc: cyc(trfc_ns),
+            trefi: cyc(7812.5),
+            trtrs: 2,
+        }
+    }
+
+    /// The specification (non-reduced) activation timing pair.
+    pub fn act_timings(&self) -> ActTimings {
+        ActTimings {
+            trcd: self.trcd,
+            tras: self.tras,
+        }
+    }
+
+    /// Bus cycles per millisecond for this clock.
+    pub fn cycles_per_ms(&self) -> u64 {
+        (1_000_000.0 / self.tck_ns).round() as u64
+    }
+
+    /// Converts a duration in milliseconds to bus cycles.
+    pub fn ms_to_cycles(&self, ms: f64) -> u64 {
+        (ms * 1_000_000.0 / self.tck_ns).round() as u64
+    }
+
+    /// Number of refresh commands per retention window (`window_ms`).
+    pub fn refs_per_window(&self, window_ms: f64) -> u64 {
+        self.ms_to_cycles(window_ms) / u64::from(self.trefi)
+    }
+
+    /// Validates internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated relationship. The checks
+    /// encode JEDEC structural requirements the rest of the model relies
+    /// on (e.g. `tRC ≥ tRAS + tRP`, burst fits in `tCCD`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tck_ns <= 0.0 {
+            return Err("tCK must be positive".into());
+        }
+        if self.trc < self.tras + self.trp {
+            return Err(format!(
+                "tRC ({}) must be at least tRAS + tRP ({})",
+                self.trc,
+                self.tras + self.trp
+            ));
+        }
+        if self.tras < self.trcd {
+            return Err("tRAS must be at least tRCD".into());
+        }
+        if self.tccd < self.tbl {
+            return Err("tCCD must cover the burst length".into());
+        }
+        if self.tfaw < self.trrd {
+            return Err("tFAW must be at least tRRD".into());
+        }
+        if self.trefi <= self.trfc {
+            return Err("tREFI must exceed tRFC".into());
+        }
+        for (name, v) in [
+            ("trcd", self.trcd),
+            ("tcl", self.tcl),
+            ("tcwl", self.tcwl),
+            ("trp", self.trp),
+            ("tras", self.tras),
+            ("tbl", self.tbl),
+            ("trrd", self.trrd),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be non-zero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_is_valid() {
+        TimingParams::ddr3_1600().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_table1_cycles() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.trcd, 11);
+        assert_eq!(t.tras, 28);
+        // ns sanity: 11 × 1.25 = 13.75 ns, 28 × 1.25 = 35 ns (paper Table 2).
+        assert!((f64::from(t.trcd) * t.tck_ns - 13.75).abs() < 1e-9);
+        assert!((f64::from(t.tras) * t.tck_ns - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_schedule_covers_window() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.refs_per_window(64.0), 8192);
+    }
+
+    #[test]
+    fn reduced_act_timings_saturate() {
+        let a = ActTimings { trcd: 11, tras: 28 };
+        let r = a.reduced_by(4, 8);
+        assert_eq!(r, ActTimings { trcd: 7, tras: 20 });
+        let floor = a.reduced_by(100, 100);
+        assert_eq!(floor, ActTimings { trcd: 1, tras: 1 });
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut t = TimingParams::ddr3_1600();
+        t.trc = 10;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::ddr3_1600();
+        t.tccd = 1;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::ddr3_1600();
+        t.trefi = t.trfc;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn all_speed_bins_validate() {
+        for bin in SpeedBin::ALL {
+            let t = bin.timing();
+            t.validate().unwrap_or_else(|e| panic!("{bin:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn speed_bin_analog_timings_are_clock_independent() {
+        // tRCD in nanoseconds stays within the DDR3 13-14 ns band across
+        // the DDR3 bins even though the cycle counts differ.
+        for bin in [SpeedBin::Ddr3_1066, SpeedBin::Ddr3_1333, SpeedBin::Ddr3_1600, SpeedBin::Ddr3_1866] {
+            let t = bin.timing();
+            let trcd_ns = f64::from(t.trcd) * t.tck_ns;
+            assert!((13.0..=15.1).contains(&trcd_ns), "{bin:?}: {trcd_ns}");
+        }
+    }
+
+    #[test]
+    fn faster_clocks_need_more_cycles() {
+        let slow = SpeedBin::Ddr3_1066.timing();
+        let fast = SpeedBin::Ddr4_2400.timing();
+        assert!(fast.trcd > slow.trcd);
+        assert!(fast.tck_ns < slow.tck_ns);
+    }
+
+    #[test]
+    fn ms_conversion_roundtrip() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.ms_to_cycles(1.0), 800_000);
+        assert_eq!(t.cycles_per_ms(), 800_000);
+    }
+}

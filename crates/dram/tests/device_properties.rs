@@ -1,0 +1,148 @@
+//! Property tests: a controller that always asks `earliest_issue` first can
+//! never corrupt the device, and the device's answers are self-consistent.
+
+use dram::{
+    AddressMapper, BankLoc, Command, DramConfig, DramDevice, MappingScheme, Organization,
+};
+use proptest::prelude::*;
+
+/// Random command intents against a single-channel device. The harness
+/// resolves each intent into a legal command (or skips it), mimicking an
+/// arbitrary-but-law-abiding controller.
+#[derive(Debug, Clone, Copy)]
+enum Intent {
+    Act { bank: u8, row: u16 },
+    Pre { bank: u8 },
+    Rd { bank: u8, col: u8, auto: bool },
+    Wr { bank: u8, col: u8, auto: bool },
+    Refresh,
+}
+
+fn intent_strategy() -> impl Strategy<Value = Intent> {
+    prop_oneof![
+        (0u8..8, any::<u16>()).prop_map(|(bank, row)| Intent::Act { bank, row }),
+        (0u8..8).prop_map(|bank| Intent::Pre { bank }),
+        (0u8..8, 0u8..128, any::<bool>())
+            .prop_map(|(bank, col, auto)| Intent::Rd { bank, col, auto }),
+        (0u8..8, 0u8..128, any::<bool>())
+            .prop_map(|(bank, col, auto)| Intent::Wr { bank, col, auto }),
+        Just(Intent::Refresh),
+    ]
+}
+
+fn loc(bank: u8) -> BankLoc {
+    BankLoc {
+        channel: 0,
+        rank: 0,
+        bank,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Issue hundreds of random-but-legal commands; the device must accept
+    /// each at exactly the cycle it quoted, and row-buffer state must track
+    /// the command stream.
+    #[test]
+    fn random_legal_sequences_never_violate(intents in prop::collection::vec(intent_strategy(), 1..300)) {
+        let cfg = DramConfig::ddr3_1600_paper();
+        let mut dev = DramDevice::new(cfg.clone());
+        let spec = cfg.timing.act_timings();
+        let mut now = 0u64;
+        let mut last_data = 0u64;
+
+        for intent in intents {
+            let cmd = match intent {
+                Intent::Act { bank, row } => {
+                    if dev.open_row(loc(bank)).is_some() { continue; }
+                    Command::act(loc(bank), u32::from(row) % cfg.org.rows)
+                }
+                Intent::Pre { bank } => {
+                    if dev.open_row(loc(bank)).is_none() { continue; }
+                    Command::pre(loc(bank))
+                }
+                Intent::Rd { bank, col, auto } => {
+                    if dev.open_row(loc(bank)).is_none() { continue; }
+                    if auto { Command::rda(loc(bank), u32::from(col)) }
+                    else { Command::rd(loc(bank), u32::from(col)) }
+                }
+                Intent::Wr { bank, col, auto } => {
+                    if dev.open_row(loc(bank)).is_none() { continue; }
+                    if auto { Command::wra(loc(bank), u32::from(col)) }
+                    else { Command::wr(loc(bank), u32::from(col)) }
+                }
+                Intent::Refresh => {
+                    let rank = loc(0).rank_loc();
+                    if !dev.all_banks_precharged(rank) { continue; }
+                    Command::Ref { rank }
+                }
+            };
+            let was_open = dev.open_row(BankLoc { channel: 0, rank: 0, bank: cmd.bank().unwrap_or(0) });
+            let at = dev.earliest_issue(&cmd, now).expect("resolved intents are legal");
+            prop_assert!(at >= now, "quoted time in the past");
+            let out = dev.issue(&cmd, at, spec);
+            now = at;
+
+            match cmd {
+                Command::Act { loc, row } => {
+                    prop_assert_eq!(dev.open_row(loc), Some(row));
+                }
+                Command::Pre { loc } => {
+                    prop_assert_eq!(dev.open_row(loc), None);
+                    prop_assert_eq!(out.closed_rows.len(), 1);
+                    prop_assert_eq!(out.closed_rows[0].1, was_open.unwrap());
+                }
+                Command::Rd { loc, auto_pre, .. } => {
+                    let data = out.data_at.expect("reads return data");
+                    prop_assert!(data > at);
+                    // Data beats never go backwards on the shared bus.
+                    prop_assert!(data >= last_data, "data bus collision");
+                    last_data = data;
+                    if auto_pre {
+                        prop_assert_eq!(dev.open_row(loc), None);
+                    }
+                }
+                Command::Wr { loc, auto_pre, .. } => {
+                    prop_assert!(out.write_done_at.unwrap() > at);
+                    if auto_pre {
+                        prop_assert_eq!(dev.open_row(loc), None);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The address mapping is a bijection between line addresses and
+    /// coordinates for every scheme/permutation combination.
+    #[test]
+    fn address_mapping_bijective(addr in any::<u64>(), xor in any::<bool>()) {
+        for scheme in [MappingScheme::RoRaBaCoCh, MappingScheme::RoCoRaBaCh] {
+            let m = AddressMapper::new(Organization::paper(2), scheme, xor);
+            let line = (addr % m.capacity_bytes()) & !63;
+            let d = m.decode(line);
+            prop_assert_eq!(m.encode(d), line);
+            // Decoded coordinates are always in range.
+            prop_assert!(u32::from(d.loc.channel) < 2);
+            prop_assert!(d.row < m.organization().rows);
+            prop_assert!(d.col < m.organization().columns);
+        }
+    }
+
+    /// earliest_issue is stable: quoting twice gives the same answer, and
+    /// quoting later never gives an earlier answer.
+    #[test]
+    fn earliest_issue_is_monotone(row in 0u32..65536, delay in 0u64..100) {
+        let cfg = DramConfig::ddr3_1600_paper();
+        let mut dev = DramDevice::new(cfg.clone());
+        dev.issue(&Command::act(loc(0), row), 0, cfg.timing.act_timings());
+        let rd = Command::rd(loc(0), 0);
+        let t1 = dev.earliest_issue(&rd, 0).unwrap();
+        let t2 = dev.earliest_issue(&rd, 0).unwrap();
+        prop_assert_eq!(t1, t2);
+        let t3 = dev.earliest_issue(&rd, delay).unwrap();
+        prop_assert!(t3 >= t1.min(delay));
+        prop_assert!(t3 >= delay);
+    }
+}

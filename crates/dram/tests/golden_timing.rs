@@ -1,0 +1,183 @@
+//! Golden timing regression: a fixed command script must be quoted at
+//! exactly these cycles. Pins down the interaction of every implemented
+//! constraint so model changes cannot silently shift timings.
+
+use dram::{ActTimings, BankLoc, Command, DramConfig, DramDevice};
+
+fn loc(bank: u8) -> BankLoc {
+    BankLoc {
+        channel: 0,
+        rank: 0,
+        bank,
+    }
+}
+
+/// Issues each command at its earliest legal cycle and asserts that cycle.
+fn replay(dev: &mut DramDevice, act: ActTimings, script: &[(Command, u64)]) {
+    for (i, &(cmd, expect)) in script.iter().enumerate() {
+        let t = dev
+            .earliest_issue(&cmd, 0)
+            .unwrap_or_else(|e| panic!("step {i}: {cmd:?} illegal: {e}"));
+        assert_eq!(t, expect, "step {i}: {cmd:?}");
+        dev.issue(&cmd, t, act);
+    }
+}
+
+#[test]
+fn golden_single_bank_open_row_sequence() {
+    // DDR3-1600: tRCD 11, tCL 11, tBL 4, tCCD 4, tRTP 6, tRP 11, tRAS 28,
+    // tRC 39, tCWL 8, tWR 12, tWTR 6.
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    replay(
+        &mut dev,
+        spec,
+        &[
+            (Command::act(loc(0), 100), 0),
+            (Command::rd(loc(0), 0), 11), // tRCD
+            (Command::rd(loc(0), 1), 15), // +tCCD
+            (Command::wr(loc(0), 2), 24), // RD→WR: 15 + tCL+tBL+2−tCWL = 15+9
+            (Command::rd(loc(0), 3), 42), // WR→RD: 24 + tCWL+tBL+tWTR = 24+18
+            (Command::pre(loc(0)), 48),   // RD→PRE: 42 + tRTP (> tRAS=28)
+            (Command::act(loc(0), 101), 59), // PRE + tRP
+        ],
+    );
+}
+
+#[test]
+fn golden_bank_interleaving_with_trrd_and_tfaw() {
+    // tRRD 5, tFAW 24: four ACTs at 0,5,10,15; the fifth waits for 24.
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    replay(
+        &mut dev,
+        spec,
+        &[
+            (Command::act(loc(0), 1), 0),
+            (Command::act(loc(1), 1), 5),
+            (Command::act(loc(2), 1), 10),
+            (Command::act(loc(3), 1), 15),
+            (Command::act(loc(4), 1), 24), // tFAW window
+            (Command::act(loc(5), 1), 29), // tRRD after the fifth
+        ],
+    );
+}
+
+#[test]
+fn golden_reduced_activation_sequence() {
+    // A ChargeCache hit (4/8 reduction): tRCD 7, tRAS 20 → RD at 7,
+    // PRE at max(tRAS=20, rd+tRTP=13) = 20, next ACT at 31.
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let red = cfg.timing.act_timings().reduced_by(4, 8);
+    replay(
+        &mut dev,
+        red,
+        &[
+            (Command::act(loc(0), 7), 0),
+            (Command::rd(loc(0), 0), 7),
+            (Command::pre(loc(0)), 20),
+            (Command::act(loc(0), 8), 31),
+        ],
+    );
+}
+
+#[test]
+fn golden_write_recovery_gates_precharge() {
+    // WR at tRCD=11; PRE must wait tCWL+tBL+tWR = 8+4+12 = 24 after it,
+    // and tRAS=28 from ACT: max(11+24, 28) = 35.
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    replay(
+        &mut dev,
+        spec,
+        &[
+            (Command::act(loc(0), 1), 0),
+            (Command::wr(loc(0), 0), 11),
+            (Command::pre(loc(0)), 35),
+        ],
+    );
+}
+
+#[test]
+fn golden_auto_precharge_timeline() {
+    // RDA at tRCD: internal precharge starts at max(ACT+tRAS, RD+tRTP) =
+    // max(28, 17) = 28; bank re-activates at 28 + tRP = 39 (= tRC).
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    let act = Command::act(loc(0), 1);
+    dev.issue(&act, 0, spec);
+    let rda = Command::rda(loc(0), 0);
+    let t = dev.earliest_issue(&rda, 0).unwrap();
+    assert_eq!(t, 11);
+    let out = dev.issue(&rda, t, spec);
+    assert_eq!(out.closed_rows, vec![(loc(0), 1, 28)]);
+    assert_eq!(out.data_at, Some(11 + 11 + 4));
+    let next = Command::act(loc(0), 2);
+    assert_eq!(dev.earliest_issue(&next, 0).unwrap(), 39);
+}
+
+#[test]
+fn golden_refresh_lockout() {
+    // REF at its due time (tREFI = 6250) locks every bank for tRFC = 208.
+    let cfg = DramConfig::ddr3_1600_paper();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    let rank = loc(0).rank_loc();
+    let due = dev.refresh_due(rank);
+    assert_eq!(due, 6250);
+    let rf = Command::Ref { rank };
+    dev.issue(&rf, due, spec);
+    for bank in 0..8 {
+        let act = Command::act(loc(bank), 0);
+        assert_eq!(dev.earliest_issue(&act, due).unwrap(), due + 208);
+    }
+}
+
+#[test]
+fn stacked_configuration_is_usable() {
+    let cfg = DramConfig::stacked_like();
+    cfg.validate().unwrap();
+    let mut dev = DramDevice::new(cfg.clone());
+    let spec = cfg.timing.act_timings();
+    // Eight channels operate independently: same-cycle ACTs are legal.
+    for ch in 0..8 {
+        let l = BankLoc {
+            channel: ch,
+            rank: 0,
+            bank: 0,
+        };
+        assert_eq!(dev.earliest_issue(&Command::act(l, 3), 0).unwrap(), 0);
+        dev.issue(&Command::act(l, 3), 0, spec);
+    }
+    assert_eq!(dev.stats().acts, 8);
+}
+
+#[test]
+fn golden_two_rank_data_bus_switch() {
+    // Two ranks on one channel: back-to-back reads from different ranks
+    // pay the tRTRS bus-switch penalty on top of tCCD.
+    let mut cfg = DramConfig::ddr3_1600_paper();
+    cfg.org.ranks = 2;
+    let t = cfg.timing.clone();
+    let mut dev = DramDevice::new(cfg);
+    let spec = t.act_timings();
+    let r0 = BankLoc { channel: 0, rank: 0, bank: 0 };
+    let r1 = BankLoc { channel: 0, rank: 1, bank: 0 };
+    dev.issue(&Command::act(r0, 1), 0, spec);
+    dev.issue(&Command::act(r1, 1), 1, spec);
+    let rd0 = Command::rd(r0, 0);
+    let t0 = dev.earliest_issue(&rd0, 0).unwrap();
+    assert_eq!(t0, 11);
+    dev.issue(&rd0, t0, spec);
+    // Same-rank next read: tCCD = 4 → 15. Cross-rank: the rank-1 burst
+    // must clear rank 0's burst end (11+11+4 = 26) plus tRTRS = 2, so the
+    // RD may issue at 28 − tCL = 17.
+    let rd1 = Command::rd(r1, 0);
+    let t1 = dev.earliest_issue(&rd1, 0).unwrap();
+    assert_eq!(t1, 17);
+}

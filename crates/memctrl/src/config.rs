@@ -1,0 +1,124 @@
+//! Controller configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy (paper Section 3 / Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowPolicy {
+    /// Keep the row open until a conflicting request arrives. The paper
+    /// uses this for single-core runs.
+    Open,
+    /// Close the row (via auto-precharge) after servicing the last queued
+    /// row-hit request. The paper uses this for multi-core runs.
+    Closed,
+}
+
+/// Request scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// First-Ready FCFS (Rixner et al.): row hits first, then oldest —
+    /// the paper's Table 1 scheduler.
+    FrFcfs,
+    /// Strict in-order FCFS: only the oldest request may issue commands.
+    /// Kept as the classic ablation point ChargeCache composes with any
+    /// scheduler (paper Section 8).
+    Fcfs,
+}
+
+/// Per-channel controller configuration (paper Table 1 defaults).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlConfig {
+    /// Read queue capacity.
+    pub read_queue: usize,
+    /// Write queue capacity.
+    pub write_queue: usize,
+    /// Enter write-drain mode at or above this many queued writes.
+    pub write_hi_watermark: usize,
+    /// Leave write-drain mode at or below this many queued writes.
+    pub write_lo_watermark: usize,
+    /// Row-buffer policy.
+    pub row_policy: RowPolicy,
+    /// Request scheduler.
+    pub scheduler: SchedPolicy,
+    /// Maximum refreshes the controller may postpone while demand traffic
+    /// is queued (DDR3 permits up to 8). Zero = strict on-time refresh.
+    pub max_postponed_refs: u32,
+}
+
+impl CtrlConfig {
+    /// Paper defaults: 64-entry read/write queues, FR-FCFS, open-row.
+    pub fn paper_single_core() -> Self {
+        Self {
+            read_queue: 64,
+            write_queue: 64,
+            write_hi_watermark: 48,
+            write_lo_watermark: 16,
+            row_policy: RowPolicy::Open,
+            scheduler: SchedPolicy::FrFcfs,
+            max_postponed_refs: 0,
+        }
+    }
+
+    /// Paper defaults for multi-core runs (closed-row policy).
+    pub fn paper_multi_core() -> Self {
+        Self {
+            row_policy: RowPolicy::Closed,
+            ..Self::paper_single_core()
+        }
+    }
+
+    /// Validates watermark and capacity relationships.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated relationship.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.read_queue == 0 || self.write_queue == 0 {
+            return Err("queues must be non-empty".into());
+        }
+        if self.write_hi_watermark > self.write_queue {
+            return Err("high watermark exceeds write queue capacity".into());
+        }
+        if self.write_lo_watermark >= self.write_hi_watermark {
+            return Err("low watermark must be below high watermark".into());
+        }
+        if self.max_postponed_refs > 8 {
+            return Err("DDR3 allows at most 8 postponed refreshes".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CtrlConfig {
+    fn default() -> Self {
+        Self::paper_single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        CtrlConfig::paper_single_core().validate().unwrap();
+        CtrlConfig::paper_multi_core().validate().unwrap();
+    }
+
+    #[test]
+    fn policies_differ_between_modes() {
+        assert_eq!(CtrlConfig::paper_single_core().row_policy, RowPolicy::Open);
+        assert_eq!(CtrlConfig::paper_multi_core().row_policy, RowPolicy::Closed);
+    }
+
+    #[test]
+    fn bad_watermarks_rejected() {
+        let mut c = CtrlConfig::paper_single_core();
+        c.write_lo_watermark = c.write_hi_watermark;
+        assert!(c.validate().is_err());
+
+        let mut c = CtrlConfig::paper_single_core();
+        c.write_hi_watermark = c.write_queue + 1;
+        assert!(c.validate().is_err());
+    }
+}

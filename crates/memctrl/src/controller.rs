@@ -1,0 +1,429 @@
+//! Per-channel controller: queues, FR-FCFS scheduling, refresh duty and
+//! the ChargeCache mechanism seam.
+
+use chargecache::{LatencyMechanism, RowKey};
+use dram::{BankLoc, BusCycle, Command, DramDevice, RankLoc};
+
+use crate::config::{CtrlConfig, RowPolicy, SchedPolicy};
+use crate::request::{AccessKind, Completion, Pending};
+use crate::reuse::RowReuseTracker;
+use crate::rltl::RltlTracker;
+use crate::stats::CtrlStats;
+
+/// Per-request scheduling progress, used to classify row hits, misses and
+/// conflicts the way the paper's methodology does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Progress {
+    /// Not yet touched by the scheduler.
+    Fresh,
+    /// We issued a precharge on this request's behalf (row conflict).
+    PreIssued,
+    /// We issued the activation (row miss or tail of a conflict).
+    ActIssued,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    p: Pending,
+    progress: Progress,
+}
+
+/// One channel's controller.
+pub(crate) struct ChannelCtrl {
+    channel: u8,
+    cfg: CtrlConfig,
+    read_q: Vec<Queued>,
+    write_q: Vec<Queued>,
+    /// Reads issued to DRAM (or forwarded), waiting for data.
+    inflight: Vec<(BusCycle, Pending)>,
+    /// Write-drain mode latch.
+    draining: bool,
+    /// Core that opened the row in each bank (rank-major).
+    opened_by: Vec<usize>,
+    /// Per-rank flag: refresh is due and being drained.
+    refresh_pending: Vec<bool>,
+    mech: Box<dyn LatencyMechanism>,
+    rltl: RltlTracker,
+    reuse: RowReuseTracker,
+    stats: CtrlStats,
+}
+
+impl ChannelCtrl {
+    pub(crate) fn new(
+        channel: u8,
+        cfg: CtrlConfig,
+        mech: Box<dyn LatencyMechanism>,
+        ranks: u8,
+        banks: u8,
+        cycles_per_ms: u64,
+    ) -> Self {
+        Self {
+            channel,
+            cfg,
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+            inflight: Vec::new(),
+            draining: false,
+            opened_by: vec![0; usize::from(ranks) * usize::from(banks)],
+            refresh_pending: vec![false; usize::from(ranks)],
+            mech,
+            rltl: RltlTracker::paper(cycles_per_ms),
+            // Depth well beyond any HCRAC capacity we sweep (Figure 10
+            // tops out at 1024 entries/core).
+            reuse: RowReuseTracker::new(16_384),
+            stats: CtrlStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    pub(crate) fn rltl(&self) -> &RltlTracker {
+        &self.rltl
+    }
+
+    pub(crate) fn reuse(&self) -> &RowReuseTracker {
+        &self.reuse
+    }
+
+    pub(crate) fn mech(&self) -> &dyn LatencyMechanism {
+        self.mech.as_ref()
+    }
+
+    pub(crate) fn can_accept(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read_q.len() < self.cfg.read_queue,
+            AccessKind::Write => self.write_q.len() < self.cfg.write_queue,
+        }
+    }
+
+    pub(crate) fn queued_requests(&self) -> usize {
+        self.read_q.len() + self.write_q.len()
+    }
+
+    pub(crate) fn inflight_reads(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Accepts a request the caller has verified fits (`can_accept`).
+    pub(crate) fn enqueue(&mut self, p: Pending, now: BusCycle) {
+        match p.kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                // Forward from a queued write to the same line.
+                let hit = self
+                    .write_q
+                    .iter()
+                    .any(|w| w.p.addr.loc == p.addr.loc && w.p.addr.row == p.addr.row && w.p.addr.col == p.addr.col);
+                if hit {
+                    self.stats.forwarded_reads += 1;
+                    self.inflight.push((now + 1, p));
+                } else {
+                    self.read_q.push(Queued {
+                        p,
+                        progress: Progress::Fresh,
+                    });
+                }
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                self.write_q.push(Queued {
+                    p,
+                    progress: Progress::Fresh,
+                });
+            }
+        }
+    }
+
+    /// One bus cycle: collect completions, then issue at most one command.
+    pub(crate) fn tick(&mut self, now: BusCycle, device: &mut DramDevice) -> Vec<Completion> {
+        self.mech.tick(now);
+
+        let mut done = Vec::new();
+        let stats = &mut self.stats;
+        self.inflight.retain(|&(at, p)| {
+            if at <= now {
+                stats.record_read_latency(at - p.arrived);
+                done.push(Completion {
+                    id: p.id,
+                    core: p.core,
+                    at,
+                    kind: AccessKind::Read,
+                });
+                false
+            } else {
+                true
+            }
+        });
+
+        self.try_issue(now, device);
+        done
+    }
+
+    fn try_issue(&mut self, now: BusCycle, device: &mut DramDevice) {
+        if self.issue_refresh_duty(now, device) {
+            return;
+        }
+
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.cfg.write_hi_watermark {
+            self.draining = true;
+        } else if self.write_q.len() <= self.cfg.write_lo_watermark {
+            self.draining = false;
+        }
+        let writes_first = self.draining || self.read_q.is_empty();
+
+        if writes_first {
+            if !self.issue_for_queue(now, device, AccessKind::Write) {
+                self.issue_for_queue(now, device, AccessKind::Read);
+            }
+        } else if !self.issue_for_queue(now, device, AccessKind::Read) {
+            self.issue_for_queue(now, device, AccessKind::Write);
+        }
+    }
+
+    /// Refresh duty: once a rank's REF is due (and any postponement budget
+    /// is spent), stop opening rows, drain its open banks and issue the
+    /// REF. Returns true if a command was issued.
+    fn issue_refresh_duty(&mut self, now: BusCycle, device: &mut DramDevice) -> bool {
+        let trefi = BusCycle::from(device.config().timing.trefi);
+        for rank in 0..self.refresh_pending.len() as u8 {
+            let rl = RankLoc {
+                channel: self.channel,
+                rank,
+            };
+            let due = device.refresh_due(rl);
+            if now >= due {
+                // Postpone while demand traffic is queued, up to the DDR3
+                // budget; the deficit is repaid by back-to-back REFs once
+                // the budget runs out or the queues drain.
+                let slack = BusCycle::from(self.cfg.max_postponed_refs) * trefi;
+                let must = now >= due + slack;
+                let idle = self.read_q.is_empty() && self.write_q.is_empty();
+                if must || idle {
+                    self.refresh_pending[rank as usize] = true;
+                }
+            }
+            if !self.refresh_pending[rank as usize] {
+                continue;
+            }
+            let cmd = Command::Ref { rank: rl };
+            if device.all_banks_precharged(rl) {
+                if device.can_issue(&cmd, now) {
+                    device.issue(&cmd, now, device.config().timing.act_timings());
+                    self.stats.refreshes += 1;
+                    self.refresh_pending[rank as usize] = false;
+                    return true;
+                }
+                continue;
+            }
+            // Precharge any open bank that is ready.
+            let banks = device.config().org.banks;
+            for bank in 0..banks {
+                let loc = BankLoc {
+                    channel: self.channel,
+                    rank,
+                    bank,
+                };
+                if device.open_row(loc).is_some() {
+                    let pre = Command::pre(loc);
+                    if device.can_issue(&pre, now) {
+                        let spec = device.config().timing.act_timings();
+                        let out = device.issue(&pre, now, spec);
+                        self.note_closed_rows(&out.closed_rows);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// FR-FCFS over one queue: column commands for row hits first, then the
+    /// oldest request's next required command. Returns true if issued.
+    fn issue_for_queue(&mut self, now: BusCycle, device: &mut DramDevice, kind: AccessKind) -> bool {
+        // Pass 1: oldest row-hit column command.
+        if let Some(idx) = self.find_row_hit(now, device, kind) {
+            self.issue_column(now, device, kind, idx);
+            return true;
+        }
+        // Pass 2: oldest request needing an ACT into a precharged bank.
+        if let Some(idx) = self.find_act(now, device, kind) {
+            self.issue_act(now, device, kind, idx);
+            return true;
+        }
+        // Pass 3: oldest conflicting request whose bank can precharge and
+        // has no queued row-hit traffic.
+        if let Some(idx) = self.find_conflict_pre(now, device, kind) {
+            self.issue_conflict_pre(now, device, kind, idx);
+            return true;
+        }
+        false
+    }
+
+    fn queue(&self, kind: AccessKind) -> &Vec<Queued> {
+        match kind {
+            AccessKind::Read => &self.read_q,
+            AccessKind::Write => &self.write_q,
+        }
+    }
+
+    fn queue_mut(&mut self, kind: AccessKind) -> &mut Vec<Queued> {
+        match kind {
+            AccessKind::Read => &mut self.read_q,
+            AccessKind::Write => &mut self.write_q,
+        }
+    }
+
+    fn rank_blocked(&self, rank: u8) -> bool {
+        self.refresh_pending[rank as usize]
+    }
+
+    /// How many queue entries the scheduler may consider: all of them
+    /// under FR-FCFS, only the head under strict FCFS.
+    fn scan_limit(&self, kind: AccessKind) -> usize {
+        match self.cfg.scheduler {
+            SchedPolicy::FrFcfs => self.queue(kind).len(),
+            SchedPolicy::Fcfs => self.queue(kind).len().min(1),
+        }
+    }
+
+    fn find_row_hit(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
+        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
+            !self.rank_blocked(q.p.addr.loc.rank)
+                && device.open_row(q.p.addr.loc) == Some(q.p.addr.row)
+                && device.can_issue(&self.column_cmd(q, device, false), now)
+        })
+    }
+
+    fn find_act(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
+        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
+            !self.rank_blocked(q.p.addr.loc.rank)
+                && device.open_row(q.p.addr.loc).is_none()
+                && device.can_issue(&Command::act(q.p.addr.loc, q.p.addr.row), now)
+        })
+    }
+
+    fn find_conflict_pre(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
+        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
+            if self.rank_blocked(q.p.addr.loc.rank) {
+                return false;
+            }
+            match device.open_row(q.p.addr.loc) {
+                Some(open) if open != q.p.addr.row => {
+                    // FR-FCFS: do not close a row that still has queued hits.
+                    !self.any_queued_hit(q.p.addr.loc, open)
+                        && device.can_issue(&Command::pre(q.p.addr.loc), now)
+                }
+                _ => false,
+            }
+        })
+    }
+
+    fn any_queued_hit(&self, loc: BankLoc, row: u32) -> bool {
+        self.read_q
+            .iter()
+            .chain(self.write_q.iter())
+            .any(|q| q.p.addr.loc == loc && q.p.addr.row == row)
+    }
+
+    /// Builds the RD/WR command for a queued request; `auto_pre` per the
+    /// closed-row policy decision.
+    fn column_cmd(&self, q: &Queued, _device: &DramDevice, auto_pre: bool) -> Command {
+        match q.p.kind {
+            AccessKind::Read => {
+                if auto_pre {
+                    Command::rda(q.p.addr.loc, q.p.addr.col)
+                } else {
+                    Command::rd(q.p.addr.loc, q.p.addr.col)
+                }
+            }
+            AccessKind::Write => {
+                if auto_pre {
+                    Command::wra(q.p.addr.loc, q.p.addr.col)
+                } else {
+                    Command::wr(q.p.addr.loc, q.p.addr.col)
+                }
+            }
+        }
+    }
+
+    fn issue_column(&mut self, now: BusCycle, device: &mut DramDevice, kind: AccessKind, idx: usize) {
+        let q = self.queue(kind)[idx];
+        // Closed-row policy: auto-precharge when this is the last queued
+        // request for the open row.
+        let auto_pre = self.cfg.row_policy == RowPolicy::Closed
+            && !self
+                .read_q
+                .iter()
+                .chain(self.write_q.iter())
+                .filter(|o| o.p.id != q.p.id)
+                .any(|o| o.p.addr.loc == q.p.addr.loc && o.p.addr.row == q.p.addr.row);
+        let cmd = self.column_cmd(&q, device, auto_pre);
+        // The auto_pre variant shares legality with the plain one checked in
+        // find_row_hit, but re-verify to be safe.
+        if !device.can_issue(&cmd, now) {
+            return;
+        }
+        let spec = device.config().timing.act_timings();
+        let out = device.issue(&cmd, now, spec);
+        if q.progress == Progress::Fresh {
+            self.stats.row_hits += 1;
+        }
+        self.note_closed_rows(&out.closed_rows);
+        let q = self.queue_mut(kind).remove(idx);
+        if q.p.kind == AccessKind::Read {
+            let data_at = out.data_at.expect("reads return data");
+            self.inflight.push((data_at, q.p));
+        }
+    }
+
+    fn issue_act(&mut self, now: BusCycle, device: &mut DramDevice, kind: AccessKind, idx: usize) {
+        let q = self.queue(kind)[idx];
+        let loc = q.p.addr.loc;
+        let key = RowKey::from_loc(loc, q.p.addr.row);
+        let refresh_age = device.refresh_age(loc, q.p.addr.row, now);
+        let timings = self.mech.on_activate(now, q.p.core, key, refresh_age);
+        device.issue(&Command::act(loc, q.p.addr.row), now, timings);
+        self.rltl.on_activate(now, key, refresh_age);
+        self.reuse.on_activate(key);
+        let bank_idx = self.bank_index(loc);
+        self.opened_by[bank_idx] = q.p.core;
+        match q.progress {
+            Progress::PreIssued => self.stats.row_conflicts += 1,
+            _ => self.stats.row_misses += 1,
+        }
+        self.queue_mut(kind)[idx].progress = Progress::ActIssued;
+    }
+
+    fn issue_conflict_pre(
+        &mut self,
+        now: BusCycle,
+        device: &mut DramDevice,
+        kind: AccessKind,
+        idx: usize,
+    ) {
+        let q = self.queue(kind)[idx];
+        let spec = device.config().timing.act_timings();
+        let out = device.issue(&Command::pre(q.p.addr.loc), now, spec);
+        self.note_closed_rows(&out.closed_rows);
+        self.queue_mut(kind)[idx].progress = Progress::PreIssued;
+    }
+
+    /// Routes every closed row to the mechanism and the RLTL tracker,
+    /// attributed to the core that opened it.
+    fn note_closed_rows(&mut self, closed: &[(BankLoc, u32, BusCycle)]) {
+        for &(loc, row, at) in closed {
+            let core = self.opened_by[self.bank_index(loc)];
+            let key = RowKey::from_loc(loc, row);
+            self.mech.on_precharge(at, core, key);
+            self.rltl.on_precharge(at, key);
+        }
+    }
+
+    fn bank_index(&self, loc: BankLoc) -> usize {
+        usize::from(loc.rank) * (self.opened_by.len() / self.refresh_pending.len())
+            + usize::from(loc.bank)
+    }
+}

@@ -1,0 +1,61 @@
+//! Memory requests and completions.
+
+use dram::{BusCycle, DramAddress};
+use serde::{Deserialize, Serialize};
+
+/// Unique request identifier assigned by the memory system.
+pub type RequestId = u64;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Demand read (blocks the issuing core's window slot).
+    Read,
+    /// Writeback (posted; completes on enqueue).
+    Write,
+}
+
+/// A request as submitted by a core / the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical byte address (line-aligned internally).
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Issuing core (selects the per-core HCRAC).
+    pub core: usize,
+}
+
+/// A request queued inside one channel controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pending {
+    pub id: RequestId,
+    pub core: usize,
+    pub addr: DramAddress,
+    pub arrived: BusCycle,
+    pub kind: AccessKind,
+}
+
+/// Completion notification returned by `MemorySystem::tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The completed request.
+    pub id: RequestId,
+    /// Issuing core.
+    pub core: usize,
+    /// Bus cycle at which the data arrived (reads) or the request was
+    /// accepted (writes).
+    pub at: BusCycle,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kinds_are_distinct() {
+        assert_ne!(AccessKind::Read, AccessKind::Write);
+    }
+}

@@ -1,0 +1,217 @@
+//! Row-reuse-distance measurement.
+//!
+//! The paper explains ChargeCache's weak spots (mcf, omnetpp) through
+//! *row reuse distance* (Kandemir et al.): the number of distinct rows
+//! activated between two activations of the same row. A reuse distance
+//! beyond the HCRAC capacity means the entry has been evicted before it
+//! could hit, no matter how high the RLTL is.
+//!
+//! The tracker computes exact LRU stack distances over row addresses,
+//! bounded by a configurable depth (distances beyond it land in the
+//! infinity bucket), and reports a power-of-two histogram.
+
+use chargecache::RowKey;
+use serde::Serialize;
+
+/// Power-of-two reuse-distance histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReuseReport {
+    /// Upper bound of each bucket: distance ≤ 2^i (bucket 0 = distance ≤ 1).
+    pub bucket_bounds: Vec<u64>,
+    /// Activation count per bucket.
+    pub counts: Vec<u64>,
+    /// First-ever activations plus distances beyond the tracked depth.
+    pub cold_or_beyond: u64,
+    /// Total activations observed.
+    pub activations: u64,
+}
+
+impl ReuseReport {
+    /// Fraction of (warm) activations with reuse distance ≤ `d`.
+    pub fn fraction_within(&self, d: u64) -> f64 {
+        if self.activations == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bucket_bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&b, _)| b <= d)
+            .map(|(_, &c)| c)
+            .sum();
+        sum as f64 / self.activations as f64
+    }
+
+    /// Median reuse distance bucket bound, if any warm activation exists.
+    pub fn median_bound(&self) -> Option<u64> {
+        let warm: u64 = self.counts.iter().sum();
+        if warm == 0 {
+            return None;
+        }
+        let mut acc = 0;
+        for (b, c) in self.bucket_bounds.iter().zip(&self.counts) {
+            acc += c;
+            if acc * 2 >= warm {
+                return Some(*b);
+            }
+        }
+        None
+    }
+}
+
+/// Exact bounded LRU stack-distance tracker over activated rows.
+#[derive(Debug, Clone)]
+pub struct RowReuseTracker {
+    /// Recency stack: most recent first.
+    stack: Vec<RowKey>,
+    /// Maximum tracked depth.
+    depth: usize,
+    /// Histogram counts, bucket i = distance in (2^(i-1), 2^i].
+    counts: Vec<u64>,
+    cold_or_beyond: u64,
+    activations: u64,
+}
+
+impl RowReuseTracker {
+    /// Creates a tracker with the given maximum stack depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "depth must be non-zero");
+        let buckets = (usize::BITS - (depth - 1).leading_zeros()) as usize + 1;
+        Self {
+            stack: Vec::with_capacity(depth),
+            depth,
+            counts: vec![0; buckets.max(1)],
+            cold_or_beyond: 0,
+            activations: 0,
+        }
+    }
+
+    /// Records a row activation; returns the reuse distance (`None` for
+    /// cold/beyond-depth activations).
+    pub fn on_activate(&mut self, key: RowKey) -> Option<u64> {
+        self.activations += 1;
+        let pos = self.stack.iter().position(|&k| k == key);
+        match pos {
+            Some(i) => {
+                self.stack.remove(i);
+                self.stack.insert(0, key);
+                let dist = i as u64 + 1;
+                let bucket = (64 - dist.leading_zeros()) as usize - 1;
+                let bucket = if dist.is_power_of_two() && bucket > 0 {
+                    bucket
+                } else {
+                    bucket + usize::from(!dist.is_power_of_two())
+                };
+                let bucket = bucket.min(self.counts.len() - 1);
+                self.counts[bucket] += 1;
+                Some(dist)
+            }
+            None => {
+                if self.stack.len() == self.depth {
+                    self.stack.pop();
+                }
+                self.stack.insert(0, key);
+                self.cold_or_beyond += 1;
+                None
+            }
+        }
+    }
+
+    /// Builds the histogram report.
+    pub fn report(&self) -> ReuseReport {
+        ReuseReport {
+            bucket_bounds: (0..self.counts.len() as u32).map(|i| 1u64 << i).collect(),
+            counts: self.counts.clone(),
+            cold_or_beyond: self.cold_or_beyond,
+            activations: self.activations,
+        }
+    }
+
+    /// Merges another tracker's histogram (stacks are not merged).
+    pub fn absorb(&mut self, other: &RowReuseTracker) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.cold_or_beyond += other.cold_or_beyond;
+        self.activations += other.activations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(row: u32) -> RowKey {
+        RowKey::new(0, 0, 0, row)
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_one() {
+        let mut t = RowReuseTracker::new(64);
+        t.on_activate(key(1));
+        assert_eq!(t.on_activate(key(1)), Some(1));
+    }
+
+    #[test]
+    fn distance_counts_distinct_intervening_rows() {
+        let mut t = RowReuseTracker::new(64);
+        t.on_activate(key(1));
+        t.on_activate(key(2));
+        t.on_activate(key(3));
+        // Rows 2 and 3 intervene → distance 3 (stack position).
+        assert_eq!(t.on_activate(key(1)), Some(3));
+    }
+
+    #[test]
+    fn repeated_intervening_rows_do_not_inflate_distance() {
+        let mut t = RowReuseTracker::new(64);
+        t.on_activate(key(1));
+        for _ in 0..10 {
+            t.on_activate(key(2));
+        }
+        assert_eq!(t.on_activate(key(1)), Some(2));
+    }
+
+    #[test]
+    fn beyond_depth_is_cold() {
+        let mut t = RowReuseTracker::new(4);
+        t.on_activate(key(0));
+        for r in 1..=4 {
+            t.on_activate(key(r));
+        }
+        // Row 0 fell off the 4-deep stack.
+        assert_eq!(t.on_activate(key(0)), None);
+        assert_eq!(t.report().cold_or_beyond, 6);
+    }
+
+    #[test]
+    fn report_fractions_are_cumulative() {
+        let mut t = RowReuseTracker::new(64);
+        // Distances 1 and 3.
+        t.on_activate(key(1));
+        t.on_activate(key(1));
+        t.on_activate(key(2));
+        t.on_activate(key(3));
+        t.on_activate(key(1));
+        let r = t.report();
+        assert_eq!(r.activations, 5);
+        assert!(r.fraction_within(1) > 0.0);
+        assert!(r.fraction_within(4) >= r.fraction_within(1));
+    }
+
+    #[test]
+    fn median_tracks_the_mass() {
+        let mut t = RowReuseTracker::new(1024);
+        // 100 immediate reuses.
+        t.on_activate(key(7));
+        for _ in 0..100 {
+            t.on_activate(key(7));
+        }
+        assert_eq!(t.report().median_bound(), Some(1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Full-system configuration (the paper's Table 1).
+
+use chargecache::{ChargeCacheConfig, MechanismKind, NuatConfig};
+use cpu::{CoreConfig, LlcConfig};
+use dram::DramConfig;
+use memctrl::CtrlConfig;
+use serde::Serialize;
+
+/// Complete system description for one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// CPU cycles per DRAM bus cycle (4 GHz over 800 MHz → 5).
+    pub cpu_per_bus: u64,
+    /// Core model parameters.
+    pub core: CoreConfig,
+    /// Shared LLC parameters.
+    pub llc: LlcConfig,
+    /// DRAM organization and timing.
+    pub dram: DramConfig,
+    /// Controller parameters.
+    pub ctrl: CtrlConfig,
+    /// Latency mechanism under test.
+    pub mechanism: MechanismKind,
+    /// ChargeCache parameters (used by `ChargeCache`, `CcNuat`, `LlDram`).
+    pub cc: ChargeCacheConfig,
+    /// NUAT parameters (used by `Nuat`, `CcNuat`).
+    pub nuat: NuatConfig,
+}
+
+impl SystemConfig {
+    /// The paper's single-core system: 1 channel, open-row policy.
+    pub fn paper_single_core(mechanism: MechanismKind) -> Self {
+        Self {
+            cores: 1,
+            cpu_per_bus: 5,
+            core: CoreConfig::paper(),
+            llc: LlcConfig::paper_4mb(),
+            dram: DramConfig::ddr3_1600_paper(),
+            ctrl: CtrlConfig::paper_single_core(),
+            mechanism,
+            cc: ChargeCacheConfig::paper(),
+            nuat: NuatConfig::paper_5pb(),
+        }
+    }
+
+    /// The paper's eight-core system: 2 channels, closed-row policy.
+    pub fn paper_eight_core(mechanism: MechanismKind) -> Self {
+        Self {
+            cores: 8,
+            cpu_per_bus: 5,
+            core: CoreConfig::paper(),
+            llc: LlcConfig::paper_4mb(),
+            dram: DramConfig::ddr3_1600_paper_2ch(),
+            ctrl: CtrlConfig::paper_multi_core(),
+            mechanism,
+            cc: ChargeCacheConfig::paper(),
+            nuat: NuatConfig::paper_5pb(),
+        }
+    }
+
+    /// Validates every sub-configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("need at least one core".into());
+        }
+        if self.cpu_per_bus == 0 {
+            return Err("cpu_per_bus must be non-zero".into());
+        }
+        self.llc.validate()?;
+        self.dram.validate()?;
+        self.ctrl.validate()?;
+        self.cc.validate()?;
+        self.nuat.validate()?;
+        Ok(())
+    }
+
+    /// Region base of a core's address space: disjoint 1 GB regions, as
+    /// the paper notes multiprogrammed applications "use separate memory
+    /// regions".
+    pub fn region_base(&self, core: usize) -> u64 {
+        (core as u64) << 30
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        SystemConfig::paper_single_core(MechanismKind::Baseline)
+            .validate()
+            .unwrap();
+        SystemConfig::paper_eight_core(MechanismKind::ChargeCache)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn table1_parameters_hold() {
+        let c = SystemConfig::paper_eight_core(MechanismKind::ChargeCache);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.cpu_per_bus, 5); // 4 GHz / 800 MHz
+        assert_eq!(c.core.issue_width, 3);
+        assert_eq!(c.core.window, 128);
+        assert_eq!(c.core.mshrs, 8);
+        assert_eq!(c.llc.capacity_bytes, 4 << 20);
+        assert_eq!(c.llc.ways, 16);
+        assert_eq!(c.dram.org.channels, 2);
+        assert_eq!(c.dram.org.banks, 8);
+        assert_eq!(c.cc.entries_per_core, 128);
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let c = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_ne!(c.region_base(i), c.region_base(j));
+                }
+            }
+        }
+    }
+}

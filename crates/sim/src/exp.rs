@@ -1,0 +1,215 @@
+//! Experiment drivers shared by the benchmark harness, examples and
+//! integration tests.
+//!
+//! Each driver builds a paper-configured [`System`], warms it up, measures
+//! a fixed number of retired instructions per core, and returns the
+//! [`RunResult`]. Run lengths default to laptop-scale (DESIGN.md
+//! substitution S5) and scale with the `CC_SCALE` environment variable
+//! (e.g. `CC_SCALE=10` runs 10× longer).
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use traces::{MixSpec, WorkloadSpec};
+
+use crate::config::SystemConfig;
+use crate::metrics::RunResult;
+use crate::system::System;
+
+/// Run-length parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpParams {
+    /// Instructions each core must retire in the measured interval.
+    pub insts_per_core: u64,
+    /// Instructions per core of cache/HCRAC warmup before measurement.
+    pub warmup_insts: u64,
+    /// Safety cap: `max_cycles = factor × (warmup + insts)`.
+    pub max_cycle_factor: u64,
+    /// Seed for trace generation.
+    pub seed: u64,
+}
+
+impl ExpParams {
+    /// Default benchmark-scale parameters, scaled by `CC_SCALE`.
+    pub fn bench() -> Self {
+        let scale = std::env::var("CC_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(1)
+            .max(1);
+        Self {
+            insts_per_core: 120_000 * scale,
+            warmup_insts: 25_000 * scale,
+            max_cycle_factor: 150,
+            seed: 42,
+        }
+    }
+
+    /// Tiny parameters for (debug-build) integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            insts_per_core: 8_000,
+            warmup_insts: 2_000,
+            max_cycle_factor: 300,
+            seed: 42,
+        }
+    }
+
+    fn max_cycles(&self) -> u64 {
+        self.max_cycle_factor * (self.insts_per_core + self.warmup_insts)
+    }
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        Self::bench()
+    }
+}
+
+/// Runs one workload on the paper's single-core system.
+pub fn run_single_core(
+    spec: &WorkloadSpec,
+    mechanism: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+) -> RunResult {
+    let mut cfg = SystemConfig::paper_single_core(mechanism);
+    cfg.cc = cc.clone();
+    run_configured(cfg, std::slice::from_ref(spec), p)
+}
+
+/// Runs one eight-core mix on the paper's multi-core system.
+pub fn run_eight_core(
+    mix: &MixSpec,
+    mechanism: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+) -> RunResult {
+    let mut cfg = SystemConfig::paper_eight_core(mechanism);
+    cfg.cc = cc.clone();
+    run_configured(cfg, &mix.apps, p)
+}
+
+/// Runs an arbitrary system configuration with one workload per core.
+///
+/// # Panics
+///
+/// Panics if `apps` does not supply one workload per configured core.
+pub fn run_configured(cfg: SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -> RunResult {
+    assert_eq!(apps.len(), cfg.cores, "one workload per core");
+    let traces: Vec<_> = apps
+        .iter()
+        .enumerate()
+        .map(|(core, spec)| {
+            spec.build(
+                p.seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                cfg.region_base(core),
+            )
+        })
+        .collect();
+    let mut sys = System::new(cfg, traces);
+    sys.run_until_retired(p.warmup_insts, p.max_cycles());
+    // Discard warmup energy and take the measurement snapshot.
+    sys.memory_mut().device_mut().take_log();
+    let warm = sys.snapshot();
+    let reached = sys.run_until_retired(p.warmup_insts + p.insts_per_core, p.max_cycles());
+    sys.result_since(&warm, !reached)
+}
+
+/// Alone-run IPC of a workload under a mechanism (the weighted-speedup
+/// denominator). Uses the single-core system but the *multi-core* row
+/// policy is irrelevant at one core, matching the paper's methodology.
+pub fn alone_ipc(
+    spec: &WorkloadSpec,
+    mechanism: MechanismKind,
+    cc: &ChargeCacheConfig,
+    p: &ExpParams,
+) -> f64 {
+    run_single_core(spec, mechanism, cc, p).ipc(0)
+}
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    let work: parking_lot::Mutex<Vec<Option<T>>> =
+        parking_lot::Mutex::new(items.into_iter().map(Some).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: parking_lot::Mutex<Vec<Option<R>>> =
+        parking_lot::Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work.lock()[i].take().expect("each index taken once");
+                let r = f(item);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all indices computed"))
+        .collect()
+}
+
+/// Number of worker threads to use for experiment sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::workload;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let out = par_map((0..100).collect(), 4, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_works() {
+        let out = par_map(vec![1, 2, 3], 1, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_single_core_run_produces_metrics() {
+        let spec = workload("STREAMcopy").unwrap();
+        let p = ExpParams::tiny();
+        let r = run_single_core(&spec, MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p);
+        assert!(!r.hit_cycle_cap, "run hit the cycle cap");
+        assert!(r.ipc(0) > 0.0);
+        assert!(r.rmpkc() > 0.0, "STREAMcopy must reach DRAM");
+        assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn hmmer_generates_almost_no_dram_traffic() {
+        let spec = workload("hmmer").unwrap();
+        // hmmer needs its (LLC-resident) footprint warmed before the cold
+        // misses stop; give it a longer warmup than the generic tiny run.
+        let p = ExpParams {
+            warmup_insts: 60_000,
+            insts_per_core: 10_000,
+            ..ExpParams::tiny()
+        };
+        let r = run_single_core(&spec, MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p);
+        // Footprint ≤ LLC: after warmup, DRAM reads are rare.
+        assert!(r.rmpkc() < 2.0, "hmmer RMPKC = {}", r.rmpkc());
+    }
+}

@@ -1,0 +1,37 @@
+//! Full-system simulator for the ChargeCache reproduction.
+//!
+//! Wires the substrate crates together — trace-driven [`cpu`] cores, the
+//! shared LLC, the [`memctrl`] memory system with a
+//! [`chargecache::LatencyMechanism`] per channel, the timing-checked
+//! [`dram`] device, and the [`drampower`] energy model — into the
+//! paper's Table 1 system, and provides the experiment drivers used by
+//! every figure/table bench.
+//!
+//! # Example
+//!
+//! ```
+//! use chargecache::{ChargeCacheConfig, MechanismKind};
+//! use sim::exp::{run_single_core, ExpParams};
+//! use traces::workload;
+//!
+//! let spec = workload("libquantum").expect("paper workload");
+//! let mut p = ExpParams::tiny();
+//! p.insts_per_core = 2_000;
+//! let result = run_single_core(
+//!     &spec,
+//!     MechanismKind::ChargeCache,
+//!     &ChargeCacheConfig::paper(),
+//!     &p,
+//! );
+//! assert!(result.ipc(0) > 0.0);
+//! ```
+
+pub mod config;
+pub mod exp;
+pub mod metrics;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};
+pub use metrics::{speedup_over, weighted_speedup, RunResult};
+pub use system::System;

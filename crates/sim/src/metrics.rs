@@ -1,0 +1,116 @@
+//! Run results and derived metrics (IPC, weighted speedup, RMPKC).
+
+use chargecache::MechanismStats;
+use cpu::{CoreStats, LlcStats};
+use drampower::EnergyBreakdown;
+use memctrl::{CtrlStats, ReuseReport, RltlReport};
+use serde::Serialize;
+
+/// Everything measured in one simulation run (post-warmup).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// CPU cycles simulated (post-warmup).
+    pub cpu_cycles: u64,
+    /// Aggregated controller statistics.
+    pub ctrl: CtrlStats,
+    /// LLC statistics.
+    pub llc: LlcStats,
+    /// Mechanism statistics.
+    pub mech: MechanismStats,
+    /// RLTL measurement (includes warmup activations).
+    pub rltl: RltlReport,
+    /// Row-reuse-distance histogram (includes warmup activations).
+    pub reuse: ReuseReport,
+    /// DRAM energy over the measured interval.
+    pub energy: EnergyBreakdown,
+    /// True if the run was cut off by the safety cycle cap.
+    pub hit_cycle_cap: bool,
+}
+
+impl RunResult {
+    /// IPC of one core.
+    pub fn ipc(&self, core: usize) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.cores[core].retired as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Sum of per-core IPCs (throughput).
+    pub fn ipc_sum(&self) -> f64 {
+        (0..self.cores.len()).map(|c| self.ipc(c)).sum()
+    }
+
+    /// Row misses (activations) per kilo-CPU-cycle — the paper's RMPKC
+    /// x-axis metric.
+    pub fn rmpkc(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.ctrl.activations() as f64 * 1000.0 / self.cpu_cycles as f64
+        }
+    }
+
+    /// HCRAC hit rate, when the mechanism has one.
+    pub fn hcrac_hit_rate(&self) -> Option<f64> {
+        self.mech.hcrac.map(|h| h.hit_rate())
+    }
+}
+
+/// Weighted speedup of a multiprogrammed run versus per-app alone-IPCs
+/// (Snavely & Tullsen): `Σ IPC_shared,i / IPC_alone,i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone-IPC is zero.
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(shared_ipc.len(), alone_ipc.len());
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+/// Relative speedup of `value` over `baseline`, as a fraction
+/// (0.05 = +5%).
+pub fn speedup_over(value: f64, baseline: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline must be positive");
+    value / baseline - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let alone = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&alone, &alone) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_degrades_with_contention() {
+        let shared = [0.5, 1.0];
+        let alone = [1.0, 2.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_over_fraction() {
+        assert!((speedup_over(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!(speedup_over(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alone IPC")]
+    fn zero_alone_ipc_panics() {
+        weighted_speedup(&[1.0], &[0.0]);
+    }
+}

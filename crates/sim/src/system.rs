@@ -1,0 +1,404 @@
+//! The full system: cores + shared LLC + memory system, clocked together.
+
+use std::collections::{HashMap, VecDeque};
+
+use cpu::{AccessReply, Core, Llc, LoadId, MemAccess, MemOp, TraceSource};
+use memctrl::{AccessKind, MemRequest, MemorySystem, RequestId};
+
+use crate::config::SystemConfig;
+use crate::metrics::RunResult;
+
+/// A running system instance.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    llc: Llc,
+    mem: MemorySystem,
+    /// In-flight memory reads: request id → line address.
+    fills: HashMap<RequestId, u64>,
+    /// Loads waiting on an in-flight line: line → (core, load).
+    waiters: HashMap<u64, Vec<(usize, LoadId)>>,
+    /// Dirty evictions waiting for write-queue space: (line, core).
+    wb_backlog: VecDeque<(u64, usize)>,
+    now: u64,
+}
+
+impl System {
+    /// Builds the system, attaching one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace count does not
+    /// match the core count.
+    pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(id, t)| Core::new(id, cfg.core, t))
+            .collect();
+        let llc = Llc::new(cfg.llc);
+        let mut mem = MemorySystem::with_mechanism(
+            cfg.dram.clone(),
+            cfg.ctrl.clone(),
+            cfg.mechanism,
+            &cfg.cc,
+            &cfg.nuat,
+            cfg.cores,
+        );
+        mem.device_mut().enable_log();
+        Self {
+            cfg,
+            cores,
+            llc,
+            mem,
+            fills: HashMap::new(),
+            waiters: HashMap::new(),
+            wb_backlog: VecDeque::new(),
+            now: 0,
+        }
+    }
+
+    /// Current CPU cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Immutable access to the memory system (stats, RLTL, device).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system (for energy-log draining).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// The shared LLC.
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Per-core statistics.
+    pub fn core_stats(&self, core: usize) -> &cpu::CoreStats {
+        self.cores[core].stats()
+    }
+
+    /// Minimum retired-instruction count across cores.
+    pub fn min_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired()).min().unwrap_or(0)
+    }
+
+    /// Advances the system one CPU cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let bus_boundary = now % self.cfg.cpu_per_bus == 0;
+        let bus_now = now / self.cfg.cpu_per_bus;
+
+        if bus_boundary {
+            // Memory moves first so data arriving this cycle can unblock
+            // cores in the same CPU cycle.
+            let completions = self.mem.tick(bus_now);
+            for c in completions {
+                if let Some(line) = self.fills.remove(&c.id) {
+                    if let Some(wb) = self.llc.fill(line) {
+                        self.wb_backlog.push_back((wb, c.core));
+                    }
+                    if let Some(ws) = self.waiters.remove(&line) {
+                        for (core, load) in ws {
+                            self.cores[core].complete_load(load);
+                        }
+                    }
+                }
+            }
+            // Retry queued writebacks.
+            while let Some(&(line, core)) = self.wb_backlog.front() {
+                let req = MemRequest {
+                    addr: line,
+                    kind: AccessKind::Write,
+                    core,
+                };
+                if self.mem.try_enqueue(req, bus_now).is_some() {
+                    self.wb_backlog.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Destructure so the per-core closure can borrow the shared
+        // structures while `cores` is iterated.
+        let Self {
+            cores,
+            llc,
+            mem,
+            fills,
+            waiters,
+            wb_backlog,
+            ..
+        } = self;
+        let hit_latency = llc.config().hit_latency;
+        for core in cores.iter_mut() {
+            core.step(now, &mut |access: MemAccess| {
+                service_access(
+                    access, llc, mem, fills, waiters, wb_backlog, now, bus_now, hit_latency,
+                )
+            });
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every core has retired at least `target` instructions
+    /// (or finished its trace), or `max_cycles` elapse. Returns true if
+    /// the target was reached.
+    pub fn run_until_retired(&mut self, target: u64, max_cycles: u64) -> bool {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self
+                .cores
+                .iter()
+                .all(|c| c.retired() >= target || c.finished())
+            {
+                return true;
+            }
+            self.step();
+        }
+        false
+    }
+
+    /// Snapshot of all measurable state (used for warmup deltas).
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.now,
+            retired: self.cores.iter().map(|c| c.retired()).collect(),
+            ctrl: self.mem.stats(),
+            mech_activates: self.mem.mech_stats().activates,
+            mech_reduced: self.mem.mech_stats().reduced_activates,
+        }
+    }
+
+    /// Builds the post-warmup result given the warmup snapshot.
+    pub(crate) fn result_since(&mut self, warm: &Snapshot, hit_cycle_cap: bool) -> RunResult {
+        let cpu_cycles = self.now - warm.now;
+        let bus_cycles = cpu_cycles / self.cfg.cpu_per_bus;
+        let mut cores = Vec::with_capacity(self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            let mut s = *c.stats();
+            s.retired -= warm.retired[i];
+            s.cycles = cpu_cycles;
+            cores.push(s);
+        }
+        let mut ctrl = self.mem.stats();
+        ctrl_sub(&mut ctrl, &warm.ctrl);
+        let mut mech = self.mem.mech_stats();
+        mech.activates -= warm.mech_activates;
+        mech.reduced_activates -= warm.mech_reduced;
+        let log = self.mem.device_mut().take_log();
+        let energy = drampower::EnergyModel::ddr3_4gb_x8(self.cfg.dram.clone())
+            .energy(&log, bus_cycles.max(1));
+        RunResult {
+            cores,
+            cpu_cycles,
+            ctrl,
+            llc: *self.llc.stats(),
+            mech,
+            rltl: self.mem.rltl_report(),
+            reuse: self.mem.reuse_report(),
+            energy,
+            hit_cycle_cap,
+        }
+    }
+}
+
+/// Warmup-boundary snapshot.
+pub(crate) struct Snapshot {
+    now: u64,
+    retired: Vec<u64>,
+    ctrl: memctrl::CtrlStats,
+    mech_activates: u64,
+    mech_reduced: u64,
+}
+
+fn ctrl_sub(a: &mut memctrl::CtrlStats, b: &memctrl::CtrlStats) {
+    a.reads -= b.reads;
+    a.writes -= b.writes;
+    a.forwarded_reads -= b.forwarded_reads;
+    a.row_hits -= b.row_hits;
+    a.row_misses -= b.row_misses;
+    a.row_conflicts -= b.row_conflicts;
+    a.refreshes -= b.refreshes;
+    a.read_latency_sum -= b.read_latency_sum;
+    a.read_latency_count -= b.read_latency_count;
+    for (x, y) in a.read_latency_hist.iter_mut().zip(&b.read_latency_hist) {
+        *x -= y;
+    }
+}
+
+/// Resolves one core memory access against the LLC and memory system.
+#[allow(clippy::too_many_arguments)]
+fn service_access(
+    access: MemAccess,
+    llc: &mut Llc,
+    mem: &mut MemorySystem,
+    fills: &mut HashMap<RequestId, u64>,
+    waiters: &mut HashMap<u64, Vec<(usize, LoadId)>>,
+    wb_backlog: &mut VecDeque<(u64, usize)>,
+    now: u64,
+    bus_now: u64,
+    hit_latency: u64,
+) -> AccessReply {
+    let line = llc.line_of(access.op.addr());
+    match access.op {
+        MemOp::Load(_) => {
+            if let cpu::LlcOutcome::Hit = llc.read(line) {
+                return AccessReply::HitAt(now + hit_latency);
+            }
+            // Merge with an outstanding fill of the same line.
+            if let Some(ws) = waiters.get_mut(&line) {
+                ws.push((access.core, access.load_id));
+                return AccessReply::Pending;
+            }
+            let req = MemRequest {
+                addr: line,
+                kind: AccessKind::Read,
+                core: access.core,
+            };
+            match mem.try_enqueue(req, bus_now) {
+                Some(id) => {
+                    fills.insert(id, line);
+                    waiters.insert(line, vec![(access.core, access.load_id)]);
+                    AccessReply::Pending
+                }
+                None => AccessReply::Retry,
+            }
+        }
+        MemOp::Store(_) => {
+            if let cpu::LlcOutcome::Miss { writeback } = llc.write(line) {
+                if let Some(wb) = writeback {
+                    wb_backlog.push_back((wb, access.core));
+                }
+            }
+            AccessReply::Done
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chargecache::MechanismKind;
+    use cpu::{TraceEntry, VecTrace};
+
+    fn load_trace(n: usize, stride: u64, nonmem: u32) -> Box<dyn TraceSource> {
+        Box::new(VecTrace::once(
+            (0..n)
+                .map(|i| TraceEntry {
+                    nonmem,
+                    op: Some(MemOp::Load(i as u64 * stride)),
+                })
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn single_core_system_completes_a_trace() {
+        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let mut sys = System::new(cfg, vec![load_trace(100, 64, 2)]);
+        assert!(sys.run_until_retired(300, 1_000_000));
+        assert_eq!(sys.core_stats(0).loads, 100);
+        // 100 loads × 64 B stride = few lines … all within rows; some DRAM
+        // traffic must have happened (cold LLC).
+        assert!(sys.memory().stats().reads > 0);
+    }
+
+    #[test]
+    fn llc_filters_repeated_accesses() {
+        // Second pass over the same small footprint: no new DRAM reads.
+        let entries: Vec<TraceEntry> = (0..200)
+            .map(|i| TraceEntry {
+                nonmem: 1,
+                op: Some(MemOp::Load((i % 100) * 64)),
+            })
+            .collect();
+        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let mut sys = System::new(cfg, vec![Box::new(VecTrace::once(entries))]);
+        assert!(sys.run_until_retired(400, 1_000_000));
+        // 100 distinct lines → exactly 100 DRAM reads despite 200 loads.
+        assert_eq!(sys.memory().stats().reads, 100);
+        assert_eq!(sys.llc().stats().read_hits, 100);
+    }
+
+    #[test]
+    fn stores_generate_writebacks_only_on_eviction() {
+        // Store footprint well within the LLC: no DRAM writes at all.
+        let entries: Vec<TraceEntry> = (0..100)
+            .map(|i| TraceEntry {
+                nonmem: 1,
+                op: Some(MemOp::Store(i * 64)),
+            })
+            .collect();
+        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let mut sys = System::new(cfg, vec![Box::new(VecTrace::once(entries))]);
+        assert!(sys.run_until_retired(200, 1_000_000));
+        assert_eq!(sys.memory().stats().writes, 0);
+    }
+
+    #[test]
+    fn merged_loads_share_one_fill() {
+        // Two cores read the same addresses: fills are shared.
+        let cfg = {
+            let mut c = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+            c.cores = 2;
+            c
+        };
+        let t0 = load_trace(50, 64, 0);
+        let t1 = load_trace(50, 64, 0);
+        let mut sys = System::new(cfg, vec![t0, t1]);
+        assert!(sys.run_until_retired(50, 1_000_000));
+        // At most ~50 distinct lines + writeback noise; far fewer than 100.
+        assert!(
+            sys.memory().stats().reads <= 60,
+            "reads = {}",
+            sys.memory().stats().reads
+        );
+    }
+
+    #[test]
+    fn chargecache_never_slows_a_system_down() {
+        let mk = |kind| {
+            let mut cfg = SystemConfig::paper_single_core(kind);
+            cfg.dram.org.rows = 1024; // keep the address space tight
+            cfg
+        };
+        // Bank-conflict-heavy pattern: two regions 64 KB apart.
+        let entries: Vec<TraceEntry> = (0..2000)
+            .map(|i| TraceEntry {
+                nonmem: 2,
+                op: Some(MemOp::Load((i % 2) * 65536 + (i / 2 % 64) * 64 * 7)),
+            })
+            .collect();
+        let base = {
+            let mut s = System::new(
+                mk(MechanismKind::Baseline),
+                vec![Box::new(VecTrace::once(entries.clone()))],
+            );
+            assert!(s.run_until_retired(3000, 10_000_000));
+            s.now()
+        };
+        let cc = {
+            let mut s = System::new(
+                mk(MechanismKind::ChargeCache),
+                vec![Box::new(VecTrace::once(entries))],
+            );
+            assert!(s.run_until_retired(3000, 10_000_000));
+            s.now()
+        };
+        assert!(cc <= base, "ChargeCache {cc} vs baseline {base} cycles");
+    }
+}

@@ -1,0 +1,335 @@
+//! Trace file I/O.
+//!
+//! Two formats:
+//!
+//! * **Ramulator text** — one entry per line, `<nonmem> <load-addr>
+//!   [<store-addr>]`, compatible in spirit with Ramulator's CPU traces so
+//!   externally collected traces can be replayed. An entry with a store
+//!   address expands to two entries (the load, then a zero-bubble store).
+//! * **Compact binary** — length-prefixed little-endian records via
+//!   `bytes`, for fast storage of generated traces.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use cpu::{MemOp, TraceEntry};
+
+/// Parses a Ramulator-style text trace.
+///
+/// # Errors
+///
+/// Returns an error describing the first malformed line.
+pub fn read_text<R: BufRead>(reader: R) -> io::Result<Vec<TraceEntry>> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let nonmem: u32 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| bad_line(lineno, &format!("bubble count: {e}")))?;
+        let load = match it.next() {
+            Some(tok) => parse_addr(tok).map_err(|e| bad_line(lineno, &e))?,
+            None => {
+                out.push(TraceEntry { nonmem, op: None });
+                continue;
+            }
+        };
+        out.push(TraceEntry {
+            nonmem,
+            op: Some(MemOp::Load(load)),
+        });
+        if let Some(tok) = it.next() {
+            let wb = parse_addr(tok).map_err(|e| bad_line(lineno, &e))?;
+            out.push(TraceEntry {
+                nonmem: 0,
+                op: Some(MemOp::Store(wb)),
+            });
+        }
+        if it.next().is_some() {
+            return Err(bad_line(lineno, "too many fields"));
+        }
+    }
+    Ok(out)
+}
+
+/// Writes entries in the text format.
+///
+/// The text format has no standalone-store line, so a store is written as
+/// a self-writeback (`<nonmem> <addr> <addr>`), which [`read_text`]
+/// expands back into a load + store pair. Use the binary format for
+/// lossless round trips.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> {
+    for e in entries {
+        match e.op {
+            None => writeln!(w, "{}", e.nonmem)?,
+            Some(MemOp::Load(a)) => writeln!(w, "{} {:#x}", e.nonmem, a)?,
+            Some(MemOp::Store(a)) => writeln!(w, "{} {:#x} {:#x}", e.nonmem, a, a)?,
+        }
+    }
+    Ok(())
+}
+
+/// Serializes entries to the compact binary format.
+pub fn to_binary(entries: &[TraceEntry]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(entries.len() * 13 + 8);
+    buf.put_u64_le(entries.len() as u64);
+    for e in entries {
+        buf.put_u32_le(e.nonmem);
+        match e.op {
+            None => buf.put_u8(0),
+            Some(MemOp::Load(a)) => {
+                buf.put_u8(1);
+                buf.put_u64_le(a);
+            }
+            Some(MemOp::Store(a)) => {
+                buf.put_u8(2);
+                buf.put_u64_le(a);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes the compact binary format.
+///
+/// # Errors
+///
+/// Returns an error on truncation or an unknown op tag.
+pub fn from_binary(mut data: Bytes) -> io::Result<Vec<TraceEntry>> {
+    if data.remaining() < 8 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing header"));
+    }
+    let n = data.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 24));
+    for i in 0..n {
+        if data.remaining() < 5 {
+            return Err(truncated(i));
+        }
+        let nonmem = data.get_u32_le();
+        let tag = data.get_u8();
+        let op = match tag {
+            0 => None,
+            1 | 2 => {
+                if data.remaining() < 8 {
+                    return Err(truncated(i));
+                }
+                let a = data.get_u64_le();
+                Some(if tag == 1 {
+                    MemOp::Load(a)
+                } else {
+                    MemOp::Store(a)
+                })
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown op tag {t} at record {i}"),
+                ))
+            }
+        };
+        out.push(TraceEntry { nonmem, op });
+    }
+    Ok(out)
+}
+
+/// A [`cpu::TraceSource`] replaying a Ramulator-style text trace from
+/// disk, optionally looping when it reaches the end.
+pub struct FileTrace {
+    path: std::path::PathBuf,
+    reader: BufReader<File>,
+    /// Store half of a split load+writeback line, delivered next.
+    pending: Option<TraceEntry>,
+    looping: bool,
+    line: usize,
+}
+
+impl FileTrace {
+    /// Opens a trace file for single-pass replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `File::open` error.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self {
+            reader: BufReader::new(File::open(&path)?),
+            path: path.as_ref().to_path_buf(),
+            pending: None,
+            looping: false,
+            line: 0,
+        })
+    }
+
+    /// Opens a trace file for looping replay (restarts at EOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `File::open` error.
+    pub fn open_looping<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut t = Self::open(path)?;
+        t.looping = true;
+        Ok(t)
+    }
+
+    fn read_one(&mut self) -> Option<TraceEntry> {
+        if let Some(e) = self.pending.take() {
+            return Some(e);
+        }
+        loop {
+            let mut buf = String::new();
+            match self.reader.read_line(&mut buf) {
+                Ok(0) => {
+                    if !self.looping {
+                        return None;
+                    }
+                    // Restart from the beginning.
+                    match File::open(&self.path) {
+                        Ok(f) => {
+                            self.reader = BufReader::new(f);
+                            self.line = 0;
+                            continue;
+                        }
+                        Err(_) => return None,
+                    }
+                }
+                Ok(_) => {
+                    self.line += 1;
+                    let t = buf.trim();
+                    if t.is_empty() || t.starts_with('#') {
+                        continue;
+                    }
+                    let mut parsed = match read_text(t.as_bytes()) {
+                        Ok(v) => v.into_iter(),
+                        Err(_) => continue, // skip malformed lines on replay
+                    };
+                    let first = parsed.next()?;
+                    self.pending = parsed.next();
+                    return Some(first);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl cpu::TraceSource for FileTrace {
+    fn next_entry(&mut self) -> Option<TraceEntry> {
+        self.read_one()
+    }
+}
+
+fn parse_addr(tok: &str) -> Result<u64, String> {
+    let r = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    r.map_err(|e| format!("address {tok:?}: {e}"))
+}
+
+fn bad_line(lineno: usize, msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: {msg}", lineno + 1),
+    )
+}
+
+fn truncated(record: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        format!("truncated at record {record}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_parses_loads_and_writebacks() {
+        let src = "5 0x1000\n3 0x2000 0x3000\n# comment\n\n7\n";
+        let es = read_text(src.as_bytes()).unwrap();
+        assert_eq!(es.len(), 4);
+        assert_eq!(es[0], TraceEntry { nonmem: 5, op: Some(MemOp::Load(0x1000)) });
+        assert_eq!(es[1], TraceEntry { nonmem: 3, op: Some(MemOp::Load(0x2000)) });
+        assert_eq!(es[2], TraceEntry { nonmem: 0, op: Some(MemOp::Store(0x3000)) });
+        assert_eq!(es[3], TraceEntry { nonmem: 7, op: None });
+    }
+
+    #[test]
+    fn text_accepts_decimal_addresses() {
+        let es = read_text("1 4096\n".as_bytes()).unwrap();
+        assert_eq!(es[0].op, Some(MemOp::Load(4096)));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text("x 0x10\n".as_bytes()).is_err());
+        assert!(read_text("1 zz\n".as_bytes()).is_err());
+        assert!(read_text("1 0x1 0x2 0x3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let es = vec![
+            TraceEntry { nonmem: 5, op: Some(MemOp::Load(0xABCD)) },
+            TraceEntry { nonmem: 0, op: Some(MemOp::Store(0x40)) },
+            TraceEntry { nonmem: 9, op: None },
+        ];
+        let bin = to_binary(&es);
+        assert_eq!(from_binary(bin).unwrap(), es);
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let es = vec![TraceEntry { nonmem: 1, op: Some(MemOp::Load(2)) }];
+        let bin = to_binary(&es);
+        let cut = bin.slice(0..bin.len() - 1);
+        assert!(from_binary(cut).is_err());
+    }
+
+    #[test]
+    fn file_trace_replays_and_loops() {
+        use cpu::TraceSource;
+        let dir = std::env::temp_dir().join("cc_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "2 0x1000\n1 0x2000 0x3000\n").unwrap();
+
+        let mut once = FileTrace::open(&path).unwrap();
+        let mut n = 0;
+        while once.next_entry().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3); // load, load, split-off store
+
+        let mut looping = FileTrace::open_looping(&path).unwrap();
+        for _ in 0..10 {
+            assert!(looping.next_entry().is_some());
+        }
+    }
+
+    #[test]
+    fn text_write_then_read_preserves_ops() {
+        let es = vec![
+            TraceEntry { nonmem: 2, op: Some(MemOp::Load(0x80)) },
+            TraceEntry { nonmem: 4, op: None },
+        ];
+        let mut buf = Vec::new();
+        write_text(&mut buf, &es).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(back, es);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic workload traces for the ChargeCache reproduction.
+//!
+//! The paper drives Ramulator with Pin-collected traces of 22 SPEC
+//! CPU2006 / TPC / STREAM workloads. Those traces are not redistributable,
+//! so this crate supplies the substitute (DESIGN.md substitution S1):
+//!
+//! * [`gen`] — deterministic pattern generators (streams, uniform random,
+//!   Zipf row popularity, mixtures) implementing [`cpu::TraceSource`];
+//! * [`profile`] — one calibrated [`profile::WorkloadSpec`] per named
+//!   workload, plus the 20 randomized eight-core mixes;
+//! * [`mod@file`] — Ramulator-style text trace parsing and a compact binary
+//!   format, so externally collected traces can be replayed too.
+//!
+//! # Example
+//!
+//! ```
+//! use traces::profile::workload;
+//!
+//! let spec = workload("STREAMcopy").expect("paper workload");
+//! let mut source = spec.build(/* seed */ 7, /* region_base */ 0);
+//! let entry = source.next_entry().unwrap();
+//! assert!(entry.op.is_some());
+//! ```
+
+pub mod file;
+pub mod gen;
+pub mod profile;
+
+pub use file::FileTrace;
+pub use gen::{GenParams, MixGen, RandomGen, StreamGen, StridedGen, ZipfGen};
+pub use profile::{eight_core_mixes, single_core_workloads, workload, MixSpec, Pattern, WorkloadSpec};

@@ -1,0 +1,64 @@
+//! HCRAC design-space exploration: hit rate and speedup versus capacity
+//! and associativity for one workload — the per-design view behind the
+//! paper's Figures 9 and 10.
+//!
+//! ```sh
+//! cargo run --release --example capacity_sweep -- tpch17
+//! ```
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{run_single_core, ExpParams};
+use traces::workload;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tpch17".into());
+    let spec = workload(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(1);
+    });
+    let params = ExpParams::bench();
+
+    let baseline = run_single_core(
+        &spec,
+        MechanismKind::Baseline,
+        &ChargeCacheConfig::paper(),
+        &params,
+    );
+    let base_ipc = baseline.ipc(0);
+    println!(
+        "workload {} — baseline IPC {:.4}, RMPKC {:.2}\n",
+        spec.name,
+        base_ipc,
+        baseline.rmpkc()
+    );
+
+    println!("{:>8} {:>6} {:>10} {:>10}", "entries", "ways", "hit rate", "speedup");
+    for entries in [32usize, 64, 128, 256, 512, 1024] {
+        for ways in [2usize, 0] {
+            let mut cfg = ChargeCacheConfig::with_entries(entries);
+            cfg.ways = ways;
+            let r = run_single_core(&spec, MechanismKind::ChargeCache, &cfg, &params);
+            println!(
+                "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
+                entries,
+                if ways == 0 { "full".into() } else { ways.to_string() },
+                r.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+                (r.ipc(0) / base_ipc - 1.0) * 100.0
+            );
+        }
+    }
+
+    let unlimited = run_single_core(
+        &spec,
+        MechanismKind::ChargeCache,
+        &ChargeCacheConfig::unlimited(),
+        &params,
+    );
+    println!(
+        "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
+        "∞",
+        "-",
+        unlimited.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+        (unlimited.ipc(0) / base_ipc - 1.0) * 100.0
+    );
+}

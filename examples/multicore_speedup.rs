@@ -1,0 +1,66 @@
+//! Eight-core weighted-speedup comparison: the paper's headline result.
+//!
+//! Runs one multiprogrammed mix under all five mechanisms and reports
+//! weighted speedup versus the DDR3 baseline.
+//!
+//! ```sh
+//! cargo run --release --example multicore_speedup          # mix w1
+//! cargo run --release --example multicore_speedup -- 7     # mix w7
+//! ```
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{alone_ipc, run_eight_core, ExpParams};
+use sim::weighted_speedup;
+use traces::eight_core_mixes;
+
+fn main() {
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mixes = eight_core_mixes();
+    let mix = mixes
+        .get(idx.saturating_sub(1))
+        .unwrap_or_else(|| {
+            eprintln!("mix index must be 1..={}", mixes.len());
+            std::process::exit(1);
+        })
+        .clone();
+
+    let params = ExpParams::bench();
+    let cc = ChargeCacheConfig::paper();
+
+    println!("mix {}:", mix.name);
+    for (core, app) in mix.apps.iter().enumerate() {
+        println!("  core {core}: {}", app.name);
+    }
+    println!();
+
+    // Weighted speedup uses a common set of alone-IPC denominators
+    // (baseline system), so ratios isolate the shared-run improvement.
+    let alone: Vec<f64> = mix
+        .apps
+        .iter()
+        .map(|app| alone_ipc(app, MechanismKind::Baseline, &cc, &params).max(1e-9))
+        .collect();
+
+    let mut ws_base = 0.0;
+    println!(
+        "{:<20} {:>16} {:>12}",
+        "mechanism", "weighted speedup", "vs baseline"
+    );
+    for kind in MechanismKind::ALL {
+        let shared = run_eight_core(&mix, kind, &cc, &params);
+        let shared_ipc: Vec<f64> = (0..8).map(|c| shared.ipc(c)).collect();
+        let ws = weighted_speedup(&shared_ipc, &alone);
+        if kind == MechanismKind::Baseline {
+            ws_base = ws;
+        }
+        println!(
+            "{:<20} {:>16.3} {:>11.2}%",
+            kind.label(),
+            ws,
+            (ws / ws_base - 1.0) * 100.0
+        );
+    }
+}

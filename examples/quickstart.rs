@@ -1,0 +1,48 @@
+//! Quickstart: run one workload with and without ChargeCache and print
+//! the headline effect.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{run_single_core, ExpParams};
+use traces::workload;
+
+fn main() {
+    // A memory-intensive, bank-conflict-heavy workload (two interleaved
+    // streams, like STREAM's copy kernel).
+    let spec = workload("STREAMcopy").expect("paper workload");
+    let params = ExpParams::bench();
+    let cc_cfg = ChargeCacheConfig::paper();
+
+    println!("workload: {} ({:?})", spec.name, spec.pattern);
+    println!(
+        "system: 1 core, 4 MB LLC, DDR3-1600, FR-FCFS, open-row\n"
+    );
+
+    let baseline = run_single_core(&spec, MechanismKind::Baseline, &cc_cfg, &params);
+    let chargecache = run_single_core(&spec, MechanismKind::ChargeCache, &cc_cfg, &params);
+
+    println!("baseline IPC:     {:.4}", baseline.ipc(0));
+    println!("ChargeCache IPC:  {:.4}", chargecache.ipc(0));
+    println!(
+        "speedup:          {:+.2}%",
+        (chargecache.ipc(0) / baseline.ipc(0) - 1.0) * 100.0
+    );
+    println!();
+    println!(
+        "HCRAC hit rate:   {:.1}%  (fraction of activations served with reduced tRCD/tRAS)",
+        chargecache.hcrac_hit_rate().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "0.125ms-RLTL:     {:.1}%  (the row locality ChargeCache exploits)",
+        baseline.rltl.rltl_fraction[0] * 100.0
+    );
+    println!(
+        "DRAM energy:      {:.4} mJ -> {:.4} mJ ({:+.2}%)",
+        baseline.energy.total_mj(),
+        chargecache.energy.total_mj(),
+        (chargecache.energy.total_mj() / baseline.energy.total_mj() - 1.0) * 100.0
+    );
+}

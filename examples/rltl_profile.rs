@@ -1,0 +1,54 @@
+//! Row-Level Temporal Locality profiler: measure RLTL for any named
+//! workload (or all of them) and show why ChargeCache's caching duration
+//! can be so short.
+//!
+//! ```sh
+//! cargo run --release --example rltl_profile            # all workloads
+//! cargo run --release --example rltl_profile -- mcf     # one workload
+//! ```
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{run_single_core, ExpParams};
+use traces::{single_core_workloads, workload, WorkloadSpec};
+
+fn profile(spec: &WorkloadSpec, params: &ExpParams) {
+    let r = run_single_core(
+        spec,
+        MechanismKind::Baseline,
+        &ChargeCacheConfig::paper(),
+        params,
+    );
+    print!("{:<12} activations={:<8}", spec.name, r.rltl.activations);
+    for (ms, f) in r.rltl.intervals_ms.iter().zip(&r.rltl.rltl_fraction) {
+        print!(" ≤{ms}ms:{:>5.1}%", f * 100.0);
+    }
+    println!(" | ≤8ms-after-REF: {:.1}%", r.rltl.refresh_8ms_fraction * 100.0);
+}
+
+fn main() {
+    let params = ExpParams::bench();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    println!("cumulative fraction of row activations occurring within t of the row's");
+    println!("previous precharge (t-RLTL, paper Section 3):\n");
+
+    if let Some(name) = args.first() {
+        match workload(name) {
+            Some(spec) => profile(&spec, &params),
+            None => {
+                eprintln!("unknown workload {name:?}; available:");
+                for w in single_core_workloads() {
+                    eprintln!("  {}", w.name);
+                }
+                std::process::exit(1);
+            }
+        }
+    } else {
+        for spec in single_core_workloads() {
+            profile(&spec, &params);
+        }
+    }
+
+    println!("\nreading: a high fraction at small t means rows are re-activated while");
+    println!("still highly charged — each such activation can use reduced tRCD/tRAS.");
+}

@@ -1,0 +1,288 @@
+//! `cc-sim` — command-line front-end for the ChargeCache reproduction.
+//!
+//! ```text
+//! cc-sim list                                   # workloads and mixes
+//! cc-sim run  --workload mcf --mechanism cc     # one single-core run
+//! cc-sim run  --workload mcf --mechanism all    # all five mechanisms
+//! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
+//! cc-sim bitline --age 64                       # waveform CSV
+//! cc-sim overhead --cores 8 --channels 2 --entries 128
+//! ```
+//!
+//! Common `run`/`mix` flags: `--entries N`, `--duration MS`, `--insts N`,
+//! `--warmup N`, `--seed N`, `--csv`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use chargecache::{ChargeCacheConfig, MechanismKind, OverheadModel};
+use sim::exp::{run_eight_core, run_single_core, ExpParams};
+use sim::RunResult;
+use traces::{eight_core_mixes, single_core_workloads, workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&flags),
+        "mix" => cmd_mix(&flags),
+        "bitline" => cmd_bitline(&flags),
+        "overhead" => cmd_overhead(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cc-sim — ChargeCache (HPCA 2016) reproduction CLI
+
+USAGE:
+  cc-sim list
+  cc-sim run  --workload <name> --mechanism <mech|all> [options]
+  cc-sim mix  --index <1..20>   --mechanism <mech|all> [options]
+  cc-sim bitline [--age <ms>]
+  cc-sim overhead [--cores N] [--channels N] [--entries N]
+
+MECHANISMS: baseline, nuat, cc (chargecache), ccnuat, lldram, all
+
+OPTIONS (run/mix):
+  --entries N     HCRAC entries per core          [default 128]
+  --duration MS   caching duration in ms          [default 1]
+  --insts N       measured instructions per core  [default 120000 × CC_SCALE]
+  --warmup N      warmup instructions per core    [default 25000 × CC_SCALE]
+  --seed N        trace seed                      [default 42]
+  --csv           machine-readable output";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        if key == "csv" {
+            out.insert(key.to_string(), "true".into());
+            continue;
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), val.clone());
+    }
+    Ok(out)
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn mechanisms(flags: &HashMap<String, String>) -> Result<Vec<MechanismKind>, String> {
+    match flags.get("mechanism").map(String::as_str) {
+        None | Some("all") => Ok(MechanismKind::ALL.to_vec()),
+        Some("baseline") => Ok(vec![MechanismKind::Baseline]),
+        Some("nuat") => Ok(vec![MechanismKind::Nuat]),
+        Some("cc") | Some("chargecache") => Ok(vec![MechanismKind::ChargeCache]),
+        Some("ccnuat") => Ok(vec![MechanismKind::CcNuat]),
+        Some("lldram") | Some("ll") => Ok(vec![MechanismKind::LlDram]),
+        Some(other) => Err(format!("unknown mechanism {other:?}")),
+    }
+}
+
+fn exp_params(flags: &HashMap<String, String>) -> Result<ExpParams, String> {
+    let mut p = ExpParams::bench();
+    p.insts_per_core = get_u64(flags, "insts", p.insts_per_core)?;
+    p.warmup_insts = get_u64(flags, "warmup", p.warmup_insts)?;
+    p.seed = get_u64(flags, "seed", p.seed)?;
+    Ok(p)
+}
+
+fn cc_config(flags: &HashMap<String, String>) -> Result<ChargeCacheConfig, String> {
+    let duration = get_f64(flags, "duration", 1.0)?;
+    let mut cfg = ChargeCacheConfig::with_duration_ms(duration);
+    cfg.entries_per_core = get_u64(flags, "entries", 128)? as usize;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("single-core workloads:");
+    for w in single_core_workloads() {
+        println!(
+            "  {:<12} {:?}, wss {} MiB, ~1 memop per {} insts, {}% stores",
+            w.name,
+            w.pattern,
+            w.wss >> 20,
+            w.mean_nonmem + 1,
+            (w.store_ratio * 100.0) as u32
+        );
+    }
+    println!("\neight-core mixes:");
+    for m in eight_core_mixes() {
+        let names: Vec<&str> = m.apps.iter().map(|a| a.name).collect();
+        println!("  {:<4} {}", m.name, names.join(", "));
+    }
+    Ok(())
+}
+
+fn print_result(label: &str, r: &RunResult, base_ipc: Option<f64>, csv: bool, cores: usize) {
+    let ipc = if cores == 1 { r.ipc(0) } else { r.ipc_sum() };
+    let speedup = base_ipc.map(|b| ipc / b - 1.0);
+    if csv {
+        println!(
+            "{label},{:.6},{},{:.4},{:.4},{:.2},{:.6},{}",
+            ipc,
+            speedup.map(|s| format!("{s:.6}")).unwrap_or_default(),
+            r.hcrac_hit_rate().unwrap_or(f64::NAN),
+            r.rltl.rltl_fraction[0],
+            r.rmpkc(),
+            r.energy.total_mj(),
+            r.cpu_cycles
+        );
+    } else {
+        println!(
+            "{label:<20} ipc={ipc:<8.4} {} hit={} rmpkc={:<7.2} energy={:.4} mJ cycles={}",
+            speedup
+                .map(|s| format!("speedup={:+.2}%", s * 100.0))
+                .unwrap_or_else(|| "speedup=  —   ".into()),
+            r.hcrac_hit_rate()
+                .map(|h| format!("{:.1}%", h * 100.0))
+                .unwrap_or_else(|| "—".into()),
+            r.rmpkc(),
+            r.energy.total_mj(),
+            r.cpu_cycles
+        );
+    }
+}
+
+fn csv_header(csv: bool) {
+    if csv {
+        println!("mechanism,ipc,speedup,hcrac_hit_rate,rltl_125us,rmpkc,energy_mj,cpu_cycles");
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags
+        .get("workload")
+        .ok_or("run needs --workload <name> (see `cc-sim list`)")?;
+    let spec = workload(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let p = exp_params(flags)?;
+    let cc = cc_config(flags)?;
+    let mechs = mechanisms(flags)?;
+    let csv = flags.contains_key("csv");
+
+    if !csv {
+        println!(
+            "workload {} | {} entries, {} ms duration | {} insts/core\n",
+            spec.name, cc.entries_per_core, cc.duration_ms, p.insts_per_core
+        );
+    }
+    csv_header(csv);
+    let mut base_ipc = None;
+    for kind in mechs {
+        let r = run_single_core(&spec, kind, &cc, &p);
+        if r.hit_cycle_cap {
+            eprintln!("warning: {kind:?} hit the safety cycle cap");
+        }
+        if kind == MechanismKind::Baseline {
+            base_ipc = Some(r.ipc(0));
+        }
+        print_result(kind.label(), &r, base_ipc, csv, 1);
+    }
+    Ok(())
+}
+
+fn cmd_mix(flags: &HashMap<String, String>) -> Result<(), String> {
+    let idx = get_u64(flags, "index", 1)? as usize;
+    let mixes = eight_core_mixes();
+    let mix = mixes
+        .get(idx.wrapping_sub(1))
+        .ok_or_else(|| format!("--index must be 1..={}", mixes.len()))?;
+    let p = exp_params(flags)?;
+    let cc = cc_config(flags)?;
+    let mechs = mechanisms(flags)?;
+    let csv = flags.contains_key("csv");
+
+    if !csv {
+        let names: Vec<&str> = mix.apps.iter().map(|a| a.name).collect();
+        println!("mix {} : {}\n", mix.name, names.join(", "));
+    }
+    csv_header(csv);
+    let mut base_ipc = None;
+    for kind in mechs {
+        let r = run_eight_core(mix, kind, &cc, &p);
+        if r.hit_cycle_cap {
+            eprintln!("warning: {kind:?} hit the safety cycle cap");
+        }
+        if kind == MechanismKind::Baseline {
+            base_ipc = Some(r.ipc_sum());
+        }
+        print_result(kind.label(), &r, base_ipc, csv, 8);
+    }
+    Ok(())
+}
+
+fn cmd_bitline(flags: &HashMap<String, String>) -> Result<(), String> {
+    let age = get_f64(flags, "age", 64.0)?;
+    if !(0.0..=64.0).contains(&age) {
+        return Err("--age must be within the 0..=64 ms refresh window".into());
+    }
+    let m = bitline::ActivationModel::calibrated();
+    println!("t_ns,v_full,v_aged_{age}ms");
+    for p in m.waveform(0.0, 40.0, 81) {
+        let aged = m.bitline_voltage_v(age, p.time_ns);
+        println!("{:.2},{:.5},{:.5}", p.time_ns, p.voltage_v, aged);
+    }
+    eprintln!(
+        "ready: full {:.2} ns, aged {:.2} ns | restore: full {:.2} ns, aged {:.2} ns",
+        m.ready_time_ns(0.0),
+        m.ready_time_ns(age),
+        m.restore_time_ns(0.0),
+        m.restore_time_ns(age)
+    );
+    Ok(())
+}
+
+fn cmd_overhead(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = OverheadModel {
+        cores: get_u64(flags, "cores", 8)? as u32,
+        channels: get_u64(flags, "channels", 2)? as u32,
+        entries: get_u64(flags, "entries", 128)? as u32,
+        ..OverheadModel::paper_8core()
+    };
+    println!("entry size:   {} bits (+{} LRU)", model.entry_size_bits(), model.lru_bits());
+    println!("storage:      {} bytes total, {} bytes/core", model.storage_bytes(), model.storage_bytes_per_core());
+    println!("area @22nm:   {:.4} mm² ({:.2}% of a 4MB LLC)", model.area_mm2(), model.area_fraction_of_4mb_llc() * 100.0);
+    println!("avg power:    {:.3} mW ({:.2}% of a 4MB LLC)", model.power_mw(), model.power_fraction_of_4mb_llc() * 100.0);
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: the paper's qualitative results must
+//! hold end-to-end on tiny (debug-friendly) runs.
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::exp::{run_eight_core, run_single_core, ExpParams};
+use traces::{eight_core_mixes, workload};
+
+fn params() -> ExpParams {
+    ExpParams::tiny()
+}
+
+/// ChargeCache can only remove latency, never add it: on a
+/// bank-conflict-heavy workload it must not be slower than baseline.
+#[test]
+fn chargecache_does_not_degrade_streamcopy() {
+    let spec = workload("STREAMcopy").unwrap();
+    let p = params();
+    let cc = ChargeCacheConfig::paper();
+    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
+    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    assert!(
+        ccr.ipc(0) >= base.ipc(0) * 0.995,
+        "CC {} vs baseline {}",
+        ccr.ipc(0),
+        base.ipc(0)
+    );
+}
+
+/// LL-DRAM is the upper bound: it reduces every activation, so it must
+/// beat ChargeCache (whose hit rate is < 100%) on a DRAM-bound workload.
+#[test]
+fn lldram_bounds_chargecache_from_above() {
+    let spec = workload("mcf").unwrap();
+    let p = params();
+    let cc = ChargeCacheConfig::paper();
+    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    let ll = run_single_core(&spec, MechanismKind::LlDram, &cc, &p);
+    assert!(
+        ll.ipc(0) >= ccr.ipc(0) * 0.995,
+        "LL {} vs CC {}",
+        ll.ipc(0),
+        ccr.ipc(0)
+    );
+}
+
+/// The motivation result: RLTL far exceeds the recently-refreshed
+/// fraction on a row-conflict-heavy workload (paper Figure 3).
+#[test]
+fn rltl_dominates_refresh_fraction() {
+    let spec = workload("STREAMcopy").unwrap();
+    let p = params();
+    let r = run_single_core(
+        &spec,
+        MechanismKind::Baseline,
+        &ChargeCacheConfig::paper(),
+        &p,
+    );
+    // 8 ms bucket (index 4) vs 8 ms-after-refresh.
+    let rltl = r.rltl.rltl_fraction[4];
+    let refr = r.rltl.refresh_8ms_fraction;
+    assert!(
+        rltl > refr + 0.2,
+        "8ms-RLTL {rltl} should far exceed refresh fraction {refr}"
+    );
+    assert!(rltl > 0.5, "8ms-RLTL = {rltl}");
+}
+
+/// A ChargeCache hit-rate sanity check on a high-RLTL workload: most
+/// activations should be served with reduced timings.
+#[test]
+fn high_rltl_workload_hits_in_hcrac() {
+    let spec = workload("STREAMcopy").unwrap();
+    let p = params();
+    let r = run_single_core(
+        &spec,
+        MechanismKind::ChargeCache,
+        &ChargeCacheConfig::paper(),
+        &p,
+    );
+    let hit = r.hcrac_hit_rate().unwrap();
+    assert!(hit > 0.5, "hit rate = {hit}");
+    assert!(r.mech.reduced_fraction() > 0.5);
+}
+
+/// hmmer fits in the LLC: no mechanism should change its performance.
+#[test]
+fn hmmer_is_unaffected_by_any_mechanism() {
+    let spec = workload("hmmer").unwrap();
+    let p = ExpParams {
+        warmup_insts: 40_000,
+        insts_per_core: 8_000,
+        ..params()
+    };
+    let cc = ChargeCacheConfig::paper();
+    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
+    for kind in [MechanismKind::ChargeCache, MechanismKind::LlDram] {
+        let r = run_single_core(&spec, kind, &cc, &p);
+        let delta = (r.ipc(0) / base.ipc(0) - 1.0).abs();
+        assert!(delta < 0.01, "{kind:?} moved hmmer by {delta}");
+    }
+}
+
+/// Eight-core contention raises RLTL relative to single-core (the paper's
+/// Figure 4a vs 4b effect), measured on the same mix of applications.
+#[test]
+fn multicore_contention_raises_rltl() {
+    let p = params();
+    let cc = ChargeCacheConfig::paper();
+    let mix = &eight_core_mixes()[0];
+    let eight = run_eight_core(mix, MechanismKind::Baseline, &cc, &p);
+    // Weighted single-core average of the same apps.
+    let mut singles = Vec::new();
+    for app in &mix.apps {
+        let r = run_single_core(app, MechanismKind::Baseline, &cc, &p);
+        if r.rltl.activations > 100 {
+            singles.push(r.rltl.rltl_fraction[3]); // ≤ 1 ms
+        }
+    }
+    let single_avg = singles.iter().sum::<f64>() / singles.len() as f64;
+    let eight_rltl = eight.rltl.rltl_fraction[3];
+    assert!(
+        eight_rltl > single_avg - 0.1,
+        "8-core 1ms-RLTL {eight_rltl} vs single avg {single_avg}"
+    );
+}
+
+/// Energy: for the same work, a faster run must not cost more DRAM energy
+/// (the Figure 8 mechanism).
+#[test]
+fn chargecache_saves_energy_when_it_saves_time() {
+    let spec = workload("milc").unwrap();
+    let p = params();
+    let cc = ChargeCacheConfig::paper();
+    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
+    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    if ccr.cpu_cycles < base.cpu_cycles {
+        assert!(
+            ccr.energy.total_pj() < base.energy.total_pj() * 1.001,
+            "faster but more energy"
+        );
+    }
+}
+
+/// The full mechanism matrix runs on an eight-core mix without panics,
+/// cycle caps, or zero IPCs.
+#[test]
+fn all_mechanisms_run_an_eight_core_mix() {
+    let p = ExpParams {
+        insts_per_core: 3_000,
+        warmup_insts: 1_000,
+        ..params()
+    };
+    let cc = ChargeCacheConfig::paper();
+    let mix = &eight_core_mixes()[1];
+    for kind in MechanismKind::ALL {
+        let r = run_eight_core(mix, kind, &cc, &p);
+        assert!(!r.hit_cycle_cap, "{kind:?} hit the cycle cap");
+        for core in 0..8 {
+            assert!(r.ipc(core) > 0.0, "{kind:?} core {core} stuck");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end checks for the Section 7/8 extensions: composed mechanisms
+//! and non-DDR3 configurations drive the full controller+DRAM stack.
+
+use chargecache::{
+    AlDram, Baseline, BestOf, ChargeCache, ChargeCacheConfig, LatencyMechanism, TlDram,
+};
+use dram::{DramConfig, SpeedBin, TimingParams};
+use memctrl::{AccessKind, CtrlConfig, MemRequest, MemorySystem};
+
+/// Drives `n` row-conflict-heavy reads to completion; returns the cycle
+/// count.
+fn drive(mut mem: MemorySystem, n: u64) -> u64 {
+    let row_stride = mem.device().config().org.row_bytes()
+        * u64::from(mem.device().config().org.banks)
+        * u64::from(mem.device().config().org.channels);
+    let mut now = 0u64;
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    while completed < n {
+        if submitted < n {
+            let addr = (submitted % 2) * row_stride + (submitted % 32) * 64;
+            if mem
+                .try_enqueue(
+                    MemRequest {
+                        addr,
+                        kind: AccessKind::Read,
+                        core: 0,
+                    },
+                    now,
+                )
+                .is_some()
+            {
+                submitted += 1;
+            }
+        }
+        completed += mem.tick(now).len() as u64;
+        now += 1;
+        assert!(now < 10_000_000, "deadlock driving extension system");
+    }
+    now
+}
+
+fn system(mech: Box<dyn LatencyMechanism>) -> MemorySystem {
+    MemorySystem::new(
+        DramConfig::ddr3_1600_paper(),
+        CtrlConfig::default(),
+        vec![mech],
+    )
+}
+
+#[test]
+fn composed_mechanisms_never_slow_the_system() {
+    let t = TimingParams::ddr3_1600();
+    let n = 600;
+    let base = drive(system(Box::new(Baseline::new(&t))), n);
+    let cc = drive(
+        system(Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &t, 1))),
+        n,
+    );
+    let combo = drive(
+        system(Box::new(BestOf::new(
+            Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &t, 1)),
+            Box::new(TlDram::typical(&t)),
+        ))),
+        n,
+    );
+    let cooled = drive(
+        system(Box::new(BestOf::new(
+            Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &t, 1)),
+            Box::new(AlDram::new(45.0, &t)),
+        ))),
+        n,
+    );
+    assert!(cc <= base, "CC {cc} vs baseline {base}");
+    assert!(combo <= cc + cc / 50, "CC+TL {combo} vs CC {cc}");
+    assert!(cooled <= cc + cc / 50, "CC+AL {cooled} vs CC {cc}");
+}
+
+#[test]
+fn chargecache_runs_on_every_speed_bin() {
+    for bin in SpeedBin::ALL {
+        let mut cfg = DramConfig::ddr3_1600_paper();
+        cfg.timing = bin.timing();
+        let mech = Box::new(ChargeCache::new(
+            ChargeCacheConfig::paper(),
+            &cfg.timing,
+            1,
+        ));
+        let mem = MemorySystem::new(cfg, CtrlConfig::default(), vec![mech]);
+        let cycles = drive(mem, 100);
+        assert!(cycles > 0, "{bin:?}");
+    }
+}
+
+#[test]
+fn chargecache_runs_on_the_stacked_organization() {
+    let cfg = DramConfig::stacked_like();
+    let mechs = (0..cfg.org.channels)
+        .map(|_| {
+            Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &cfg.timing, 1))
+                as Box<dyn LatencyMechanism>
+        })
+        .collect();
+    let mem = MemorySystem::new(cfg, CtrlConfig::default(), mechs);
+    let cycles = drive(mem, 400);
+    assert!(cycles > 0);
+}
