@@ -1,125 +1,149 @@
-//! Criterion micro-benchmarks of the performance-critical components:
-//! HCRAC operations, DRAM command checking/issue, LLC accesses and whole
-//! system steps. These guard the simulator's own throughput.
+//! Micro-benchmarks of the performance-critical components: HCRAC
+//! operations, DRAM command checking/issue, LLC accesses and whole system
+//! steps. These guard the simulator's own throughput.
+//!
+//! Self-timed (no external harness): each case runs a calibration pass,
+//! then enough iterations for a stable wall-clock read, and reports
+//! ns/op. Run with `cargo bench -p bench --bench micro`.
 
-use chargecache::{ChargeCache, ChargeCacheConfig, LatencyMechanism, Hcrac, MechanismKind, RowKey};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use chargecache::{ChargeCache, ChargeCacheConfig, Hcrac, LatencyMechanism, MechanismKind, RowKey};
 use cpu::{Llc, LlcConfig, MemOp, TraceEntry, VecTrace};
 use dram::{BankLoc, Command, DramConfig, DramDevice, TimingParams};
 use sim::{System, SystemConfig};
-use std::hint::black_box;
 
-fn bench_hcrac(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hcrac");
-    g.bench_function("lookup_hit", |b| {
+/// Times `f` (one op per call) and prints ns/op.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Calibrate to ~50 ms of work.
+    let mut iters = 16u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 50 || iters >= 1 << 28 {
+            let ns = dt.as_nanos() as f64 / iters as f64;
+            println!("{name:<32} {ns:>12.1} ns/op   ({iters} iters)");
+            return;
+        }
+        iters *= 4;
+    }
+}
+
+fn bench_hcrac() {
+    bench("hcrac/lookup_hit", {
         let mut h = Hcrac::new(128, 2);
         for r in 0..128 {
             h.insert(RowKey::new(0, 0, 0, r), 0);
         }
         let mut i = 0u32;
-        b.iter(|| {
+        move || {
             i = (i + 1) % 128;
-            black_box(h.lookup(RowKey::new(0, 0, 0, i), 100))
-        });
+            h.lookup(RowKey::new(0, 0, 0, i), 100)
+        }
     });
-    g.bench_function("insert_evict", |b| {
+    bench("hcrac/insert_evict", {
         let mut h = Hcrac::new(128, 2);
         let mut r = 0u32;
-        b.iter(|| {
+        move || {
             r = r.wrapping_add(1);
             h.insert(RowKey::new(0, 0, 0, r), u64::from(r));
-        });
+        }
     });
-    g.bench_function("mechanism_act_pre_cycle", |b| {
+    bench("hcrac/mechanism_act_pre_cycle", {
         let t = TimingParams::ddr3_1600();
         let mut cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
         let mut now = 0u64;
-        b.iter(|| {
+        move || {
             now += 40;
             cc.tick(now);
             let k = RowKey::new(0, 0, (now / 40 % 8) as u8, (now % 4096) as u32);
             let timings = cc.on_activate(now, 0, k, u64::MAX);
             cc.on_precharge(now + 28, 0, k);
-            black_box(timings)
-        });
+            timings
+        }
     });
-    g.finish();
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram");
-    g.bench_function("act_rd_pre_cycle", |b| {
+fn bench_dram() {
+    bench("dram/act_rd_pre_cycle_x32", || {
         let cfg = DramConfig::ddr3_1600_paper();
         let spec = cfg.timing.act_timings();
-        b.iter_batched(
-            || DramDevice::new(cfg.clone()),
-            |mut dev| {
-                let loc = BankLoc { channel: 0, rank: 0, bank: 0 };
-                let mut now = 0;
-                for row in 0..32 {
-                    let act = Command::act(loc, row);
-                    now = dev.earliest_issue(&act, now).unwrap();
-                    dev.issue(&act, now, spec);
-                    let rd = Command::rd(loc, 0);
-                    now = dev.earliest_issue(&rd, now).unwrap();
-                    dev.issue(&rd, now, spec);
-                    let pre = Command::pre(loc);
-                    now = dev.earliest_issue(&pre, now).unwrap();
-                    dev.issue(&pre, now, spec);
-                }
-                black_box(now)
-            },
-            BatchSize::SmallInput,
-        );
+        let mut dev = DramDevice::new(cfg);
+        let loc = BankLoc {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+        };
+        let mut now = 0;
+        for row in 0..32 {
+            let act = Command::act(loc, row);
+            now = dev.earliest_issue(&act, now).unwrap();
+            dev.issue(&act, now, spec);
+            let rd = Command::rd(loc, 0);
+            now = dev.earliest_issue(&rd, now).unwrap();
+            dev.issue(&rd, now, spec);
+            let pre = Command::pre(loc);
+            now = dev.earliest_issue(&pre, now).unwrap();
+            dev.issue(&pre, now, spec);
+        }
+        now
     });
-    g.bench_function("earliest_issue_check", |b| {
+    bench("dram/earliest_issue_check", {
         let cfg = DramConfig::ddr3_1600_paper();
         let dev = DramDevice::new(cfg);
-        let act = Command::act(BankLoc { channel: 0, rank: 0, bank: 3 }, 77);
-        b.iter(|| black_box(dev.earliest_issue(&act, 1000)));
+        let act = Command::act(
+            BankLoc {
+                channel: 0,
+                rank: 0,
+                bank: 3,
+            },
+            77,
+        );
+        move || dev.earliest_issue(&act, 1000)
     });
-    g.finish();
 }
 
-fn bench_llc(c: &mut Criterion) {
-    c.bench_function("llc/read_hit", |b| {
+fn bench_llc() {
+    bench("llc/read_hit", {
         let mut llc = Llc::new(LlcConfig::paper_4mb());
         for i in 0..1024u64 {
             llc.fill(i * 64);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        move || {
             i = (i + 1) % 1024;
-            black_box(llc.read(i * 64))
-        });
+            llc.read(i * 64)
+        }
     });
 }
 
-fn bench_system(c: &mut Criterion) {
-    c.bench_function("system/step_1k_cycles", |b| {
-        let entries: Vec<TraceEntry> = (0..4096)
-            .map(|i| TraceEntry {
-                nonmem: 3,
-                op: Some(MemOp::Load((i % 512) * 64 * 97)),
-            })
-            .collect();
-        b.iter_batched(
-            || {
-                System::new(
-                    SystemConfig::paper_single_core(MechanismKind::ChargeCache),
-                    vec![Box::new(VecTrace::looping(entries.clone()))],
-                )
-            },
-            |mut sys| {
-                for _ in 0..1000 {
-                    sys.step();
-                }
-                black_box(sys.now())
-            },
-            BatchSize::SmallInput,
+fn bench_system() {
+    let entries: Vec<TraceEntry> = (0..4096)
+        .map(|i| TraceEntry {
+            nonmem: 3,
+            op: Some(MemOp::Load((i % 512) * 64 * 97)),
+        })
+        .collect();
+    bench("system/step_1k_cycles", || {
+        let mut sys = System::new(
+            SystemConfig::paper_single_core(MechanismKind::ChargeCache),
+            vec![Box::new(VecTrace::looping(entries.clone()))],
         );
+        for _ in 0..1000 {
+            sys.step();
+        }
+        sys.now()
     });
 }
 
-criterion_group!(benches, bench_hcrac, bench_dram, bench_llc, bench_system);
-criterion_main!(benches);
+fn main() {
+    println!("\n=== micro-benchmarks (ns/op, lower is better) ===\n");
+    bench_hcrac();
+    bench_dram();
+    bench_llc();
+    bench_system();
+}

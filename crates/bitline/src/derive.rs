@@ -23,7 +23,6 @@
 //! stated 4-cycle `tRCD` and 8-cycle `tRAS` reductions, which
 //! [`CycleQuantized::paper_1ms`] returns verbatim.
 
-use serde::{Deserialize, Serialize};
 
 use crate::consts::{TRAS_BASE_NS, TRCD_BASE_NS};
 
@@ -36,7 +35,7 @@ pub const TABLE2_ANCHORS: [(f64, f64, f64); 4] = [
 ];
 
 /// Reduced activation timings for one caching duration, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReducedTimings {
     /// Caching duration this row is safe for, in milliseconds.
     pub duration_ms: f64,
@@ -117,7 +116,7 @@ impl ReducedTimings {
 }
 
 /// Reduced timings quantized to DRAM bus cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CycleQuantized {
     /// `tRCD` reduction in bus cycles.
     pub trcd_reduction: u32,

@@ -1,76 +1,124 @@
-//! Property-based tests for the bitline model: the invariants that the
-//! downstream mechanism's *correctness* rests on.
+//! Randomized property tests for the bitline model: the invariants that
+//! the downstream mechanism's *correctness* rests on.
+//!
+//! Inputs are drawn from a seeded in-file PRNG (no external test-harness
+//! dependency), so every run checks the same case set.
 
 use bitline::{
     consts,
     derive::{CycleQuantized, ReducedTimings},
     ActivationModel, CellModel,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// Charge can only decrease with age.
-    #[test]
-    fn cell_charge_monotone(a in 0.0..64.0f64, b in 0.0..64.0f64) {
-        let cell = CellModel::calibrated();
+/// xorshift64* — deterministic case generator.
+struct Cases(u64);
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+const CASES: usize = 256;
+
+/// Charge can only decrease with age.
+#[test]
+fn cell_charge_monotone() {
+    let mut c = Cases::new(0xB17);
+    let cell = CellModel::calibrated();
+    for _ in 0..CASES {
+        let (a, b) = (c.f64_in(0.0, 64.0), c.f64_in(0.0, 64.0));
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(cell.charge_fraction(lo) >= cell.charge_fraction(hi));
+        assert!(cell.charge_fraction(lo) >= cell.charge_fraction(hi));
     }
+}
 
-    /// A younger (more charged) cell is never slower to become ready or to
-    /// restore. This is the physical fact ChargeCache exploits.
-    #[test]
-    fn younger_cell_never_slower(a in 0.0..64.0f64, b in 0.0..64.0f64) {
-        let m = ActivationModel::calibrated();
+/// A younger (more charged) cell is never slower to become ready or to
+/// restore. This is the physical fact ChargeCache exploits.
+#[test]
+fn younger_cell_never_slower() {
+    let mut c = Cases::new(0xB18);
+    let m = ActivationModel::calibrated();
+    for _ in 0..CASES {
+        let (a, b) = (c.f64_in(0.0, 64.0), c.f64_in(0.0, 64.0));
         let (young, old) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.ready_time_ns(young) <= m.ready_time_ns(old) + 1e-12);
-        prop_assert!(m.restore_time_ns(young) <= m.restore_time_ns(old) + 1e-12);
+        assert!(m.ready_time_ns(young) <= m.ready_time_ns(old) + 1e-12);
+        assert!(m.restore_time_ns(young) <= m.restore_time_ns(old) + 1e-12);
     }
+}
 
-    /// Safety: for any age within the caching duration, the derived timing
-    /// is no smaller than what the waveform model says that cell needs,
-    /// relative to the specification margin. Concretely, the derived
-    /// tRCD/tRAS for duration `d` must be monotone: any `d' <= d` cell is
-    /// covered because timings for `d` are slower-or-equal than for `d'`.
-    #[test]
-    fn derived_timings_cover_all_younger_ages(d in 1.0..64.0f64, frac in 0.0..1.0f64) {
+/// Safety: the derived tRCD/tRAS for duration `d` must be monotone, so
+/// any cell younger than `d` is covered by `d`'s timings.
+#[test]
+fn derived_timings_cover_all_younger_ages() {
+    let mut c = Cases::new(0xB19);
+    for _ in 0..CASES {
+        let d = c.f64_in(1.0, 64.0);
+        let frac = c.f64_in(0.0, 1.0);
         let at_d = ReducedTimings::for_duration_ms(d);
         let age = (d * frac).max(1e-6);
         let at_age = ReducedTimings::for_duration_ms(age);
-        prop_assert!(at_d.trcd_ns >= at_age.trcd_ns - 1e-12);
-        prop_assert!(at_d.tras_ns >= at_age.tras_ns - 1e-12);
+        assert!(at_d.trcd_ns >= at_age.trcd_ns - 1e-12);
+        assert!(at_d.tras_ns >= at_age.tras_ns - 1e-12);
     }
+}
 
-    /// The waveform never exceeds the restored level and never goes below
-    /// the precharge level (for readable cells).
-    #[test]
-    fn waveform_bounded(age in 0.0..64.0f64, t in 0.0..100.0f64) {
-        let m = ActivationModel::calibrated();
+/// The waveform never exceeds the restored level and never goes below
+/// the precharge level (for readable cells).
+#[test]
+fn waveform_bounded() {
+    let mut c = Cases::new(0xB1A);
+    let m = ActivationModel::calibrated();
+    for _ in 0..CASES {
+        let age = c.f64_in(0.0, 64.0);
+        let t = c.f64_in(0.0, 100.0);
         let v = m.bitline_voltage_v(age, t);
-        prop_assert!(v >= consts::V_PRECHARGE - 1e-12);
-        prop_assert!(v <= consts::V_RESTORED + 1e-12);
+        assert!(v >= consts::V_PRECHARGE - 1e-12);
+        assert!(v <= consts::V_RESTORED + 1e-12);
     }
+}
 
-    /// Cycle quantization is conservative for every duration and clock.
-    #[test]
-    fn quantization_conservative(d in 0.125..64.0f64, tck in 0.5..2.5f64) {
+/// Cycle quantization is conservative for every duration and clock.
+#[test]
+fn quantization_conservative() {
+    let mut c = Cases::new(0xB1B);
+    for _ in 0..CASES {
+        let d = c.f64_in(0.125, 64.0);
+        let tck = c.f64_in(0.5, 2.5);
         let t = ReducedTimings::for_duration_ms(d);
         let q = CycleQuantized::from_timings(t, tck);
-        prop_assert!(q.trcd_reduction as f64 * tck <= t.trcd_reduction_ns() + 1e-9);
-        prop_assert!(q.tras_reduction as f64 * tck <= t.tras_reduction_ns() + 1e-9);
+        assert!(f64::from(q.trcd_reduction) * tck <= t.trcd_reduction_ns() + 1e-9);
+        assert!(f64::from(q.tras_reduction) * tck <= t.tras_reduction_ns() + 1e-9);
     }
+}
 
-    /// Reduced timings never drop below the fully-charged physical limit
-    /// implied by the waveform model (sanity tie between the two halves of
-    /// the crate).
-    #[test]
-    fn derived_timings_above_physical_floor(d in 1.0..64.0f64) {
-        let m = ActivationModel::calibrated();
+/// Reduced timings never drop below the fully-charged physical floor
+/// implied by the waveform model (sanity tie between the two halves of
+/// the crate).
+#[test]
+fn derived_timings_above_physical_floor() {
+    let mut c = Cases::new(0xB1C);
+    let m = ActivationModel::calibrated();
+    for _ in 0..CASES {
+        let d = c.f64_in(1.0, 64.0);
         let t = ReducedTimings::for_duration_ms(d);
         // The most aggressive published timing (8 ns) is still above the
         // fully-charged ready time minus the spec guard-band (which the
         // baseline pair 13.75 ns vs 14.5 ns establishes as 0.75 ns).
         let guard = m.ready_time_ns(consts::REFRESH_WINDOW_MS) - consts::TRCD_BASE_NS;
-        prop_assert!(t.trcd_ns >= m.ready_time_ns(0.0) - guard - 2.5);
+        assert!(t.trcd_ns >= m.ready_time_ns(0.0) - guard - 2.5);
     }
 }

@@ -1,10 +1,9 @@
 //! Configuration for the ChargeCache and NUAT mechanisms.
 
 use bitline::derive::CycleQuantized;
-use serde::{Deserialize, Serialize};
 
 /// How stale HCRAC entries are invalidated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvalidationPolicy {
     /// The paper's two-counter scheme (IIC/EC): one entry is invalidated
     /// every `C/k` cycles, guaranteeing every entry is cleared within one
@@ -16,7 +15,7 @@ pub enum InvalidationPolicy {
 }
 
 /// ChargeCache configuration (the paper's Table 1 defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChargeCacheConfig {
     /// HCRAC entries per core.
     pub entries_per_core: usize,
@@ -127,7 +126,7 @@ impl Default for ChargeCacheConfig {
 /// *refreshed* recently. Rows are binned by refresh age; younger bins get
 /// larger reductions. The default reproduces the paper's 5-bin ("5PB")
 /// configuration with reductions derived from the circuit model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NuatConfig {
     /// `(max_age_ms, reductions)` pairs in increasing age order. A row
     /// with refresh age ≤ `max_age_ms` uses that bin's reductions.

@@ -10,12 +10,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::RowKey;
 
 /// Running statistics of one HCRAC instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HcracStats {
     /// Lookups performed (one per ACT).
     pub lookups: u64,
@@ -40,7 +39,7 @@ impl HcracStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     key: RowKey,
     inserted_at: u64,

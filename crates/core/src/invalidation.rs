@@ -15,10 +15,9 @@
 //! cost of some entries being invalidated prematurely (up to one full
 //! period early).
 
-use serde::{Deserialize, Serialize};
 
 /// The IIC/EC counter pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeriodicInvalidator {
     /// Invalidation period per entry: `C/k` cycles.
     period: u64,

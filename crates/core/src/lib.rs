@@ -56,11 +56,10 @@ pub use mechanism::{
 };
 pub use overhead::OverheadModel;
 
-use serde::{Deserialize, Serialize};
 
 /// Globally unique identifier of one DRAM row: channel, rank, bank and row
 /// packed into 64 bits. This is what the HCRAC tags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowKey(u64);
 
 impl RowKey {

@@ -16,7 +16,6 @@
 //!   reduced timings (ChargeCache with a 100% hit rate).
 
 use dram::{ActTimings, BusCycle, TimingParams};
-use serde::{Deserialize, Serialize};
 
 use crate::config::{ChargeCacheConfig, InvalidationPolicy, NuatConfig};
 use crate::hcrac::{Hcrac, HcracStats};
@@ -24,7 +23,7 @@ use crate::invalidation::PeriodicInvalidator;
 use crate::RowKey;
 
 /// Which mechanism an object implements (for labels and factories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MechanismKind {
     /// Unmodified DDR3 timing.
     Baseline,
@@ -61,7 +60,7 @@ impl MechanismKind {
 }
 
 /// Aggregate statistics every mechanism reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MechanismStats {
     /// Activations observed.
     pub activates: u64,

@@ -5,7 +5,6 @@
 //! (0.022 mm² and 0.149 mW for the 5376-byte eight-core configuration),
 //! standing in for the McPAT runs the authors performed.
 
-use serde::{Deserialize, Serialize};
 
 /// Paper reference point: storage of the 8-core / 2-channel / 128-entry
 /// configuration, in bytes.
@@ -21,7 +20,7 @@ const REF_LLC_AREA_MM2: f64 = REF_AREA_MM2 / 0.0024;
 const REF_LLC_POWER_MW: f64 = REF_POWER_MW / 0.0023;
 
 /// Inputs to the overhead equations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverheadModel {
     /// Number of cores (`C` in Equation 1).
     pub cores: u32,

@@ -1,18 +1,38 @@
-//! Property tests for the ChargeCache correctness invariant.
+//! Randomized tests for the ChargeCache correctness invariant.
 //!
 //! The mechanism is only *correct* if a reduced-timing activation never
 //! targets a row that has been leaking for longer than the caching
 //! duration — otherwise the row might not be highly-charged and the access
 //! could fail on real hardware. Both invalidation policies must uphold
 //! this under arbitrary interleavings of precharges, activations and
-//! ticks.
+//! ticks. Interleavings come from a seeded in-file PRNG so every run
+//! checks the same set.
 
 use chargecache::{
     ChargeCache, ChargeCacheConfig, InvalidationPolicy, LatencyMechanism, RowKey,
 };
 use dram::TimingParams;
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// xorshift64* — deterministic case generator.
+struct Cases(u64);
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -24,14 +44,17 @@ enum Op {
     Wait(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u16..64).prop_map(Op::Pre),
-        (0u16..64).prop_map(Op::Act),
-        // Waits up to ~1.5 caching durations (duration is 800k cycles for
-        // 1 ms at 800 MHz); scaled down via a small duration below.
-        (0u32..2_000).prop_map(Op::Wait),
-    ]
+fn random_ops(c: &mut Cases, max_len: u64) -> Vec<Op> {
+    let len = 1 + c.below(max_len) as usize;
+    (0..len)
+        .map(|_| match c.below(3) {
+            0 => Op::Pre(c.below(64) as u16),
+            1 => Op::Act(c.below(64) as u16),
+            // Waits up to ~1.5 caching durations (the tiny duration below
+            // makes expiry reachable within a few ops).
+            _ => Op::Wait(c.below(2_000) as u32),
+        })
+        .collect()
 }
 
 /// A tiny caching duration makes expiry reachable within a few ops.
@@ -44,16 +67,18 @@ fn tiny_duration_config(policy: InvalidationPolicy) -> ChargeCacheConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Under either policy, a reduced-timing activation implies the row
-    /// was precharged at most one caching duration ago.
-    #[test]
-    fn no_stale_row_is_ever_reduced(
-        ops in prop::collection::vec(op_strategy(), 1..200),
-        policy in prop_oneof![Just(InvalidationPolicy::Periodic), Just(InvalidationPolicy::Exact)],
-    ) {
+/// Under either policy, a reduced-timing activation implies the row was
+/// precharged at most one caching duration ago.
+#[test]
+fn no_stale_row_is_ever_reduced() {
+    let mut c = Cases::new(0x5AFE);
+    for case in 0..128 {
+        let policy = if case % 2 == 0 {
+            InvalidationPolicy::Periodic
+        } else {
+            InvalidationPolicy::Exact
+        };
+        let ops = random_ops(&mut c, 199);
         let timing = TimingParams::ddr3_1600();
         let cfg = tiny_duration_config(policy);
         let mut cc = ChargeCache::new(cfg, &timing, 1);
@@ -77,27 +102,29 @@ proptest! {
                         // Reduced timings: the ground-truth age must be
                         // within the caching duration.
                         let pre_at = last_pre.get(&r).copied();
-                        prop_assert!(pre_at.is_some(), "hit on never-precharged row");
+                        assert!(pre_at.is_some(), "hit on never-precharged row");
                         let age = now - pre_at.unwrap();
-                        prop_assert!(
+                        assert!(
                             age <= duration,
                             "reduced activation of row {r} with age {age} > {duration}"
                         );
                     }
                     now += 1;
                 }
-                Op::Wait(c) => now += u64::from(c),
+                Op::Wait(w) => now += u64::from(w),
             }
         }
     }
+}
 
-    /// The exact policy never misses a row that was precharged within the
-    /// duration and not evicted by capacity (completeness counterpart of
-    /// the safety test; uses an unlimited cache to remove capacity noise).
-    #[test]
-    fn unlimited_exact_hits_everything_young(
-        ops in prop::collection::vec(op_strategy(), 1..200),
-    ) {
+/// The exact policy never misses a row that was precharged within the
+/// duration and not evicted by capacity (completeness counterpart of the
+/// safety test; uses an unlimited cache to remove capacity noise).
+#[test]
+fn unlimited_exact_hits_everything_young() {
+    let mut c = Cases::new(0x5AFF);
+    for _ in 0..128 {
+        let ops = random_ops(&mut c, 199);
         let timing = TimingParams::ddr3_1600();
         let mut cfg = tiny_duration_config(InvalidationPolicy::Exact);
         cfg.unlimited = true;
@@ -120,29 +147,27 @@ proptest! {
                     let t = cc.on_activate(now, 0, RowKey::new(0, 0, 0, u32::from(r)), u64::MAX);
                     if let Some(&pre_at) = last_pre.get(&r) {
                         if now - pre_at <= duration {
-                            prop_assert!(
-                                t != base,
-                                "young row {r} (age {}) missed",
-                                now - pre_at
-                            );
+                            assert!(t != base, "young row {r} (age {}) missed", now - pre_at);
                         }
                     }
                     now += 1;
                 }
-                Op::Wait(c) => now += u64::from(c),
+                Op::Wait(w) => now += u64::from(w),
             }
         }
     }
+}
 
-    /// Periodic invalidation may only *under*-approximate the exact
-    /// policy: every periodic hit is also an exact-policy hit (premature
-    /// invalidation loses opportunity, never safety). Strictly true only
-    /// when capacity evictions cannot perturb LRU state, so this uses a
-    /// fully-associative cache large enough to hold every row.
-    #[test]
-    fn periodic_is_subset_of_exact(
-        ops in prop::collection::vec(op_strategy(), 1..150),
-    ) {
+/// Periodic invalidation may only *under*-approximate the exact policy:
+/// every periodic hit is also an exact-policy hit (premature invalidation
+/// loses opportunity, never safety). Strictly true only when capacity
+/// evictions cannot perturb LRU state, so this uses a fully-associative
+/// cache large enough to hold every row.
+#[test]
+fn periodic_is_subset_of_exact() {
+    let mut c = Cases::new(0x5B00);
+    for _ in 0..128 {
+        let ops = random_ops(&mut c, 149);
         let timing = TimingParams::ddr3_1600();
         let base = timing.act_timings();
         let big = |policy| {
@@ -170,11 +195,11 @@ proptest! {
                     let tp = per.on_activate(now, 0, k, u64::MAX);
                     let te = exa.on_activate(now, 0, k, u64::MAX);
                     if tp != base {
-                        prop_assert!(te != base, "periodic hit but exact miss on row {r}");
+                        assert!(te != base, "periodic hit but exact miss on row {r}");
                     }
                     now += 1;
                 }
-                Op::Wait(c) => now += u64::from(c),
+                Op::Wait(w) => now += u64::from(w),
             }
         }
     }

@@ -1,10 +1,9 @@
 //! Shared last-level cache: set-associative, LRU, write-back,
 //! write-allocate (without fetch for stores).
 
-use serde::{Deserialize, Serialize};
 
 /// LLC configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -61,7 +60,7 @@ impl Default for LlcConfig {
 }
 
 /// LLC statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LlcStats {
     /// Load lookups.
     pub read_accesses: u64,

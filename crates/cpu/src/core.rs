@@ -11,7 +11,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 
 use crate::trace::{MemOp, TraceSource};
 
@@ -19,7 +18,7 @@ use crate::trace::{MemOp, TraceSource};
 pub type LoadId = u64;
 
 /// Core configuration (paper Table 1: 3-wide, 128-entry window, 8 MSHRs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions retired/dispatched per cycle.
     pub issue_width: u32,
@@ -47,7 +46,7 @@ impl Default for CoreConfig {
 }
 
 /// Per-core statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions retired.
     pub retired: u64,

@@ -1,8 +1,29 @@
-//! Property tests for the core model: instruction accounting and window
-//! discipline hold for arbitrary traces and arbitrary memory behaviour.
+//! Randomized property tests for the core model: instruction accounting
+//! and window discipline hold for arbitrary traces and arbitrary memory
+//! behaviour. Cases come from a seeded in-file PRNG so every run checks
+//! the same set.
 
 use cpu::{AccessReply, Core, CoreConfig, LoadId, MemOp, TraceEntry, VecTrace};
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic case generator.
+struct Cases(u64);
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Behaviour {
@@ -12,29 +33,33 @@ struct Behaviour {
     retry_every: u8,
 }
 
-fn entry_strategy() -> impl Strategy<Value = TraceEntry> {
-    (0u32..20, prop_oneof![
-        Just(None),
-        (any::<u16>()).prop_map(|a| Some(MemOp::Load(u64::from(a) * 64))),
-        (any::<u16>()).prop_map(|a| Some(MemOp::Store(u64::from(a) * 64))),
-    ])
-        .prop_map(|(nonmem, op)| TraceEntry { nonmem, op })
+fn random_entries(c: &mut Cases, max_len: u64) -> Vec<TraceEntry> {
+    let len = 1 + c.below(max_len) as usize;
+    (0..len)
+        .map(|_| {
+            let nonmem = c.below(20) as u32;
+            let op = match c.below(3) {
+                0 => None,
+                1 => Some(MemOp::Load(c.below(1 << 16) * 64)),
+                _ => Some(MemOp::Store(c.below(1 << 16) * 64)),
+            };
+            TraceEntry { nonmem, op }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every instruction in the trace is retired exactly once, regardless
-    /// of memory behaviour, and the core terminates.
-    #[test]
-    fn retired_equals_trace_instructions(
-        entries in prop::collection::vec(entry_strategy(), 1..80),
-        b in (1u8..40, 1u8..60, 2u8..9).prop_map(|(h, p, r)| Behaviour {
-            hit_latency: h,
-            pending_latency: p,
-            retry_every: r,
-        }),
-    ) {
+/// Every instruction in the trace is retired exactly once, regardless of
+/// memory behaviour, and the core terminates.
+#[test]
+fn retired_equals_trace_instructions() {
+    let mut c = Cases::new(0xC0DE);
+    for _ in 0..48 {
+        let entries = random_entries(&mut c, 79);
+        let b = Behaviour {
+            hit_latency: 1 + c.below(39) as u8,
+            pending_latency: 1 + c.below(59) as u8,
+            retry_every: 2 + c.below(7) as u8,
+        };
         let total: u64 = entries.iter().map(|e| e.instructions()).sum();
         let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
         let mut pending: Vec<(u64, LoadId)> = Vec::new();
@@ -75,15 +100,19 @@ proptest! {
                 }
             });
             now += 1;
-            prop_assert!(core.outstanding_misses() <= CoreConfig::paper().mshrs);
+            assert!(core.outstanding_misses() <= CoreConfig::paper().mshrs);
         }
-        prop_assert!(core.finished(), "core did not finish by {deadline}");
-        prop_assert_eq!(core.retired(), total);
+        assert!(core.finished(), "core did not finish by {deadline}");
+        assert_eq!(core.retired(), total);
     }
+}
 
-    /// IPC never exceeds the issue width.
-    #[test]
-    fn ipc_bounded_by_width(entries in prop::collection::vec(entry_strategy(), 1..60)) {
+/// IPC never exceeds the issue width.
+#[test]
+fn ipc_bounded_by_width() {
+    let mut c = Cases::new(0xC0DF);
+    for _ in 0..48 {
+        let entries = random_entries(&mut c, 59);
         let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecTrace::once(entries)));
         let mut now = 0;
         while !core.finished() && now < 100_000 {
@@ -93,6 +122,6 @@ proptest! {
             });
             now += 1;
         }
-        prop_assert!(core.stats().ipc() <= 3.0 + 1e-9);
+        assert!(core.stats().ipc() <= 3.0 + 1e-9);
     }
 }

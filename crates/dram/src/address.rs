@@ -6,13 +6,12 @@
 //! permutation-based page interleaving) that spreads row-conflict traffic
 //! across banks.
 
-use serde::{Deserialize, Serialize};
 
 use crate::command::{BankLoc, RowId};
 use crate::config::Organization;
 
 /// Fully decoded DRAM coordinates of one cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramAddress {
     /// Bank coordinates.
     pub loc: BankLoc,
@@ -23,7 +22,7 @@ pub struct DramAddress {
 }
 
 /// Field order of the sliced address, from least- to most-significant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MappingScheme {
     /// `row : rank : bank : column : channel` (LSB → channel).
     ///
@@ -39,7 +38,7 @@ pub enum MappingScheme {
 }
 
 /// Address mapper for a fixed organization and scheme.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressMapper {
     org: Organization,
     scheme: MappingScheme,

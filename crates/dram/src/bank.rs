@@ -1,13 +1,12 @@
 //! Per-bank state machine and timing registers.
 
-use serde::{Deserialize, Serialize};
 
 use crate::command::RowId;
 use crate::timing::{ActTimings, TimingParams};
 use crate::BusCycle;
 
 /// Row-buffer state of a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BankState {
     /// No row open; the bank can accept `ACT`.
     Precharged,
@@ -23,7 +22,7 @@ pub enum BankState {
 /// The registers encode the *bank-scoped* DDR3 constraints; rank- and
 /// channel-scoped constraints (`tRRD`, `tFAW`, `tCCD`, bus turnaround,
 /// `tRFC`) live in [`crate::rank::Rank`] and [`crate::channel::Channel`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bank {
     state: BankState,
     /// Earliest cycle an `ACT` may issue (tRP, tRC, tRFC).

@@ -1,6 +1,5 @@
 //! Per-channel state: ranks plus the shared command/data buses.
 
-use serde::{Deserialize, Serialize};
 
 use crate::command::Command;
 use crate::config::DramConfig;
@@ -11,7 +10,7 @@ use crate::{BusCycle, IssueOutcome};
 
 /// One memory channel: independent command/address/data buses shared by
 /// the channel's ranks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Channel {
     ranks: Vec<Rank>,
     /// Cycle until which the data bus is occupied (exclusive).

@@ -1,12 +1,11 @@
 //! DRAM commands and addressing coordinates.
 
-use serde::{Deserialize, Serialize};
 
 /// A DRAM row index within a bank.
 pub type RowId = u32;
 
 /// Coordinates of one bank in the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BankLoc {
     /// Channel index.
     pub channel: u8,
@@ -27,7 +26,7 @@ impl BankLoc {
 }
 
 /// Coordinates of one rank in the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RankLoc {
     /// Channel index.
     pub channel: u8,
@@ -40,7 +39,7 @@ pub struct RankLoc {
 /// `Rd`/`Wr` carry an `auto_pre` flag implementing the RDA/WRA variants:
 /// the bank precharges itself as soon as `tRAS` and `tRTP`/`tWR` allow,
 /// which the closed-row policy uses to avoid a separate PRE slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Command {
     /// Activate (open) `row` in a bank.
     Act {
@@ -85,7 +84,7 @@ pub enum Command {
 }
 
 /// Discriminant of [`Command`], used for statistics and energy accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommandKind {
     /// Row activation.
     Act,

@@ -1,11 +1,10 @@
 //! DRAM system configuration: organization plus timing.
 
-use serde::{Deserialize, Serialize};
 
 use crate::timing::TimingParams;
 
 /// Physical organization of the memory system.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Organization {
     /// Number of independent channels.
     pub channels: u8,
@@ -77,7 +76,7 @@ impl Organization {
 }
 
 /// Complete DRAM configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramConfig {
     /// Physical organization.
     pub org: Organization,

@@ -62,7 +62,6 @@ pub use timing::{ActTimings, SpeedBin, TimingParams};
 /// Absolute time in DRAM bus cycles (tCK units).
 pub type BusCycle = u64;
 
-use serde::{Deserialize, Serialize};
 
 /// Outcome of successfully issuing a command.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -78,7 +77,7 @@ pub struct IssueOutcome {
 }
 
 /// A timestamped command, recorded for energy accounting and debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommandRecord {
     /// Issue cycle.
     pub at: BusCycle,

@@ -2,7 +2,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 
 use crate::bank::Bank;
 use crate::command::RowId;
@@ -20,7 +19,7 @@ use crate::BusCycle;
 /// * `tCCD` — column command spacing;
 /// * read/write bus turnaround (`tWTR` and the `tCL`/`tCWL` gap);
 /// * `tRFC` — refresh lockout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rank {
     banks: Vec<Bank>,
     /// Earliest next ACT to any bank (tRRD, tFAW).

@@ -21,13 +21,12 @@
 //! simulated time, grossly inflating the "recently refreshed" fraction
 //! that Figure 3 and NUAT depend on.
 
-use serde::{Deserialize, Serialize};
 
 use crate::command::RowId;
 use crate::BusCycle;
 
 /// Rotating refresh schedule state for one rank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RefreshState {
     /// Number of bins in the rotation (REFs per retention window).
     bins: u32,

@@ -1,11 +1,10 @@
 //! Command-count statistics for the device.
 
-use serde::{Deserialize, Serialize};
 
 use crate::command::CommandKind;
 
 /// Running totals of every command kind issued to a device.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Row activations.
     pub acts: u64,

@@ -4,13 +4,12 @@
 //! DDR3-1600 11-11-11 at a 800 MHz bus (tCK = 1.25 ns), matching the
 //! paper's Table 1 (`tRCD`/`tRAS` of 11/28 cycles).
 
-use serde::{Deserialize, Serialize};
 
 /// The `tRCD`/`tRAS` pair applied to a single activation.
 ///
 /// This is the only seam ChargeCache needs: a hit in the HCRAC issues the
 /// `ACT` with a reduced pair, a miss issues it with the specification pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ActTimings {
     /// Activate-to-read/write delay for this activation, in bus cycles.
     pub trcd: u32,
@@ -30,7 +29,7 @@ impl ActTimings {
 }
 
 /// Complete DDR3 timing parameter set, in bus cycles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingParams {
     /// Bus clock period in nanoseconds (1.25 for DDR3-1600).
     pub tck_ns: f64,
@@ -70,7 +69,7 @@ pub struct TimingParams {
 
 /// Named speed/standard presets (paper Section 7.2: ChargeCache applies
 /// to any DDR-derived interface with explicit ACT/PRE commands).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpeedBin {
     /// DDR3-1066 (CL 7).
     Ddr3_1066,

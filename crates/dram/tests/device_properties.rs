@@ -1,10 +1,35 @@
-//! Property tests: a controller that always asks `earliest_issue` first can
-//! never corrupt the device, and the device's answers are self-consistent.
+//! Randomized tests: a controller that always asks `earliest_issue` first
+//! can never corrupt the device, and the device's answers are
+//! self-consistent. Command sequences come from a seeded in-file PRNG so
+//! every run checks the same set.
 
 use dram::{
     AddressMapper, BankLoc, Command, DramConfig, DramDevice, MappingScheme, Organization,
 };
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic case generator.
+struct Cases(u64);
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Random command intents against a single-channel device. The harness
 /// resolves each intent into a legal command (or skips it), mimicking an
@@ -18,16 +43,27 @@ enum Intent {
     Refresh,
 }
 
-fn intent_strategy() -> impl Strategy<Value = Intent> {
-    prop_oneof![
-        (0u8..8, any::<u16>()).prop_map(|(bank, row)| Intent::Act { bank, row }),
-        (0u8..8).prop_map(|bank| Intent::Pre { bank }),
-        (0u8..8, 0u8..128, any::<bool>())
-            .prop_map(|(bank, col, auto)| Intent::Rd { bank, col, auto }),
-        (0u8..8, 0u8..128, any::<bool>())
-            .prop_map(|(bank, col, auto)| Intent::Wr { bank, col, auto }),
-        Just(Intent::Refresh),
-    ]
+fn random_intent(c: &mut Cases) -> Intent {
+    match c.below(5) {
+        0 => Intent::Act {
+            bank: c.below(8) as u8,
+            row: c.next_u64() as u16,
+        },
+        1 => Intent::Pre {
+            bank: c.below(8) as u8,
+        },
+        2 => Intent::Rd {
+            bank: c.below(8) as u8,
+            col: c.below(128) as u8,
+            auto: c.bool(),
+        },
+        3 => Intent::Wr {
+            bank: c.below(8) as u8,
+            col: c.below(128) as u8,
+            auto: c.bool(),
+        },
+        _ => Intent::Refresh,
+    }
 }
 
 fn loc(bank: u8) -> BankLoc {
@@ -38,111 +74,141 @@ fn loc(bank: u8) -> BankLoc {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Issue hundreds of random-but-legal commands; the device must accept
-    /// each at exactly the cycle it quoted, and row-buffer state must track
-    /// the command stream.
-    #[test]
-    fn random_legal_sequences_never_violate(intents in prop::collection::vec(intent_strategy(), 1..300)) {
+/// Issue hundreds of random-but-legal commands; the device must accept
+/// each at exactly the cycle it quoted, and row-buffer state must track
+/// the command stream.
+#[test]
+fn random_legal_sequences_never_violate() {
+    let mut c = Cases::new(0xD4A7);
+    for _ in 0..64 {
+        let n = 1 + c.below(299) as usize;
         let cfg = DramConfig::ddr3_1600_paper();
         let mut dev = DramDevice::new(cfg.clone());
         let spec = cfg.timing.act_timings();
         let mut now = 0u64;
         let mut last_data = 0u64;
 
-        for intent in intents {
-            let cmd = match intent {
+        for _ in 0..n {
+            let cmd = match random_intent(&mut c) {
                 Intent::Act { bank, row } => {
-                    if dev.open_row(loc(bank)).is_some() { continue; }
+                    if dev.open_row(loc(bank)).is_some() {
+                        continue;
+                    }
                     Command::act(loc(bank), u32::from(row) % cfg.org.rows)
                 }
                 Intent::Pre { bank } => {
-                    if dev.open_row(loc(bank)).is_none() { continue; }
+                    if dev.open_row(loc(bank)).is_none() {
+                        continue;
+                    }
                     Command::pre(loc(bank))
                 }
                 Intent::Rd { bank, col, auto } => {
-                    if dev.open_row(loc(bank)).is_none() { continue; }
-                    if auto { Command::rda(loc(bank), u32::from(col)) }
-                    else { Command::rd(loc(bank), u32::from(col)) }
+                    if dev.open_row(loc(bank)).is_none() {
+                        continue;
+                    }
+                    if auto {
+                        Command::rda(loc(bank), u32::from(col))
+                    } else {
+                        Command::rd(loc(bank), u32::from(col))
+                    }
                 }
                 Intent::Wr { bank, col, auto } => {
-                    if dev.open_row(loc(bank)).is_none() { continue; }
-                    if auto { Command::wra(loc(bank), u32::from(col)) }
-                    else { Command::wr(loc(bank), u32::from(col)) }
+                    if dev.open_row(loc(bank)).is_none() {
+                        continue;
+                    }
+                    if auto {
+                        Command::wra(loc(bank), u32::from(col))
+                    } else {
+                        Command::wr(loc(bank), u32::from(col))
+                    }
                 }
                 Intent::Refresh => {
                     let rank = loc(0).rank_loc();
-                    if !dev.all_banks_precharged(rank) { continue; }
+                    if !dev.all_banks_precharged(rank) {
+                        continue;
+                    }
                     Command::Ref { rank }
                 }
             };
-            let was_open = dev.open_row(BankLoc { channel: 0, rank: 0, bank: cmd.bank().unwrap_or(0) });
+            let was_open = dev.open_row(BankLoc {
+                channel: 0,
+                rank: 0,
+                bank: cmd.bank().unwrap_or(0),
+            });
             let at = dev.earliest_issue(&cmd, now).expect("resolved intents are legal");
-            prop_assert!(at >= now, "quoted time in the past");
+            assert!(at >= now, "quoted time in the past");
             let out = dev.issue(&cmd, at, spec);
             now = at;
 
             match cmd {
                 Command::Act { loc, row } => {
-                    prop_assert_eq!(dev.open_row(loc), Some(row));
+                    assert_eq!(dev.open_row(loc), Some(row));
                 }
                 Command::Pre { loc } => {
-                    prop_assert_eq!(dev.open_row(loc), None);
-                    prop_assert_eq!(out.closed_rows.len(), 1);
-                    prop_assert_eq!(out.closed_rows[0].1, was_open.unwrap());
+                    assert_eq!(dev.open_row(loc), None);
+                    assert_eq!(out.closed_rows.len(), 1);
+                    assert_eq!(out.closed_rows[0].1, was_open.unwrap());
                 }
                 Command::Rd { loc, auto_pre, .. } => {
                     let data = out.data_at.expect("reads return data");
-                    prop_assert!(data > at);
+                    assert!(data > at);
                     // Data beats never go backwards on the shared bus.
-                    prop_assert!(data >= last_data, "data bus collision");
+                    assert!(data >= last_data, "data bus collision");
                     last_data = data;
                     if auto_pre {
-                        prop_assert_eq!(dev.open_row(loc), None);
+                        assert_eq!(dev.open_row(loc), None);
                     }
                 }
                 Command::Wr { loc, auto_pre, .. } => {
-                    prop_assert!(out.write_done_at.unwrap() > at);
+                    assert!(out.write_done_at.unwrap() > at);
                     if auto_pre {
-                        prop_assert_eq!(dev.open_row(loc), None);
+                        assert_eq!(dev.open_row(loc), None);
                     }
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// The address mapping is a bijection between line addresses and
-    /// coordinates for every scheme/permutation combination.
-    #[test]
-    fn address_mapping_bijective(addr in any::<u64>(), xor in any::<bool>()) {
+/// The address mapping is a bijection between line addresses and
+/// coordinates for every scheme/permutation combination.
+#[test]
+fn address_mapping_bijective() {
+    let mut c = Cases::new(0xD4A8);
+    for _ in 0..256 {
+        let addr = c.next_u64();
+        let xor = c.bool();
         for scheme in [MappingScheme::RoRaBaCoCh, MappingScheme::RoCoRaBaCh] {
             let m = AddressMapper::new(Organization::paper(2), scheme, xor);
             let line = (addr % m.capacity_bytes()) & !63;
             let d = m.decode(line);
-            prop_assert_eq!(m.encode(d), line);
+            assert_eq!(m.encode(d), line);
             // Decoded coordinates are always in range.
-            prop_assert!(u32::from(d.loc.channel) < 2);
-            prop_assert!(d.row < m.organization().rows);
-            prop_assert!(d.col < m.organization().columns);
+            assert!(u32::from(d.loc.channel) < 2);
+            assert!(d.row < m.organization().rows);
+            assert!(d.col < m.organization().columns);
         }
     }
+}
 
-    /// earliest_issue is stable: quoting twice gives the same answer, and
-    /// quoting later never gives an earlier answer.
-    #[test]
-    fn earliest_issue_is_monotone(row in 0u32..65536, delay in 0u64..100) {
+/// earliest_issue is stable: quoting twice gives the same answer, and
+/// quoting later never gives an earlier answer.
+#[test]
+fn earliest_issue_is_monotone() {
+    let mut c = Cases::new(0xD4A9);
+    for _ in 0..256 {
+        let row = c.below(65536) as u32;
+        let delay = c.below(100);
         let cfg = DramConfig::ddr3_1600_paper();
         let mut dev = DramDevice::new(cfg.clone());
         dev.issue(&Command::act(loc(0), row), 0, cfg.timing.act_timings());
         let rd = Command::rd(loc(0), 0);
         let t1 = dev.earliest_issue(&rd, 0).unwrap();
         let t2 = dev.earliest_issue(&rd, 0).unwrap();
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
         let t3 = dev.earliest_issue(&rd, delay).unwrap();
-        prop_assert!(t3 >= t1.min(delay));
-        prop_assert!(t3 >= delay);
+        assert!(t3 >= t1.min(delay));
+        assert!(t3 >= delay);
     }
 }

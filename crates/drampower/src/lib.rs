@@ -26,10 +26,9 @@
 //! ```
 
 use dram::{CommandKind, CommandRecord, DramConfig};
-use serde::{Deserialize, Serialize};
 
 /// Datasheet current parameters, in milliamps per device, plus geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IddParams {
     /// One-bank activate-precharge current.
     pub idd0_ma: f64,
@@ -73,7 +72,7 @@ impl Default for IddParams {
 }
 
 /// Energy breakdown in picojoules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Standby energy (precharged + active) over the whole run.
     pub background_pj: f64,
@@ -100,7 +99,7 @@ impl EnergyBreakdown {
 }
 
 /// The energy model: IDD parameters bound to a DRAM configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     idd: IddParams,
     cfg: DramConfig,

@@ -1,0 +1,137 @@
+//! Fast non-cryptographic hashing for simulator hot paths.
+//!
+//! The simulator keys hash maps almost exclusively by small integers
+//! (request ids, line addresses, packed row-key u64s). The standard
+//! library's SipHash is DoS-resistant but an order of magnitude slower
+//! than necessary for trusted, in-process keys. [`FastHasher`] is a
+//! multiply-rotate hasher in the FxHash family: one multiplication per
+//! word, no finalization, deterministic across runs (important for the
+//! reproducibility guarantees in `tests/determinism.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: the fractional bits of the golden ratio, the
+/// same mixing constant the Firefox/rustc hasher family uses.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Word-at-a-time multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the well-mixed high bits into the low bits the hash table
+        // indexes with; without this, 64-byte-aligned keys (line
+        // addresses) collide catastrophically on the low byte.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^ (h >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_values() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_low_bits() {
+        // Line addresses are 64-byte aligned: the hasher must not leave
+        // table-index bits constant (the failure mode of identity hashing).
+        let mut low: FastHashSet<u64> = FastHashSet::default();
+        for i in 0..1024u64 {
+            let mut h = FastHasher::default();
+            h.write_u64(i * 64);
+            low.insert(h.finish() & 0xFF);
+        }
+        assert!(low.len() > 200, "only {} distinct low bytes", low.len());
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FastHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FastHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

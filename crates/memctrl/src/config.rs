@@ -1,9 +1,8 @@
 //! Controller configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Row-buffer management policy (paper Section 3 / Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowPolicy {
     /// Keep the row open until a conflicting request arrives. The paper
     /// uses this for single-core runs.
@@ -14,7 +13,7 @@ pub enum RowPolicy {
 }
 
 /// Request scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedPolicy {
     /// First-Ready FCFS (Rixner et al.): row hits first, then oldest —
     /// the paper's Table 1 scheduler.
@@ -26,7 +25,7 @@ pub enum SchedPolicy {
 }
 
 /// Per-channel controller configuration (paper Table 1 defaults).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CtrlConfig {
     /// Read queue capacity.
     pub read_queue: usize,

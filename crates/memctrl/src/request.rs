@@ -1,13 +1,12 @@
 //! Memory requests and completions.
 
 use dram::{BusCycle, DramAddress};
-use serde::{Deserialize, Serialize};
 
 /// Unique request identifier assigned by the memory system.
 pub type RequestId = u64;
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Demand read (blocks the issuing core's window slot).
     Read,

@@ -11,10 +11,9 @@
 //! infinity bucket), and reports a power-of-two histogram.
 
 use chargecache::RowKey;
-use serde::Serialize;
 
 /// Power-of-two reuse-distance histogram.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReuseReport {
     /// Upper bound of each bucket: distance ≤ 2^i (bucket 0 = distance ≤ 1).
     pub bucket_bounds: Vec<u64>,

@@ -10,13 +10,12 @@ use std::collections::HashMap;
 
 use chargecache::RowKey;
 use dram::BusCycle;
-use serde::{Deserialize, Serialize};
 
 /// Interval edges used by the paper's Figures 3 and 4, in milliseconds.
 pub const PAPER_INTERVALS_MS: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 8.0, 32.0];
 
 /// Snapshot of RLTL measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RltlReport {
     /// Interval upper bounds in milliseconds.
     pub intervals_ms: Vec<f64>,

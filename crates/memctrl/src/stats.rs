@@ -1,9 +1,8 @@
 //! Controller statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics across one controller (or the whole system).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtrlStats {
     /// Reads accepted into the queues.
     pub reads: u64,

@@ -1,11 +1,31 @@
-//! Property tests: the memory system services arbitrary request traffic
+//! Randomized tests: the memory system services arbitrary request traffic
 //! without losing, duplicating or deadlocking requests, under every
-//! policy combination.
+//! policy combination. Traffic comes from a seeded in-file PRNG so every
+//! run checks the same set.
 
 use dram::DramConfig;
 use memctrl::{AccessKind, CtrlConfig, MemRequest, MemorySystem, RowPolicy, SchedPolicy};
-use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// xorshift64* — deterministic case generator.
+struct Cases(u64);
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Req {
@@ -14,33 +34,28 @@ struct Req {
     gap: u8,
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    (any::<u32>(), any::<bool>(), 0u8..20).prop_map(|(addr_seed, write, gap)| Req {
-        addr_seed,
-        write,
-        gap,
-    })
-}
+const POLICIES: [(RowPolicy, SchedPolicy); 4] = [
+    (RowPolicy::Open, SchedPolicy::FrFcfs),
+    (RowPolicy::Closed, SchedPolicy::FrFcfs),
+    (RowPolicy::Open, SchedPolicy::Fcfs),
+    (RowPolicy::Closed, SchedPolicy::Fcfs),
+];
 
-fn cfg_matrix() -> impl Strategy<Value = (RowPolicy, SchedPolicy)> {
-    prop_oneof![
-        Just((RowPolicy::Open, SchedPolicy::FrFcfs)),
-        Just((RowPolicy::Closed, SchedPolicy::FrFcfs)),
-        Just((RowPolicy::Open, SchedPolicy::Fcfs)),
-        Just((RowPolicy::Closed, SchedPolicy::Fcfs)),
-    ]
-}
+/// Every accepted read completes exactly once, and the system drains to
+/// idle within a bounded number of cycles.
+#[test]
+fn all_reads_complete_exactly_once() {
+    let mut c = Cases::new(0x7AFF1C);
+    for case in 0..24 {
+        let (row_policy, scheduler) = POLICIES[case % POLICIES.len()];
+        let reqs: Vec<Req> = (0..1 + c.below(119))
+            .map(|_| Req {
+                addr_seed: c.next_u64() as u32,
+                write: c.next_u64() & 1 == 1,
+                gap: c.below(20) as u8,
+            })
+            .collect();
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every accepted read completes exactly once, and the system drains
-    /// to idle within a bounded number of cycles.
-    #[test]
-    fn all_reads_complete_exactly_once(
-        reqs in prop::collection::vec(req_strategy(), 1..120),
-        (row_policy, scheduler) in cfg_matrix(),
-    ) {
         let mut ctrl_cfg = CtrlConfig::paper_single_core();
         ctrl_cfg.row_policy = row_policy;
         ctrl_cfg.scheduler = scheduler;
@@ -54,17 +69,20 @@ proptest! {
         let mut note = |done: Vec<memctrl::Completion>,
                         outstanding: &mut HashSet<u64>,
                         completed: &mut HashSet<u64>| {
-            for c in done {
-                prop_assert!(outstanding.remove(&c.id), "unknown completion {}", c.id);
-                prop_assert!(completed.insert(c.id), "duplicate completion {}", c.id);
+            for d in done {
+                assert!(outstanding.remove(&d.id), "unknown completion {}", d.id);
+                assert!(completed.insert(d.id), "duplicate completion {}", d.id);
             }
-            Ok(())
         };
 
         for r in &reqs {
             // Spread addresses across rows/banks but keep some collisions.
             let addr = (u64::from(r.addr_seed) % (1 << 22)) * 64;
-            let kind = if r.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if r.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             // Retry until accepted (bounded).
             let mut tries = 0;
             loop {
@@ -75,13 +93,13 @@ proptest! {
                     }
                     break;
                 }
-                note(mem.tick(now), &mut outstanding, &mut completed)?;
+                note(mem.tick(now), &mut outstanding, &mut completed);
                 now += 1;
                 tries += 1;
-                prop_assert!(tries < 100_000, "enqueue starved");
+                assert!(tries < 100_000, "enqueue starved");
             }
             for _ in 0..r.gap {
-                note(mem.tick(now), &mut outstanding, &mut completed)?;
+                note(mem.tick(now), &mut outstanding, &mut completed);
                 now += 1;
             }
         }
@@ -89,17 +107,17 @@ proptest! {
         // Drain: generous bound covers refresh storms.
         let deadline = now + 2_000_000;
         while !mem.is_idle() && now < deadline {
-            note(mem.tick(now), &mut outstanding, &mut completed)?;
+            note(mem.tick(now), &mut outstanding, &mut completed);
             now += 1;
         }
-        prop_assert!(mem.is_idle(), "system failed to drain");
-        prop_assert!(outstanding.is_empty(), "lost reads: {outstanding:?}");
-        prop_assert_eq!(completed.len() as u64, accepted_reads);
+        assert!(mem.is_idle(), "system failed to drain");
+        assert!(outstanding.is_empty(), "lost reads: {outstanding:?}");
+        assert_eq!(completed.len() as u64, accepted_reads);
 
         // Row-buffer accounting is consistent: every serviced column access
         // was classified exactly once.
         let s = mem.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.row_hits + s.row_misses + s.row_conflicts,
             s.reads - s.forwarded_reads + s.writes
         );

@@ -4,10 +4,9 @@ use chargecache::{ChargeCacheConfig, MechanismKind, NuatConfig};
 use cpu::{CoreConfig, LlcConfig};
 use dram::DramConfig;
 use memctrl::CtrlConfig;
-use serde::Serialize;
 
 /// Complete system description for one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Number of cores.
     pub cores: usize,

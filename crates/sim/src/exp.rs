@@ -127,6 +127,15 @@ pub fn alone_ipc(
 }
 
 /// Maps `f` over `items` on `threads` worker threads, preserving order.
+///
+/// Work-steals from a shared atomic counter, so long-running items (e.g.
+/// one slow eight-core mix) do not serialize the sweep the way static
+/// chunking would. Results land in their input slot: the output order is
+/// deterministic regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker panics.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -135,31 +144,42 @@ where
 {
     assert!(threads > 0, "need at least one thread");
     let n = items.len();
-    let work: parking_lot::Mutex<Vec<Option<T>>> =
-        parking_lot::Mutex::new(items.into_iter().map(Some).collect());
+    if n == 0 {
+        return Vec::new();
+    }
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: parking_lot::Mutex<Vec<Option<R>>> =
-        parking_lot::Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = work.lock()[i].take().expect("each index taken once");
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index taken once");
                 let r = f(item);
-                results.lock()[i] = Some(r);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("all indices computed"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("all indices computed")
+        })
         .collect()
 }
 

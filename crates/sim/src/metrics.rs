@@ -4,10 +4,9 @@ use chargecache::MechanismStats;
 use cpu::{CoreStats, LlcStats};
 use drampower::EnergyBreakdown;
 use memctrl::{CtrlStats, ReuseReport, RltlReport};
-use serde::Serialize;
 
 /// Everything measured in one simulation run (post-warmup).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Per-core statistics.
     pub cores: Vec<CoreStats>,

@@ -6,14 +6,12 @@
 //!   [<store-addr>]`, compatible in spirit with Ramulator's CPU traces so
 //!   externally collected traces can be replayed. An entry with a store
 //!   address expands to two entries (the load, then a zero-bubble store).
-//! * **Compact binary** — length-prefixed little-endian records via
-//!   `bytes`, for fast storage of generated traces.
+//! * **Compact binary** — length-prefixed little-endian records, for
+//!   fast storage of generated traces.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use cpu::{MemOp, TraceEntry};
 
@@ -83,24 +81,24 @@ pub fn write_text<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> 
 }
 
 /// Serializes entries to the compact binary format.
-pub fn to_binary(entries: &[TraceEntry]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(entries.len() * 13 + 8);
-    buf.put_u64_le(entries.len() as u64);
+pub fn to_binary(entries: &[TraceEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(entries.len() * 13 + 8);
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for e in entries {
-        buf.put_u32_le(e.nonmem);
+        buf.extend_from_slice(&e.nonmem.to_le_bytes());
         match e.op {
-            None => buf.put_u8(0),
+            None => buf.push(0),
             Some(MemOp::Load(a)) => {
-                buf.put_u8(1);
-                buf.put_u64_le(a);
+                buf.push(1);
+                buf.extend_from_slice(&a.to_le_bytes());
             }
             Some(MemOp::Store(a)) => {
-                buf.put_u8(2);
-                buf.put_u64_le(a);
+                buf.push(2);
+                buf.extend_from_slice(&a.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes the compact binary format.
@@ -108,25 +106,23 @@ pub fn to_binary(entries: &[TraceEntry]) -> Bytes {
 /// # Errors
 ///
 /// Returns an error on truncation or an unknown op tag.
-pub fn from_binary(mut data: Bytes) -> io::Result<Vec<TraceEntry>> {
-    if data.remaining() < 8 {
+pub fn from_binary(data: &[u8]) -> io::Result<Vec<TraceEntry>> {
+    let mut cur = Cursor { data, pos: 0 };
+    let Some(n) = cur.read_u64() else {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing header"));
-    }
-    let n = data.get_u64_le() as usize;
+    };
+    let n = n as usize;
     let mut out = Vec::with_capacity(n.min(1 << 24));
     for i in 0..n {
-        if data.remaining() < 5 {
+        let (Some(nonmem), Some(tag)) = (cur.read_u32(), cur.read_u8()) else {
             return Err(truncated(i));
-        }
-        let nonmem = data.get_u32_le();
-        let tag = data.get_u8();
+        };
         let op = match tag {
             0 => None,
             1 | 2 => {
-                if data.remaining() < 8 {
+                let Some(a) = cur.read_u64() else {
                     return Err(truncated(i));
-                }
-                let a = data.get_u64_le();
+                };
                 Some(if tag == 1 {
                     MemOp::Load(a)
                 } else {
@@ -230,6 +226,33 @@ impl cpu::TraceSource for FileTrace {
     }
 }
 
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.data.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn read_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn read_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn read_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
 fn parse_addr(tok: &str) -> Result<u64, String> {
     let r = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16)
@@ -289,14 +312,14 @@ mod tests {
             TraceEntry { nonmem: 9, op: None },
         ];
         let bin = to_binary(&es);
-        assert_eq!(from_binary(bin).unwrap(), es);
+        assert_eq!(from_binary(&bin).unwrap(), es);
     }
 
     #[test]
     fn binary_detects_truncation() {
         let es = vec![TraceEntry { nonmem: 1, op: Some(MemOp::Load(2)) }];
         let bin = to_binary(&es);
-        let cut = bin.slice(0..bin.len() - 1);
+        let cut = &bin[..bin.len() - 1];
         assert!(from_binary(cut).is_err());
     }
 

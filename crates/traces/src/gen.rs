@@ -15,10 +15,9 @@
 //!   re-activated again and again (database/server shape, high RLTL).
 //! * [`MixGen`] — probabilistic mixture of sub-patterns.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use cpu::{MemOp, TraceEntry, TraceSource};
+
+use crate::rng::TraceRng;
 
 /// Cache-line size assumed by all generators.
 pub const LINE: u64 = 64;
@@ -50,16 +49,16 @@ impl GenParams {
     }
 }
 
-fn sample_nonmem(rng: &mut StdRng, mean: u32) -> u32 {
+fn sample_nonmem(rng: &mut TraceRng, mean: u32) -> u32 {
     if mean == 0 {
         return 0;
     }
     // Uniform over [0, 2·mean]: right mean, cheap, deterministic.
-    rng.random_range(0..=2 * mean)
+    rng.range_inclusive(0, u64::from(2 * mean)) as u32
 }
 
-fn op_for(rng: &mut StdRng, store_ratio: f64, addr: u64) -> MemOp {
-    if rng.random_bool(store_ratio) {
+fn op_for(rng: &mut TraceRng, store_ratio: f64, addr: u64) -> MemOp {
+    if rng.bool_with(store_ratio) {
         MemOp::Store(addr)
     } else {
         MemOp::Load(addr)
@@ -70,7 +69,7 @@ fn op_for(rng: &mut StdRng, store_ratio: f64, addr: u64) -> MemOp {
 #[derive(Debug, Clone)]
 pub struct StreamGen {
     params: GenParams,
-    rng: StdRng,
+    rng: TraceRng,
     /// Current byte offset of each stream.
     cursors: Vec<u64>,
     /// Byte span of each stream before it wraps.
@@ -91,7 +90,7 @@ impl StreamGen {
         assert!(streams > 0, "need at least one stream");
         assert!(span >= LINE, "span must cover at least one line");
         Self {
-            rng: StdRng::seed_from_u64(params.seed),
+            rng: TraceRng::seed_from_u64(params.seed),
             cursors: vec![0; streams],
             span,
             separation,
@@ -124,7 +123,7 @@ impl TraceSource for StreamGen {
 #[derive(Debug, Clone)]
 pub struct StridedGen {
     params: GenParams,
-    rng: StdRng,
+    rng: TraceRng,
     cursor: u64,
     stride: u64,
     span: u64,
@@ -141,7 +140,7 @@ impl StridedGen {
         assert!(stride > 0, "stride must be non-zero");
         assert!(span >= stride, "span must cover at least one stride");
         Self {
-            rng: StdRng::seed_from_u64(params.seed),
+            rng: TraceRng::seed_from_u64(params.seed),
             cursor: 0,
             stride,
             span,
@@ -167,7 +166,7 @@ impl TraceSource for StridedGen {
 #[derive(Debug, Clone)]
 pub struct RandomGen {
     params: GenParams,
-    rng: StdRng,
+    rng: TraceRng,
     lines: u64,
 }
 
@@ -180,7 +179,7 @@ impl RandomGen {
     pub fn new(params: GenParams, wss_bytes: u64) -> Self {
         assert!(wss_bytes >= LINE, "working set must cover at least one line");
         Self {
-            rng: StdRng::seed_from_u64(params.seed),
+            rng: TraceRng::seed_from_u64(params.seed),
             lines: wss_bytes / LINE,
             params,
         }
@@ -189,7 +188,7 @@ impl RandomGen {
 
 impl TraceSource for RandomGen {
     fn next_entry(&mut self) -> Option<TraceEntry> {
-        let line = self.rng.random_range(0..self.lines);
+        let line = self.rng.below(self.lines);
         let addr = self.params.region_base + line * LINE;
         let nonmem = sample_nonmem(&mut self.rng, self.params.mean_nonmem);
         let op = op_for(&mut self.rng, self.params.store_ratio, addr);
@@ -204,7 +203,7 @@ impl TraceSource for RandomGen {
 #[derive(Debug, Clone)]
 pub struct ZipfGen {
     params: GenParams,
-    rng: StdRng,
+    rng: TraceRng,
     /// Cumulative probability per row (normalized).
     cdf: Vec<f64>,
     /// Bytes per row region (consecutive rows are this far apart).
@@ -235,7 +234,7 @@ impl ZipfGen {
         }
         let row_bytes = 8192;
         Self {
-            rng: StdRng::seed_from_u64(params.seed),
+            rng: TraceRng::seed_from_u64(params.seed),
             cdf,
             row_bytes,
             lines_per_row: row_bytes / LINE,
@@ -244,7 +243,7 @@ impl ZipfGen {
     }
 
     fn sample_row(&mut self) -> usize {
-        let u: f64 = self.rng.random_range(0.0..1.0);
+        let u: f64 = self.rng.f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -252,7 +251,7 @@ impl ZipfGen {
 impl TraceSource for ZipfGen {
     fn next_entry(&mut self) -> Option<TraceEntry> {
         let row = self.sample_row() as u64;
-        let col = self.rng.random_range(0..self.lines_per_row);
+        let col = self.rng.below(self.lines_per_row);
         let addr = self.params.region_base + row * self.row_bytes + col * LINE;
         let nonmem = sample_nonmem(&mut self.rng, self.params.mean_nonmem);
         let op = op_for(&mut self.rng, self.params.store_ratio, addr);
@@ -265,7 +264,7 @@ impl TraceSource for ZipfGen {
 
 /// Probabilistic mixture of sub-generators.
 pub struct MixGen {
-    rng: StdRng,
+    rng: TraceRng,
     /// `(cumulative_weight, generator)`; weights normalized to 1.
     parts: Vec<(f64, Box<dyn TraceSource>)>,
 }
@@ -289,7 +288,7 @@ impl MixGen {
             })
             .collect();
         Self {
-            rng: StdRng::seed_from_u64(seed ^ 0x6d69_7847_656e),
+            rng: TraceRng::seed_from_u64(seed ^ 0x6d69_7847_656e),
             parts,
         }
     }
@@ -297,7 +296,7 @@ impl MixGen {
 
 impl TraceSource for MixGen {
     fn next_entry(&mut self) -> Option<TraceEntry> {
-        let u: f64 = self.rng.random_range(0.0..1.0);
+        let u: f64 = self.rng.f64();
         let idx = self
             .parts
             .iter()

@@ -14,14 +14,13 @@
 //!   re-activate recently closed rows; huge uniform-random workloads have
 //!   long row-reuse distances (the *mcf*/*omnetpp* gap to LL-DRAM).
 
-use serde::Serialize;
 
 use cpu::TraceSource;
 
 use crate::gen::{GenParams, MixGen, RandomGen, StreamGen, ZipfGen};
 
 /// Address-pattern family of one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Pattern {
     /// `streams` sequential streams over `span` bytes each.
     Stream {
@@ -47,7 +46,7 @@ pub enum Pattern {
 }
 
 /// A complete, reproducible workload description.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name as used in the paper's figures.
     pub name: &'static str,
@@ -149,7 +148,7 @@ pub fn workload(name: &str) -> Option<WorkloadSpec> {
 }
 
 /// An eight-core multiprogrammed mix: one application per core.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixSpec {
     /// Mix name (`w1` … `w20`).
     pub name: String,
@@ -160,14 +159,13 @@ pub struct MixSpec {
 /// The paper's 20 eight-core mixes: randomly chosen applications per core
 /// (deterministically seeded, like the paper's random assignment).
 pub fn eight_core_mixes() -> Vec<MixSpec> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::TraceRng;
     let pool = single_core_workloads();
     (1..=20)
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(0xC0FFEE + i);
+            let mut rng = TraceRng::seed_from_u64(0xC0FFEE + i);
             let apps = (0..8)
-                .map(|_| pool[rng.random_range(0..pool.len())].clone())
+                .map(|_| pool[rng.below(pool.len() as u64) as usize].clone())
                 .collect();
             MixSpec {
                 name: format!("w{i}"),
