@@ -47,7 +47,11 @@ fn main() {
     for ways in [1usize, 2, 4, 8, 0] {
         let mut cc = ChargeCacheConfig::paper();
         cc.ways = ways;
-        let label = if ways == 0 { "full".to_string() } else { ways.to_string() };
+        let label = if ways == 0 {
+            "full".to_string()
+        } else {
+            ways.to_string()
+        };
         println!("{:>8} {:>12}", label, pct(hit_rate(&cc, &p, &mix_list)));
     }
     println!();
@@ -60,8 +64,14 @@ fn main() {
     private.shared = false;
     let mut shared = ChargeCacheConfig::paper();
     shared.shared = true;
-    println!("private (128/core): {}", pct(hit_rate(&private, &p, &mix_list)));
-    println!("shared (1024 total): {}", pct(hit_rate(&shared, &p, &mix_list)));
+    println!(
+        "private (128/core): {}",
+        pct(hit_rate(&private, &p, &mix_list))
+    );
+    println!(
+        "shared (1024 total): {}",
+        pct(hit_rate(&shared, &p, &mix_list))
+    );
     println!("(an unpartitioned shared HCRAC lets one conflict-heavy app");
     println!(" evict everyone else's entries — interference the per-core");
     println!(" replication sidesteps)");

@@ -23,7 +23,10 @@ fn main() {
     const IDX_8MS: usize = 4;
 
     println!("--- (a) single-core workloads ---");
-    println!("{:<12} {:>10} {:>16} {:>12}", "workload", "8ms-RLTL", "8ms-after-REF", "activations");
+    println!(
+        "{:<12} {:>10} {:>16} {:>12}",
+        "workload", "8ms-RLTL", "8ms-after-REF", "activations"
+    );
     let mut rltl = Vec::new();
     let mut refr = Vec::new();
     for (spec, r) in all_single(MechanismKind::Baseline, &cc, &p) {

@@ -64,10 +64,18 @@ fn main() {
         |(spec, pol)| (spec.name, pol, run_policy_single(&spec, pol, &p)),
     );
     for (name, pol, r) in results {
-        let label = if pol == RowPolicy::Open { "open" } else { "closed" };
+        let label = if pol == RowPolicy::Open {
+            "open"
+        } else {
+            "closed"
+        };
         let fr = print_row(name, label, &r);
         if r.rltl.activations > 0 {
-            let store = if pol == RowPolicy::Open { &mut avg_open } else { &mut avg_closed };
+            let store = if pol == RowPolicy::Open {
+                &mut avg_open
+            } else {
+                &mut avg_closed
+            };
             for (acc, f) in store.iter_mut().zip(fr) {
                 acc.push(f);
             }
@@ -101,7 +109,11 @@ fn main() {
         |(mix, pol)| (mix.name.clone(), pol, run_policy_eight(&mix, pol, &p)),
     );
     for (name, pol, r) in results {
-        let label = if pol == RowPolicy::Open { "open" } else { "closed" };
+        let label = if pol == RowPolicy::Open {
+            "open"
+        } else {
+            "closed"
+        };
         let fr = print_row(&name, label, &r);
         for (acc, f) in avg8.iter_mut().zip(fr) {
             acc.push(f);

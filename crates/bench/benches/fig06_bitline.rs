@@ -28,12 +28,30 @@ fn main() {
         );
     }
     println!();
-    println!("ready-to-access (fully charged): {:>6.2} ns", m.ready_time_ns(0.0));
-    println!("ready-to-access (64 ms old):     {:>6.2} ns", m.ready_time_ns(64.0));
-    println!("tRCD reduction opportunity:      {:>6.2} ns", m.trcd_reduction_ns(0.0));
-    println!("restore (fully charged):         {:>6.2} ns", m.restore_time_ns(0.0));
-    println!("restore (64 ms old):             {:>6.2} ns", m.restore_time_ns(64.0));
-    println!("tRAS reduction opportunity:      {:>6.2} ns", m.tras_reduction_ns(0.0));
+    println!(
+        "ready-to-access (fully charged): {:>6.2} ns",
+        m.ready_time_ns(0.0)
+    );
+    println!(
+        "ready-to-access (64 ms old):     {:>6.2} ns",
+        m.ready_time_ns(64.0)
+    );
+    println!(
+        "tRCD reduction opportunity:      {:>6.2} ns",
+        m.trcd_reduction_ns(0.0)
+    );
+    println!(
+        "restore (fully charged):         {:>6.2} ns",
+        m.restore_time_ns(0.0)
+    );
+    println!(
+        "restore (64 ms old):             {:>6.2} ns",
+        m.restore_time_ns(64.0)
+    );
+    println!(
+        "tRAS reduction opportunity:      {:>6.2} ns",
+        m.tras_reduction_ns(0.0)
+    );
 
     banner(
         "Table 2: tRCD and tRAS for different caching durations",

@@ -31,10 +31,7 @@ fn main() {
     let base: Vec<_> = all_single(MechanismKind::Baseline, &cc, &p);
     let mut per_mech: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
     let mut rows: Vec<(String, f64, Vec<f64>)> = Vec::new();
-    let mech_results: Vec<_> = MECHS
-        .iter()
-        .map(|&k| (k, all_single(k, &cc, &p)))
-        .collect();
+    let mech_results: Vec<_> = MECHS.iter().map(|&k| (k, all_single(k, &cc, &p))).collect();
     for (i, (spec, b)) in base.iter().enumerate() {
         let b_ipc = b.ipc(0).max(1e-9);
         let speedups: Vec<f64> = mech_results
@@ -93,10 +90,7 @@ fn main() {
         .iter()
         .map(|&k| {
             let runs = all_eight(k, &cc, &p, &mix_list);
-            let ws: Vec<f64> = runs
-                .iter()
-                .map(|(m, r)| ws_of(m, r, &alone_base))
-                .collect();
+            let ws: Vec<f64> = runs.iter().map(|(m, r)| ws_of(m, r, &alone_base)).collect();
             (k, ws)
         })
         .collect();

@@ -17,7 +17,10 @@ fn main() {
     );
 
     println!("--- single-core ---");
-    println!("{:<12} {:>12} {:>12} {:>10}", "workload", "base (mJ)", "CC (mJ)", "saving");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "workload", "base (mJ)", "CC (mJ)", "saving"
+    );
     let base = all_single(MechanismKind::Baseline, &cc, &p);
     let ccr = all_single(MechanismKind::ChargeCache, &cc, &p);
     let mut savings = Vec::new();
@@ -26,15 +29,25 @@ fn main() {
         let saving = 1.0 - ec / eb.max(1e-12);
         println!(
             "{:<12} {:>12.4} {:>12.4} {:>10}",
-            spec.name, eb, ec, pct(saving)
+            spec.name,
+            eb,
+            ec,
+            pct(saving)
         );
         savings.push(saving);
     }
     let max1 = savings.iter().cloned().fold(f64::MIN, f64::max);
-    println!("AVG saving: {}   MAX saving: {}\n", pct(mean(&savings)), pct(max1));
+    println!(
+        "AVG saving: {}   MAX saving: {}\n",
+        pct(mean(&savings)),
+        pct(max1)
+    );
 
     println!("--- eight-core ---");
-    println!("{:<6} {:>12} {:>12} {:>10}", "mix", "base (mJ)", "CC (mJ)", "saving");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "mix", "base (mJ)", "CC (mJ)", "saving"
+    );
     let mix_list = mixes(20);
     let base8 = all_eight(MechanismKind::Baseline, &cc, &p, &mix_list);
     let cc8 = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list);
@@ -42,9 +55,19 @@ fn main() {
     for ((mix, b), (_, c)) in base8.iter().zip(&cc8) {
         let (eb, ec) = (b.energy.total_mj(), c.energy.total_mj());
         let saving = 1.0 - ec / eb.max(1e-12);
-        println!("{:<6} {:>12.4} {:>12.4} {:>10}", mix.name, eb, ec, pct(saving));
+        println!(
+            "{:<6} {:>12.4} {:>12.4} {:>10}",
+            mix.name,
+            eb,
+            ec,
+            pct(saving)
+        );
         savings8.push(saving);
     }
     let max8 = savings8.iter().cloned().fold(f64::MIN, f64::max);
-    println!("AVG saving: {}   MAX saving: {}", pct(mean(&savings8)), pct(max8));
+    println!(
+        "AVG saving: {}   MAX saving: {}",
+        pct(mean(&savings8)),
+        pct(max8)
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
     .map(|(_, r)| r.ipc_sum())
     .collect();
 
-    println!("{:<10} {:>14} {:>14}", "entries", "1-core spdup", "8-core spdup");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "entries", "1-core spdup", "8-core spdup"
+    );
     for entries in CAPACITIES {
         let cc = ChargeCacheConfig::with_entries(entries);
         let s1: Vec<f64> = all_single(MechanismKind::ChargeCache, &cc, &p)

@@ -55,7 +55,10 @@ fn main() {
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
             format!("{d} ms"),
-            format!("{}/{}", cc.reductions.trcd_reduction, cc.reductions.tras_reduction),
+            format!(
+                "{}/{}",
+                cc.reductions.trcd_reduction, cc.reductions.tras_reduction
+            ),
             pct(mean(&s1)),
             pct(mean(&h1)),
             pct(mean(&s8)),

@@ -15,16 +15,32 @@ fn main() {
     );
 
     let m = OverheadModel::paper_8core();
-    println!("entry size (Equation 2):  {} bits (+{} LRU)", m.entry_size_bits(), m.lru_bits());
+    println!(
+        "entry size (Equation 2):  {} bits (+{} LRU)",
+        m.entry_size_bits(),
+        m.lru_bits()
+    );
     println!("total storage (Equation 1): {} bytes", m.storage_bytes());
-    println!("storage per core:          {} bytes", m.storage_bytes_per_core());
+    println!(
+        "storage per core:          {} bytes",
+        m.storage_bytes_per_core()
+    );
     println!("area @22nm:                {:.4} mm²", m.area_mm2());
-    println!("area vs 4MB LLC:           {:.2}%", m.area_fraction_of_4mb_llc() * 100.0);
+    println!(
+        "area vs 4MB LLC:           {:.2}%",
+        m.area_fraction_of_4mb_llc() * 100.0
+    );
     println!("average power:             {:.3} mW", m.power_mw());
-    println!("power vs 4MB LLC:          {:.2}%", m.power_fraction_of_4mb_llc() * 100.0);
+    println!(
+        "power vs 4MB LLC:          {:.2}%",
+        m.power_fraction_of_4mb_llc() * 100.0
+    );
 
     println!("\ncapacity sweep (Section 6.4.1 storage column):");
-    println!("{:>8} {:>14} {:>12} {:>12}", "entries", "bytes/core", "area (mm²)", "power (mW)");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "entries", "bytes/core", "area (mm²)", "power (mW)"
+    );
     for entries in [32u32, 64, 128, 256, 512, 1024] {
         let m = OverheadModel {
             entries,

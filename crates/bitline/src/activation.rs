@@ -74,7 +74,10 @@ impl ActivationModel {
     /// Time after ACT at which the cell is fully restored for a cell of age
     /// `age_ms`, in nanoseconds.
     pub fn restore_time_ns(&self, age_ms: f64) -> f64 {
-        self.ready_time_ns(age_ms) + self.senseamp.restore_time_ns(self.cell.charge_deficit(age_ms))
+        self.ready_time_ns(age_ms)
+            + self
+                .senseamp
+                .restore_time_ns(self.cell.charge_deficit(age_ms))
     }
 
     /// `tRCD` reduction opportunity versus the worst-case (64 ms) cell, in
@@ -109,9 +112,10 @@ impl ActivationModel {
         }
         let t_ready = self.ready_time_ns(age_ms);
         if t_ns < t_ready {
-            let dev = self
-                .senseamp
-                .deviation_at_ns(self.cell.sharing_deviation_v(age_ms), t_ns - consts::T_CHARGE_SHARE_NS);
+            let dev = self.senseamp.deviation_at_ns(
+                self.cell.sharing_deviation_v(age_ms),
+                t_ns - consts::T_CHARGE_SHARE_NS,
+            );
             return v_pre + dev;
         }
         let t_restore = self.restore_time_ns(age_ms);

@@ -156,8 +156,7 @@ mod tests {
         // δ(64ms)/δ(0) = (0.75 − 0.5)/(1 − 0.5) = 0.5 — the ratio the
         // sense-amp calibration in `consts` relies on.
         let c = CellModel::calibrated();
-        let ratio =
-            c.sharing_deviation_v(consts::REFRESH_WINDOW_MS) / c.sharing_deviation_v(0.0);
+        let ratio = c.sharing_deviation_v(consts::REFRESH_WINDOW_MS) / c.sharing_deviation_v(0.0);
         assert!((ratio - 0.5).abs() < 1e-9);
     }
 

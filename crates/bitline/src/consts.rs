@@ -95,8 +95,7 @@ pub fn t_restore_fixed_ns() -> f64 {
 /// restores exactly at the DDR3 `tRAS` of 35 ns:
 /// `T_READY_WORST + T_RESTORE_FIXED + 0.25·slope = 35` → `slope = 20.4 ns`.
 pub fn restore_slope_ns() -> f64 {
-    (TRAS_BASE_NS - T_READY_WORST_NS - t_restore_fixed_ns())
-        / (1.0 - RETENTION_FRACTION_AT_WINDOW)
+    (TRAS_BASE_NS - T_READY_WORST_NS - t_restore_fixed_ns()) / (1.0 - RETENTION_FRACTION_AT_WINDOW)
 }
 
 #[cfg(test)]

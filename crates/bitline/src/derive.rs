@@ -23,7 +23,6 @@
 //! stated 4-cycle `tRCD` and 8-cycle `tRAS` reductions, which
 //! [`CycleQuantized::paper_1ms`] returns verbatim.
 
-
 use crate::consts::{TRAS_BASE_NS, TRCD_BASE_NS};
 
 /// Published anchor points: `(duration_ms, trcd_ns, tras_ns)`.

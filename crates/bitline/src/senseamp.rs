@@ -61,9 +61,15 @@ impl SenseAmpModel {
         restore_slope_ns: f64,
     ) -> Self {
         assert!(tau_sense_ns > 0.0, "tau_sense_ns must be positive");
-        assert!(ready_deviation_v > 0.0, "ready_deviation_v must be positive");
+        assert!(
+            ready_deviation_v > 0.0,
+            "ready_deviation_v must be positive"
+        );
         assert!(restore_fixed_ns > 0.0, "restore_fixed_ns must be positive");
-        assert!(restore_slope_ns >= 0.0, "restore_slope_ns must be non-negative");
+        assert!(
+            restore_slope_ns >= 0.0,
+            "restore_slope_ns must be non-negative"
+        );
         Self {
             tau_sense_ns,
             ready_deviation_v,

@@ -97,7 +97,7 @@ impl ChargeCacheConfig {
         } else {
             self.ways
         };
-        if self.entries_per_core % ways != 0 {
+        if !self.entries_per_core.is_multiple_of(ways) {
             return Err(format!(
                 "entries ({}) must be a multiple of associativity ({ways})",
                 self.entries_per_core
@@ -146,10 +146,15 @@ impl NuatConfig {
     pub fn paper_5pb() -> Self {
         let bins = [6.4, 12.8, 25.6, 38.4, 51.2]
             .into_iter()
-            .map(|ms| (ms, CycleQuantized::from_timings(
-                bitline::derive::ReducedTimings::for_duration_ms(ms),
-                1.25,
-            )))
+            .map(|ms| {
+                (
+                    ms,
+                    CycleQuantized::from_timings(
+                        bitline::derive::ReducedTimings::for_duration_ms(ms),
+                        1.25,
+                    ),
+                )
+            })
             .collect();
         Self { bins }
     }

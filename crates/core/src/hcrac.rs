@@ -8,8 +8,7 @@
 //!
 //! An unlimited-capacity variant backs Figure 9's hit-rate ceiling.
 
-use std::collections::HashMap;
-
+use fasthash::FastHashMap;
 
 use crate::RowKey;
 
@@ -71,7 +70,7 @@ enum Storage {
         entries: Vec<Entry>,
     },
     Unlimited {
-        map: HashMap<RowKey, u64>,
+        map: FastHashMap<RowKey, u64>,
     },
 }
 
@@ -87,7 +86,7 @@ impl Hcrac {
         assert!(entries > 0, "HCRAC needs at least one entry");
         let ways = if ways == 0 { entries } else { ways };
         assert!(
-            entries % ways == 0,
+            entries.is_multiple_of(ways),
             "entries must be a multiple of associativity"
         );
         let sets = entries / ways;
@@ -107,7 +106,7 @@ impl Hcrac {
     pub fn unlimited() -> Self {
         Self {
             storage: Storage::Unlimited {
-                map: HashMap::new(),
+                map: FastHashMap::default(),
             },
             stats: HcracStats::default(),
             stamp: 0,
@@ -142,16 +141,17 @@ impl Hcrac {
         self.stamp += 1;
         let stamp = self.stamp;
         let hit = match &mut self.storage {
-            Storage::SetAssoc { sets, ways, entries } => {
+            Storage::SetAssoc {
+                sets,
+                ways,
+                entries,
+            } => {
                 let set = Self::set_of(key, *sets);
                 let slice = &mut entries[set * *ways..(set + 1) * *ways];
-                slice
-                    .iter_mut()
-                    .find(|e| e.valid && e.key == key)
-                    .map(|e| {
-                        e.stamp = stamp;
-                        now.saturating_sub(e.inserted_at)
-                    })
+                slice.iter_mut().find(|e| e.valid && e.key == key).map(|e| {
+                    e.stamp = stamp;
+                    now.saturating_sub(e.inserted_at)
+                })
             }
             Storage::Unlimited { map } => map.get(&key).map(|&t| now.saturating_sub(t)),
         };
@@ -165,7 +165,11 @@ impl Hcrac {
     /// statistics.
     pub fn probe(&self, key: RowKey) -> bool {
         match &self.storage {
-            Storage::SetAssoc { sets, ways, entries } => {
+            Storage::SetAssoc {
+                sets,
+                ways,
+                entries,
+            } => {
                 let set = Self::set_of(key, *sets);
                 entries[set * *ways..(set + 1) * *ways]
                     .iter()
@@ -182,7 +186,11 @@ impl Hcrac {
         self.stamp += 1;
         let stamp = self.stamp;
         match &mut self.storage {
-            Storage::SetAssoc { sets, ways, entries } => {
+            Storage::SetAssoc {
+                sets,
+                ways,
+                entries,
+            } => {
                 let set = Self::set_of(key, *sets);
                 let slice = &mut entries[set * *ways..(set + 1) * *ways];
                 // Refresh an existing entry in place.

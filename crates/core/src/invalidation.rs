@@ -15,7 +15,6 @@
 //! cost of some entries being invalidated prematurely (up to one full
 //! period early).
 
-
 /// The IIC/EC counter pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeriodicInvalidator {

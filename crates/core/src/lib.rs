@@ -56,7 +56,6 @@ pub use mechanism::{
 };
 pub use overhead::OverheadModel;
 
-
 /// Globally unique identifier of one DRAM row: channel, rank, bank and row
 /// packed into 64 bits. This is what the HCRAC tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -120,12 +120,9 @@ pub fn build_mechanism(
         MechanismKind::Baseline => Box::new(Baseline::new(timing)),
         MechanismKind::Nuat => Box::new(Nuat::new(nuat_cfg.clone(), timing)),
         MechanismKind::ChargeCache => Box::new(ChargeCache::new(cc_cfg.clone(), timing, cores)),
-        MechanismKind::CcNuat => Box::new(CcNuat::new(
-            cc_cfg.clone(),
-            nuat_cfg.clone(),
-            timing,
-            cores,
-        )),
+        MechanismKind::CcNuat => {
+            Box::new(CcNuat::new(cc_cfg.clone(), nuat_cfg.clone(), timing, cores))
+        }
         MechanismKind::LlDram => Box::new(LlDram::new(cc_cfg, timing)),
     }
 }
@@ -180,6 +177,11 @@ pub struct ChargeCache {
     /// Periodic invalidators, parallel to `caches` (empty for the exact
     /// policy or unlimited capacity).
     invalidators: Vec<PeriodicInvalidator>,
+    /// Next lazy-expiry sweep cycle for the exact policy. Catch-up state
+    /// rather than a modulo check so [`LatencyMechanism::tick`] may be
+    /// called at arbitrary (cycle-skipped) times and still expire at the
+    /// same boundaries a per-cycle caller would.
+    next_sweep: u64,
     activates: u64,
     reduced_activates: u64,
 }
@@ -226,6 +228,7 @@ impl ChargeCache {
             duration_cycles,
             caches,
             invalidators,
+            next_sweep: 0,
             activates: 0,
             reduced_activates: 0,
         }
@@ -295,12 +298,16 @@ impl LatencyMechanism for ChargeCache {
     fn tick(&mut self, now: BusCycle) {
         if self.invalidators.is_empty() {
             // Exact policy: lazily expire on an infrequent stride to bound
-            // memory in the unlimited variant.
-            if now % 65_536 == 0 {
+            // memory in the unlimited variant. Sweeps catch up to `now` so
+            // sparse (cycle-skipped) callers expire at the same boundaries
+            // with the same timestamps as a per-cycle caller.
+            while self.next_sweep <= now {
+                let at = self.next_sweep;
                 let d = self.duration_cycles;
                 for c in &mut self.caches {
-                    c.expire_older_than(now, d);
+                    c.expire_older_than(at, d);
                 }
+                self.next_sweep += 65_536;
             }
             return;
         }
@@ -549,10 +556,13 @@ mod tests {
         let t = timing();
         let mut cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
         let dur = cc.duration_cycles();
-        cc.on_precharge(0, 0, key(5), );
+        cc.on_precharge(0, 0, key(5));
         // Tick past a full caching duration: the entry must be gone.
         cc.tick(dur + 1);
-        assert_eq!(cc.on_activate(dur + 2, 0, key(5), u64::MAX), t.act_timings());
+        assert_eq!(
+            cc.on_activate(dur + 2, 0, key(5), u64::MAX),
+            t.act_timings()
+        );
     }
 
     #[test]
@@ -563,10 +573,16 @@ mod tests {
         let mut cc = ChargeCache::new(cfg, &t, 1);
         let dur = cc.duration_cycles();
         cc.on_precharge(0, 0, key(5));
-        assert_eq!(cc.on_activate(dur + 1, 0, key(5), u64::MAX), t.act_timings());
+        assert_eq!(
+            cc.on_activate(dur + 1, 0, key(5), u64::MAX),
+            t.act_timings()
+        );
         // But a young entry hits.
         cc.on_precharge(dur + 2, 0, key(6));
-        assert_eq!(cc.on_activate(dur + 3, 0, key(6), u64::MAX), cc.reduced_timings());
+        assert_eq!(
+            cc.on_activate(dur + 3, 0, key(6), u64::MAX),
+            cc.reduced_timings()
+        );
     }
 
     #[test]
@@ -576,7 +592,10 @@ mod tests {
         cc.on_precharge(0, 0, key(5));
         // Core 1 does not see core 0's entry.
         assert_eq!(cc.on_activate(10, 1, key(5), u64::MAX), t.act_timings());
-        assert_eq!(cc.on_activate(20, 0, key(5), u64::MAX), cc.reduced_timings());
+        assert_eq!(
+            cc.on_activate(20, 0, key(5), u64::MAX),
+            cc.reduced_timings()
+        );
     }
 
     #[test]
@@ -586,7 +605,10 @@ mod tests {
         cfg.shared = true;
         let mut cc = ChargeCache::new(cfg, &t, 2);
         cc.on_precharge(0, 0, key(5));
-        assert_eq!(cc.on_activate(10, 1, key(5), u64::MAX), cc.reduced_timings());
+        assert_eq!(
+            cc.on_activate(10, 1, key(5), u64::MAX),
+            cc.reduced_timings()
+        );
     }
 
     #[test]
@@ -609,12 +631,7 @@ mod tests {
     #[test]
     fn cc_nuat_uses_nuat_on_miss() {
         let t = timing();
-        let mut m = CcNuat::new(
-            ChargeCacheConfig::paper(),
-            NuatConfig::paper_5pb(),
-            &t,
-            1,
-        );
+        let mut m = CcNuat::new(ChargeCacheConfig::paper(), NuatConfig::paper_5pb(), &t, 1);
         // Miss in HCRAC, young refresh age: NUAT timings apply.
         let got = m.on_activate(0, 0, key(1), t.ms_to_cycles(1.0));
         assert!(got.trcd < t.trcd);

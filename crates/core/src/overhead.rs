@@ -5,7 +5,6 @@
 //! (0.022 mm² and 0.149 mW for the 5376-byte eight-core configuration),
 //! standing in for the McPAT runs the authors performed.
 
-
 /// Paper reference point: storage of the 8-core / 2-channel / 128-entry
 /// configuration, in bytes.
 const REF_STORAGE_BYTES: f64 = 5376.0;
@@ -114,7 +113,10 @@ impl Default for OverheadModel {
 }
 
 fn log2(v: u32) -> u32 {
-    debug_assert!(v.is_power_of_two(), "overhead equations assume powers of two");
+    debug_assert!(
+        v.is_power_of_two(),
+        "overhead equations assume powers of two"
+    );
     v.trailing_zeros()
 }
 

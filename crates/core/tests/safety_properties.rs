@@ -8,9 +8,7 @@
 //! ticks. Interleavings come from a seeded in-file PRNG so every run
 //! checks the same set.
 
-use chargecache::{
-    ChargeCache, ChargeCacheConfig, InvalidationPolicy, LatencyMechanism, RowKey,
-};
+use chargecache::{ChargeCache, ChargeCacheConfig, InvalidationPolicy, LatencyMechanism, RowKey};
 use dram::TimingParams;
 use std::collections::HashMap;
 

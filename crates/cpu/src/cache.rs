@@ -1,7 +1,6 @@
 //! Shared last-level cache: set-associative, LRU, write-back,
 //! write-allocate (without fetch for stores).
 
-
 /// LLC configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcConfig {
@@ -43,7 +42,10 @@ impl LlcConfig {
         if !self.line_bytes.is_power_of_two() {
             return Err("line size must be a power of two".into());
         }
-        if self.capacity_bytes % (self.ways as u64 * self.line_bytes) != 0 {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(self.ways as u64 * self.line_bytes)
+        {
             return Err("capacity must divide evenly into sets".into());
         }
         if !(self.sets() as u64).is_power_of_two() {
@@ -123,6 +125,8 @@ pub enum LlcOutcome {
 pub struct Llc {
     cfg: LlcConfig,
     sets: usize,
+    /// `log2(line_bytes)` — lines are located by shift, not division.
+    line_shift: u32,
     lines: Vec<Line>,
     stamp: u64,
     stats: LlcStats,
@@ -138,6 +142,7 @@ impl Llc {
         cfg.validate().expect("invalid LLC configuration");
         let sets = cfg.sets();
         Self {
+            line_shift: cfg.line_bytes.trailing_zeros(),
             cfg,
             sets,
             lines: vec![Line::default(); sets * cfg.ways],
@@ -203,7 +208,7 @@ impl Llc {
     }
 
     fn locate(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
+        let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
         (set, line)
     }
@@ -234,14 +239,14 @@ impl Llc {
         self.stamp += 1;
         let stamp = self.stamp;
         let ways = self.cfg.ways;
-        let line_bytes = self.cfg.line_bytes;
+
         let slice = &mut self.lines[set * ways..(set + 1) * ways];
         let victim = match slice.iter_mut().find(|l| !l.valid) {
             Some(v) => v,
             None => slice.iter_mut().min_by_key(|l| l.stamp).expect("ways > 0"),
         };
         let wb = if victim.valid && victim.dirty {
-            Some(victim.tag * line_bytes)
+            Some(victim.tag << self.line_shift)
         } else {
             None
         };

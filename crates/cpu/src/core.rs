@@ -11,7 +11,6 @@
 
 use std::collections::VecDeque;
 
-
 use crate::trace::{MemOp, TraceSource};
 
 /// Identifier of an in-flight load within one core.
@@ -96,6 +95,31 @@ pub enum AccessReply {
     Retry,
 }
 
+/// What one [`Core::step`] call accomplished — the cycle-skipping engine
+/// uses this to decide whether the core is quiescent (nothing can happen
+/// until an external completion, a queued cache hit matures, or the
+/// memory system changes state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Instructions retired this cycle.
+    pub retired: u32,
+    /// Instructions dispatched this cycle.
+    pub dispatched: u32,
+    /// Dispatch was cut short by [`AccessReply::Retry`] (a memory queue
+    /// was full); the core will re-attempt the access every cycle, so the
+    /// engine must not skip cycles while this is set.
+    pub blocked_on_retry: bool,
+}
+
+impl StepOutcome {
+    /// True when the step changed nothing observable: no retire, no
+    /// dispatch, no retry loop. A quiescent core stays quiescent until an
+    /// external event (load completion or a maturing cache hit).
+    pub fn quiescent(&self) -> bool {
+        self.retired == 0 && self.dispatched == 0 && !self.blocked_on_retry
+    }
+}
+
 /// Window slot: a run of ready instructions or one in-flight load.
 #[derive(Debug, Clone, Copy)]
 enum Slot {
@@ -114,8 +138,10 @@ pub struct Core {
     nonmem_credit: u32,
     /// Memory op of the current entry awaiting dispatch.
     pending_op: Option<MemOp>,
-    /// Loads that hit in the cache, waiting for their ready cycle.
-    hit_queue: Vec<(u64, LoadId)>,
+    /// Loads that hit in the cache, waiting for their ready cycle;
+    /// kept sorted by ready cycle (FIFO among ties) so promotion pops
+    /// from the front instead of scanning.
+    hit_queue: VecDeque<(u64, LoadId)>,
     /// Outstanding load misses (MSHR usage).
     outstanding: usize,
     next_load_id: LoadId,
@@ -135,7 +161,7 @@ impl Core {
             occupancy: 0,
             nonmem_credit: 0,
             pending_op: None,
-            hit_queue: Vec::new(),
+            hit_queue: VecDeque::new(),
             outstanding: 0,
             next_load_id: 0,
             trace_done: false,
@@ -191,40 +217,66 @@ impl Core {
 
     /// Simulates one CPU cycle. `access` is invoked for each memory
     /// operation the core dispatches this cycle (at most one) and must
-    /// return the system's reply.
-    pub fn step<F>(&mut self, now: u64, access: &mut F)
+    /// return the system's reply. Returns what the cycle accomplished,
+    /// which the cycle-skipping engine uses to detect quiescence.
+    pub fn step<F>(&mut self, now: u64, access: &mut F) -> StepOutcome
     where
         F: FnMut(MemAccess) -> AccessReply,
     {
         self.stats.cycles += 1;
 
-        // Promote cache hits whose data has arrived.
-        if !self.hit_queue.is_empty() {
-            let window = &mut self.window;
-            self.hit_queue.retain(|&(at, id)| {
-                if at <= now {
-                    if let Some(Slot::Load { ready, .. }) = window
-                        .iter_mut()
-                        .find(|s| matches!(s, Slot::Load { id: i, .. } if *i == id))
-                    {
-                        *ready = true;
-                    }
-                    false
-                } else {
-                    true
-                }
-            });
+        // Promote cache hits whose data has arrived (sorted: pop fronts).
+        while let Some(&(at, id)) = self.hit_queue.front() {
+            if at > now {
+                break;
+            }
+            self.hit_queue.pop_front();
+            if let Some(Slot::Load { ready, .. }) = self
+                .window
+                .iter_mut()
+                .find(|s| matches!(s, Slot::Load { id: i, .. } if *i == id))
+            {
+                *ready = true;
+            }
         }
 
-        self.retire();
-        let dispatched = self.dispatch(now, access);
+        let retired = self.retire();
+        let (dispatched, blocked_on_retry) = self.dispatch(now, access);
         if dispatched == 0 && !self.finished() {
             self.stats.stall_cycles += 1;
         }
+        StepOutcome {
+            retired,
+            dispatched,
+            blocked_on_retry,
+        }
     }
 
-    /// Retires up to `issue_width` ready instructions from the head.
-    fn retire(&mut self) {
+    /// Earliest future cycle at which this core can make progress on its
+    /// own — i.e. the next queued cache hit maturing. `None` when the
+    /// core's only possible wake-up is external (a load completion via
+    /// [`Self::complete_load`]) or it is finished.
+    ///
+    /// Only meaningful when the previous [`Self::step`] returned a
+    /// [`StepOutcome`] with `quiescent() == true`; an active core must
+    /// simply be stepped every cycle.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.hit_queue.front().map(|&(at, _)| at)
+    }
+
+    /// Accounts `cycles` skipped cycles during which the engine proved the
+    /// core could make no progress: the per-cycle path would have burned
+    /// them as stall cycles (or idle cycles once finished).
+    pub fn absorb_idle_cycles(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+        if !self.finished() {
+            self.stats.stall_cycles += cycles;
+        }
+    }
+
+    /// Retires up to `issue_width` ready instructions from the head;
+    /// returns the number retired.
+    fn retire(&mut self) -> u32 {
         let mut budget = self.cfg.issue_width;
         while budget > 0 {
             match self.window.front_mut() {
@@ -247,15 +299,17 @@ impl Core {
                 _ => break,
             }
         }
+        self.cfg.issue_width - budget
     }
 
     /// Dispatches up to `issue_width` instructions; returns the number
-    /// dispatched.
-    fn dispatch<F>(&mut self, now: u64, access: &mut F) -> u32
+    /// dispatched and whether dispatch stopped on a memory-queue retry.
+    fn dispatch<F>(&mut self, now: u64, access: &mut F) -> (u32, bool)
     where
         F: FnMut(MemAccess) -> AccessReply,
     {
         let mut dispatched = 0;
+        let mut blocked_on_retry = false;
         while dispatched < self.cfg.issue_width {
             if self.occupancy >= self.cfg.window {
                 break;
@@ -308,7 +362,13 @@ impl Core {
                                 ready: false,
                             });
                             self.occupancy += 1;
-                            self.hit_queue.push((at.max(now + 1), load_id));
+                            // Hits almost always arrive in order (the LLC
+                            // latency is constant); keep the queue sorted
+                            // for out-of-order replies too, inserting
+                            // after ties to preserve FIFO promotion.
+                            let at = at.max(now + 1);
+                            let pos = self.hit_queue.partition_point(|&(t, _)| t <= at);
+                            self.hit_queue.insert(pos, (at, load_id));
                             self.stats.loads += 1;
                             self.pending_op = None;
                             dispatched += 1;
@@ -328,7 +388,10 @@ impl Core {
                         AccessReply::Done => {
                             unreachable!("loads cannot complete instantaneously")
                         }
-                        AccessReply::Retry => break,
+                        AccessReply::Retry => {
+                            blocked_on_retry = true;
+                            break;
+                        }
                     }
                 }
                 MemOp::Store(_) => {
@@ -345,13 +408,16 @@ impl Core {
                             self.pending_op = None;
                             dispatched += 1;
                         }
-                        AccessReply::Retry => break,
+                        AccessReply::Retry => {
+                            blocked_on_retry = true;
+                            break;
+                        }
                         other => unreachable!("stores are posted, got {other:?}"),
                     }
                 }
             }
         }
-        dispatched
+        (dispatched, blocked_on_retry)
     }
 
     fn push_ready(&mut self, n: u32) {
@@ -405,7 +471,11 @@ mod tests {
         assert!(core.finished());
         assert_eq!(core.retired(), 300);
         // 3-wide: about 100 cycles (+ pipeline edges).
-        assert!(core.stats().cycles <= 105, "cycles = {}", core.stats().cycles);
+        assert!(
+            core.stats().cycles <= 105,
+            "cycles = {}",
+            core.stats().cycles
+        );
     }
 
     #[test]

@@ -117,7 +117,14 @@ mod tests {
     #[test]
     fn entry_instruction_count() {
         assert_eq!(entry(3, 0).instructions(), 4);
-        assert_eq!(TraceEntry { nonmem: 5, op: None }.instructions(), 5);
+        assert_eq!(
+            TraceEntry {
+                nonmem: 5,
+                op: None
+            }
+            .instructions(),
+            5
+        );
     }
 
     #[test]

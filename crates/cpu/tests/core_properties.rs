@@ -77,7 +77,7 @@ fn retired_equals_trace_instructions() {
                 counter += 1;
                 match a.op {
                     MemOp::Store(_) => {
-                        if counter % u64::from(b.retry_every) == 0 {
+                        if counter.is_multiple_of(u64::from(b.retry_every)) {
                             AccessReply::Retry
                         } else {
                             AccessReply::Done
@@ -90,7 +90,7 @@ fn retired_equals_trace_instructions() {
                             AccessReply::Pending
                         }
                         _ => {
-                            if counter % u64::from(b.retry_every) == 0 {
+                            if counter.is_multiple_of(u64::from(b.retry_every)) {
                                 AccessReply::Retry
                             } else {
                                 AccessReply::HitAt(now + u64::from(b.hit_latency))

@@ -6,7 +6,6 @@
 //! permutation-based page interleaving) that spreads row-conflict traffic
 //! across banks.
 
-
 use crate::command::{BankLoc, RowId};
 use crate::config::Organization;
 
@@ -242,16 +241,15 @@ mod tests {
         let plain = AddressMapper::new(org(), MappingScheme::RoRaBaCoCh, false);
         let xored = AddressMapper::new(org(), MappingScheme::RoRaBaCoCh, true);
         // Pick an address whose row has low bits set.
-        let phys = plain
-            .encode(DramAddress {
-                loc: BankLoc {
-                    channel: 0,
-                    rank: 0,
-                    bank: 2,
-                },
-                row: 5,
-                col: 7,
-            });
+        let phys = plain.encode(DramAddress {
+            loc: BankLoc {
+                channel: 0,
+                rank: 0,
+                bank: 2,
+            },
+            row: 5,
+            col: 7,
+        });
         let a = plain.decode(phys);
         let b = xored.decode(phys);
         assert_eq!(a.row, b.row);

@@ -1,6 +1,5 @@
 //! Per-bank state machine and timing registers.
 
-
 use crate::command::RowId;
 use crate::timing::{ActTimings, TimingParams};
 use crate::BusCycle;
@@ -138,8 +137,8 @@ impl Bank {
     ) -> Option<(RowId, BusCycle)> {
         let row = self.open_row().expect("RD to a precharged bank");
         if auto_pre {
-            let pre_start = (now + BusCycle::from(t.trtp))
-                .max(self.act_at + BusCycle::from(self.cur_tras));
+            let pre_start =
+                (now + BusCycle::from(t.trtp)).max(self.act_at + BusCycle::from(self.cur_tras));
             self.state = BankState::Precharged;
             self.next_act = self.next_act.max(pre_start + BusCycle::from(t.trp));
             Some((row, pre_start))
@@ -237,10 +236,7 @@ mod tests {
         b.issue_act(0, t.act_timings(), &t, 5);
         let wr_at = u64::from(t.trcd);
         b.issue_wr(wr_at, &t, false);
-        assert_eq!(
-            b.earliest_pre(0),
-            wr_at + u64::from(t.tcwl + t.tbl + t.twr)
-        );
+        assert_eq!(b.earliest_pre(0), wr_at + u64::from(t.tcwl + t.tbl + t.twr));
     }
 
     #[test]

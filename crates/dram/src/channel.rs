@@ -1,6 +1,5 @@
 //! Per-channel state: ranks plus the shared command/data buses.
 
-
 use crate::command::Command;
 use crate::config::DramConfig;
 use crate::error::IssueError;
@@ -64,7 +63,10 @@ impl Channel {
             Command::Act { loc, row } => {
                 let rank = &self.ranks[loc.rank as usize];
                 if let Some(open) = rank.bank(loc.bank).open_row() {
-                    return Err(IssueError::RowAlreadyOpen { loc, open_row: open });
+                    return Err(IssueError::RowAlreadyOpen {
+                        loc,
+                        open_row: open,
+                    });
                 }
                 let _ = row;
                 rank.earliest_act(loc.bank, now, t)
@@ -254,17 +256,21 @@ mod tests {
             t.act_timings(),
         );
         assert_eq!(out.closed_rows.len(), 2);
-        assert!(out.closed_rows.iter().any(|&(l, r, _)| l == loc(0) && r == 10));
-        assert!(out.closed_rows.iter().any(|&(l, r, _)| l == loc(1) && r == 20));
+        assert!(out
+            .closed_rows
+            .iter()
+            .any(|&(l, r, _)| l == loc(0) && r == 10));
+        assert!(out
+            .closed_rows
+            .iter()
+            .any(|&(l, r, _)| l == loc(1) && r == 20));
     }
 
     #[test]
     fn read_returns_data_after_cl_plus_burst() {
         let (mut ch, t) = setup();
         ch.issue(&Command::act(loc(0), 1), 0, &t, t.act_timings());
-        let rd_at = ch
-            .earliest_issue(&Command::rd(loc(0), 0), 0, &t)
-            .unwrap();
+        let rd_at = ch.earliest_issue(&Command::rd(loc(0), 0), 0, &t).unwrap();
         let out = ch.issue(&Command::rd(loc(0), 0), rd_at, &t, t.act_timings());
         assert_eq!(out.data_at, Some(rd_at + u64::from(t.tcl + t.tbl)));
     }

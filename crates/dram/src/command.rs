@@ -1,6 +1,5 @@
 //! DRAM commands and addressing coordinates.
 
-
 /// A DRAM row index within a bank.
 pub type RowId = u32;
 
@@ -157,9 +156,13 @@ impl Command {
             Command::Act { .. } => CommandKind::Act,
             Command::Pre { .. } => CommandKind::Pre,
             Command::PreAll { .. } => CommandKind::PreAll,
-            Command::Rd { auto_pre: false, .. } => CommandKind::Rd,
+            Command::Rd {
+                auto_pre: false, ..
+            } => CommandKind::Rd,
             Command::Rd { auto_pre: true, .. } => CommandKind::RdA,
-            Command::Wr { auto_pre: false, .. } => CommandKind::Wr,
+            Command::Wr {
+                auto_pre: false, ..
+            } => CommandKind::Wr,
             Command::Wr { auto_pre: true, .. } => CommandKind::WrA,
             Command::Ref { .. } => CommandKind::Ref,
         }

@@ -1,6 +1,5 @@
 //! DRAM system configuration: organization plus timing.
 
-
 use crate::timing::TimingParams;
 
 /// Physical organization of the memory system.

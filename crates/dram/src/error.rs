@@ -68,7 +68,10 @@ mod tests {
         for e in [
             IssueError::NoOpenRow { loc },
             IssueError::RowAlreadyOpen { loc, open_row: 9 },
-            IssueError::BanksNotPrecharged { channel: 0, rank: 0 },
+            IssueError::BanksNotPrecharged {
+                channel: 0,
+                rank: 0,
+            },
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());

@@ -62,7 +62,6 @@ pub use timing::{ActTimings, SpeedBin, TimingParams};
 /// Absolute time in DRAM bus cycles (tCK units).
 pub type BusCycle = u64;
 
-
 /// Outcome of successfully issuing a command.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IssueOutcome {
@@ -103,9 +102,7 @@ pub struct DramDevice {
 impl DramDevice {
     /// Creates a device for the given configuration.
     pub fn new(cfg: DramConfig) -> Self {
-        let channels = (0..cfg.org.channels)
-            .map(|_| Channel::new(&cfg))
-            .collect();
+        let channels = (0..cfg.org.channels).map(|_| Channel::new(&cfg)).collect();
         Self {
             cfg,
             channels,
@@ -173,11 +170,14 @@ impl DramDevice {
     ///
     /// # Panics
     ///
-    /// Panics if the command cannot legally issue at `now`; call
-    /// [`Self::can_issue`] first. This is a simulator-integrity check: a
-    /// controller that issues illegal commands is a bug, not a runtime
-    /// condition.
+    /// Panics (in debug builds) if the command cannot legally issue at
+    /// `now`; call [`Self::can_issue`] first. This is a simulator-
+    /// integrity check: a controller that issues illegal commands is a
+    /// bug, not a runtime condition. Release builds trust the controller
+    /// and skip the re-verification — it would double the per-command
+    /// timing-check cost on the simulator's hottest path.
     pub fn issue(&mut self, cmd: &Command, now: BusCycle, act: ActTimings) -> IssueOutcome {
+        #[cfg(debug_assertions)]
         match self.earliest_issue(cmd, now) {
             Ok(t) if t <= now => {}
             Ok(t) => panic!("command {cmd:?} issued at {now}, legal only at {t}"),
@@ -262,6 +262,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "legal only at")]
     fn premature_issue_panics() {
         let (mut dev, cfg, loc) = setup();

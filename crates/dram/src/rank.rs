@@ -2,7 +2,6 @@
 
 use std::collections::VecDeque;
 
-
 use crate::bank::Bank;
 use crate::command::RowId;
 use crate::config::DramConfig;

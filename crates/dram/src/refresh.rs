@@ -21,7 +21,6 @@
 //! simulated time, grossly inflating the "recently refreshed" fraction
 //! that Figure 3 and NUAT depend on.
 
-
 use crate::command::RowId;
 use crate::BusCycle;
 
@@ -189,9 +188,7 @@ mod tests {
     fn apply_ref_refreshes_stalest_bin_first() {
         let mut r = RefreshState::new(64, 4, 100);
         // The first REF must hit the bin with the maximum age.
-        let stalest = (0..64u32)
-            .max_by_key(|&b| r.refresh_age(b * 4, 0))
-            .unwrap();
+        let stalest = (0..64u32).max_by_key(|&b| r.refresh_age(b * 4, 0)).unwrap();
         r.apply_ref(100);
         assert_eq!(r.refresh_age(stalest * 4, 100), 0);
     }

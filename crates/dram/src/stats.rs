@@ -1,6 +1,5 @@
 //! Command-count statistics for the device.
 
-
 use crate::command::CommandKind;
 
 /// Running totals of every command kind issued to a device.

@@ -4,7 +4,6 @@
 //! DDR3-1600 11-11-11 at a 800 MHz bus (tCK = 1.25 ns), matching the
 //! paper's Table 1 (`tRCD`/`tRAS` of 11/28 cycles).
 
-
 /// The `tRCD`/`tRAS` pair applied to a single activation.
 ///
 /// This is the only seam ChargeCache needs: a hit in the HCRAC issues the
@@ -317,7 +316,12 @@ mod tests {
     fn speed_bin_analog_timings_are_clock_independent() {
         // tRCD in nanoseconds stays within the DDR3 13-14 ns band across
         // the DDR3 bins even though the cycle counts differ.
-        for bin in [SpeedBin::Ddr3_1066, SpeedBin::Ddr3_1333, SpeedBin::Ddr3_1600, SpeedBin::Ddr3_1866] {
+        for bin in [
+            SpeedBin::Ddr3_1066,
+            SpeedBin::Ddr3_1333,
+            SpeedBin::Ddr3_1600,
+            SpeedBin::Ddr3_1866,
+        ] {
             let t = bin.timing();
             let trcd_ns = f64::from(t.trcd) * t.tck_ns;
             assert!((13.0..=15.1).contains(&trcd_ns), "{bin:?}: {trcd_ns}");

@@ -3,9 +3,7 @@
 //! self-consistent. Command sequences come from a seeded in-file PRNG so
 //! every run checks the same set.
 
-use dram::{
-    AddressMapper, BankLoc, Command, DramConfig, DramDevice, MappingScheme, Organization,
-};
+use dram::{AddressMapper, BankLoc, Command, DramConfig, DramDevice, MappingScheme, Organization};
 
 /// xorshift64* — deterministic case generator.
 struct Cases(u64);
@@ -135,7 +133,9 @@ fn random_legal_sequences_never_violate() {
                 rank: 0,
                 bank: cmd.bank().unwrap_or(0),
             });
-            let at = dev.earliest_issue(&cmd, now).expect("resolved intents are legal");
+            let at = dev
+                .earliest_issue(&cmd, now)
+                .expect("resolved intents are legal");
             assert!(at >= now, "quoted time in the past");
             let out = dev.issue(&cmd, at, spec);
             now = at;

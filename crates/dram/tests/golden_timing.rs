@@ -35,11 +35,11 @@ fn golden_single_bank_open_row_sequence() {
         spec,
         &[
             (Command::act(loc(0), 100), 0),
-            (Command::rd(loc(0), 0), 11), // tRCD
-            (Command::rd(loc(0), 1), 15), // +tCCD
-            (Command::wr(loc(0), 2), 24), // RD→WR: 15 + tCL+tBL+2−tCWL = 15+9
-            (Command::rd(loc(0), 3), 42), // WR→RD: 24 + tCWL+tBL+tWTR = 24+18
-            (Command::pre(loc(0)), 48),   // RD→PRE: 42 + tRTP (> tRAS=28)
+            (Command::rd(loc(0), 0), 11),    // tRCD
+            (Command::rd(loc(0), 1), 15),    // +tCCD
+            (Command::wr(loc(0), 2), 24),    // RD→WR: 15 + tCL+tBL+2−tCWL = 15+9
+            (Command::rd(loc(0), 3), 42),    // WR→RD: 24 + tCWL+tBL+tWTR = 24+18
+            (Command::pre(loc(0)), 48),      // RD→PRE: 42 + tRTP (> tRAS=28)
             (Command::act(loc(0), 101), 59), // PRE + tRP
         ],
     );
@@ -166,8 +166,16 @@ fn golden_two_rank_data_bus_switch() {
     let t = cfg.timing.clone();
     let mut dev = DramDevice::new(cfg);
     let spec = t.act_timings();
-    let r0 = BankLoc { channel: 0, rank: 0, bank: 0 };
-    let r1 = BankLoc { channel: 0, rank: 1, bank: 0 };
+    let r0 = BankLoc {
+        channel: 0,
+        rank: 0,
+        bank: 0,
+    };
+    let r1 = BankLoc {
+        channel: 0,
+        rank: 1,
+        bank: 0,
+    };
     dev.issue(&Command::act(r0, 1), 0, spec);
     dev.issue(&Command::act(r1, 1), 1, spec);
     let rd0 = Command::rd(r0, 0);

@@ -168,8 +168,7 @@ impl EnergyModel {
         // Background: reconstruct per-rank open-bank occupancy over time.
         // Ranks are identified by (channel, rank) pairs found in the log;
         // idle ranks contribute IDD2N for the whole run.
-        let ranks =
-            u64::from(self.cfg.org.channels) * u64::from(self.cfg.org.ranks);
+        let ranks = u64::from(self.cfg.org.channels) * u64::from(self.cfg.org.ranks);
         let mut active_cycles = 0u64; // Σ per-rank cycles with ≥1 open bank
         {
             use std::collections::HashMap;
@@ -356,9 +355,7 @@ mod tests {
         let base = model();
         // Commands every 500 cycles: no gap exceeds the threshold, except
         // the tail — truncate the run right after the last command.
-        let log: Vec<CommandRecord> = (0..10)
-            .map(|i| rec(i * 500, CommandKind::Act))
-            .collect();
+        let log: Vec<CommandRecord> = (0..10).map(|i| rec(i * 500, CommandKind::Act)).collect();
         let a = pd.energy(&log, 4_600);
         let b = base.energy(&log, 4_600);
         assert!((a.background_pj - b.background_pj).abs() < 1e-9);

@@ -1,6 +1,5 @@
 //! Controller configuration.
 
-
 /// Row-buffer management policy (paper Section 3 / Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowPolicy {

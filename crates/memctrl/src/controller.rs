@@ -1,8 +1,12 @@
 //! Per-channel controller: queues, FR-FCFS scheduling, refresh duty and
 //! the ChargeCache mechanism seam.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use chargecache::{LatencyMechanism, RowKey};
 use dram::{BankLoc, BusCycle, Command, DramDevice, RankLoc};
+use fasthash::FastHashMap;
 
 use crate::config::{CtrlConfig, RowPolicy, SchedPolicy};
 use crate::request::{AccessKind, Completion, Pending};
@@ -28,14 +32,87 @@ struct Queued {
     progress: Progress,
 }
 
+/// Outcome of one FR-FCFS queue scan: the index to issue, by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pick {
+    /// Oldest issuable row-hit column command.
+    Hit(usize),
+    /// Oldest legal ACT into a precharged bank.
+    Act(usize),
+    /// Oldest legal conflict PRE (no queued hits on the open row).
+    Pre(usize),
+    /// Nothing issuable this cycle.
+    None,
+}
+
+impl Pick {
+    fn is_none(&self) -> bool {
+        *self == Pick::None
+    }
+}
+
+/// Minimum of two optional cycle quotes.
+fn merge(a: Option<BusCycle>, b: Option<BusCycle>) -> Option<BusCycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// A read issued to DRAM (or forwarded), waiting for its data beat.
+///
+/// Ordered by `(at, seq)` so a min-heap pops completions in data-arrival
+/// order, with the enqueue sequence breaking ties exactly like the former
+/// insertion-ordered scan — completion order is part of the simulator's
+/// determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Inflight {
+    at: BusCycle,
+    seq: u64,
+    p: Pending,
+}
+
+impl Ord for Inflight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Inflight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// One channel's controller.
 pub(crate) struct ChannelCtrl {
     channel: u8,
     cfg: CtrlConfig,
     read_q: Vec<Queued>,
     write_q: Vec<Queued>,
-    /// Reads issued to DRAM (or forwarded), waiting for data.
-    inflight: Vec<(BusCycle, Pending)>,
+    /// Reads issued to DRAM (or forwarded), waiting for data; min-heap on
+    /// the data-arrival deadline so collecting completions is O(log n)
+    /// per completion instead of a full scan every bus cycle.
+    inflight: BinaryHeap<Reverse<Inflight>>,
+    /// Monotonic sequence for in-flight heap tie-breaking.
+    inflight_seq: u64,
+    /// Sound lower bound on the next cycle any command (demand or
+    /// refresh) can issue, given the queue/device state at the time it
+    /// was computed. Ticks before this cycle skip the FR-FCFS scan
+    /// entirely — the dominant per-cycle cost of the dense engine — and
+    /// the cycle-skipping engine reads it as its command event source.
+    /// Enqueues lower it; every scheduler pass recomputes it.
+    next_try: BusCycle,
+    /// Queued demand (read + write) per DRAM row, maintained on enqueue
+    /// and issue. Replaces the former per-candidate queue scans — the
+    /// O(queue²) part of FR-FCFS conflict selection — with O(1) lookups.
+    row_demand: FastHashMap<RowKey, u32>,
+    /// Scratch for per-scan quote memoization, one slot per bank and
+    /// command class (column/ACT/PRE). DDR3 command legality depends on
+    /// the bank and bus state, not on the column or row index, so every
+    /// same-class entry in a bank shares one `earliest_issue` quote.
+    quote_scratch: Vec<[Option<BusCycle>; 3]>,
     /// Write-drain mode latch.
     draining: bool,
     /// Core that opened the row in each bank (rank-major).
@@ -62,7 +139,11 @@ impl ChannelCtrl {
             cfg,
             read_q: Vec::new(),
             write_q: Vec::new(),
-            inflight: Vec::new(),
+            inflight: BinaryHeap::new(),
+            inflight_seq: 0,
+            next_try: 0,
+            row_demand: FastHashMap::default(),
+            quote_scratch: vec![[None; 3]; usize::from(ranks) * usize::from(banks)],
             draining: false,
             opened_by: vec![0; usize::from(ranks) * usize::from(banks)],
             refresh_pending: vec![false; usize::from(ranks)],
@@ -108,18 +189,25 @@ impl ChannelCtrl {
 
     /// Accepts a request the caller has verified fits (`can_accept`).
     pub(crate) fn enqueue(&mut self, p: Pending, now: BusCycle) {
+        // New work may be schedulable immediately: drop the issue bound.
+        self.next_try = now;
         match p.kind {
             AccessKind::Read => {
                 self.stats.reads += 1;
                 // Forward from a queued write to the same line.
-                let hit = self
-                    .write_q
-                    .iter()
-                    .any(|w| w.p.addr.loc == p.addr.loc && w.p.addr.row == p.addr.row && w.p.addr.col == p.addr.col);
+                let hit = self.write_q.iter().any(|w| {
+                    w.p.addr.loc == p.addr.loc
+                        && w.p.addr.row == p.addr.row
+                        && w.p.addr.col == p.addr.col
+                });
                 if hit {
                     self.stats.forwarded_reads += 1;
-                    self.inflight.push((now + 1, p));
+                    self.push_inflight(now + 1, p);
                 } else {
+                    *self
+                        .row_demand
+                        .entry(RowKey::from_loc(p.addr.loc, p.addr.row))
+                        .or_insert(0) += 1;
                     self.read_q.push(Queued {
                         p,
                         progress: Progress::Fresh,
@@ -128,6 +216,10 @@ impl ChannelCtrl {
             }
             AccessKind::Write => {
                 self.stats.writes += 1;
+                *self
+                    .row_demand
+                    .entry(RowKey::from_loc(p.addr.loc, p.addr.row))
+                    .or_insert(0) += 1;
                 self.write_q.push(Queued {
                     p,
                     progress: Progress::Fresh,
@@ -136,34 +228,175 @@ impl ChannelCtrl {
         }
     }
 
-    /// One bus cycle: collect completions, then issue at most one command.
-    pub(crate) fn tick(&mut self, now: BusCycle, device: &mut DramDevice) -> Vec<Completion> {
-        self.mech.tick(now);
-
-        let mut done = Vec::new();
-        let stats = &mut self.stats;
-        self.inflight.retain(|&(at, p)| {
-            if at <= now {
-                stats.record_read_latency(at - p.arrived);
-                done.push(Completion {
-                    id: p.id,
-                    core: p.core,
-                    at,
-                    kind: AccessKind::Read,
-                });
-                false
-            } else {
-                true
-            }
-        });
-
-        self.try_issue(now, device);
-        done
+    /// Number of queued requests (either queue) targeting `row` of `loc`.
+    fn queued_demand(&self, loc: BankLoc, row: u32) -> u32 {
+        self.row_demand
+            .get(&RowKey::from_loc(loc, row))
+            .copied()
+            .unwrap_or(0)
     }
 
-    fn try_issue(&mut self, now: BusCycle, device: &mut DramDevice) {
+    /// Drops one unit of queued demand for `row` of `loc` (on issue).
+    fn release_demand(&mut self, loc: BankLoc, row: u32) {
+        let key = RowKey::from_loc(loc, row);
+        match self.row_demand.get_mut(&key) {
+            Some(1) => {
+                self.row_demand.remove(&key);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("releasing demand that was never queued"),
+        }
+    }
+
+    fn push_inflight(&mut self, at: BusCycle, p: Pending) {
+        let seq = self.inflight_seq;
+        self.inflight_seq += 1;
+        self.inflight.push(Reverse(Inflight { at, seq, p }));
+    }
+
+    /// True if ticking at `now` would do anything: a completion is due or
+    /// the issue gate is open. A channel with no work needs no tick — the
+    /// cycle-skipping engine uses this to bypass idle boundaries (the
+    /// mechanism's time-based counters catch up at the next real tick).
+    pub(crate) fn has_work(&self, now: BusCycle) -> bool {
+        if self.next_try <= now {
+            return true;
+        }
+        matches!(self.inflight.peek(), Some(&Reverse(f)) if f.at <= now)
+    }
+
+    /// One bus cycle: collect completions into `done`, then issue at most
+    /// one command.
+    pub(crate) fn tick(
+        &mut self,
+        now: BusCycle,
+        device: &mut DramDevice,
+        done: &mut Vec<Completion>,
+    ) {
+        self.mech.tick(now);
+
+        while let Some(&Reverse(f)) = self.inflight.peek() {
+            if f.at > now {
+                break;
+            }
+            self.inflight.pop();
+            self.stats.record_read_latency(f.at - f.p.arrived);
+            done.push(Completion {
+                id: f.p.id,
+                core: f.p.core,
+                at: f.at,
+                kind: AccessKind::Read,
+            });
+        }
+
+        if now >= self.next_try {
+            self.next_try = match self.schedule_pass(now, device) {
+                // A command issued: the pass's bound reflects pre-issue
+                // timing state, so recompute from scratch (typically the
+                // next command is gated by tCCD/tRRD, not now + 1).
+                (true, _) => self.schedule_bound(now, device),
+                // Nothing issued: the state is unchanged, so the bound
+                // gathered during the very same scan is exact.
+                (false, bound) => bound,
+            };
+        }
+    }
+
+    /// Advances time-based mechanism state (invalidation counters) to
+    /// `now` without ticking the scheduler. The cycle-skipping engine
+    /// calls this before reading statistics so skipped cycles cannot
+    /// leave invalidations unaccounted.
+    pub(crate) fn sync_mech(&mut self, now: BusCycle) {
+        self.mech.tick(now);
+    }
+
+    /// Earliest bus cycle strictly after `now` at which this channel can
+    /// do observable work: a read completion arriving, a queued request's
+    /// next command becoming legal, or the refresh duty engaging. O(1):
+    /// completions come from the deadline heap's root and command/refresh
+    /// events from the maintained [`Self::next_try`] bound.
+    ///
+    /// The bound is *sound* (never later than the real next event) but may
+    /// be conservative: waking the controller on a cycle where nothing
+    /// issues is a no-op, exactly as the dense per-cycle loop experiences
+    /// on most cycles.
+    pub(crate) fn next_event(&self, now: BusCycle, _device: &DramDevice) -> Option<BusCycle> {
+        let mut best = self.next_try.max(now + 1);
+        if let Some(&Reverse(f)) = self.inflight.peek() {
+            best = best.min(f.at.max(now + 1));
+        }
+        Some(best)
+    }
+
+    /// Earliest cycle the refresh duty can next act: the pending
+    /// drain/REF sequence's command times, or the cycle the duty will
+    /// next engage (`due`, postponed up to the budget while demand is
+    /// queued).
+    fn refresh_bound(&self, now: BusCycle, device: &DramDevice) -> Option<BusCycle> {
+        let mut best: Option<BusCycle> = None;
+        let mut consider = |t: BusCycle| {
+            best = Some(best.map_or(t, |b: BusCycle| b.min(t)));
+        };
+        let trefi = BusCycle::from(device.config().timing.trefi);
+        let slack = BusCycle::from(self.cfg.max_postponed_refs) * trefi;
+        let idle = self.read_q.is_empty() && self.write_q.is_empty();
+        for rank in 0..self.refresh_pending.len() as u8 {
+            let rl = RankLoc {
+                channel: self.channel,
+                rank,
+            };
+            if self.refresh_pending[rank as usize] {
+                if device.all_banks_precharged(rl) {
+                    if let Ok(t) = device.earliest_issue(&Command::Ref { rank: rl }, now) {
+                        consider(t);
+                    }
+                } else {
+                    let banks = device.config().org.banks;
+                    for bank in 0..banks {
+                        let loc = BankLoc {
+                            channel: self.channel,
+                            rank,
+                            bank,
+                        };
+                        if device.open_row(loc).is_some() {
+                            if let Ok(t) = device.earliest_issue(&Command::pre(loc), now) {
+                                consider(t);
+                            }
+                        }
+                    }
+                }
+            } else {
+                let due = device.refresh_due(rl);
+                // Busy queues postpone the latch up to the DDR3 budget;
+                // if they drain earlier, a recompute after that tick
+                // tightens the bound to `due` itself.
+                consider(if idle { due } else { due + slack });
+            }
+        }
+        best
+    }
+
+    /// Recomputes the sound next-issue bound from current state. After an
+    /// issue at `now` the command bus is busy, so every quote is ≥
+    /// `now + 1` and the embedded selection scan cannot pick anything —
+    /// only the bounds come back.
+    fn schedule_bound(&mut self, now: BusCycle, device: &DramDevice) -> BusCycle {
+        let mut bound = self.refresh_bound(now, device);
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let (pick, b) = self.scan_queue(now, device, kind);
+            debug_assert!(pick.is_none(), "post-issue scan found an issuable command");
+            bound = merge(bound, b);
+        }
+        bound.map_or(now + 1, |b| b.max(now + 1))
+    }
+
+    /// Scheduler pass: refresh duty first, then FR-FCFS over the demand
+    /// queues. Returns whether a command was issued and, if not, the
+    /// exact next-issue bound gathered during the same scan (the state
+    /// did not change, so the per-entry quotes remain valid).
+    fn schedule_pass(&mut self, now: BusCycle, device: &mut DramDevice) -> (bool, BusCycle) {
         if self.issue_refresh_duty(now, device) {
-            return;
+            return (true, 0);
         }
 
         // Write-drain hysteresis.
@@ -173,14 +406,32 @@ impl ChannelCtrl {
             self.draining = false;
         }
         let writes_first = self.draining || self.read_q.is_empty();
+        let (first, second) = if writes_first {
+            (AccessKind::Write, AccessKind::Read)
+        } else {
+            (AccessKind::Read, AccessKind::Write)
+        };
 
-        if writes_first {
-            if !self.issue_for_queue(now, device, AccessKind::Write) {
-                self.issue_for_queue(now, device, AccessKind::Read);
+        let mut bound = self.refresh_bound(now, device);
+        for kind in [first, second] {
+            let (pick, b) = self.scan_queue(now, device, kind);
+            match pick {
+                Pick::Hit(idx) => {
+                    self.issue_column(now, device, kind, idx);
+                    return (true, 0);
+                }
+                Pick::Act(idx) => {
+                    self.issue_act(now, device, kind, idx);
+                    return (true, 0);
+                }
+                Pick::Pre(idx) => {
+                    self.issue_conflict_pre(now, device, kind, idx);
+                    return (true, 0);
+                }
+                Pick::None => bound = merge(bound, b),
             }
-        } else if !self.issue_for_queue(now, device, AccessKind::Read) {
-            self.issue_for_queue(now, device, AccessKind::Write);
         }
+        (false, bound.map_or(now + 1, |b| b.max(now + 1)))
     }
 
     /// Refresh duty: once a rank's REF is due (and any postponement budget
@@ -240,26 +491,104 @@ impl ChannelCtrl {
         false
     }
 
-    /// FR-FCFS over one queue: column commands for row hits first, then the
-    /// oldest request's next required command. Returns true if issued.
-    fn issue_for_queue(&mut self, now: BusCycle, device: &mut DramDevice, kind: AccessKind) -> bool {
-        // Pass 1: oldest row-hit column command.
-        if let Some(idx) = self.find_row_hit(now, device, kind) {
-            self.issue_column(now, device, kind, idx);
-            return true;
+    /// FR-FCFS over one queue: the oldest issuable row-hit column command
+    /// first, else the oldest legal ACT into a precharged bank, else the
+    /// oldest conflicting request whose bank can precharge and has no
+    /// queued row-hit traffic. One scan classifies every entry by its
+    /// bank's row-buffer state, picking the command to issue now *and*
+    /// accumulating the earliest future quote — so a non-issuing pass
+    /// needs no second walk to know when to try again.
+    fn scan_queue(
+        &mut self,
+        now: BusCycle,
+        device: &DramDevice,
+        kind: AccessKind,
+    ) -> (Pick, Option<BusCycle>) {
+        const COL: usize = 0;
+        const ACT: usize = 1;
+        const PRE: usize = 2;
+        let limit = self.scan_limit(kind);
+        let mut act: Option<usize> = None;
+        let mut pre: Option<usize> = None;
+        let mut bound: Option<BusCycle> = None;
+        let mut scratch = std::mem::take(&mut self.quote_scratch);
+        scratch.fill([None; 3]);
+        // Quote once per (bank, class): timing legality is independent of
+        // the column/row operands within a class.
+        let quote = |scratch: &mut Vec<[Option<BusCycle>; 3]>,
+                     bank_idx: usize,
+                     class: usize,
+                     cmd: &Command| {
+            *scratch[bank_idx][class].get_or_insert_with(|| {
+                // Illegal-state errors are unreachable: the command class
+                // was chosen from the bank's row-buffer state. Treat them
+                // as "never" so the entry simply contributes no quote.
+                device.earliest_issue(cmd, now).unwrap_or(BusCycle::MAX)
+            })
+        };
+        for (i, q) in self.queue(kind)[..limit].iter().enumerate() {
+            if self.rank_blocked(q.p.addr.loc.rank) {
+                continue;
+            }
+            let bank_idx = self.bank_index(q.p.addr.loc);
+            match device.open_row(q.p.addr.loc) {
+                Some(open) if open == q.p.addr.row => {
+                    let t = quote(
+                        &mut scratch,
+                        bank_idx,
+                        COL,
+                        &self.column_cmd(q, device, false),
+                    );
+                    if t == now {
+                        // A row hit always wins; older entries have
+                        // already been inspected, so stop scanning.
+                        self.quote_scratch = scratch;
+                        return (Pick::Hit(i), None);
+                    }
+                    if t != BusCycle::MAX {
+                        bound = merge(bound, Some(t));
+                    }
+                }
+                None => {
+                    let t = quote(
+                        &mut scratch,
+                        bank_idx,
+                        ACT,
+                        &Command::act(q.p.addr.loc, q.p.addr.row),
+                    );
+                    if t == now {
+                        if act.is_none() {
+                            act = Some(i);
+                        }
+                    } else if t != BusCycle::MAX {
+                        bound = merge(bound, Some(t));
+                    }
+                }
+                Some(open) => {
+                    // FR-FCFS: do not close a row that still has queued
+                    // hits — it wakes on the hit's own quote instead.
+                    if self.queued_demand(q.p.addr.loc, open) > 0 {
+                        continue;
+                    }
+                    let t = quote(&mut scratch, bank_idx, PRE, &Command::pre(q.p.addr.loc));
+                    if t == now {
+                        if act.is_none() && pre.is_none() {
+                            pre = Some(i);
+                        }
+                    } else if t != BusCycle::MAX {
+                        bound = merge(bound, Some(t));
+                    }
+                }
+            }
         }
-        // Pass 2: oldest request needing an ACT into a precharged bank.
-        if let Some(idx) = self.find_act(now, device, kind) {
-            self.issue_act(now, device, kind, idx);
-            return true;
+        self.quote_scratch = scratch;
+        if let Some(idx) = act {
+            (Pick::Act(idx), None)
+        } else if let Some(idx) = pre {
+            (Pick::Pre(idx), None)
+        } else {
+            (Pick::None, bound)
         }
-        // Pass 3: oldest conflicting request whose bank can precharge and
-        // has no queued row-hit traffic.
-        if let Some(idx) = self.find_conflict_pre(now, device, kind) {
-            self.issue_conflict_pre(now, device, kind, idx);
-            return true;
-        }
-        false
     }
 
     fn queue(&self, kind: AccessKind) -> &Vec<Queued> {
@@ -289,45 +618,6 @@ impl ChannelCtrl {
         }
     }
 
-    fn find_row_hit(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
-        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
-            !self.rank_blocked(q.p.addr.loc.rank)
-                && device.open_row(q.p.addr.loc) == Some(q.p.addr.row)
-                && device.can_issue(&self.column_cmd(q, device, false), now)
-        })
-    }
-
-    fn find_act(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
-        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
-            !self.rank_blocked(q.p.addr.loc.rank)
-                && device.open_row(q.p.addr.loc).is_none()
-                && device.can_issue(&Command::act(q.p.addr.loc, q.p.addr.row), now)
-        })
-    }
-
-    fn find_conflict_pre(&self, now: BusCycle, device: &DramDevice, kind: AccessKind) -> Option<usize> {
-        self.queue(kind)[..self.scan_limit(kind)].iter().position(|q| {
-            if self.rank_blocked(q.p.addr.loc.rank) {
-                return false;
-            }
-            match device.open_row(q.p.addr.loc) {
-                Some(open) if open != q.p.addr.row => {
-                    // FR-FCFS: do not close a row that still has queued hits.
-                    !self.any_queued_hit(q.p.addr.loc, open)
-                        && device.can_issue(&Command::pre(q.p.addr.loc), now)
-                }
-                _ => false,
-            }
-        })
-    }
-
-    fn any_queued_hit(&self, loc: BankLoc, row: u32) -> bool {
-        self.read_q
-            .iter()
-            .chain(self.write_q.iter())
-            .any(|q| q.p.addr.loc == loc && q.p.addr.row == row)
-    }
-
     /// Builds the RD/WR command for a queued request; `auto_pre` per the
     /// closed-row policy decision.
     fn column_cmd(&self, q: &Queued, _device: &DramDevice, auto_pre: bool) -> Command {
@@ -349,17 +639,18 @@ impl ChannelCtrl {
         }
     }
 
-    fn issue_column(&mut self, now: BusCycle, device: &mut DramDevice, kind: AccessKind, idx: usize) {
+    fn issue_column(
+        &mut self,
+        now: BusCycle,
+        device: &mut DramDevice,
+        kind: AccessKind,
+        idx: usize,
+    ) {
         let q = self.queue(kind)[idx];
         // Closed-row policy: auto-precharge when this is the last queued
-        // request for the open row.
+        // request for the open row (demand includes `q` itself).
         let auto_pre = self.cfg.row_policy == RowPolicy::Closed
-            && !self
-                .read_q
-                .iter()
-                .chain(self.write_q.iter())
-                .filter(|o| o.p.id != q.p.id)
-                .any(|o| o.p.addr.loc == q.p.addr.loc && o.p.addr.row == q.p.addr.row);
+            && self.queued_demand(q.p.addr.loc, q.p.addr.row) == 1;
         let cmd = self.column_cmd(&q, device, auto_pre);
         // The auto_pre variant shares legality with the plain one checked in
         // find_row_hit, but re-verify to be safe.
@@ -373,9 +664,10 @@ impl ChannelCtrl {
         }
         self.note_closed_rows(&out.closed_rows);
         let q = self.queue_mut(kind).remove(idx);
+        self.release_demand(q.p.addr.loc, q.p.addr.row);
         if q.p.kind == AccessKind::Read {
             let data_at = out.data_at.expect("reads return data");
-            self.inflight.push((data_at, q.p));
+            self.push_inflight(data_at, q.p);
         }
     }
 

@@ -77,7 +77,9 @@ impl MemorySystem {
         mechs: Vec<Box<dyn LatencyMechanism>>,
     ) -> Self {
         dram_cfg.validate().expect("invalid DRAM configuration");
-        ctrl_cfg.validate().expect("invalid controller configuration");
+        ctrl_cfg
+            .validate()
+            .expect("invalid controller configuration");
         assert_eq!(
             mechs.len(),
             usize::from(dram_cfg.org.channels),
@@ -179,10 +181,45 @@ impl MemorySystem {
     /// Advances every channel one bus cycle; returns completed reads.
     pub fn tick(&mut self, now: BusCycle) -> Vec<Completion> {
         let mut done = Vec::new();
-        for ch in &mut self.channels {
-            done.extend(ch.tick(now, &mut self.device));
-        }
+        self.tick_into(now, &mut done);
         done
+    }
+
+    /// Advances every channel one bus cycle, appending completed reads to
+    /// `done` — the allocation-free form the simulator's hot loop uses.
+    pub fn tick_into(&mut self, now: BusCycle, done: &mut Vec<Completion>) {
+        for ch in &mut self.channels {
+            ch.tick(now, &mut self.device, done);
+        }
+    }
+
+    /// True if any channel would do observable work when ticked at `now`
+    /// (a due completion or an open issue gate). The cycle-skipping
+    /// engine bypasses the tick entirely on boundaries with no work.
+    pub fn has_work(&self, now: BusCycle) -> bool {
+        self.channels.iter().any(|ch| ch.has_work(now))
+    }
+
+    /// Earliest bus cycle strictly after `now` at which any channel can do
+    /// observable work (completion, command issue, or refresh duty). The
+    /// cycle-skipping engine advances time directly to this cycle when the
+    /// CPU side is quiescent; ticking every intermediate cycle would be a
+    /// no-op. The bound is sound (never late) but may be conservative.
+    pub fn next_event(&self, now: BusCycle) -> Option<BusCycle> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.next_event(now, &self.device))
+            .min()
+    }
+
+    /// Catches time-based mechanism state (invalidation counters, expiry
+    /// sweeps) up to `now`. The engine calls this before statistics are
+    /// read so a run that skipped cycles reports exactly the state a
+    /// per-cycle run would.
+    pub fn sync_mech(&mut self, now: BusCycle) {
+        for ch in &mut self.channels {
+            ch.sync_mech(now);
+        }
     }
 
     /// Number of requests queued across all channels.
@@ -359,10 +396,14 @@ mod tests {
     fn postponed_refresh_defers_under_load_then_catches_up() {
         let cfg = DramConfig::ddr3_1600_paper();
         let trefi = u64::from(cfg.timing.trefi);
-        let mut strict_cfg = CtrlConfig::default();
-        strict_cfg.max_postponed_refs = 0;
-        let mut lazy_cfg = CtrlConfig::default();
-        lazy_cfg.max_postponed_refs = 8;
+        let strict_cfg = CtrlConfig {
+            max_postponed_refs: 0,
+            ..CtrlConfig::default()
+        };
+        let lazy_cfg = CtrlConfig {
+            max_postponed_refs: 8,
+            ..CtrlConfig::default()
+        };
 
         // Keep the controller busy across several tREFI periods.
         let run_busy = |ctrl_cfg: CtrlConfig| {
@@ -391,9 +432,9 @@ mod tests {
         // defers its first REF under load.
         let sf = strict_first.expect("strict controller must refresh");
         assert!(sf < trefi + trefi / 2, "strict first REF at {sf}");
-        match lazy_first {
-            Some(lf) => assert!(lf > sf, "lazy first REF at {lf} vs strict {sf}"),
-            None => {} // postponed beyond the horizon entirely
+        // None means the lazy controller postponed beyond the horizon.
+        if let Some(lf) = lazy_first {
+            assert!(lf > sf, "lazy first REF at {lf} vs strict {sf}");
         }
         assert!(strict_refs >= 3);
     }

@@ -6,10 +6,9 @@
 //! occur within a window of the row's last **refresh**, which is the
 //! quantity NUAT can exploit — the comparison behind Figure 3.
 
-use std::collections::HashMap;
-
 use chargecache::RowKey;
 use dram::BusCycle;
+use fasthash::FastHashMap;
 
 /// Interval edges used by the paper's Figures 3 and 4, in milliseconds.
 pub const PAPER_INTERVALS_MS: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 8.0, 32.0];
@@ -44,7 +43,7 @@ pub struct RltlTracker {
     /// 8 ms in bus cycles.
     refresh_window: BusCycle,
     activations: u64,
-    last_pre: HashMap<RowKey, BusCycle>,
+    last_pre: FastHashMap<RowKey, BusCycle>,
 }
 
 impl RltlTracker {
@@ -78,7 +77,7 @@ impl RltlTracker {
             refresh_hits: 0,
             refresh_window: 8 * cycles_per_ms,
             activations: 0,
-            last_pre: HashMap::new(),
+            last_pre: FastHashMap::default(),
         }
     }
 

@@ -1,6 +1,5 @@
 //! Controller statistics.
 
-
 /// Aggregate statistics across one controller (or the whole system).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CtrlStats {

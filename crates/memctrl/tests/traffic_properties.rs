@@ -66,9 +66,9 @@ fn all_reads_complete_exactly_once() {
         let mut completed: HashSet<u64> = HashSet::new();
         let mut accepted_reads = 0u64;
 
-        let mut note = |done: Vec<memctrl::Completion>,
-                        outstanding: &mut HashSet<u64>,
-                        completed: &mut HashSet<u64>| {
+        let note = |done: Vec<memctrl::Completion>,
+                    outstanding: &mut HashSet<u64>,
+                    completed: &mut HashSet<u64>| {
             for d in done {
                 assert!(outstanding.remove(&d.id), "unknown completion {}", d.id);
                 assert!(completed.insert(d.id), "duplicate completion {}", d.id);
@@ -86,7 +86,14 @@ fn all_reads_complete_exactly_once() {
             // Retry until accepted (bounded).
             let mut tries = 0;
             loop {
-                if let Some(id) = mem.try_enqueue(MemRequest { addr, kind, core: 0 }, now) {
+                if let Some(id) = mem.try_enqueue(
+                    MemRequest {
+                        addr,
+                        kind,
+                        core: 0,
+                    },
+                    now,
+                ) {
                     if kind == AccessKind::Read {
                         outstanding.insert(id);
                         accepted_reads += 1;

@@ -5,6 +5,25 @@ use cpu::{CoreConfig, LlcConfig};
 use dram::DramConfig;
 use memctrl::CtrlConfig;
 
+/// Main-loop implementation of [`crate::System`].
+///
+/// Both engines simulate the identical discrete-event semantics — the
+/// differential test in `tests/engine_equivalence.rs` holds them to
+/// bit-identical results — they differ only in how they traverse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-driven cycle skipping (default): when every core is stalled
+    /// on DRAM, advance `now` directly to the earliest cycle anything can
+    /// happen (a fill returning, a command becoming timing-legal, a
+    /// queued cache hit maturing, refresh duty engaging) instead of
+    /// burning one `step()` per cycle.
+    #[default]
+    EventSkip,
+    /// Dense per-cycle stepping — the reference implementation, kept for
+    /// differential testing and single-cycle debugging.
+    PerCycle,
+}
+
 /// Complete system description for one simulation run.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -26,6 +45,12 @@ pub struct SystemConfig {
     pub cc: ChargeCacheConfig,
     /// NUAT parameters (used by `Nuat`, `CcNuat`).
     pub nuat: NuatConfig,
+    /// Main-loop engine (cycle-skipping by default).
+    pub engine: Engine,
+    /// Record the per-command DRAM log for energy accounting. Costs an
+    /// unbounded `Vec` over the measured interval; disable for throughput
+    /// benchmarking or very long runs where energy is not reported.
+    pub measure_energy: bool,
 }
 
 impl SystemConfig {
@@ -41,6 +66,8 @@ impl SystemConfig {
             mechanism,
             cc: ChargeCacheConfig::paper(),
             nuat: NuatConfig::paper_5pb(),
+            engine: Engine::default(),
+            measure_energy: true,
         }
     }
 
@@ -56,6 +83,8 @@ impl SystemConfig {
             mechanism,
             cc: ChargeCacheConfig::paper(),
             nuat: NuatConfig::paper_5pb(),
+            engine: Engine::default(),
+            measure_energy: true,
         }
     }
 

@@ -211,7 +211,12 @@ mod tests {
     fn tiny_single_core_run_produces_metrics() {
         let spec = workload("STREAMcopy").unwrap();
         let p = ExpParams::tiny();
-        let r = run_single_core(&spec, MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p);
+        let r = run_single_core(
+            &spec,
+            MechanismKind::Baseline,
+            &ChargeCacheConfig::paper(),
+            &p,
+        );
         assert!(!r.hit_cycle_cap, "run hit the cycle cap");
         assert!(r.ipc(0) > 0.0);
         assert!(r.rmpkc() > 0.0, "STREAMcopy must reach DRAM");
@@ -228,7 +233,12 @@ mod tests {
             insts_per_core: 10_000,
             ..ExpParams::tiny()
         };
-        let r = run_single_core(&spec, MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p);
+        let r = run_single_core(
+            &spec,
+            MechanismKind::Baseline,
+            &ChargeCacheConfig::paper(),
+            &p,
+        );
         // Footprint ≤ LLC: after warmup, DRAM reads are rare.
         assert!(r.rmpkc() < 2.0, "hmmer RMPKC = {}", r.rmpkc());
     }

@@ -31,7 +31,7 @@ pub mod exp;
 pub mod metrics;
 pub mod system;
 
-pub use config::SystemConfig;
+pub use config::{Engine, SystemConfig};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};
 pub use metrics::{speedup_over, weighted_speedup, RunResult};
 pub use system::System;

@@ -6,7 +6,7 @@ use drampower::EnergyBreakdown;
 use memctrl::{CtrlStats, ReuseReport, RltlReport};
 
 /// Everything measured in one simulation run (post-warmup).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Per-core statistics.
     pub cores: Vec<CoreStats>,

@@ -1,11 +1,31 @@
 //! The full system: cores + shared LLC + memory system, clocked together.
+//!
+//! # Engines
+//!
+//! [`System::run_until_retired`] traverses time with one of two engines
+//! (selected by [`crate::config::Engine`]):
+//!
+//! * **Per-cycle** — the reference loop: every CPU cycle steps every core
+//!   and, on bus boundaries, the memory system.
+//! * **Event-skip** (default) — steps densely while any core is making
+//!   progress, but the moment every core is quiescent (stalled on DRAM,
+//!   waiting on a queued cache hit, or finished) it computes the earliest
+//!   cycle anything observable can happen and jumps `now` straight there:
+//!   the next DRAM data arrival, the next timing-legal command, the next
+//!   refresh-duty engagement ([`MemorySystem::next_event`]), the next
+//!   maturing LLC hit ([`Core::next_event_cycle`]), or the next bus
+//!   boundary when a writeback retry is pending. Skipped cycles are
+//!   charged to the cores as stall cycles — exactly what the per-cycle
+//!   loop would have recorded — and time-based mechanism state catches up
+//!   lazily, so both engines produce bit-identical [`RunResult`]s.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use cpu::{AccessReply, Core, Llc, LoadId, MemAccess, MemOp, TraceSource};
+use fasthash::FastHashMap;
 use memctrl::{AccessKind, MemRequest, MemorySystem, RequestId};
 
-use crate::config::SystemConfig;
+use crate::config::{Engine, SystemConfig};
 use crate::metrics::RunResult;
 
 /// A running system instance.
@@ -15,12 +35,44 @@ pub struct System {
     llc: Llc,
     mem: MemorySystem,
     /// In-flight memory reads: request id → line address.
-    fills: HashMap<RequestId, u64>,
+    fills: FastHashMap<RequestId, u64>,
     /// Loads waiting on an in-flight line: line → (core, load).
-    waiters: HashMap<u64, Vec<(usize, LoadId)>>,
+    waiters: FastHashMap<u64, Vec<(usize, LoadId)>>,
     /// Dirty evictions waiting for write-queue space: (line, core).
     wb_backlog: VecDeque<(u64, usize)>,
+    /// Per-core sleep bookkeeping for the event engine.
+    sleep: Vec<SleepState>,
+    /// Reusable completion buffer (keeps the hot loop allocation-free).
+    completions: Vec<memctrl::Completion>,
     now: u64,
+    /// `now / cpu_per_bus`, maintained incrementally (recomputed after a
+    /// cycle-skip jump) so the hot loop divides only after jumps.
+    bus_now: u64,
+    /// `now % cpu_per_bus`, maintained alongside `bus_now`.
+    bus_phase: u64,
+}
+
+/// Event-engine sleep state of one core. A core whose step accomplished
+/// nothing (no retire, no dispatch, no retry loop) is put to sleep: its
+/// per-cycle steps are skipped until a load completion arrives for it, a
+/// queued cache hit matures, or the run ends — at which point the skipped
+/// cycles are charged as stall time, exactly matching the per-cycle path.
+#[derive(Debug, Clone, Copy)]
+struct SleepState {
+    asleep: bool,
+    /// First cycle covered by the current sleep (stall accounting).
+    since: u64,
+    /// Cycle at which a queued cache hit matures (`u64::MAX` = only an
+    /// external completion can wake the core).
+    wake_at: u64,
+}
+
+impl SleepState {
+    const AWAKE: SleepState = SleepState {
+        asleep: false,
+        since: 0,
+        wake_at: u64::MAX,
+    };
 }
 
 impl System {
@@ -47,16 +99,23 @@ impl System {
             &cfg.nuat,
             cfg.cores,
         );
-        mem.device_mut().enable_log();
+        if cfg.measure_energy {
+            mem.device_mut().enable_log();
+        }
+        let sleep = vec![SleepState::AWAKE; cfg.cores];
         Self {
             cfg,
             cores,
             llc,
             mem,
-            fills: HashMap::new(),
-            waiters: HashMap::new(),
+            fills: FastHashMap::default(),
+            waiters: FastHashMap::default(),
             wb_backlog: VecDeque::new(),
+            sleep,
+            completions: Vec::new(),
             now: 0,
+            bus_now: 0,
+            bus_phase: 0,
         }
     }
 
@@ -95,45 +154,15 @@ impl System {
         self.cores.iter().map(|c| c.retired()).min().unwrap_or(0)
     }
 
-    /// Advances the system one CPU cycle.
+    /// Advances the system one CPU cycle (the dense reference semantics:
+    /// every core steps).
     pub fn step(&mut self) {
         let now = self.now;
-        let bus_boundary = now % self.cfg.cpu_per_bus == 0;
-        let bus_now = now / self.cfg.cpu_per_bus;
-
-        if bus_boundary {
-            // Memory moves first so data arriving this cycle can unblock
-            // cores in the same CPU cycle.
-            let completions = self.mem.tick(bus_now);
-            for c in completions {
-                if let Some(line) = self.fills.remove(&c.id) {
-                    if let Some(wb) = self.llc.fill(line) {
-                        self.wb_backlog.push_back((wb, c.core));
-                    }
-                    if let Some(ws) = self.waiters.remove(&line) {
-                        for (core, load) in ws {
-                            self.cores[core].complete_load(load);
-                        }
-                    }
-                }
-            }
-            // Retry queued writebacks.
-            while let Some(&(line, core)) = self.wb_backlog.front() {
-                let req = MemRequest {
-                    addr: line,
-                    kind: AccessKind::Write,
-                    core,
-                };
-                if self.mem.try_enqueue(req, bus_now).is_some() {
-                    self.wb_backlog.pop_front();
-                } else {
-                    break;
-                }
-            }
+        let bus_now = self.bus_now;
+        debug_assert_eq!(bus_now, now / self.cfg.cpu_per_bus);
+        if self.bus_phase == 0 {
+            self.tick_memory(bus_now);
         }
-
-        // Destructure so the per-core closure can borrow the shared
-        // structures while `cores` is iterated.
         let Self {
             cores,
             llc,
@@ -147,29 +176,215 @@ impl System {
         for core in cores.iter_mut() {
             core.step(now, &mut |access: MemAccess| {
                 service_access(
-                    access, llc, mem, fills, waiters, wb_backlog, now, bus_now, hit_latency,
+                    access,
+                    llc,
+                    mem,
+                    fills,
+                    waiters,
+                    wb_backlog,
+                    now,
+                    bus_now,
+                    hit_latency,
                 )
             });
         }
+        self.advance_clock();
+    }
+
+    /// Advances `now` one cycle, keeping the incremental bus counters in
+    /// step.
+    fn advance_clock(&mut self) {
         self.now += 1;
+        self.bus_phase += 1;
+        if self.bus_phase == self.cfg.cpu_per_bus {
+            self.bus_phase = 0;
+            self.bus_now += 1;
+        }
+    }
+
+    /// Re-derives the bus counters after `now` jumped (cycle skip).
+    fn resync_clock(&mut self) {
+        self.bus_now = self.now / self.cfg.cpu_per_bus;
+        self.bus_phase = self.now % self.cfg.cpu_per_bus;
+    }
+
+    /// Bus-boundary work: memory tick, fill delivery (waking the cores
+    /// the data unblocks) and writeback retries.
+    fn tick_memory(&mut self, bus_now: u64) {
+        let now = self.now;
+        // Memory moves first so data arriving this cycle can unblock
+        // cores in the same CPU cycle.
+        let mut completions = std::mem::take(&mut self.completions);
+        self.mem.tick_into(bus_now, &mut completions);
+        for c in completions.drain(..) {
+            if let Some(line) = self.fills.remove(&c.id) {
+                if let Some(wb) = self.llc.fill(line) {
+                    self.wb_backlog.push_back((wb, c.core));
+                }
+                if let Some(ws) = self.waiters.remove(&line) {
+                    for (core, load) in ws {
+                        self.cores[core].complete_load(load);
+                        // Data for a sleeping core is its wake-up call.
+                        let st = &mut self.sleep[core];
+                        if st.asleep {
+                            self.cores[core].absorb_idle_cycles(now - st.since);
+                            *st = SleepState::AWAKE;
+                        }
+                    }
+                }
+            }
+        }
+        self.completions = completions;
+        // Retry queued writebacks.
+        while let Some(&(line, core)) = self.wb_backlog.front() {
+            let req = MemRequest {
+                addr: line,
+                kind: AccessKind::Write,
+                core,
+            };
+            if self.mem.try_enqueue(req, bus_now).is_some() {
+                self.wb_backlog.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// One event-engine cycle: boundary work, then a step for every core
+    /// that is awake (or due to wake this cycle). Quiescent cores go to
+    /// sleep; their skipped cycles are charged as stalls at wake-up.
+    fn step_event(&mut self) {
+        let now = self.now;
+        let bus_now = self.bus_now;
+        debug_assert_eq!(bus_now, now / self.cfg.cpu_per_bus);
+        // Tick memory only when it provably has work: a boundary visited
+        // for a CPU-side event (a maturing cache hit, an active core)
+        // does not pay for idle channels. Writeback retries still run —
+        // they depend on queue space, not on the tick.
+        if self.bus_phase == 0 && (self.mem.has_work(bus_now) || !self.wb_backlog.is_empty()) {
+            self.tick_memory(bus_now);
+        }
+        let Self {
+            cores,
+            llc,
+            mem,
+            fills,
+            waiters,
+            wb_backlog,
+            sleep,
+            ..
+        } = self;
+        let hit_latency = llc.config().hit_latency;
+        for (core, st) in cores.iter_mut().zip(sleep.iter_mut()) {
+            if st.asleep {
+                if st.wake_at > now {
+                    continue;
+                }
+                // A queued cache hit matured.
+                core.absorb_idle_cycles(now - st.since);
+                *st = SleepState::AWAKE;
+            }
+            let outcome = core.step(now, &mut |access: MemAccess| {
+                service_access(
+                    access,
+                    llc,
+                    mem,
+                    fills,
+                    waiters,
+                    wb_backlog,
+                    now,
+                    bus_now,
+                    hit_latency,
+                )
+            });
+            if outcome.quiescent() {
+                st.asleep = true;
+                st.since = now + 1;
+                st.wake_at = core.next_event_cycle().unwrap_or(u64::MAX);
+            }
+        }
+        self.advance_clock();
+    }
+
+    /// Earliest CPU cycle ≥ `self.now` at which anything observable can
+    /// happen, assuming every core is asleep. `deadline` caps the answer
+    /// (and is the answer when the only remaining events lie beyond it).
+    fn next_event_cycle(&self, deadline: u64) -> u64 {
+        let now = self.now;
+        let cpb = self.cfg.cpu_per_bus;
+        let mut next = deadline;
+        // Queued LLC hits mature at fixed CPU cycles.
+        for st in &self.sleep {
+            next = next.min(st.wake_at.max(now));
+        }
+        // A backlogged writeback retries at every bus boundary.
+        if !self.wb_backlog.is_empty() {
+            next = next.min(now.next_multiple_of(cpb));
+        }
+        // Memory-side events, converted from bus to CPU cycles. The
+        // last boundary the dense path could have ticked is (now-1)/cpb;
+        // the memory system quotes the first interesting one after it.
+        let bus_last = (now - 1) / cpb;
+        if let Some(bus) = self.mem.next_event(bus_last) {
+            next = next.min((bus * cpb).max(now));
+        }
+        next
+    }
+
+    /// Ends any in-progress sleeps, charging the skipped cycles, so
+    /// statistics reads and engine switches see fully-accounted cores.
+    fn wake_all(&mut self) {
+        let now = self.now;
+        for (core, st) in self.cores.iter_mut().zip(self.sleep.iter_mut()) {
+            if st.asleep {
+                core.absorb_idle_cycles(now - st.since);
+                *st = SleepState::AWAKE;
+            }
+        }
     }
 
     /// Runs until every core has retired at least `target` instructions
     /// (or finished its trace), or `max_cycles` elapse. Returns true if
     /// the target was reached.
+    ///
+    /// Uses the engine selected by the configuration; both engines
+    /// produce bit-identical results (see `tests/engine_equivalence.rs`).
     pub fn run_until_retired(&mut self, target: u64, max_cycles: u64) -> bool {
         let deadline = self.now + max_cycles;
-        while self.now < deadline {
+        let event_skip = self.cfg.engine == Engine::EventSkip;
+        let reached = loop {
             if self
                 .cores
                 .iter()
                 .all(|c| c.retired() >= target || c.finished())
             {
-                return true;
+                break true;
             }
-            self.step();
+            if self.now >= deadline {
+                break false;
+            }
+            if event_skip {
+                self.step_event();
+                if self.sleep.iter().all(|s| s.asleep) {
+                    // Dead time: jump straight to the next event. The
+                    // sleeping cores' accounting catches up at wake-up.
+                    let next = self.next_event_cycle(deadline).min(deadline);
+                    if next > self.now {
+                        self.now = next;
+                        self.resync_clock();
+                    }
+                }
+            } else {
+                self.step();
+            }
+        };
+        self.wake_all();
+        // Catch time-based mechanism state (invalidation counters) up to
+        // the last bus cycle so statistics match the per-cycle engine's.
+        if self.now > 0 {
+            self.mem.sync_mech((self.now - 1) / self.cfg.cpu_per_bus);
         }
-        false
+        reached
     }
 
     /// Snapshot of all measurable state (used for warmup deltas).
@@ -246,8 +461,8 @@ fn service_access(
     access: MemAccess,
     llc: &mut Llc,
     mem: &mut MemorySystem,
-    fills: &mut HashMap<RequestId, u64>,
-    waiters: &mut HashMap<u64, Vec<(usize, LoadId)>>,
+    fills: &mut FastHashMap<RequestId, u64>,
+    waiters: &mut FastHashMap<u64, Vec<(usize, LoadId)>>,
     wb_backlog: &mut VecDeque<(u64, usize)>,
     now: u64,
     bus_now: u64,
@@ -279,10 +494,11 @@ fn service_access(
             }
         }
         MemOp::Store(_) => {
-            if let cpu::LlcOutcome::Miss { writeback } = llc.write(line) {
-                if let Some(wb) = writeback {
-                    wb_backlog.push_back((wb, access.core));
-                }
+            if let cpu::LlcOutcome::Miss {
+                writeback: Some(wb),
+            } = llc.write(line)
+            {
+                wb_backlog.push_back((wb, access.core));
             }
             AccessReply::Done
         }

@@ -109,7 +109,10 @@ pub fn to_binary(entries: &[TraceEntry]) -> Vec<u8> {
 pub fn from_binary(data: &[u8]) -> io::Result<Vec<TraceEntry>> {
     let mut cur = Cursor { data, pos: 0 };
     let Some(n) = cur.read_u64() else {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing header"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "missing header",
+        ));
     };
     let n = n as usize;
     let mut out = Vec::with_capacity(n.min(1 << 24));
@@ -245,11 +248,13 @@ impl Cursor<'_> {
     }
 
     fn read_u32(&mut self) -> Option<u32> {
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
     }
 
     fn read_u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
     }
 }
 
@@ -285,10 +290,34 @@ mod tests {
         let src = "5 0x1000\n3 0x2000 0x3000\n# comment\n\n7\n";
         let es = read_text(src.as_bytes()).unwrap();
         assert_eq!(es.len(), 4);
-        assert_eq!(es[0], TraceEntry { nonmem: 5, op: Some(MemOp::Load(0x1000)) });
-        assert_eq!(es[1], TraceEntry { nonmem: 3, op: Some(MemOp::Load(0x2000)) });
-        assert_eq!(es[2], TraceEntry { nonmem: 0, op: Some(MemOp::Store(0x3000)) });
-        assert_eq!(es[3], TraceEntry { nonmem: 7, op: None });
+        assert_eq!(
+            es[0],
+            TraceEntry {
+                nonmem: 5,
+                op: Some(MemOp::Load(0x1000))
+            }
+        );
+        assert_eq!(
+            es[1],
+            TraceEntry {
+                nonmem: 3,
+                op: Some(MemOp::Load(0x2000))
+            }
+        );
+        assert_eq!(
+            es[2],
+            TraceEntry {
+                nonmem: 0,
+                op: Some(MemOp::Store(0x3000))
+            }
+        );
+        assert_eq!(
+            es[3],
+            TraceEntry {
+                nonmem: 7,
+                op: None
+            }
+        );
     }
 
     #[test]
@@ -307,9 +336,18 @@ mod tests {
     #[test]
     fn binary_roundtrip_is_lossless() {
         let es = vec![
-            TraceEntry { nonmem: 5, op: Some(MemOp::Load(0xABCD)) },
-            TraceEntry { nonmem: 0, op: Some(MemOp::Store(0x40)) },
-            TraceEntry { nonmem: 9, op: None },
+            TraceEntry {
+                nonmem: 5,
+                op: Some(MemOp::Load(0xABCD)),
+            },
+            TraceEntry {
+                nonmem: 0,
+                op: Some(MemOp::Store(0x40)),
+            },
+            TraceEntry {
+                nonmem: 9,
+                op: None,
+            },
         ];
         let bin = to_binary(&es);
         assert_eq!(from_binary(&bin).unwrap(), es);
@@ -317,7 +355,10 @@ mod tests {
 
     #[test]
     fn binary_detects_truncation() {
-        let es = vec![TraceEntry { nonmem: 1, op: Some(MemOp::Load(2)) }];
+        let es = vec![TraceEntry {
+            nonmem: 1,
+            op: Some(MemOp::Load(2)),
+        }];
         let bin = to_binary(&es);
         let cut = &bin[..bin.len() - 1];
         assert!(from_binary(cut).is_err());
@@ -347,8 +388,14 @@ mod tests {
     #[test]
     fn text_write_then_read_preserves_ops() {
         let es = vec![
-            TraceEntry { nonmem: 2, op: Some(MemOp::Load(0x80)) },
-            TraceEntry { nonmem: 4, op: None },
+            TraceEntry {
+                nonmem: 2,
+                op: Some(MemOp::Load(0x80)),
+            },
+            TraceEntry {
+                nonmem: 4,
+                op: None,
+            },
         ];
         let mut buf = Vec::new();
         write_text(&mut buf, &es).unwrap();

@@ -177,7 +177,10 @@ impl RandomGen {
     ///
     /// Panics if the working set is smaller than one line.
     pub fn new(params: GenParams, wss_bytes: u64) -> Self {
-        assert!(wss_bytes >= LINE, "working set must cover at least one line");
+        assert!(
+            wss_bytes >= LINE,
+            "working set must cover at least one line"
+        );
         Self {
             rng: TraceRng::seed_from_u64(params.seed),
             lines: wss_bytes / LINE,
@@ -434,10 +437,7 @@ mod tests {
         );
         let mut m = MixGen::new(13, vec![(0.5, Box::new(g1)), (0.5, Box::new(g2))]);
         let es = collect(&mut m, 1000);
-        let low = es
-            .iter()
-            .filter(|e| e.op.unwrap().addr() < 1 << 40)
-            .count();
+        let low = es.iter().filter(|e| e.op.unwrap().addr() < 1 << 40).count();
         assert!((300..700).contains(&low), "low = {low}");
     }
 }

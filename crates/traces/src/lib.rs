@@ -28,6 +28,8 @@ pub mod profile;
 pub mod rng;
 
 pub use file::FileTrace;
-pub use rng::TraceRng;
 pub use gen::{GenParams, MixGen, RandomGen, StreamGen, StridedGen, ZipfGen};
-pub use profile::{eight_core_mixes, single_core_workloads, workload, MixSpec, Pattern, WorkloadSpec};
+pub use profile::{
+    eight_core_mixes, single_core_workloads, workload, MixSpec, Pattern, WorkloadSpec,
+};
+pub use rng::TraceRng;

@@ -14,7 +14,6 @@
 //!   re-activate recently closed rows; huge uniform-random workloads have
 //!   long row-reuse distances (the *mcf*/*omnetpp* gap to LL-DRAM).
 
-
 use cpu::TraceSource;
 
 use crate::gen::{GenParams, MixGen, RandomGen, StreamGen, ZipfGen};
@@ -115,6 +114,7 @@ const MB: u64 = 1 << 20;
 
 /// The paper's 22 single-core workloads (SPEC CPU2006 + TPC + STREAM),
 /// in the paper's Figure 4a order.
+#[rustfmt::skip]
 pub fn single_core_workloads() -> Vec<WorkloadSpec> {
     vec![
         WorkloadSpec { name: "tpch6",      pattern: Pattern::Zipf { rows: 4096, s: 0.9 },           wss: 32 * MB,  mean_nonmem: 40, store_ratio: 0.20 },

@@ -7,7 +7,7 @@
 //! ```
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{run_single_core, ExpParams};
+use sim::exp::{default_threads, par_map, run_single_core, ExpParams};
 use traces::workload;
 
 fn main() {
@@ -32,20 +32,32 @@ fn main() {
         baseline.rmpkc()
     );
 
-    println!("{:>8} {:>6} {:>10} {:>10}", "entries", "ways", "hit rate", "speedup");
-    for entries in [32usize, 64, 128, 256, 512, 1024] {
-        for ways in [2usize, 0] {
-            let mut cfg = ChargeCacheConfig::with_entries(entries);
-            cfg.ways = ways;
-            let r = run_single_core(&spec, MechanismKind::ChargeCache, &cfg, &params);
-            println!(
-                "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
-                entries,
-                if ways == 0 { "full".into() } else { ways.to_string() },
-                r.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-                (r.ipc(0) / base_ipc - 1.0) * 100.0
-            );
-        }
+    println!(
+        "{:>8} {:>6} {:>10} {:>10}",
+        "entries", "ways", "hit rate", "speedup"
+    );
+    let grid: Vec<(usize, usize)> = [32usize, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .flat_map(|entries| [(entries, 2usize), (entries, 0usize)])
+        .collect();
+    let results = par_map(grid, default_threads(), |(entries, ways)| {
+        let mut cfg = ChargeCacheConfig::with_entries(entries);
+        cfg.ways = ways;
+        let r = run_single_core(&spec, MechanismKind::ChargeCache, &cfg, &params);
+        (entries, ways, r)
+    });
+    for (entries, ways, r) in results {
+        println!(
+            "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
+            entries,
+            if ways == 0 {
+                "full".into()
+            } else {
+                ways.to_string()
+            },
+            r.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+            (r.ipc(0) / base_ipc - 1.0) * 100.0
+        );
     }
 
     let unlimited = run_single_core(

@@ -6,9 +6,7 @@
 //! cargo run --release --example composition
 //! ```
 
-use chargecache::{
-    AlDram, BestOf, ChargeCache, ChargeCacheConfig, LatencyMechanism, TlDram,
-};
+use chargecache::{AlDram, BestOf, ChargeCache, ChargeCacheConfig, LatencyMechanism, TlDram};
 use dram::DramConfig;
 use memctrl::{AccessKind, CtrlConfig, MemRequest, MemorySystem};
 
@@ -58,10 +56,7 @@ fn main() {
     let cc_cfg = ChargeCacheConfig::paper();
 
     println!("servicing the same 2000-read conflict-heavy stream:\n");
-    let base = run(
-        "baseline",
-        Box::new(chargecache::Baseline::new(&t)),
-    );
+    let base = run("baseline", Box::new(chargecache::Baseline::new(&t)));
     let cc = run(
         "ChargeCache",
         Box::new(ChargeCache::new(cc_cfg.clone(), &t, 1)),

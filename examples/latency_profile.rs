@@ -25,8 +25,14 @@ fn main() {
     let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &params);
     let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &params);
 
-    println!("workload {} — read latency (bus cycles, enqueue → data)\n", spec.name);
-    println!("{:>12} {:>14} {:>14}", "≤ cycles", "baseline", "ChargeCache");
+    println!(
+        "workload {} — read latency (bus cycles, enqueue → data)\n",
+        spec.name
+    );
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "≤ cycles", "baseline", "ChargeCache"
+    );
     for i in 3..12 {
         let bound = 1u64 << i;
         let b = base.ctrl.read_latency_hist[i];

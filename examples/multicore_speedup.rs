@@ -9,7 +9,7 @@
 //! ```
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{alone_ipc, run_eight_core, ExpParams};
+use sim::exp::{alone_ipc, default_threads, par_map, run_eight_core, ExpParams};
 use sim::weighted_speedup;
 use traces::eight_core_mixes;
 
@@ -38,11 +38,9 @@ fn main() {
 
     // Weighted speedup uses a common set of alone-IPC denominators
     // (baseline system), so ratios isolate the shared-run improvement.
-    let alone: Vec<f64> = mix
-        .apps
-        .iter()
-        .map(|app| alone_ipc(app, MechanismKind::Baseline, &cc, &params).max(1e-9))
-        .collect();
+    let alone: Vec<f64> = par_map(mix.apps.clone(), default_threads(), |app| {
+        alone_ipc(&app, MechanismKind::Baseline, &cc, &params).max(1e-9)
+    });
 
     let mut ws_base = 0.0;
     println!(

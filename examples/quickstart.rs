@@ -17,9 +17,7 @@ fn main() {
     let cc_cfg = ChargeCacheConfig::paper();
 
     println!("workload: {} ({:?})", spec.name, spec.pattern);
-    println!(
-        "system: 1 core, 4 MB LLC, DDR3-1600, FR-FCFS, open-row\n"
-    );
+    println!("system: 1 core, 4 MB LLC, DDR3-1600, FR-FCFS, open-row\n");
 
     let baseline = run_single_core(&spec, MechanismKind::Baseline, &cc_cfg, &params);
     let chargecache = run_single_core(&spec, MechanismKind::ChargeCache, &cc_cfg, &params);

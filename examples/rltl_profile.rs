@@ -18,11 +18,18 @@ fn profile(spec: &WorkloadSpec, params: &ExpParams) {
         &ChargeCacheConfig::paper(),
         params,
     );
-    print!("{:<12} activations={:<8}", spec.name, r.rltl.activations);
+    print_profile(spec.name, &r);
+}
+
+fn print_profile(name: &str, r: &sim::RunResult) {
+    print!("{:<12} activations={:<8}", name, r.rltl.activations);
     for (ms, f) in r.rltl.intervals_ms.iter().zip(&r.rltl.rltl_fraction) {
         print!(" ≤{ms}ms:{:>5.1}%", f * 100.0);
     }
-    println!(" | ≤8ms-after-REF: {:.1}%", r.rltl.refresh_8ms_fraction * 100.0);
+    println!(
+        " | ≤8ms-after-REF: {:.1}%",
+        r.rltl.refresh_8ms_fraction * 100.0
+    );
 }
 
 fn main() {
@@ -44,8 +51,21 @@ fn main() {
             }
         }
     } else {
-        for spec in single_core_workloads() {
-            profile(&spec, &params);
+        // Simulate every workload in parallel, then print in order.
+        use sim::exp::{default_threads, par_map};
+        let runs = par_map(single_core_workloads(), default_threads(), |spec| {
+            (
+                spec.name,
+                run_single_core(
+                    &spec,
+                    MechanismKind::Baseline,
+                    &ChargeCacheConfig::paper(),
+                    &params,
+                ),
+            )
+        });
+        for (name, r) in runs {
+            print_profile(name, &r);
         }
     }
 

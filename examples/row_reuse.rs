@@ -12,7 +12,7 @@
 //! ```
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{run_single_core, ExpParams};
+use sim::exp::{default_threads, par_map, run_single_core, ExpParams};
 use traces::single_core_workloads;
 
 fn main() {
@@ -23,14 +23,17 @@ fn main() {
         "{:<12} {:>12} {:>14} {:>14} {:>12}",
         "workload", "median dist", "≤128 rows", "cold/beyond", "HCRAC hit"
     );
-    let mut rows = Vec::new();
-    for spec in single_core_workloads() {
+    let results = par_map(single_core_workloads(), default_threads(), |spec| {
         let r = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &params);
+        (spec.name, r)
+    });
+    let mut rows = Vec::new();
+    for (name, r) in results {
         if r.reuse.activations < 100 {
             continue; // cache-resident workloads have nothing to measure
         }
         rows.push((
-            spec.name,
+            name,
             r.reuse.median_bound(),
             r.reuse.fraction_within(128),
             r.reuse.cold_or_beyond as f64 / r.reuse.activations as f64,

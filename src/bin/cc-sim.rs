@@ -208,9 +208,12 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     csv_header(csv);
+    // The per-mechanism runs are independent: fan them out.
+    let results = sim::exp::par_map(mechs, sim::exp::default_threads(), |kind| {
+        (kind, run_single_core(&spec, kind, &cc, &p))
+    });
     let mut base_ipc = None;
-    for kind in mechs {
-        let r = run_single_core(&spec, kind, &cc, &p);
+    for (kind, r) in results {
         if r.hit_cycle_cap {
             eprintln!("warning: {kind:?} hit the safety cycle cap");
         }
@@ -238,9 +241,12 @@ fn cmd_mix(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("mix {} : {}\n", mix.name, names.join(", "));
     }
     csv_header(csv);
+    // The per-mechanism runs are independent: fan them out.
+    let results = sim::exp::par_map(mechs, sim::exp::default_threads(), |kind| {
+        (kind, run_eight_core(mix, kind, &cc, &p))
+    });
     let mut base_ipc = None;
-    for kind in mechs {
-        let r = run_eight_core(mix, kind, &cc, &p);
+    for (kind, r) in results {
         if r.hit_cycle_cap {
             eprintln!("warning: {kind:?} hit the safety cycle cap");
         }
@@ -280,9 +286,25 @@ fn cmd_overhead(flags: &HashMap<String, String>) -> Result<(), String> {
         entries: get_u64(flags, "entries", 128)? as u32,
         ..OverheadModel::paper_8core()
     };
-    println!("entry size:   {} bits (+{} LRU)", model.entry_size_bits(), model.lru_bits());
-    println!("storage:      {} bytes total, {} bytes/core", model.storage_bytes(), model.storage_bytes_per_core());
-    println!("area @22nm:   {:.4} mm² ({:.2}% of a 4MB LLC)", model.area_mm2(), model.area_fraction_of_4mb_llc() * 100.0);
-    println!("avg power:    {:.3} mW ({:.2}% of a 4MB LLC)", model.power_mw(), model.power_fraction_of_4mb_llc() * 100.0);
+    println!(
+        "entry size:   {} bits (+{} LRU)",
+        model.entry_size_bits(),
+        model.lru_bits()
+    );
+    println!(
+        "storage:      {} bytes total, {} bytes/core",
+        model.storage_bytes(),
+        model.storage_bytes_per_core()
+    );
+    println!(
+        "area @22nm:   {:.4} mm² ({:.2}% of a 4MB LLC)",
+        model.area_mm2(),
+        model.area_fraction_of_4mb_llc() * 100.0
+    );
+    println!(
+        "avg power:    {:.3} mW ({:.2}% of a 4MB LLC)",
+        model.power_mw(),
+        model.power_fraction_of_4mb_llc() * 100.0
+    );
     Ok(())
 }

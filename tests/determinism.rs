@@ -54,8 +54,5 @@ fn different_seeds_change_the_run() {
     let a = run_single_core(&spec, MechanismKind::Baseline, &cc, &p1);
     let b = run_single_core(&spec, MechanismKind::Baseline, &cc, &p2);
     // Same workload class, different concrete streams.
-    assert_ne!(
-        (a.cpu_cycles, a.ctrl.reads),
-        (b.cpu_cycles, b.ctrl.reads)
-    );
+    assert_ne!((a.cpu_cycles, a.ctrl.reads), (b.cpu_cycles, b.ctrl.reads));
 }

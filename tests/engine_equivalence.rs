@@ -1,0 +1,95 @@
+//! Differential tests: the event-driven cycle-skipping engine must be
+//! observationally identical to the dense per-cycle reference loop.
+//!
+//! Every field of [`sim::RunResult`] is compared — cycle counts, per-core
+//! stats (including stall accounting for skipped cycles), controller
+//! row-hit/miss/conflict classification, read-latency histograms, HCRAC
+//! hits and invalidations, RLTL and reuse measurements, and the energy
+//! breakdown derived from the per-command DRAM log. Any divergence means
+//! the skip logic jumped over (or mis-ordered) an observable event.
+
+use chargecache::{ChargeCacheConfig, InvalidationPolicy, MechanismKind};
+use sim::exp::{run_configured, ExpParams};
+use sim::{Engine, RunResult, SystemConfig};
+use traces::{eight_core_mixes, workload, WorkloadSpec};
+
+fn run_both(mut cfg: SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -> (RunResult, RunResult) {
+    cfg.engine = Engine::PerCycle;
+    let dense = run_configured(cfg.clone(), apps, p);
+    cfg.engine = Engine::EventSkip;
+    let skipping = run_configured(cfg, apps, p);
+    (dense, skipping)
+}
+
+fn assert_identical(dense: &RunResult, skipping: &RunResult, label: &str) {
+    // Compare the load-bearing scalars first for a readable failure…
+    assert_eq!(dense.cpu_cycles, skipping.cpu_cycles, "{label}: cpu_cycles");
+    assert_eq!(dense.ctrl, skipping.ctrl, "{label}: controller stats");
+    assert_eq!(dense.llc, skipping.llc, "{label}: LLC stats");
+    assert_eq!(dense.mech, skipping.mech, "{label}: mechanism stats");
+    assert_eq!(dense.cores, skipping.cores, "{label}: core stats");
+    // …then hold the engines to full bit-identity.
+    assert_eq!(dense, skipping, "{label}: full RunResult");
+}
+
+#[test]
+fn single_core_chargecache_is_bit_identical() {
+    let spec = workload("STREAMcopy").unwrap();
+    let p = ExpParams::tiny();
+    let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
+    assert!(dense.ctrl.reads > 0, "workload must reach DRAM");
+    assert_identical(&dense, &skipping, "STREAMcopy/ChargeCache");
+}
+
+#[test]
+fn single_core_baseline_random_is_bit_identical() {
+    // mcf: uniform random over 512 MB — maximally irregular DRAM timing,
+    // the hardest pattern for the skip logic's next-event bounds.
+    let spec = workload("mcf").unwrap();
+    let p = ExpParams::tiny();
+    let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+    let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
+    assert_identical(&dense, &skipping, "mcf/Baseline");
+}
+
+#[test]
+fn single_core_exact_invalidation_is_bit_identical() {
+    // The exact-expiry ablation exercises the lazy sweep's catch-up path.
+    let spec = workload("tpch2").unwrap();
+    let p = ExpParams::tiny();
+    let mut cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    cfg.cc = ChargeCacheConfig {
+        invalidation: InvalidationPolicy::Exact,
+        ..ChargeCacheConfig::paper()
+    };
+    let (dense, skipping) = run_both(cfg.clone(), std::slice::from_ref(&spec), &p);
+    assert_identical(&dense, &skipping, "tpch2/ChargeCache(exact)");
+}
+
+#[test]
+fn eight_core_mix_is_bit_identical() {
+    // Two channels, closed-row policy, CcNuat, cross-core fill merging,
+    // write drains and refresh postponement all active at once.
+    let mix = &eight_core_mixes()[0];
+    let p = ExpParams {
+        insts_per_core: 2_000,
+        warmup_insts: 500,
+        ..ExpParams::tiny()
+    };
+    let cfg = SystemConfig::paper_eight_core(MechanismKind::CcNuat);
+    let (dense, skipping) = run_both(cfg, &mix.apps, &p);
+    assert!(dense.ctrl.reads > 0, "mix must reach DRAM");
+    assert_identical(&dense, &skipping, "w1/CcNuat eight-core");
+}
+
+#[test]
+fn llc_resident_workload_is_bit_identical() {
+    // hmmer mostly hits in the LLC: long all-core-quiescent-on-hit-queue
+    // stretches where the *cache hit* event source dominates.
+    let spec = workload("hmmer").unwrap();
+    let p = ExpParams::tiny();
+    let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
+    assert_identical(&dense, &skipping, "hmmer/ChargeCache");
+}

@@ -54,7 +54,11 @@ fn composed_mechanisms_never_slow_the_system() {
     let n = 600;
     let base = drive(system(Box::new(Baseline::new(&t))), n);
     let cc = drive(
-        system(Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &t, 1))),
+        system(Box::new(ChargeCache::new(
+            ChargeCacheConfig::paper(),
+            &t,
+            1,
+        ))),
         n,
     );
     let combo = drive(
@@ -81,11 +85,7 @@ fn chargecache_runs_on_every_speed_bin() {
     for bin in SpeedBin::ALL {
         let mut cfg = DramConfig::ddr3_1600_paper();
         cfg.timing = bin.timing();
-        let mech = Box::new(ChargeCache::new(
-            ChargeCacheConfig::paper(),
-            &cfg.timing,
-            1,
-        ));
+        let mech = Box::new(ChargeCache::new(ChargeCacheConfig::paper(), &cfg.timing, 1));
         let mem = MemorySystem::new(cfg, CtrlConfig::default(), vec![mech]);
         let cycles = drive(mem, 100);
         assert!(cycles > 0, "{bin:?}");
