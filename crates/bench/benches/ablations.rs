@@ -6,17 +6,29 @@
 //!   fully associative.
 //! * **D5** — per-core private HCRACs vs one shared HCRAC of the same
 //!   total capacity (the paper's footnote 7 design option).
+//!
+//! All three ablations are one `sim::api` grid over the eight-core
+//! mixes: variants with identical resulting configurations (periodic ≡
+//! 2-way ≡ private ≡ paper) deduplicate in the memoized run cache, so
+//! the paper point is simulated once.
 
-use bench::{all_eight, banner, mean, mixes, pct, sweep_mix_count, workloads};
+use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
 use chargecache::{ChargeCacheConfig, InvalidationPolicy, MechanismKind};
 use memctrl::SchedPolicy;
-use sim::exp::{default_threads, par_map, run_configured, ExpParams};
-use sim::SystemConfig;
+use sim::api::{Experiment, SweepResult, Variant};
+use sim::exp::ExpParams;
 
-fn hit_rate(cc: &ChargeCacheConfig, p: &ExpParams, mix_list: &[traces::MixSpec]) -> f64 {
-    let hs: Vec<f64> = all_eight(MechanismKind::ChargeCache, cc, p, mix_list)
-        .iter()
-        .filter_map(|(_, r)| r.hcrac_hit_rate())
+fn cc_variant(
+    label: &str,
+    edit: impl Fn(&mut ChargeCacheConfig) + Send + Sync + 'static,
+) -> Variant {
+    Variant::new(label, move |cfg| edit(&mut cfg.cc))
+}
+
+fn hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
+    let hs: Vec<f64> = sweep
+        .cells_of(MechanismKind::ChargeCache, variant)
+        .filter_map(|c| c.result.hcrac_hit_rate())
         .collect();
     mean(&hs)
 }
@@ -25,16 +37,33 @@ fn main() {
     let p = ExpParams::bench();
     let mix_list = mixes(sweep_mix_count());
 
+    let mut variants = vec![
+        cc_variant("periodic", |cc| {
+            cc.invalidation = InvalidationPolicy::Periodic
+        }),
+        cc_variant("exact", |cc| cc.invalidation = InvalidationPolicy::Exact),
+    ];
+    for ways in [1usize, 2, 4, 8, 0] {
+        variants.push(cc_variant(&format!("ways-{ways}"), move |cc| {
+            cc.ways = ways
+        }));
+    }
+    variants.push(cc_variant("private", |cc| cc.shared = false));
+    variants.push(cc_variant("shared", |cc| cc.shared = true));
+    let sweep = Experiment::new()
+        .mixes(mix_list)
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(variants)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+
     banner(
         "Ablation D1: periodic (IIC/EC) vs exact invalidation",
         "the two-counter scheme loses a negligible amount of hit rate",
     );
-    let mut periodic = ChargeCacheConfig::paper();
-    periodic.invalidation = InvalidationPolicy::Periodic;
-    let mut exact = ChargeCacheConfig::paper();
-    exact.invalidation = InvalidationPolicy::Exact;
-    let hp = hit_rate(&periodic, &p, &mix_list);
-    let he = hit_rate(&exact, &p, &mix_list);
+    let hp = hit_rate(&sweep, "periodic");
+    let he = hit_rate(&sweep, "exact");
     println!("periodic IIC/EC hit rate: {}", pct(hp));
     println!("exact expiry hit rate:    {}", pct(he));
     println!("premature-invalidation loss: {}\n", pct((he - hp).max(0.0)));
@@ -45,14 +74,16 @@ fn main() {
     );
     println!("{:>8} {:>12}", "ways", "hit rate");
     for ways in [1usize, 2, 4, 8, 0] {
-        let mut cc = ChargeCacheConfig::paper();
-        cc.ways = ways;
         let label = if ways == 0 {
             "full".to_string()
         } else {
             ways.to_string()
         };
-        println!("{:>8} {:>12}", label, pct(hit_rate(&cc, &p, &mix_list)));
+        println!(
+            "{:>8} {:>12}",
+            label,
+            pct(hit_rate(&sweep, &format!("ways-{ways}")))
+        );
     }
     println!();
 
@@ -60,18 +91,8 @@ fn main() {
         "Ablation D5: private per-core HCRACs vs shared",
         "footnote 7 leaves sharing as future work; this quantifies it",
     );
-    let mut private = ChargeCacheConfig::paper();
-    private.shared = false;
-    let mut shared = ChargeCacheConfig::paper();
-    shared.shared = true;
-    println!(
-        "private (128/core): {}",
-        pct(hit_rate(&private, &p, &mix_list))
-    );
-    println!(
-        "shared (1024 total): {}",
-        pct(hit_rate(&shared, &p, &mix_list))
-    );
+    println!("private (128/core): {}", pct(hit_rate(&sweep, "private")));
+    println!("shared (1024 total): {}", pct(hit_rate(&sweep, "shared")));
     println!("(an unpartitioned shared HCRAC lets one conflict-heavy app");
     println!(" evict everyone else's entries — interference the per-core");
     println!(" replication sidesteps)");
@@ -82,23 +103,24 @@ fn main() {
         "ChargeCache helps under any scheduler; FR-FCFS is the Table 1 default",
     );
     // Single-core sweep: {FCFS, FR-FCFS} × {baseline, ChargeCache}.
-    let specs = workloads();
+    let sched_sweep = Experiment::new()
+        .workloads(workloads())
+        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .variants([
+            Variant::new("Fcfs", |cfg| cfg.ctrl.scheduler = SchedPolicy::Fcfs),
+            Variant::new("FrFcfs", |cfg| cfg.ctrl.scheduler = SchedPolicy::FrFcfs),
+        ])
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
     let mut gains = Vec::new();
     for sched in [SchedPolicy::Fcfs, SchedPolicy::FrFcfs] {
-        let run = |mech: MechanismKind| {
-            par_map(specs.clone(), default_threads(), |spec| {
-                let mut cfg = SystemConfig::paper_single_core(mech);
-                cfg.ctrl.scheduler = sched;
-                run_configured(cfg, std::slice::from_ref(&spec), &p).ipc(0)
-            })
-        };
-        let base = run(MechanismKind::Baseline);
-        let ccr = run(MechanismKind::ChargeCache);
-        let speedups: Vec<f64> = base
-            .iter()
-            .zip(&ccr)
-            .filter(|(&b, _)| b > 0.0)
-            .map(|(&b, &c)| c / b - 1.0)
+        let label = format!("{sched:?}");
+        let speedups: Vec<f64> = sched_sweep
+            .cells_of(MechanismKind::Baseline, &label)
+            .zip(sched_sweep.cells_of(MechanismKind::ChargeCache, &label))
+            .filter(|(b, _)| b.result.ipc(0) > 0.0)
+            .map(|(b, c)| c.result.ipc(0) / b.result.ipc(0) - 1.0)
             .collect();
         let g = mean(&speedups);
         println!("{sched:?}: ChargeCache gains {} on average", pct(g));

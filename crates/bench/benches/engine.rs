@@ -26,11 +26,13 @@ struct Row {
 }
 
 fn time_engines(label: &str, cfg: &SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -> Row {
+    // Times the un-memoized driver directly: the api-level run cache
+    // would turn the second engine's run into a lookup.
     let run = |engine: Engine| {
         let mut c = cfg.clone();
         c.engine = engine;
         let t0 = Instant::now();
-        let r = run_configured(c, apps, p);
+        let r = run_configured(c, apps, p).expect("paper configuration is valid");
         (r, t0.elapsed().as_secs_f64())
     };
     let (dense_r, dense_s) = run(Engine::PerCycle);

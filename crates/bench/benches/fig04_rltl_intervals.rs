@@ -3,29 +3,27 @@
 //!
 //! Paper result: single-core 0.125ms-RLTL averages 66%, eight-core 77%;
 //! the row-buffer policy barely moves the numbers.
+//!
+//! All five interval points come from **one run per (subject, policy)**:
+//! the RLTL tracker accumulates every bucket in a single simulation, and
+//! the sweep is declared as one `sim::api` grid per core count.
 
 use bench::{banner, mean, mixes, pct, workloads};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismKind;
 use memctrl::RowPolicy;
-use sim::exp::{default_threads, par_map, run_configured, ExpParams};
-use sim::SystemConfig;
-use traces::WorkloadSpec;
+use sim::api::{Experiment, Variant};
+use sim::exp::ExpParams;
 
 /// Indices of the paper's Figure 4 intervals within the tracker buckets
 /// (0.125, 0.25, 0.5, 1, 8, 32 ms) — Figure 4 omits the 8 ms bucket.
 const FIG4_IDX: [usize; 5] = [0, 1, 2, 3, 5];
 const FIG4_LABELS: [&str; 5] = ["0.125ms", "0.25ms", "0.5ms", "1ms", "32ms"];
 
-fn run_policy_single(spec: &WorkloadSpec, policy: RowPolicy, p: &ExpParams) -> sim::RunResult {
-    let mut cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
-    cfg.ctrl.row_policy = policy;
-    run_configured(cfg, std::slice::from_ref(spec), p)
-}
-
-fn run_policy_eight(mix: &traces::MixSpec, policy: RowPolicy, p: &ExpParams) -> sim::RunResult {
-    let mut cfg = SystemConfig::paper_eight_core(MechanismKind::Baseline);
-    cfg.ctrl.row_policy = policy;
-    run_configured(cfg, &mix.apps, p)
+fn policy_variants() -> [Variant; 2] {
+    [
+        Variant::new("open", |cfg| cfg.ctrl.row_policy = RowPolicy::Open),
+        Variant::new("closed", |cfg| cfg.ctrl.row_policy = RowPolicy::Closed),
+    ]
 }
 
 fn print_row(name: &str, policy: &str, r: &sim::RunResult) -> Vec<f64> {
@@ -39,7 +37,6 @@ fn print_row(name: &str, policy: &str, r: &sim::RunResult) -> Vec<f64> {
 }
 
 fn main() {
-    let _ = ChargeCacheConfig::paper();
     let p = ExpParams::bench();
     banner(
         "Figure 4: RLTL at 0.125/0.25/0.5/1/32 ms, open vs closed row",
@@ -54,24 +51,17 @@ fn main() {
     println!();
     let mut avg_open = vec![Vec::new(); 5];
     let mut avg_closed = vec![Vec::new(); 5];
-    let specs = workloads();
-    let results = par_map(
-        specs
-            .iter()
-            .flat_map(|s| [(s.clone(), RowPolicy::Open), (s.clone(), RowPolicy::Closed)])
-            .collect::<Vec<_>>(),
-        default_threads(),
-        |(spec, pol)| (spec.name, pol, run_policy_single(&spec, pol, &p)),
-    );
-    for (name, pol, r) in results {
-        let label = if pol == RowPolicy::Open {
-            "open"
-        } else {
-            "closed"
-        };
-        let fr = print_row(name, label, &r);
-        if r.rltl.activations > 0 {
-            let store = if pol == RowPolicy::Open {
+    let sweep = Experiment::new()
+        .workloads(workloads())
+        .mechanism(MechanismKind::Baseline)
+        .variants(policy_variants())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    for cell in &sweep.cells {
+        let fr = print_row(&cell.subject, &cell.variant, &cell.result);
+        if cell.result.rltl.activations > 0 {
+            let store = if cell.variant == "open" {
                 &mut avg_open
             } else {
                 &mut avg_closed
@@ -99,22 +89,15 @@ fn main() {
     }
     println!();
     let mut avg8 = vec![Vec::new(); 5];
-    let mix_list = mixes(20);
-    let results = par_map(
-        mix_list
-            .iter()
-            .flat_map(|m| [(m.clone(), RowPolicy::Open), (m.clone(), RowPolicy::Closed)])
-            .collect::<Vec<_>>(),
-        default_threads(),
-        |(mix, pol)| (mix.name.clone(), pol, run_policy_eight(&mix, pol, &p)),
-    );
-    for (name, pol, r) in results {
-        let label = if pol == RowPolicy::Open {
-            "open"
-        } else {
-            "closed"
-        };
-        let fr = print_row(&name, label, &r);
+    let sweep8 = Experiment::new()
+        .mixes(mixes(20))
+        .mechanism(MechanismKind::Baseline)
+        .variants(policy_variants())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    for cell in &sweep8.cells {
+        let fr = print_row(&cell.subject, &cell.variant, &cell.result);
         for (acc, f) in avg8.iter_mut().zip(fr) {
             acc.push(f);
         }

@@ -5,11 +5,16 @@
 //! eight-core weighted speedup — NUAT 2.5%, ChargeCache 8.6%,
 //! ChargeCache+NUAT 9.6%, LL-DRAM ≈ 13.4%. Orderings:
 //! LL-DRAM ≥ CC+NUAT ≥ CC > NUAT on average, hmmer unaffected.
+//!
+//! Declared as two `sim::api` grids (subjects × all five mechanisms);
+//! the eight-core grid also requests memoized alone-IPC runs for the
+//! weighted-speedup denominators.
 
 use std::collections::HashMap;
 
-use bench::{all_eight, all_single, alone_ipcs, banner, mean, mixes, pct, ws_of};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use bench::{banner, mean, mixes, pct, workloads};
+use chargecache::MechanismKind;
+use sim::api::Experiment;
 use sim::exp::ExpParams;
 
 const MECHS: [MechanismKind; 4] = [
@@ -21,27 +26,36 @@ const MECHS: [MechanismKind; 4] = [
 
 fn main() {
     let p = ExpParams::bench();
-    let cc = ChargeCacheConfig::paper();
     banner(
         "Figure 7: speedup over baseline (NUAT / CC / CC+NUAT / LL-DRAM)",
         "1-core CC avg 2.1% (max 9.3%); 8-core NUAT 2.5%, CC 8.6%, CC+NUAT 9.6%",
     );
 
     // ---------- (a) single-core ----------
-    let base: Vec<_> = all_single(MechanismKind::Baseline, &cc, &p);
+    let specs = workloads();
+    let sweep = Experiment::new()
+        .workloads(specs.clone())
+        .mechanisms(&MechanismKind::ALL)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
     let mut per_mech: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
     let mut rows: Vec<(String, f64, Vec<f64>)> = Vec::new();
-    let mech_results: Vec<_> = MECHS.iter().map(|&k| (k, all_single(k, &cc, &p))).collect();
-    for (i, (spec, b)) in base.iter().enumerate() {
-        let b_ipc = b.ipc(0).max(1e-9);
-        let speedups: Vec<f64> = mech_results
+    for spec in &specs {
+        let b = sweep
+            .cell(spec.name, MechanismKind::Baseline, "paper")
+            .expect("baseline cell");
+        let speedups: Vec<f64> = MECHS
             .iter()
-            .map(|(_, rs)| rs[i].1.ipc(0) / b_ipc - 1.0)
+            .map(|&k| {
+                let c = sweep.cell(spec.name, k, "paper").expect("mechanism cell");
+                sweep.speedup(c, b)
+            })
             .collect();
-        for (j, (k, _)) in mech_results.iter().enumerate() {
+        for (j, k) in MECHS.iter().enumerate() {
             per_mech.entry(*k).or_default().push(speedups[j]);
         }
-        rows.push((spec.name.to_string(), b.rmpkc(), speedups));
+        rows.push((spec.name.to_string(), b.result.rmpkc(), speedups));
     }
     // The paper sorts Figure 7a by ascending RMPKC.
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -74,38 +88,39 @@ fn main() {
     // Weighted speedup uses a common set of alone-IPC denominators (the
     // baseline system's), so WS ratios reflect only the shared-run
     // improvement — the paper's "system throughput" usage.
-    let alone_base = alone_ipcs(MechanismKind::Baseline, &cc, &p);
-    let base8 = all_eight(MechanismKind::Baseline, &cc, &p, &mix_list);
-    let ws_base: Vec<f64> = base8
-        .iter()
-        .map(|(m, r)| ws_of(m, r, &alone_base))
-        .collect();
+    let sweep8 = Experiment::new()
+        .mixes(mix_list.clone())
+        .mechanisms(&MechanismKind::ALL)
+        .params(p)
+        .alone_ipcs(MechanismKind::Baseline)
+        .run()
+        .expect("paper configuration is valid");
 
     println!(
         "{:<6} {:>8} {:>9} {:>12} {:>9} {:>9}",
         "mix", "RMPKC", "NUAT", "ChargeCache", "CC+NUAT", "LL-DRAM"
     );
     let mut per_mech8: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
-    let mech8: Vec<_> = MECHS
-        .iter()
-        .map(|&k| {
-            let runs = all_eight(k, &cc, &p, &mix_list);
-            let ws: Vec<f64> = runs.iter().map(|(m, r)| ws_of(m, r, &alone_base)).collect();
-            (k, ws)
-        })
-        .collect();
-    for (i, (mix, b)) in base8.iter().enumerate() {
-        let speedups: Vec<f64> = mech8
+    for mix in &mix_list {
+        let b = sweep8
+            .cell(&mix.name, MechanismKind::Baseline, "paper")
+            .expect("baseline cell");
+        let ws_base = sweep8.weighted_speedup(b).expect("alone runs computed");
+        let speedups: Vec<f64> = MECHS
             .iter()
-            .map(|(_, ws)| ws[i] / ws_base[i].max(1e-9) - 1.0)
+            .map(|&k| {
+                let c = sweep8.cell(&mix.name, k, "paper").expect("mechanism cell");
+                let ws = sweep8.weighted_speedup(c).expect("alone runs computed");
+                ws / ws_base.max(1e-9) - 1.0
+            })
             .collect();
-        for (j, (k, _)) in mech8.iter().enumerate() {
+        for (j, k) in MECHS.iter().enumerate() {
             per_mech8.entry(*k).or_default().push(speedups[j]);
         }
         println!(
             "{:<6} {:>8.2} {:>9} {:>12} {:>9} {:>9}",
             mix.name,
-            b.rmpkc(),
+            b.result.rmpkc(),
             pct(speedups[0]),
             pct(speedups[1]),
             pct(speedups[2]),

@@ -3,12 +3,31 @@
 //!
 //! Paper results: 128 entries/core yields 38% (single-core) and 66%
 //! (eight-core) hit rates; returns diminish toward the unlimited ceiling.
+//!
+//! One `sim::api` grid per core count: the capacity axis (plus the
+//! unlimited ceiling) is a variant list, and every point shares the
+//! memoized run cache.
 
-use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
+use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
 use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::api::{Experiment, SweepResult, Variant};
 use sim::exp::ExpParams;
 
 const CAPACITIES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+fn capacity_variants() -> Vec<Variant> {
+    let mut vs: Vec<Variant> = CAPACITIES.iter().map(|&n| Variant::entries(n)).collect();
+    vs.push(Variant::cc("unlimited", ChargeCacheConfig::unlimited()));
+    vs
+}
+
+fn mean_hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
+    let hs: Vec<f64> = sweep
+        .cells_of(MechanismKind::ChargeCache, variant)
+        .filter_map(|c| c.result.hcrac_hit_rate())
+        .collect();
+    mean(&hs)
+}
 
 fn main() {
     let p = ExpParams::bench();
@@ -21,38 +40,33 @@ fn main() {
         "{:<10} {:>14} {:>14}",
         "entries", "1-core hit", "8-core hit"
     );
-    let mix_list = mixes(sweep_mix_count());
+    let sweep1 = Experiment::new()
+        .workloads(workloads())
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(capacity_variants())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    let sweep8 = Experiment::new()
+        .mixes(mixes(sweep_mix_count()))
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(capacity_variants())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
     for entries in CAPACITIES {
-        let cc = ChargeCacheConfig::with_entries(entries);
-        let h1: Vec<f64> = all_single(MechanismKind::ChargeCache, &cc, &p)
-            .iter()
-            .filter_map(|(_, r)| r.hcrac_hit_rate())
-            .collect();
-        let h8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list)
-            .iter()
-            .filter_map(|(_, r)| r.hcrac_hit_rate())
-            .collect();
+        let label = entries.to_string();
         println!(
             "{:<10} {:>14} {:>14}",
             entries,
-            pct(mean(&h1)),
-            pct(mean(&h8))
+            pct(mean_hit_rate(&sweep1, &label)),
+            pct(mean_hit_rate(&sweep8, &label))
         );
     }
-
-    let unl = ChargeCacheConfig::unlimited();
-    let h1: Vec<f64> = all_single(MechanismKind::ChargeCache, &unl, &p)
-        .iter()
-        .filter_map(|(_, r)| r.hcrac_hit_rate())
-        .collect();
-    let h8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &unl, &p, &mix_list)
-        .iter()
-        .filter_map(|(_, r)| r.hcrac_hit_rate())
-        .collect();
     println!(
         "{:<10} {:>14} {:>14}",
         "unlimited",
-        pct(mean(&h1)),
-        pct(mean(&h8))
+        pct(mean_hit_rate(&sweep1, "unlimited")),
+        pct(mean_hit_rate(&sweep8, "unlimited"))
     );
 }

@@ -2,9 +2,14 @@
 //!
 //! Paper results (eight-core): 128 entries → 8.8%, 1024 entries → 10.6%;
 //! benefits grow with capacity but diminish at the high end.
+//!
+//! The capacity-independent baselines are their own one-variant grids
+//! (memoized and shared with every other figure in the process); the
+//! ChargeCache side sweeps the capacity axis as a variant list.
 
-use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
+use chargecache::MechanismKind;
+use sim::api::{Experiment, Variant};
 use sim::exp::ExpParams;
 
 const CAPACITIES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
@@ -17,36 +22,61 @@ fn main() {
     );
 
     // Baselines are capacity-independent: run once.
-    let base1: Vec<f64> = all_single(MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p)
-        .iter()
-        .map(|(_, r)| r.ipc(0))
-        .collect();
+    let specs = workloads();
     let mix_list = mixes(sweep_mix_count());
-    let base8: Vec<f64> = all_eight(
-        MechanismKind::Baseline,
-        &ChargeCacheConfig::paper(),
-        &p,
-        &mix_list,
-    )
-    .iter()
-    .map(|(_, r)| r.ipc_sum())
-    .collect();
+    let base1 = Experiment::new()
+        .workloads(specs.clone())
+        .mechanism(MechanismKind::Baseline)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    let base8 = Experiment::new()
+        .mixes(mix_list.clone())
+        .mechanism(MechanismKind::Baseline)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+
+    let cc1 = Experiment::new()
+        .workloads(specs)
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(CAPACITIES.iter().map(|&n| Variant::entries(n)))
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    let cc8 = Experiment::new()
+        .mixes(mix_list)
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(CAPACITIES.iter().map(|&n| Variant::entries(n)))
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
 
     println!(
         "{:<10} {:>14} {:>14}",
         "entries", "1-core spdup", "8-core spdup"
     );
     for entries in CAPACITIES {
-        let cc = ChargeCacheConfig::with_entries(entries);
-        let s1: Vec<f64> = all_single(MechanismKind::ChargeCache, &cc, &p)
+        let label = entries.to_string();
+        let s1: Vec<f64> = base1
+            .cells
             .iter()
-            .zip(&base1)
-            .map(|((_, r), &b)| r.ipc(0) / b.max(1e-9) - 1.0)
+            .map(|b| {
+                let c = cc1
+                    .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                    .expect("capacity cell");
+                c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0
+            })
             .collect();
-        let s8: Vec<f64> = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list)
+        let s8: Vec<f64> = base8
+            .cells
             .iter()
-            .zip(&base8)
-            .map(|((_, r), &b)| r.ipc_sum() / b.max(1e-9) - 1.0)
+            .map(|b| {
+                let c = cc8
+                    .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                    .expect("capacity cell");
+                c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0
+            })
             .collect();
         println!(
             "{:<10} {:>14} {:>14}",

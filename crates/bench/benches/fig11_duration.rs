@@ -3,9 +3,13 @@
 //! Paper result: longer caching durations raise the hit rate only
 //! slightly but weaken the timing reductions (Table 2), so 1 ms is the
 //! empirically best duration; speedup falls monotonically beyond it.
+//!
+//! The duration axis is a `sim::api` variant list; the
+//! duration-independent baselines are shared, memoized runs.
 
-use bench::{all_eight, all_single, banner, mean, mixes, pct, sweep_mix_count};
+use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
 use chargecache::{ChargeCacheConfig, MechanismKind};
+use sim::api::{Experiment, Variant};
 use sim::exp::ExpParams;
 
 const DURATIONS_MS: [f64; 4] = [1.0, 4.0, 8.0, 16.0];
@@ -17,44 +21,69 @@ fn main() {
         "1 ms is best; longer durations trade timing margin for few extra hits",
     );
 
-    let base1: Vec<f64> = all_single(MechanismKind::Baseline, &ChargeCacheConfig::paper(), &p)
-        .iter()
-        .map(|(_, r)| r.ipc(0))
-        .collect();
+    let specs = workloads();
     let mix_list = mixes(sweep_mix_count());
-    let base8: Vec<f64> = all_eight(
-        MechanismKind::Baseline,
-        &ChargeCacheConfig::paper(),
-        &p,
-        &mix_list,
-    )
-    .iter()
-    .map(|(_, r)| r.ipc_sum())
-    .collect();
+    let base1 = Experiment::new()
+        .workloads(specs.clone())
+        .mechanism(MechanismKind::Baseline)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    let base8 = Experiment::new()
+        .mixes(mix_list.clone())
+        .mechanism(MechanismKind::Baseline)
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+
+    let durations = || DURATIONS_MS.iter().map(|&d| Variant::duration_ms(d));
+    let cc1 = Experiment::new()
+        .workloads(specs)
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(durations())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
+    let cc8 = Experiment::new()
+        .mixes(mix_list)
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(durations())
+        .params(p)
+        .run()
+        .expect("paper configuration is valid");
 
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "duration", "ΔtRCD/ΔtRAS", "1c spdup", "1c hit", "8c spdup", "8c hit", ""
     );
     for d in DURATIONS_MS {
+        let label = format!("{d} ms");
         let cc = ChargeCacheConfig::with_duration_ms(d);
-        let r1 = all_single(MechanismKind::ChargeCache, &cc, &p);
-        let s1: Vec<f64> = r1
-            .iter()
-            .zip(&base1)
-            .map(|((_, r), &b)| r.ipc(0) / b.max(1e-9) - 1.0)
-            .collect();
-        let h1: Vec<f64> = r1.iter().filter_map(|(_, r)| r.hcrac_hit_rate()).collect();
-        let r8 = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list);
-        let s8: Vec<f64> = r8
-            .iter()
-            .zip(&base8)
-            .map(|((_, r), &b)| r.ipc_sum() / b.max(1e-9) - 1.0)
-            .collect();
-        let h8: Vec<f64> = r8.iter().filter_map(|(_, r)| r.hcrac_hit_rate()).collect();
+        let mut s1 = Vec::new();
+        let mut h1 = Vec::new();
+        for b in &base1.cells {
+            let c = cc1
+                .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                .expect("duration cell");
+            s1.push(c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0);
+            if let Some(h) = c.result.hcrac_hit_rate() {
+                h1.push(h);
+            }
+        }
+        let mut s8 = Vec::new();
+        let mut h8 = Vec::new();
+        for b in &base8.cells {
+            let c = cc8
+                .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                .expect("duration cell");
+            s8.push(c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0);
+            if let Some(h) = c.result.hcrac_hit_rate() {
+                h8.push(h);
+            }
+        }
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            format!("{d} ms"),
+            label,
             format!(
                 "{}/{}",
                 cc.reductions.trcd_reduction, cc.reductions.tras_reduction

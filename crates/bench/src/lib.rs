@@ -1,15 +1,21 @@
 //! Shared helpers for the per-figure benchmark harnesses.
 //!
 //! Every `benches/figNN_*.rs` target regenerates one table or figure of
-//! the ChargeCache paper: it runs the relevant simulations at the default
-//! (laptop) scale — `CC_SCALE=N` scales run lengths by `N` — and prints
-//! the same rows/series the paper reports. Absolute numbers differ from
-//! the paper (synthetic workloads, scaled run lengths; see DESIGN.md),
-//! but the orderings and rough factors are the reproduction targets
-//! recorded in EXPERIMENTS.md.
+//! the ChargeCache paper: it declares its sweep as a [`sim::api::Experiment`]
+//! (directly, or through the thin wrappers below), runs it at the default
+//! (laptop) scale — `CC_SCALE=N` scales run lengths by `N`, `CC_TINY=1`
+//! shrinks them to the CI smoke scale — and prints the same rows/series
+//! the paper reports. Absolute numbers differ from the paper (synthetic
+//! workloads, scaled run lengths; see DESIGN.md), but the orderings and
+//! rough factors are the reproduction targets recorded in EXPERIMENTS.md.
+//!
+//! All sweeps share `sim::api`'s process-wide memoized run cache, so
+//! repeated baselines and alone-IPC runs are simulated once per process
+//! no matter how many figures or sweep points request them.
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{default_threads, par_map, run_eight_core, run_single_core, ExpParams};
+use sim::api::{Experiment, Variant};
+use sim::exp::ExpParams;
 use sim::RunResult;
 use traces::{eight_core_mixes, single_core_workloads, MixSpec, WorkloadSpec};
 
@@ -53,30 +59,45 @@ pub fn mixes(n: usize) -> Vec<MixSpec> {
     eight_core_mixes().into_iter().take(n).collect()
 }
 
-/// Runs every single-core workload under `kind`, in parallel.
+/// Runs every single-core workload under `kind`, in parallel (memoized).
 pub fn all_single(
     kind: MechanismKind,
     cc: &ChargeCacheConfig,
     p: &ExpParams,
 ) -> Vec<(WorkloadSpec, RunResult)> {
     let specs = workloads();
-    let results = par_map(specs.clone(), default_threads(), |spec| {
-        run_single_core(&spec, kind, cc, p)
-    });
-    specs.into_iter().zip(results).collect()
+    let sweep = Experiment::new()
+        .workloads(specs.clone())
+        .mechanism(kind)
+        .variant(Variant::cc("cc", cc.clone()))
+        .params(*p)
+        .run()
+        .expect("paper configuration is valid");
+    specs
+        .into_iter()
+        .zip(sweep.cells.into_iter().map(|c| c.result))
+        .collect()
 }
 
-/// Runs every given mix under `kind`, in parallel.
+/// Runs every given mix under `kind`, in parallel (memoized).
 pub fn all_eight(
     kind: MechanismKind,
     cc: &ChargeCacheConfig,
     p: &ExpParams,
     mix_list: &[MixSpec],
 ) -> Vec<(MixSpec, RunResult)> {
-    let results = par_map(mix_list.to_vec(), default_threads(), |mix| {
-        run_eight_core(&mix, kind, cc, p)
-    });
-    mix_list.iter().cloned().zip(results).collect()
+    let sweep = Experiment::new()
+        .mixes(mix_list.to_vec())
+        .mechanism(kind)
+        .variant(Variant::cc("cc", cc.clone()))
+        .params(*p)
+        .run()
+        .expect("paper configuration is valid");
+    mix_list
+        .iter()
+        .cloned()
+        .zip(sweep.cells.into_iter().map(|c| c.result))
+        .collect()
 }
 
 /// Per-application alone-IPCs under `kind` (weighted-speedup denominators),

@@ -1,0 +1,1026 @@
+//! Declarative experiment API: sweep grids, memoized runs, streaming
+//! probes and machine-readable results.
+//!
+//! Every figure bench, example and `cc-sim` subcommand describes its
+//! experiment as an [`Experiment`] — a grid of *subjects* (single-core
+//! workloads or eight-core mixes) × *mechanisms* × *variants*
+//! (configuration overrides such as HCRAC capacity or caching duration).
+//! [`Experiment::run`] executes the grid in parallel, memoizes every run
+//! in a process-wide cache (so shared baseline and alone-IPC runs are
+//! simulated **once per workload**, not once per figure), and returns a
+//! [`SweepResult`] table with typed metric extraction and a hand-rolled
+//! JSON encoding for downstream tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use chargecache::MechanismKind;
+//! use sim::api::{Experiment, Metric, Variant};
+//! use sim::ExpParams;
+//! use traces::workload;
+//!
+//! let mut p = ExpParams::tiny();
+//! p.insts_per_core = 2_000;
+//! let sweep = Experiment::new()
+//!     .workload(workload("tpch6").expect("paper workload"))
+//!     .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+//!     .variants([Variant::entries(64), Variant::entries(128)])
+//!     .params(p)
+//!     .run()
+//!     .expect("valid paper configuration");
+//!
+//! let base = sweep.cell("tpch6", MechanismKind::Baseline, "64").unwrap();
+//! let cc = sweep.cell("tpch6", MechanismKind::ChargeCache, "128").unwrap();
+//! assert!(cc.metric(Metric::Ipc) >= base.metric(Metric::Ipc));
+//! let json = sweep.to_json();
+//! assert!(sim::json::parse(&json).is_ok());
+//! ```
+//!
+//! # Streaming probes
+//!
+//! A [`Probe`] observes a running [`System`] at a fixed cycle interval,
+//! so time-series views (hit rate over time, IPC ramp) come from **one**
+//! simulation instead of one run per point —
+//! `examples/hitrate_timeseries.rs` renders a whole warm-up figure from
+//! a single run this way:
+//!
+//! ```
+//! use chargecache::MechanismKind;
+//! use sim::api::{run_probed, SampleSeries};
+//! use sim::{ExpParams, SystemConfig};
+//! use traces::workload;
+//!
+//! let spec = workload("STREAMcopy").expect("paper workload");
+//! let mut p = ExpParams::tiny();
+//! p.insts_per_core = 2_000;
+//! let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+//! let mut series = SampleSeries::default();
+//! let r = run_probed(cfg, std::slice::from_ref(&spec), &p, 10_000, &mut series).unwrap();
+//! assert!(!series.samples.is_empty());
+//! assert!(r.ipc(0) > 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use chargecache::{ChargeCacheConfig, MechanismKind};
+use traces::{MixSpec, WorkloadSpec};
+
+use crate::config::{InvalidConfig, SystemConfig};
+use crate::exp::{default_threads, par_map, run_configured, ExpParams};
+use crate::json::Json;
+use crate::metrics::RunResult;
+use crate::system::System;
+use crate::Engine;
+
+// ---------------------------------------------------------------------------
+// Subjects
+// ---------------------------------------------------------------------------
+
+/// What runs on the cores of one sweep cell: a single-core workload or an
+/// eight-core multiprogrammed mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Subject {
+    /// One workload on the paper's single-core system.
+    Single(WorkloadSpec),
+    /// One multiprogrammed mix on the paper's eight-core system.
+    Mix(MixSpec),
+}
+
+impl Subject {
+    /// Display name (workload or mix name).
+    pub fn name(&self) -> &str {
+        match self {
+            Subject::Single(w) => w.name,
+            Subject::Mix(m) => &m.name,
+        }
+    }
+
+    /// The per-core application list.
+    pub fn apps(&self) -> &[WorkloadSpec] {
+        match self {
+            Subject::Single(w) => std::slice::from_ref(w),
+            Subject::Mix(m) => &m.apps,
+        }
+    }
+
+    /// Paper base configuration for this subject under `mechanism`.
+    fn base_config(&self, mechanism: MechanismKind) -> SystemConfig {
+        match self {
+            Subject::Single(_) => SystemConfig::paper_single_core(mechanism),
+            Subject::Mix(_) => SystemConfig::paper_eight_core(mechanism),
+        }
+    }
+}
+
+impl From<WorkloadSpec> for Subject {
+    fn from(w: WorkloadSpec) -> Self {
+        Subject::Single(w)
+    }
+}
+
+impl From<MixSpec> for Subject {
+    fn from(m: MixSpec) -> Self {
+        Subject::Mix(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variants
+// ---------------------------------------------------------------------------
+
+/// One point on the sweep's configuration axis: a labelled override
+/// applied to the paper [`SystemConfig`] before the run.
+#[derive(Clone)]
+pub struct Variant {
+    label: String,
+    apply: Arc<dyn Fn(&mut SystemConfig) + Send + Sync>,
+}
+
+impl Variant {
+    /// The unmodified paper configuration.
+    pub fn paper() -> Self {
+        Self::new("paper", |_| {})
+    }
+
+    /// A custom labelled override.
+    pub fn new(
+        label: impl Into<String>,
+        apply: impl Fn(&mut SystemConfig) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            apply: Arc::new(apply),
+        }
+    }
+
+    /// Paper ChargeCache config with `entries` HCRAC entries per core
+    /// (the Figure 9/10 capacity axis). Label: the entry count.
+    pub fn entries(entries: usize) -> Self {
+        Self::new(entries.to_string(), move |cfg| {
+            cfg.cc = ChargeCacheConfig::with_entries(entries);
+        })
+    }
+
+    /// Paper ChargeCache config with a different caching duration
+    /// (the Figure 11 axis). Label: `"{ms} ms"`.
+    pub fn duration_ms(ms: f64) -> Self {
+        Self::new(format!("{ms} ms"), move |cfg| {
+            cfg.cc = ChargeCacheConfig::with_duration_ms(ms);
+        })
+    }
+
+    /// A fully explicit ChargeCache configuration.
+    pub fn cc(label: impl Into<String>, cc: ChargeCacheConfig) -> Self {
+        Self::new(label, move |cfg| cfg.cc = cc.clone())
+    }
+
+    /// The variant's label (row/column key in the [`SweepResult`]).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Variant")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment builder
+// ---------------------------------------------------------------------------
+
+/// Declarative sweep specification: subjects × mechanisms × variants,
+/// executed by [`Experiment::run`].
+#[derive(Debug, Clone, Default)]
+pub struct Experiment {
+    subjects: Vec<Subject>,
+    mechanisms: Vec<MechanismKind>,
+    variants: Vec<Variant>,
+    params: Option<ExpParams>,
+    engine: Option<Engine>,
+    threads: Option<usize>,
+    alone: Option<MechanismKind>,
+    configure: Option<Variant>,
+}
+
+impl Experiment {
+    /// An empty experiment. Unset axes default to: all five mechanisms,
+    /// the single [`Variant::paper`] variant, [`ExpParams::bench`]
+    /// parameters and [`default_threads`] workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one single-core workload subject.
+    #[must_use]
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.subjects.push(Subject::Single(spec));
+        self
+    }
+
+    /// Adds many single-core workload subjects.
+    #[must_use]
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.subjects.extend(specs.into_iter().map(Subject::Single));
+        self
+    }
+
+    /// Adds one eight-core mix subject.
+    #[must_use]
+    pub fn mix(mut self, mix: MixSpec) -> Self {
+        self.subjects.push(Subject::Mix(mix));
+        self
+    }
+
+    /// Adds many eight-core mix subjects.
+    #[must_use]
+    pub fn mixes(mut self, mixes: impl IntoIterator<Item = MixSpec>) -> Self {
+        self.subjects.extend(mixes.into_iter().map(Subject::Mix));
+        self
+    }
+
+    /// Adds one mechanism to the mechanism axis.
+    #[must_use]
+    pub fn mechanism(mut self, m: MechanismKind) -> Self {
+        self.mechanisms.push(m);
+        self
+    }
+
+    /// Appends to the mechanism axis ([`Experiment::run`] rejects
+    /// duplicates: they would alias in [`SweepResult`] lookups).
+    #[must_use]
+    pub fn mechanisms(mut self, ms: &[MechanismKind]) -> Self {
+        self.mechanisms.extend_from_slice(ms);
+        self
+    }
+
+    /// Adds one configuration variant.
+    #[must_use]
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variants.push(v);
+        self
+    }
+
+    /// Appends to the variant axis ([`Experiment::run`] rejects
+    /// duplicate labels: they would alias in [`SweepResult`] lookups).
+    #[must_use]
+    pub fn variants(mut self, vs: impl IntoIterator<Item = Variant>) -> Self {
+        self.variants.extend(vs);
+        self
+    }
+
+    /// Sets the run-length parameters (instructions, warmup, seed).
+    #[must_use]
+    pub fn params(mut self, p: ExpParams) -> Self {
+        self.params = Some(p);
+        self
+    }
+
+    /// Overrides the simulation engine for every cell.
+    #[must_use]
+    pub fn engine(mut self, e: Engine) -> Self {
+        self.engine = Some(e);
+        self
+    }
+
+    /// Sets the worker-thread count (defaults to [`default_threads`]).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Applies an experiment-wide configuration override to every cell
+    /// (e.g. a row-buffer policy or scheduler change), before the
+    /// per-cell variant.
+    #[must_use]
+    pub fn configure(mut self, f: impl Fn(&mut SystemConfig) + Send + Sync + 'static) -> Self {
+        self.configure = Some(Variant::new("configure", f));
+        self
+    }
+
+    /// Also computes the alone-run IPC of every workload appearing in any
+    /// subject, single-core under `mechanism` with the paper
+    /// configuration — the weighted-speedup denominators. Alone runs are
+    /// memoized like every other run, so they cost one simulation per
+    /// workload per process no matter how many sweeps request them.
+    #[must_use]
+    pub fn alone_ipcs(mut self, mechanism: MechanismKind) -> Self {
+        self.alone = Some(mechanism);
+        self
+    }
+
+    /// The system configuration of one cell (public so callers can audit
+    /// exactly what a cell will run).
+    pub fn cell_config(
+        &self,
+        subject: &Subject,
+        mechanism: MechanismKind,
+        variant: &Variant,
+    ) -> SystemConfig {
+        let mut cfg = subject.base_config(mechanism);
+        if let Some(c) = &self.configure {
+            (c.apply)(&mut cfg);
+        }
+        (variant.apply)(&mut cfg);
+        if let Some(e) = self.engine {
+            cfg.engine = e;
+        }
+        cfg
+    }
+
+    /// Executes the grid in parallel and returns the result table.
+    ///
+    /// Every `(configuration, workloads, params)` triple is memoized in a
+    /// process-wide cache: cells that repeat across sweeps (shared
+    /// baselines, alone runs) are simulated exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if the experiment is empty, an axis
+    /// contains duplicates (subject names, mechanisms or variant labels
+    /// — they would alias in [`SweepResult`] lookups), or any cell's
+    /// configuration fails [`SystemConfig::validate`].
+    pub fn run(&self) -> Result<SweepResult, InvalidConfig> {
+        if self.subjects.is_empty() {
+            return Err(InvalidConfig("experiment has no subjects".into()));
+        }
+        // Names and labels key cell lookups; aliases would make cells
+        // unreachable (and double-count in averages over the JSON).
+        for (i, s) in self.subjects.iter().enumerate() {
+            if self.subjects[..i].iter().any(|t| t.name() == s.name()) {
+                return Err(InvalidConfig(format!("duplicate subject {:?}", s.name())));
+            }
+        }
+        let mechanisms = if self.mechanisms.is_empty() {
+            MechanismKind::ALL.to_vec()
+        } else {
+            self.mechanisms.clone()
+        };
+        for (i, m) in mechanisms.iter().enumerate() {
+            if mechanisms[..i].contains(m) {
+                return Err(InvalidConfig(format!("duplicate mechanism {m:?}")));
+            }
+        }
+        let variants = if self.variants.is_empty() {
+            vec![Variant::paper()]
+        } else {
+            self.variants.clone()
+        };
+        // Labels key cell lookups; aliases would make cells unreachable.
+        for (i, v) in variants.iter().enumerate() {
+            if variants[..i].iter().any(|w| w.label == v.label) {
+                return Err(InvalidConfig(format!(
+                    "duplicate variant label {:?}",
+                    v.label
+                )));
+            }
+        }
+        let params = self.params.unwrap_or_default();
+        let threads = self.threads.unwrap_or_else(default_threads).max(1);
+
+        // Grid cells, subject-major.
+        let mut jobs: Vec<Job> = Vec::new();
+        for subject in &self.subjects {
+            for &mech in &mechanisms {
+                for variant in &variants {
+                    let cfg = self.cell_config(subject, mech, variant);
+                    cfg.validate().map_err(InvalidConfig)?;
+                    jobs.push(Job {
+                        cfg,
+                        apps: subject.apps().to_vec(),
+                        params,
+                    });
+                }
+            }
+        }
+        // Alone-IPC runs: one single-core job per distinct workload.
+        let mut alone_names: Vec<String> = Vec::new();
+        if let Some(alone_mech) = self.alone {
+            for subject in &self.subjects {
+                for app in subject.apps() {
+                    if alone_names.iter().any(|n| n == app.name) {
+                        continue;
+                    }
+                    alone_names.push(app.name.to_string());
+                    let mut cfg = SystemConfig::paper_single_core(alone_mech);
+                    if let Some(e) = self.engine {
+                        cfg.engine = e;
+                    }
+                    jobs.push(Job {
+                        cfg,
+                        apps: vec![app.clone()],
+                        params,
+                    });
+                }
+            }
+        }
+
+        let results = run_memoized(jobs, threads)?;
+        let mut it = results.into_iter();
+        let mut cells = Vec::new();
+        for subject in &self.subjects {
+            for &mech in &mechanisms {
+                for variant in &variants {
+                    cells.push(Cell {
+                        subject: subject.name().to_string(),
+                        apps: subject.apps().iter().map(|a| a.name.to_string()).collect(),
+                        mechanism: mech,
+                        variant: variant.label.clone(),
+                        result: it.next().expect("one result per cell").as_ref().clone(),
+                    });
+                }
+            }
+        }
+        let alone: Vec<(String, f64)> = alone_names
+            .into_iter()
+            .map(|name| {
+                let ipc = it.next().expect("one result per alone run").ipc(0);
+                (name, ipc)
+            })
+            .collect();
+
+        Ok(SweepResult {
+            params,
+            mechanisms,
+            variants: variants.iter().map(|v| v.label.clone()).collect(),
+            cells,
+            alone,
+            alone_mechanism: self.alone,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memoized execution
+// ---------------------------------------------------------------------------
+
+struct Job {
+    cfg: SystemConfig,
+    apps: Vec<WorkloadSpec>,
+    params: ExpParams,
+}
+
+impl Job {
+    /// Cache key: the run is a pure function of exactly these inputs.
+    ///
+    /// Sub-configurations the cell's mechanism never reads (`cc`/`nuat`
+    /// reach the simulation only through
+    /// [`chargecache::build_mechanism`]) are folded to the paper default
+    /// first, so e.g. a Baseline cell hits the same cache entry across
+    /// every cc-variant of a capacity sweep instead of re-simulating per
+    /// variant.
+    fn key(&self) -> String {
+        let mut cfg = self.cfg.clone();
+        match cfg.mechanism {
+            MechanismKind::Baseline => {
+                cfg.cc = ChargeCacheConfig::paper();
+                cfg.nuat = chargecache::NuatConfig::paper_5pb();
+            }
+            MechanismKind::Nuat => cfg.cc = ChargeCacheConfig::paper(),
+            MechanismKind::ChargeCache | MechanismKind::LlDram => {
+                cfg.nuat = chargecache::NuatConfig::paper_5pb();
+            }
+            MechanismKind::CcNuat => {}
+        }
+        format!("{:?}\u{1}{:?}\u{1}{:?}", cfg, self.apps, self.params)
+    }
+}
+
+fn run_cache() -> &'static Mutex<fasthash::FastHashMap<String, Arc<RunResult>>> {
+    static CACHE: OnceLock<Mutex<fasthash::FastHashMap<String, Arc<RunResult>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(fasthash::FastHashMap::default()))
+}
+
+static CACHE_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of simulations actually executed (cache misses) since process
+/// start. The memoization tests assert on deltas of this counter.
+///
+/// The lookup and insert around a sweep's execution are not one atomic
+/// step: two [`Experiment::run`] calls racing from *different threads*
+/// can both miss on the same key and simulate it twice (results are
+/// pure, so the cache stays correct — only work and this counter are
+/// duplicated). Tests asserting exact deltas must serialize their runs,
+/// as `tests/api.rs` does.
+pub fn run_cache_executions() -> u64 {
+    CACHE_EXECUTIONS.load(Ordering::SeqCst)
+}
+
+/// Number of distinct runs currently memoized.
+pub fn run_cache_len() -> usize {
+    run_cache().lock().expect("run cache poisoned").len()
+}
+
+/// Drops every memoized run (used by tests and by long-lived processes
+/// that want to bound memory).
+pub fn clear_run_cache() {
+    run_cache().lock().expect("run cache poisoned").clear();
+}
+
+/// Executes `jobs` on `threads` workers, serving repeats from the
+/// process-wide cache. Results are returned in job order.
+fn run_memoized(jobs: Vec<Job>, threads: usize) -> Result<Vec<Arc<RunResult>>, InvalidConfig> {
+    let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+    // Work out which keys actually need simulating (first occurrence
+    // wins; later duplicates share the result). Cache hits are captured
+    // into `local` under the same lock, so a concurrent
+    // [`clear_run_cache`] between here and assembly cannot lose them.
+    let mut local: fasthash::FastHashMap<String, Arc<RunResult>> = Default::default();
+    let mut missing: Vec<(String, Job)> = Vec::new();
+    {
+        let cache = run_cache().lock().expect("run cache poisoned");
+        for (job, key) in jobs.into_iter().zip(&keys) {
+            if local.contains_key(key) || missing.iter().any(|(k, _)| k == key) {
+                continue;
+            }
+            if let Some(r) = cache.get(key) {
+                local.insert(key.clone(), r.clone());
+            } else {
+                missing.push((key.clone(), job));
+            }
+        }
+    }
+    let computed: Vec<(String, Result<RunResult, InvalidConfig>)> =
+        par_map(missing, threads, |(key, job)| {
+            CACHE_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+            (key, run_configured(job.cfg, &job.apps, &job.params))
+        });
+    {
+        let mut cache = run_cache().lock().expect("run cache poisoned");
+        for (key, result) in computed {
+            let r = Arc::new(result?);
+            cache.insert(key.clone(), r.clone());
+            local.insert(key, r);
+        }
+    }
+    Ok(keys
+        .iter()
+        .map(|k| local.get(k).expect("every key computed above").clone())
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// One executed grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Subject name (workload or mix).
+    pub subject: String,
+    /// Application name per core.
+    pub apps: Vec<String>,
+    /// Mechanism of this cell.
+    pub mechanism: MechanismKind,
+    /// Variant label of this cell.
+    pub variant: String,
+    /// The full measured result.
+    pub result: RunResult,
+}
+
+/// A typed scalar metric extracted from a [`Cell`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// IPC of core 0 (the single-core figures' y-axis).
+    Ipc,
+    /// Sum of per-core IPCs (multiprogrammed throughput).
+    IpcSum,
+    /// Row activations per kilo CPU cycle.
+    Rmpkc,
+    /// HCRAC hit rate (NaN when the mechanism has no HCRAC).
+    HcracHitRate,
+    /// Total DRAM energy over the measured interval, in mJ.
+    EnergyMj,
+    /// Simulated CPU cycles in the measured interval.
+    CpuCycles,
+    /// Cumulative RLTL fraction at tracker bucket `i`
+    /// (0.125/0.25/0.5/1/8/32 ms).
+    RltlFraction(usize),
+    /// Fraction of activations within 8 ms of the row's refresh.
+    RefreshFraction,
+}
+
+impl Cell {
+    /// Extracts one scalar metric.
+    pub fn metric(&self, m: Metric) -> f64 {
+        let r = &self.result;
+        match m {
+            Metric::Ipc => r.ipc(0),
+            Metric::IpcSum => r.ipc_sum(),
+            Metric::Rmpkc => r.rmpkc(),
+            Metric::HcracHitRate => r.hcrac_hit_rate().unwrap_or(f64::NAN),
+            Metric::EnergyMj => r.energy.total_mj(),
+            Metric::CpuCycles => r.cpu_cycles as f64,
+            Metric::RltlFraction(i) => r.rltl.rltl_fraction.get(i).copied().unwrap_or(f64::NAN),
+            Metric::RefreshFraction => r.rltl.refresh_8ms_fraction,
+        }
+    }
+
+    /// The headline IPC: core-0 IPC for single-core cells, the IPC sum
+    /// for multiprogrammed cells.
+    pub fn headline_ipc(&self) -> f64 {
+        if self.apps.len() == 1 {
+            self.result.ipc(0)
+        } else {
+            self.result.ipc_sum()
+        }
+    }
+}
+
+/// Structured result table of one sweep: every cell of the grid plus the
+/// optional alone-IPC denominators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Run-length parameters shared by every cell.
+    pub params: ExpParams,
+    /// Mechanism axis, in sweep order.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Variant labels, in sweep order.
+    pub variants: Vec<String>,
+    /// All cells, subject-major then mechanism then variant.
+    pub cells: Vec<Cell>,
+    /// Alone-run IPC per workload (weighted-speedup denominators), in
+    /// first-occurrence order. Empty unless
+    /// [`Experiment::alone_ipcs`] was requested.
+    pub alone: Vec<(String, f64)>,
+    /// Mechanism the alone runs used.
+    pub alone_mechanism: Option<MechanismKind>,
+}
+
+impl SweepResult {
+    /// Looks up one cell by subject name, mechanism and variant label.
+    pub fn cell(&self, subject: &str, mechanism: MechanismKind, variant: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.subject == subject && c.mechanism == mechanism && c.variant == variant)
+    }
+
+    /// All cells of one mechanism × variant, in subject order.
+    pub fn cells_of<'a>(
+        &'a self,
+        mechanism: MechanismKind,
+        variant: &'a str,
+    ) -> impl Iterator<Item = &'a Cell> + 'a {
+        self.cells
+            .iter()
+            .filter(move |c| c.mechanism == mechanism && c.variant == variant)
+    }
+
+    /// Alone-run IPC of one workload, when computed.
+    pub fn alone_ipc(&self, workload: &str) -> Option<f64> {
+        self.alone
+            .iter()
+            .find(|(n, _)| n == workload)
+            .map(|&(_, ipc)| ipc)
+    }
+
+    /// Relative speedup of `cell` over `base` as a fraction (0.05 = +5%),
+    /// using each cell's headline IPC.
+    pub fn speedup(&self, cell: &Cell, base: &Cell) -> f64 {
+        cell.headline_ipc() / base.headline_ipc().max(1e-9) - 1.0
+    }
+
+    /// Weighted speedup of a multiprogrammed cell versus the alone-IPC
+    /// denominators (Snavely & Tullsen). `None` unless alone runs were
+    /// computed for every app of the cell.
+    pub fn weighted_speedup(&self, cell: &Cell) -> Option<f64> {
+        let mut ws = 0.0;
+        for (core, app) in cell.apps.iter().enumerate() {
+            let alone = self.alone_ipc(app)?;
+            ws += cell.result.ipc(core) / alone.max(1e-9);
+        }
+        Some(ws)
+    }
+
+    /// Encodes the whole table as deterministic JSON (schema
+    /// `chargecache-sweep/v1`; see `README.md` for the field reference).
+    pub fn to_json(&self) -> String {
+        let params = Json::Obj(vec![
+            (
+                "insts_per_core".into(),
+                Json::uint(self.params.insts_per_core),
+            ),
+            ("warmup_insts".into(), Json::uint(self.params.warmup_insts)),
+            (
+                "max_cycle_factor".into(),
+                Json::uint(self.params.max_cycle_factor),
+            ),
+            ("seed".into(), Json::uint(self.params.seed)),
+        ]);
+        let alone = if self.alone.is_empty() {
+            Json::Null
+        } else {
+            Json::Obj(vec![
+                (
+                    "mechanism".into(),
+                    self.alone_mechanism
+                        .map_or(Json::Null, |m| Json::str(mechanism_id(m))),
+                ),
+                (
+                    "ipc".into(),
+                    Json::Obj(
+                        self.alone
+                            .iter()
+                            .map(|(n, ipc)| (n.clone(), Json::num(*ipc)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let cells = Json::Arr(self.cells.iter().map(cell_json).collect());
+        Json::Obj(vec![
+            ("schema".into(), Json::str("chargecache-sweep/v1")),
+            ("params".into(), params),
+            (
+                "mechanisms".into(),
+                Json::Arr(
+                    self.mechanisms
+                        .iter()
+                        .map(|&m| Json::str(mechanism_id(m)))
+                        .collect(),
+                ),
+            ),
+            (
+                "variants".into(),
+                Json::Arr(self.variants.iter().map(Json::str).collect()),
+            ),
+            ("alone_ipc".into(), alone),
+            ("cells".into(), cells),
+        ])
+        .to_string()
+    }
+}
+
+/// Stable machine-readable mechanism identifier (matches the `cc-sim`
+/// `--mechanism` flag values).
+pub fn mechanism_id(m: MechanismKind) -> &'static str {
+    match m {
+        MechanismKind::Baseline => "baseline",
+        MechanismKind::Nuat => "nuat",
+        MechanismKind::ChargeCache => "cc",
+        MechanismKind::CcNuat => "ccnuat",
+        MechanismKind::LlDram => "lldram",
+    }
+}
+
+fn cell_json(c: &Cell) -> Json {
+    let r = &c.result;
+    Json::Obj(vec![
+        ("subject".into(), Json::str(&c.subject)),
+        ("mechanism".into(), Json::str(mechanism_id(c.mechanism))),
+        ("variant".into(), Json::str(&c.variant)),
+        (
+            "apps".into(),
+            Json::Arr(c.apps.iter().map(Json::str).collect()),
+        ),
+        (
+            "ipc".into(),
+            Json::Arr((0..c.apps.len()).map(|i| Json::num(r.ipc(i))).collect()),
+        ),
+        ("ipc_sum".into(), Json::num(r.ipc_sum())),
+        ("rmpkc".into(), Json::num(r.rmpkc())),
+        (
+            "hcrac_hit_rate".into(),
+            r.hcrac_hit_rate().map_or(Json::Null, Json::num),
+        ),
+        ("energy_mj".into(), Json::num(r.energy.total_mj())),
+        ("cpu_cycles".into(), Json::uint(r.cpu_cycles)),
+        ("hit_cycle_cap".into(), Json::Bool(r.hit_cycle_cap)),
+        (
+            "dram".into(),
+            Json::Obj(vec![
+                ("reads".into(), Json::uint(r.ctrl.reads)),
+                ("writes".into(), Json::uint(r.ctrl.writes)),
+                ("row_hits".into(), Json::uint(r.ctrl.row_hits)),
+                ("row_misses".into(), Json::uint(r.ctrl.row_misses)),
+                ("row_conflicts".into(), Json::uint(r.ctrl.row_conflicts)),
+                ("refreshes".into(), Json::uint(r.ctrl.refreshes)),
+                (
+                    "avg_read_latency".into(),
+                    Json::num(r.ctrl.avg_read_latency()),
+                ),
+            ]),
+        ),
+        (
+            "rltl".into(),
+            Json::Obj(vec![
+                (
+                    "intervals_ms".into(),
+                    Json::Arr(r.rltl.intervals_ms.iter().map(|&x| Json::num(x)).collect()),
+                ),
+                (
+                    "fraction".into(),
+                    Json::Arr(r.rltl.rltl_fraction.iter().map(|&x| Json::num(x)).collect()),
+                ),
+                (
+                    "refresh_8ms_fraction".into(),
+                    Json::num(r.rltl.refresh_8ms_fraction),
+                ),
+                ("activations".into(), Json::uint(r.rltl.activations)),
+            ]),
+        ),
+        (
+            "energy_pj".into(),
+            Json::Obj(vec![
+                ("background".into(), Json::num(r.energy.background_pj)),
+                ("activate".into(), Json::num(r.energy.activate_pj)),
+                ("read".into(), Json::num(r.energy.read_pj)),
+                ("write".into(), Json::num(r.energy.write_pj)),
+                ("refresh".into(), Json::num(r.energy.refresh_pj)),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Probes
+// ---------------------------------------------------------------------------
+
+/// An observer invoked at fixed cycle intervals while a [`System`] runs,
+/// so time-series data comes from one simulation instead of one run per
+/// sample point. Probes only read state; they cannot perturb the run
+/// (see `tests/api.rs::probe_does_not_perturb_the_run`).
+pub trait Probe {
+    /// Called once right after warmup, then after every probe interval of
+    /// measured execution, and once at the end of the run.
+    fn sample(&mut self, sys: &System);
+}
+
+impl<F: FnMut(&System)> Probe for F {
+    fn sample(&mut self, sys: &System) {
+        self(sys)
+    }
+}
+
+/// One cumulative observation of a running system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// CPU cycle of the observation.
+    pub cycle: u64,
+    /// Minimum retired-instruction count across cores.
+    pub min_retired: u64,
+    /// DRAM reads so far (including warmup).
+    pub dram_reads: u64,
+    /// Row activations so far (including warmup).
+    pub activations: u64,
+}
+
+/// A ready-made [`Probe`] that records a [`Sample`] per interval.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSeries {
+    /// The recorded samples, in time order.
+    pub samples: Vec<Sample>,
+}
+
+impl Probe for SampleSeries {
+    fn sample(&mut self, sys: &System) {
+        let stats = sys.memory().stats();
+        self.samples.push(Sample {
+            cycle: sys.now(),
+            min_retired: sys.min_retired(),
+            dram_reads: stats.reads,
+            activations: stats.activations(),
+        });
+    }
+}
+
+/// Like [`run_configured`], but calls
+/// `probe` every `interval_cycles` CPU cycles of the measured phase.
+/// The probe does not change the simulation: the returned [`RunResult`]
+/// is bit-identical to an unprobed run of the same configuration.
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if the configuration fails validation, the
+/// workload count does not match the core count, or `interval_cycles`
+/// is zero.
+pub fn run_probed(
+    cfg: SystemConfig,
+    apps: &[WorkloadSpec],
+    p: &ExpParams,
+    interval_cycles: u64,
+    probe: &mut dyn Probe,
+) -> Result<RunResult, InvalidConfig> {
+    if interval_cycles == 0 {
+        return Err(InvalidConfig("probe interval must be non-zero".into()));
+    }
+    let mut sys = crate::exp::build_system(cfg, apps, p)?;
+    let max_cycles = p.max_cycles();
+    sys.run_until_retired(p.warmup_insts, max_cycles);
+    sys.memory_mut().device_mut().take_log();
+    let warm = sys.snapshot();
+    probe.sample(&sys);
+    let target = p.warmup_insts + p.insts_per_core;
+    let end = sys.now() + max_cycles;
+    let hit_cap = loop {
+        let chunk = interval_cycles.min(end - sys.now());
+        let reached = sys.run_until_retired(target, chunk);
+        probe.sample(&sys);
+        if reached {
+            break false;
+        }
+        if sys.now() >= end {
+            break true;
+        }
+    };
+    Ok(sys.result_since(&warm, hit_cap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::workload;
+
+    fn tiny() -> ExpParams {
+        ExpParams {
+            insts_per_core: 2_000,
+            warmup_insts: 500,
+            ..ExpParams::tiny()
+        }
+    }
+
+    #[test]
+    fn sweep_grid_has_one_cell_per_point() {
+        let sweep = Experiment::new()
+            .workload(workload("tpch6").unwrap())
+            .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+            .variants([Variant::entries(32), Variant::entries(64)])
+            .params(tiny())
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(sweep.cells.len(), 4);
+        assert!(sweep.cell("tpch6", MechanismKind::Baseline, "32").is_some());
+        assert!(sweep
+            .cell("tpch6", MechanismKind::ChargeCache, "64")
+            .is_some());
+        assert!(sweep.cell("tpch6", MechanismKind::Nuat, "32").is_none());
+        for c in &sweep.cells {
+            assert!(c.metric(Metric::Ipc) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_experiment_is_rejected() {
+        let err = Experiment::new().run().unwrap_err();
+        assert!(err.0.contains("no subjects"));
+    }
+
+    #[test]
+    fn invalid_variant_is_an_error_not_a_panic() {
+        let bad = Variant::new("bad", |cfg| cfg.cores = 0);
+        let err = Experiment::new()
+            .workload(workload("tpch6").unwrap())
+            .mechanism(MechanismKind::Baseline)
+            .variant(bad)
+            .params(tiny())
+            .run()
+            .unwrap_err();
+        assert!(err.0.contains("core"));
+    }
+
+    #[test]
+    fn json_output_parses_and_matches_cells() {
+        let sweep = Experiment::new()
+            .workload(workload("hmmer").unwrap())
+            .mechanism(MechanismKind::Baseline)
+            .params(tiny())
+            .run()
+            .unwrap();
+        let doc = crate::json::parse(&sweep.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("chargecache-sweep/v1")
+        );
+        let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 1);
+        let ipc = cells[0].get("ipc").and_then(Json::as_arr).unwrap()[0]
+            .as_num()
+            .unwrap();
+        assert!((ipc - sweep.cells[0].result.ipc(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_uses_alone_denominators() {
+        let mix = traces::eight_core_mixes().into_iter().next().unwrap();
+        let sweep = Experiment::new()
+            .mix(mix.clone())
+            .mechanism(MechanismKind::Baseline)
+            .params(tiny())
+            .alone_ipcs(MechanismKind::Baseline)
+            .run()
+            .unwrap();
+        // Every distinct app got one alone entry.
+        let mut distinct: Vec<&str> = mix.apps.iter().map(|a| a.name).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(sweep.alone.len(), distinct.len());
+        let ws = sweep.weighted_speedup(&sweep.cells[0]).unwrap();
+        assert!(ws > 0.0 && ws <= 8.5, "weighted speedup {ws}");
+    }
+}

@@ -5,6 +5,19 @@ use cpu::{CoreConfig, LlcConfig};
 use dram::DramConfig;
 use memctrl::CtrlConfig;
 
+/// A configuration rejected by [`SystemConfig::validate`]: the first
+/// violated constraint, as a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(pub String);
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
 /// Main-loop implementation of [`crate::System`].
 ///
 /// Both engines simulate the identical discrete-event semantics — the

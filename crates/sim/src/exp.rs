@@ -10,12 +10,12 @@
 use chargecache::{ChargeCacheConfig, MechanismKind};
 use traces::{MixSpec, WorkloadSpec};
 
-use crate::config::SystemConfig;
+use crate::config::{InvalidConfig, SystemConfig};
 use crate::metrics::RunResult;
 use crate::system::System;
 
 /// Run-length parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExpParams {
     /// Instructions each core must retire in the measured interval.
     pub insts_per_core: u64,
@@ -29,7 +29,13 @@ pub struct ExpParams {
 
 impl ExpParams {
     /// Default benchmark-scale parameters, scaled by `CC_SCALE`.
+    ///
+    /// Setting `CC_TINY=1` returns [`ExpParams::tiny`] instead — the CI
+    /// smoke configuration that runs every figure bench in seconds.
     pub fn bench() -> Self {
+        if std::env::var_os("CC_TINY").is_some_and(|v| v != "0" && !v.is_empty()) {
+            return Self::tiny();
+        }
         let scale = std::env::var("CC_SCALE")
             .ok()
             .and_then(|s| s.parse::<u64>().ok())
@@ -53,7 +59,7 @@ impl ExpParams {
         }
     }
 
-    fn max_cycles(&self) -> u64 {
+    pub(crate) fn max_cycles(&self) -> u64 {
         self.max_cycle_factor * (self.insts_per_core + self.warmup_insts)
     }
 }
@@ -65,6 +71,11 @@ impl Default for ExpParams {
 }
 
 /// Runs one workload on the paper's single-core system.
+///
+/// # Panics
+///
+/// Panics if `cc` is invalid (use [`run_configured`] plus
+/// [`chargecache::ChargeCacheConfig::validate`] for graceful handling).
 pub fn run_single_core(
     spec: &WorkloadSpec,
     mechanism: MechanismKind,
@@ -73,10 +84,14 @@ pub fn run_single_core(
 ) -> RunResult {
     let mut cfg = SystemConfig::paper_single_core(mechanism);
     cfg.cc = cc.clone();
-    run_configured(cfg, std::slice::from_ref(spec), p)
+    run_configured(cfg, std::slice::from_ref(spec), p).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs one eight-core mix on the paper's multi-core system.
+///
+/// # Panics
+///
+/// Panics if `cc` is invalid.
 pub fn run_eight_core(
     mix: &MixSpec,
     mechanism: MechanismKind,
@@ -85,16 +100,23 @@ pub fn run_eight_core(
 ) -> RunResult {
     let mut cfg = SystemConfig::paper_eight_core(mechanism);
     cfg.cc = cc.clone();
-    run_configured(cfg, &mix.apps, p)
+    run_configured(cfg, &mix.apps, p).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Runs an arbitrary system configuration with one workload per core.
-///
-/// # Panics
-///
-/// Panics if `apps` does not supply one workload per configured core.
-pub fn run_configured(cfg: SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -> RunResult {
-    assert_eq!(apps.len(), cfg.cores, "one workload per core");
+/// Builds the fully-traced [`System`] an experiment runs on (the shared
+/// front half of [`run_configured`] and [`crate::api::run_probed`]).
+pub(crate) fn build_system(
+    cfg: SystemConfig,
+    apps: &[WorkloadSpec],
+    p: &ExpParams,
+) -> Result<System, InvalidConfig> {
+    if apps.len() != cfg.cores {
+        return Err(InvalidConfig(format!(
+            "{} workloads for {} cores (need one per core)",
+            apps.len(),
+            cfg.cores
+        )));
+    }
     let traces: Vec<_> = apps
         .iter()
         .enumerate()
@@ -105,13 +127,28 @@ pub fn run_configured(cfg: SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -
             )
         })
         .collect();
-    let mut sys = System::new(cfg, traces);
+    System::try_new(cfg, traces)
+}
+
+/// Runs an arbitrary system configuration with one workload per core.
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if the configuration fails
+/// [`SystemConfig::validate`] or `apps` does not supply one workload per
+/// configured core.
+pub fn run_configured(
+    cfg: SystemConfig,
+    apps: &[WorkloadSpec],
+    p: &ExpParams,
+) -> Result<RunResult, InvalidConfig> {
+    let mut sys = build_system(cfg, apps, p)?;
     sys.run_until_retired(p.warmup_insts, p.max_cycles());
     // Discard warmup energy and take the measurement snapshot.
     sys.memory_mut().device_mut().take_log();
     let warm = sys.snapshot();
     let reached = sys.run_until_retired(p.warmup_insts + p.insts_per_core, p.max_cycles());
-    sys.result_since(&warm, !reached)
+    Ok(sys.result_since(&warm, !reached))
 }
 
 /// Alone-run IPC of a workload under a mechanism (the weighted-speedup

@@ -9,29 +9,35 @@
 //!
 //! # Example
 //!
+//! Experiments are declared as [`api::Experiment`] sweep grids and return
+//! a structured, JSON-encodable [`api::SweepResult`]:
+//!
 //! ```
-//! use chargecache::{ChargeCacheConfig, MechanismKind};
-//! use sim::exp::{run_single_core, ExpParams};
+//! use chargecache::MechanismKind;
+//! use sim::api::{Experiment, Metric};
+//! use sim::ExpParams;
 //! use traces::workload;
 //!
-//! let spec = workload("libquantum").expect("paper workload");
 //! let mut p = ExpParams::tiny();
 //! p.insts_per_core = 2_000;
-//! let result = run_single_core(
-//!     &spec,
-//!     MechanismKind::ChargeCache,
-//!     &ChargeCacheConfig::paper(),
-//!     &p,
-//! );
-//! assert!(result.ipc(0) > 0.0);
+//! let sweep = Experiment::new()
+//!     .workload(workload("libquantum").expect("paper workload"))
+//!     .mechanism(MechanismKind::ChargeCache)
+//!     .params(p)
+//!     .run()
+//!     .expect("valid paper configuration");
+//! assert!(sweep.cells[0].metric(Metric::Ipc) > 0.0);
 //! ```
 
+pub mod api;
 pub mod config;
 pub mod exp;
+pub mod json;
 pub mod metrics;
 pub mod system;
 
-pub use config::{Engine, SystemConfig};
+pub use api::{Experiment, Metric, Probe, SweepResult, Variant};
+pub use config::{Engine, InvalidConfig, SystemConfig};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};
 pub use metrics::{speedup_over, weighted_speedup, RunResult};
 pub use system::System;

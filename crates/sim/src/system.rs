@@ -25,7 +25,7 @@ use cpu::{AccessReply, Core, Llc, LoadId, MemAccess, MemOp, TraceSource};
 use fasthash::FastHashMap;
 use memctrl::{AccessKind, MemRequest, MemorySystem, RequestId};
 
-use crate::config::{Engine, SystemConfig};
+use crate::config::{Engine, InvalidConfig, SystemConfig};
 use crate::metrics::RunResult;
 
 /// A running system instance.
@@ -81,10 +81,32 @@ impl System {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or the trace count does not
-    /// match the core count.
+    /// match the core count. Use [`System::try_new`] to handle invalid
+    /// configurations gracefully.
     pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
-        cfg.validate().expect("invalid system configuration");
-        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        Self::try_new(cfg, traces).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the system, surfacing configuration errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if [`SystemConfig::validate`] rejects
+    /// the configuration or the trace count does not match the core
+    /// count.
+    pub fn try_new(
+        cfg: SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+    ) -> Result<Self, InvalidConfig> {
+        cfg.validate().map_err(InvalidConfig)?;
+        if traces.len() != cfg.cores {
+            return Err(InvalidConfig(format!(
+                "{} traces for {} cores (need one per core)",
+                traces.len(),
+                cfg.cores
+            )));
+        }
         let cores = traces
             .into_iter()
             .enumerate()
@@ -103,7 +125,7 @@ impl System {
             mem.device_mut().enable_log();
         }
         let sleep = vec![SleepState::AWAKE; cfg.cores];
-        Self {
+        Ok(Self {
             cfg,
             cores,
             llc,
@@ -116,7 +138,7 @@ impl System {
             now: 0,
             bus_now: 0,
             bus_phase: 0,
-        }
+        })
     }
 
     /// Current CPU cycle.

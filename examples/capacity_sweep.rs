@@ -1,13 +1,14 @@
 //! HCRAC design-space exploration: hit rate and speedup versus capacity
 //! and associativity for one workload — the per-design view behind the
-//! paper's Figures 9 and 10.
+//! paper's Figures 9 and 10, declared as one `sim::api` variant grid.
 //!
 //! ```sh
 //! cargo run --release --example capacity_sweep -- tpch17
 //! ```
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{default_threads, par_map, run_single_core, ExpParams};
+use sim::api::{Experiment, Variant};
+use sim::ExpParams;
 use traces::workload;
 
 fn main() {
@@ -18,18 +19,18 @@ fn main() {
     });
     let params = ExpParams::bench();
 
-    let baseline = run_single_core(
-        &spec,
-        MechanismKind::Baseline,
-        &ChargeCacheConfig::paper(),
-        &params,
-    );
-    let base_ipc = baseline.ipc(0);
+    let baseline = Experiment::new()
+        .workload(spec.clone())
+        .mechanism(MechanismKind::Baseline)
+        .params(params)
+        .run()
+        .expect("paper configuration is valid");
+    let base_ipc = baseline.cells[0].result.ipc(0);
     println!(
         "workload {} — baseline IPC {:.4}, RMPKC {:.2}\n",
         spec.name,
         base_ipc,
-        baseline.rmpkc()
+        baseline.cells[0].result.rmpkc()
     );
 
     println!(
@@ -40,37 +41,42 @@ fn main() {
         .into_iter()
         .flat_map(|entries| [(entries, 2usize), (entries, 0usize)])
         .collect();
-    let results = par_map(grid, default_threads(), |(entries, ways)| {
-        let mut cfg = ChargeCacheConfig::with_entries(entries);
-        cfg.ways = ways;
-        let r = run_single_core(&spec, MechanismKind::ChargeCache, &cfg, &params);
-        (entries, ways, r)
+    let variants = grid.iter().map(|&(entries, ways)| {
+        Variant::new(format!("{entries}w{ways}"), move |cfg| {
+            cfg.cc = ChargeCacheConfig::with_entries(entries);
+            cfg.cc.ways = ways;
+        })
     });
-    for (entries, ways, r) in results {
+    let sweep = Experiment::new()
+        .workload(spec.clone())
+        .mechanism(MechanismKind::ChargeCache)
+        .variants(variants)
+        .variant(Variant::cc("unlimited", ChargeCacheConfig::unlimited()))
+        .params(params)
+        .run()
+        .expect("paper configuration is valid");
+    for ((entries, ways), cell) in grid.iter().zip(&sweep.cells) {
         println!(
             "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
             entries,
-            if ways == 0 {
+            if *ways == 0 {
                 "full".into()
             } else {
                 ways.to_string()
             },
-            r.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-            (r.ipc(0) / base_ipc - 1.0) * 100.0
+            cell.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+            (cell.result.ipc(0) / base_ipc - 1.0) * 100.0
         );
     }
 
-    let unlimited = run_single_core(
-        &spec,
-        MechanismKind::ChargeCache,
-        &ChargeCacheConfig::unlimited(),
-        &params,
-    );
+    let unlimited = sweep
+        .cell(spec.name, MechanismKind::ChargeCache, "unlimited")
+        .expect("unlimited cell");
     println!(
         "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
         "∞",
         "-",
-        unlimited.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-        (unlimited.ipc(0) / base_ipc - 1.0) * 100.0
+        unlimited.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+        (unlimited.result.ipc(0) / base_ipc - 1.0) * 100.0
     );
 }

@@ -2,6 +2,12 @@
 //! top of TL-DRAM-style segmentation or AL-DRAM-style temperature scaling
 //! using the `BestOf` combinator, on a custom-built memory system.
 //!
+//! This example deliberately stays *below* the `sim::api` experiment
+//! layer: it drives a bare [`MemorySystem`] with hand-built mechanism
+//! compositions that have no [`chargecache::MechanismKind`] grid point.
+//! Everything that runs full-system sweeps lives on `sim::api` — see the
+//! other examples.
+//!
 //! ```sh
 //! cargo run --release --example composition
 //! ```

@@ -10,7 +10,8 @@
 //! ```
 
 use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{run_single_core, ExpParams};
+use sim::api::Experiment;
+use sim::ExpParams;
 use traces::workload;
 
 fn main() {
@@ -19,11 +20,22 @@ fn main() {
         eprintln!("unknown workload {name:?}");
         std::process::exit(1);
     });
-    let params = ExpParams::bench();
     let cc = ChargeCacheConfig::paper();
 
-    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &params);
-    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &params);
+    let sweep = Experiment::new()
+        .workload(spec.clone())
+        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .params(ExpParams::bench())
+        .run()
+        .expect("paper configuration is valid");
+    let base = &sweep
+        .cell(spec.name, MechanismKind::Baseline, "paper")
+        .expect("baseline cell")
+        .result;
+    let ccr = &sweep
+        .cell(spec.name, MechanismKind::ChargeCache, "paper")
+        .expect("ChargeCache cell")
+        .result;
 
     println!(
         "workload {} — read latency (bus cycles, enqueue → data)\n",

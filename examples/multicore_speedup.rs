@@ -1,16 +1,18 @@
 //! Eight-core weighted-speedup comparison: the paper's headline result.
 //!
 //! Runs one multiprogrammed mix under all five mechanisms and reports
-//! weighted speedup versus the DDR3 baseline.
+//! weighted speedup versus the DDR3 baseline. One `sim::api` grid: the
+//! alone-IPC denominators are requested declaratively and memoized per
+//! workload.
 //!
 //! ```sh
 //! cargo run --release --example multicore_speedup          # mix w1
 //! cargo run --release --example multicore_speedup -- 7     # mix w7
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{alone_ipc, default_threads, par_map, run_eight_core, ExpParams};
-use sim::weighted_speedup;
+use chargecache::MechanismKind;
+use sim::api::Experiment;
+use sim::ExpParams;
 use traces::eight_core_mixes;
 
 fn main() {
@@ -27,9 +29,6 @@ fn main() {
         })
         .clone();
 
-    let params = ExpParams::bench();
-    let cc = ChargeCacheConfig::paper();
-
     println!("mix {}:", mix.name);
     for (core, app) in mix.apps.iter().enumerate() {
         println!("  core {core}: {}", app.name);
@@ -38,9 +37,13 @@ fn main() {
 
     // Weighted speedup uses a common set of alone-IPC denominators
     // (baseline system), so ratios isolate the shared-run improvement.
-    let alone: Vec<f64> = par_map(mix.apps.clone(), default_threads(), |app| {
-        alone_ipc(&app, MechanismKind::Baseline, &cc, &params).max(1e-9)
-    });
+    let sweep = Experiment::new()
+        .mix(mix.clone())
+        .mechanisms(&MechanismKind::ALL)
+        .params(ExpParams::bench())
+        .alone_ipcs(MechanismKind::Baseline)
+        .run()
+        .expect("paper configuration is valid");
 
     let mut ws_base = 0.0;
     println!(
@@ -48,9 +51,10 @@ fn main() {
         "mechanism", "weighted speedup", "vs baseline"
     );
     for kind in MechanismKind::ALL {
-        let shared = run_eight_core(&mix, kind, &cc, &params);
-        let shared_ipc: Vec<f64> = (0..8).map(|c| shared.ipc(c)).collect();
-        let ws = weighted_speedup(&shared_ipc, &alone);
+        let cell = sweep
+            .cell(&mix.name, kind, "paper")
+            .expect("mechanism cell");
+        let ws = sweep.weighted_speedup(cell).expect("alone runs computed");
         if kind == MechanismKind::Baseline {
             ws_base = ws;
         }

@@ -1,46 +1,58 @@
 //! Quickstart: run one workload with and without ChargeCache and print
-//! the headline effect.
+//! the headline effect, declared through the `sim::api` experiment
+//! builder.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{run_single_core, ExpParams};
+use chargecache::MechanismKind;
+use sim::api::{Experiment, Metric};
+use sim::ExpParams;
 use traces::workload;
 
 fn main() {
     // A memory-intensive, bank-conflict-heavy workload (two interleaved
     // streams, like STREAM's copy kernel).
     let spec = workload("STREAMcopy").expect("paper workload");
-    let params = ExpParams::bench();
-    let cc_cfg = ChargeCacheConfig::paper();
 
     println!("workload: {} ({:?})", spec.name, spec.pattern);
     println!("system: 1 core, 4 MB LLC, DDR3-1600, FR-FCFS, open-row\n");
 
-    let baseline = run_single_core(&spec, MechanismKind::Baseline, &cc_cfg, &params);
-    let chargecache = run_single_core(&spec, MechanismKind::ChargeCache, &cc_cfg, &params);
+    // One declarative sweep: {workload} × {baseline, ChargeCache}.
+    let sweep = Experiment::new()
+        .workload(spec.clone())
+        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .params(ExpParams::bench())
+        .run()
+        .expect("paper configuration is valid");
 
-    println!("baseline IPC:     {:.4}", baseline.ipc(0));
-    println!("ChargeCache IPC:  {:.4}", chargecache.ipc(0));
+    let baseline = sweep
+        .cell(spec.name, MechanismKind::Baseline, "paper")
+        .expect("baseline cell");
+    let chargecache = sweep
+        .cell(spec.name, MechanismKind::ChargeCache, "paper")
+        .expect("ChargeCache cell");
+
+    println!("baseline IPC:     {:.4}", baseline.metric(Metric::Ipc));
+    println!("ChargeCache IPC:  {:.4}", chargecache.metric(Metric::Ipc));
     println!(
         "speedup:          {:+.2}%",
-        (chargecache.ipc(0) / baseline.ipc(0) - 1.0) * 100.0
+        sweep.speedup(chargecache, baseline) * 100.0
     );
     println!();
     println!(
         "HCRAC hit rate:   {:.1}%  (fraction of activations served with reduced tRCD/tRAS)",
-        chargecache.hcrac_hit_rate().unwrap_or(0.0) * 100.0
+        chargecache.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0
     );
     println!(
         "0.125ms-RLTL:     {:.1}%  (the row locality ChargeCache exploits)",
-        baseline.rltl.rltl_fraction[0] * 100.0
+        baseline.metric(Metric::RltlFraction(0)) * 100.0
     );
     println!(
         "DRAM energy:      {:.4} mJ -> {:.4} mJ ({:+.2}%)",
-        baseline.energy.total_mj(),
-        chargecache.energy.total_mj(),
-        (chargecache.energy.total_mj() / baseline.energy.total_mj() - 1.0) * 100.0
+        baseline.metric(Metric::EnergyMj),
+        chargecache.metric(Metric::EnergyMj),
+        (chargecache.metric(Metric::EnergyMj) / baseline.metric(Metric::EnergyMj) - 1.0) * 100.0
     );
 }

@@ -1,24 +1,27 @@
 //! Row-Level Temporal Locality profiler: measure RLTL for any named
 //! workload (or all of them) and show why ChargeCache's caching duration
-//! can be so short.
+//! can be so short. One `sim::api` sweep over the requested workloads.
 //!
 //! ```sh
 //! cargo run --release --example rltl_profile            # all workloads
 //! cargo run --release --example rltl_profile -- mcf     # one workload
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{run_single_core, ExpParams};
+use chargecache::MechanismKind;
+use sim::api::Experiment;
+use sim::ExpParams;
 use traces::{single_core_workloads, workload, WorkloadSpec};
 
-fn profile(spec: &WorkloadSpec, params: &ExpParams) {
-    let r = run_single_core(
-        spec,
-        MechanismKind::Baseline,
-        &ChargeCacheConfig::paper(),
-        params,
-    );
-    print_profile(spec.name, &r);
+fn profile_all(specs: Vec<WorkloadSpec>, params: ExpParams) {
+    let sweep = Experiment::new()
+        .workloads(specs)
+        .mechanism(MechanismKind::Baseline)
+        .params(params)
+        .run()
+        .expect("paper configuration is valid");
+    for cell in &sweep.cells {
+        print_profile(&cell.subject, &cell.result);
+    }
 }
 
 fn print_profile(name: &str, r: &sim::RunResult) {
@@ -41,7 +44,7 @@ fn main() {
 
     if let Some(name) = args.first() {
         match workload(name) {
-            Some(spec) => profile(&spec, &params),
+            Some(spec) => profile_all(vec![spec], params),
             None => {
                 eprintln!("unknown workload {name:?}; available:");
                 for w in single_core_workloads() {
@@ -51,22 +54,9 @@ fn main() {
             }
         }
     } else {
-        // Simulate every workload in parallel, then print in order.
-        use sim::exp::{default_threads, par_map};
-        let runs = par_map(single_core_workloads(), default_threads(), |spec| {
-            (
-                spec.name,
-                run_single_core(
-                    &spec,
-                    MechanismKind::Baseline,
-                    &ChargeCacheConfig::paper(),
-                    &params,
-                ),
-            )
-        });
-        for (name, r) in runs {
-            print_profile(name, &r);
-        }
+        // One sweep simulates every workload in parallel, then prints in
+        // order.
+        profile_all(single_core_workloads(), params);
     }
 
     println!("\nreading: a high fraction at small t means rows are re-activated while");

@@ -5,35 +5,37 @@
 //! and omnetpp to their high *row reuse distance*: so many distinct rows
 //! are activated between two activations of the same row that the HCRAC
 //! entry is evicted before it can hit. This example measures that
-//! distance and correlates it with the measured hit rate.
+//! distance with one `sim::api` sweep and correlates it with the
+//! measured hit rate.
 //!
 //! ```sh
 //! cargo run --release --example row_reuse
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::exp::{default_threads, par_map, run_single_core, ExpParams};
+use chargecache::MechanismKind;
+use sim::api::Experiment;
+use sim::ExpParams;
 use traces::single_core_workloads;
 
 fn main() {
-    let params = ExpParams::bench();
-    let cc = ChargeCacheConfig::paper();
-
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>12}",
         "workload", "median dist", "≤128 rows", "cold/beyond", "HCRAC hit"
     );
-    let results = par_map(single_core_workloads(), default_threads(), |spec| {
-        let r = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &params);
-        (spec.name, r)
-    });
+    let sweep = Experiment::new()
+        .workloads(single_core_workloads())
+        .mechanism(MechanismKind::ChargeCache)
+        .params(ExpParams::bench())
+        .run()
+        .expect("paper configuration is valid");
     let mut rows = Vec::new();
-    for (name, r) in results {
+    for cell in &sweep.cells {
+        let r = &cell.result;
         if r.reuse.activations < 100 {
             continue; // cache-resident workloads have nothing to measure
         }
         rows.push((
-            name,
+            cell.subject.clone(),
             r.reuse.median_bound(),
             r.reuse.fraction_within(128),
             r.reuse.cold_or_beyond as f64 / r.reuse.activations as f64,

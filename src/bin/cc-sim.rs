@@ -4,19 +4,25 @@
 //! cc-sim list                                   # workloads and mixes
 //! cc-sim run  --workload mcf --mechanism cc     # one single-core run
 //! cc-sim run  --workload mcf --mechanism all    # all five mechanisms
+//! cc-sim run  --workload mcf --json             # machine-readable sweep
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
 //! cc-sim bitline --age 64                       # waveform CSV
 //! cc-sim overhead --cores 8 --channels 2 --entries 128
 //! ```
 //!
 //! Common `run`/`mix` flags: `--entries N`, `--duration MS`, `--insts N`,
-//! `--warmup N`, `--seed N`, `--csv`.
+//! `--warmup N`, `--seed N`, `--threads N`, `--csv`, `--json`.
+//!
+//! Flags are parsed by a typed parser: unknown flags are rejected, every
+//! value is validated at the boundary, and the experiments themselves run
+//! through [`sim::api::Experiment`] (shared memoized run cache, parallel
+//! sweep execution, deterministic JSON encoding).
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 
 use chargecache::{ChargeCacheConfig, MechanismKind, OverheadModel};
-use sim::exp::{run_eight_core, run_single_core, ExpParams};
+use sim::api::{Experiment, Variant};
+use sim::exp::{default_threads, ExpParams};
 use sim::RunResult;
 use traces::{eight_core_mixes, single_core_workloads, workload};
 
@@ -26,19 +32,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(rest) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
     let result = match cmd.as_str() {
         "list" => cmd_list(),
-        "run" => cmd_run(&flags),
-        "mix" => cmd_mix(&flags),
-        "bitline" => cmd_bitline(&flags),
-        "overhead" => cmd_overhead(&flags),
+        "run" => RunArgs::parse(rest).and_then(|a| cmd_run(&a)),
+        "mix" => MixArgs::parse(rest).and_then(|a| cmd_mix(&a)),
+        "bitline" => BitlineArgs::parse(rest).and_then(|a| cmd_bitline(&a)),
+        "overhead" => OverheadArgs::parse(rest).and_then(|a| cmd_overhead(&a)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -48,7 +47,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -72,68 +71,242 @@ OPTIONS (run/mix):
   --insts N       measured instructions per core  [default 120000 × CC_SCALE]
   --warmup N      warmup instructions per core    [default 25000 × CC_SCALE]
   --seed N        trace seed                      [default 42]
-  --csv           machine-readable output";
+  --threads N     sweep worker threads            [default: all cores]
+  --csv           machine-readable CSV output
+  --json          machine-readable JSON sweep (schema chargecache-sweep/v1)";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut out = HashMap::new();
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let Some(key) = a.strip_prefix("--") else {
-            return Err(format!("unexpected argument {a:?}"));
-        };
-        if key == "csv" {
-            out.insert(key.to_string(), "true".into());
-            continue;
+// ---------------------------------------------------------------------------
+// Typed flag parsing
+// ---------------------------------------------------------------------------
+
+/// Cursor over raw CLI arguments with typed extractors. Every command
+/// loops over its known flags and rejects anything else.
+struct Cursor<'a> {
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Self { it: args.iter() }
+    }
+
+    fn next_flag(&mut self) -> Result<Option<&'a str>, String> {
+        match self.it.next() {
+            None => Ok(None),
+            Some(a) => match a.strip_prefix("--") {
+                Some(flag) => Ok(Some(flag)),
+                None => Err(format!("unexpected argument {a:?}")),
+            },
         }
-        let val = it
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.it
             .next()
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
-        out.insert(key.to_string(), val.clone());
+            .map(String::as_str)
+            .ok_or_else(|| format!("flag --{flag} needs a value"))
     }
-    Ok(out)
-}
 
-fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
-        None => Ok(default),
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|_| format!("--{flag}: bad number {v:?}"))
     }
 }
 
-fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
-    match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
-        None => Ok(default),
+/// Flags shared by `run` and `mix`.
+struct SweepArgs {
+    mechanisms: Vec<MechanismKind>,
+    entries: usize,
+    duration: f64,
+    insts: Option<u64>,
+    warmup: Option<u64>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    csv: bool,
+    json: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        Self {
+            mechanisms: MechanismKind::ALL.to_vec(),
+            entries: 128,
+            duration: 1.0,
+            insts: None,
+            warmup: None,
+            seed: None,
+            threads: None,
+            csv: false,
+            json: false,
+        }
     }
 }
 
-fn mechanisms(flags: &HashMap<String, String>) -> Result<Vec<MechanismKind>, String> {
-    match flags.get("mechanism").map(String::as_str) {
-        None | Some("all") => Ok(MechanismKind::ALL.to_vec()),
-        Some("baseline") => Ok(vec![MechanismKind::Baseline]),
-        Some("nuat") => Ok(vec![MechanismKind::Nuat]),
-        Some("cc") | Some("chargecache") => Ok(vec![MechanismKind::ChargeCache]),
-        Some("ccnuat") => Ok(vec![MechanismKind::CcNuat]),
-        Some("lldram") | Some("ll") => Ok(vec![MechanismKind::LlDram]),
-        Some(other) => Err(format!("unknown mechanism {other:?}")),
+impl SweepArgs {
+    /// Handles one shared flag; `Ok(false)` means the flag is not a sweep
+    /// flag and the caller should try its own.
+    fn try_flag(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
+        match flag {
+            "mechanism" => self.mechanisms = parse_mechanisms(cur.value(flag)?)?,
+            "entries" => self.entries = cur.parsed(flag)?,
+            "duration" => self.duration = cur.parsed(flag)?,
+            "insts" => self.insts = Some(cur.parsed(flag)?),
+            "warmup" => self.warmup = Some(cur.parsed(flag)?),
+            "seed" => self.seed = Some(cur.parsed(flag)?),
+            "threads" => {
+                let n: usize = cur.parsed(flag)?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                self.threads = Some(n);
+            }
+            "csv" => self.csv = true,
+            "json" => self.json = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn params(&self) -> ExpParams {
+        let mut p = ExpParams::bench();
+        if let Some(n) = self.insts {
+            p.insts_per_core = n;
+        }
+        if let Some(n) = self.warmup {
+            p.warmup_insts = n;
+        }
+        if let Some(n) = self.seed {
+            p.seed = n;
+        }
+        p
+    }
+
+    fn cc_config(&self) -> Result<ChargeCacheConfig, String> {
+        let mut cfg = ChargeCacheConfig::with_duration_ms(self.duration);
+        cfg.entries_per_core = self.entries;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn experiment(&self) -> Result<Experiment, String> {
+        let cc = self.cc_config()?;
+        let label = format!("entries={} duration={}ms", self.entries, self.duration);
+        Ok(Experiment::new()
+            .mechanisms(&self.mechanisms)
+            .variant(Variant::cc(label, cc))
+            .params(self.params())
+            .threads(self.threads.unwrap_or_else(default_threads)))
     }
 }
 
-fn exp_params(flags: &HashMap<String, String>) -> Result<ExpParams, String> {
-    let mut p = ExpParams::bench();
-    p.insts_per_core = get_u64(flags, "insts", p.insts_per_core)?;
-    p.warmup_insts = get_u64(flags, "warmup", p.warmup_insts)?;
-    p.seed = get_u64(flags, "seed", p.seed)?;
-    Ok(p)
+fn parse_mechanisms(v: &str) -> Result<Vec<MechanismKind>, String> {
+    match v {
+        "all" => Ok(MechanismKind::ALL.to_vec()),
+        "baseline" => Ok(vec![MechanismKind::Baseline]),
+        "nuat" => Ok(vec![MechanismKind::Nuat]),
+        "cc" | "chargecache" => Ok(vec![MechanismKind::ChargeCache]),
+        "ccnuat" => Ok(vec![MechanismKind::CcNuat]),
+        "lldram" | "ll" => Ok(vec![MechanismKind::LlDram]),
+        other => Err(format!("unknown mechanism {other:?}")),
+    }
 }
 
-fn cc_config(flags: &HashMap<String, String>) -> Result<ChargeCacheConfig, String> {
-    let duration = get_f64(flags, "duration", 1.0)?;
-    let mut cfg = ChargeCacheConfig::with_duration_ms(duration);
-    cfg.entries_per_core = get_u64(flags, "entries", 128)? as usize;
-    cfg.validate()?;
-    Ok(cfg)
+struct RunArgs {
+    workload: String,
+    sweep: SweepArgs,
 }
+
+impl RunArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(args);
+        let mut workload = None;
+        let mut sweep = SweepArgs::default();
+        while let Some(flag) = cur.next_flag()? {
+            if sweep.try_flag(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "workload" => workload = Some(cur.value(flag)?.to_string()),
+                other => return Err(format!("unknown flag --{other} for `run`")),
+            }
+        }
+        Ok(Self {
+            workload: workload.ok_or("run needs --workload <name> (see `cc-sim list`)")?,
+            sweep,
+        })
+    }
+}
+
+struct MixArgs {
+    index: usize,
+    sweep: SweepArgs,
+}
+
+impl MixArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(args);
+        let mut index = 1usize;
+        let mut sweep = SweepArgs::default();
+        while let Some(flag) = cur.next_flag()? {
+            if sweep.try_flag(flag, &mut cur)? {
+                continue;
+            }
+            match flag {
+                "index" => index = cur.parsed(flag)?,
+                other => return Err(format!("unknown flag --{other} for `mix`")),
+            }
+        }
+        Ok(Self { index, sweep })
+    }
+}
+
+struct BitlineArgs {
+    age: f64,
+}
+
+impl BitlineArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(args);
+        let mut age = 64.0;
+        while let Some(flag) = cur.next_flag()? {
+            match flag {
+                "age" => age = cur.parsed(flag)?,
+                other => return Err(format!("unknown flag --{other} for `bitline`")),
+            }
+        }
+        Ok(Self { age })
+    }
+}
+
+struct OverheadArgs {
+    cores: u32,
+    channels: u32,
+    entries: u32,
+}
+
+impl OverheadArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(args);
+        let mut out = Self {
+            cores: 8,
+            channels: 2,
+            entries: 128,
+        };
+        while let Some(flag) = cur.next_flag()? {
+            match flag {
+                "cores" => out.cores = cur.parsed(flag)?,
+                "channels" => out.channels = cur.parsed(flag)?,
+                "entries" => out.entries = cur.parsed(flag)?,
+                other => return Err(format!("unknown flag --{other} for `overhead`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
 
 fn cmd_list() -> Result<(), String> {
     println!("single-core workloads:");
@@ -191,75 +364,76 @@ fn csv_header(csv: bool) {
     }
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
-    let name = flags
-        .get("workload")
-        .ok_or("run needs --workload <name> (see `cc-sim list`)")?;
-    let spec = workload(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
-    let p = exp_params(flags)?;
-    let cc = cc_config(flags)?;
-    let mechs = mechanisms(flags)?;
-    let csv = flags.contains_key("csv");
+fn cmd_run(args: &RunArgs) -> Result<(), String> {
+    let spec =
+        workload(&args.workload).ok_or_else(|| format!("unknown workload {:?}", args.workload))?;
+    let a = &args.sweep;
+    let sweep = a
+        .experiment()?
+        .workload(spec.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
 
-    if !csv {
+    if a.json {
+        println!("{}", sweep.to_json());
+        return Ok(());
+    }
+    if !a.csv {
         println!(
             "workload {} | {} entries, {} ms duration | {} insts/core\n",
-            spec.name, cc.entries_per_core, cc.duration_ms, p.insts_per_core
+            spec.name, a.entries, a.duration, sweep.params.insts_per_core
         );
     }
-    csv_header(csv);
-    // The per-mechanism runs are independent: fan them out.
-    let results = sim::exp::par_map(mechs, sim::exp::default_threads(), |kind| {
-        (kind, run_single_core(&spec, kind, &cc, &p))
-    });
+    csv_header(a.csv);
     let mut base_ipc = None;
-    for (kind, r) in results {
-        if r.hit_cycle_cap {
-            eprintln!("warning: {kind:?} hit the safety cycle cap");
+    for cell in &sweep.cells {
+        if cell.result.hit_cycle_cap {
+            eprintln!("warning: {:?} hit the safety cycle cap", cell.mechanism);
         }
-        if kind == MechanismKind::Baseline {
-            base_ipc = Some(r.ipc(0));
+        if cell.mechanism == MechanismKind::Baseline {
+            base_ipc = Some(cell.result.ipc(0));
         }
-        print_result(kind.label(), &r, base_ipc, csv, 1);
+        print_result(cell.mechanism.label(), &cell.result, base_ipc, a.csv, 1);
     }
     Ok(())
 }
 
-fn cmd_mix(flags: &HashMap<String, String>) -> Result<(), String> {
-    let idx = get_u64(flags, "index", 1)? as usize;
+fn cmd_mix(args: &MixArgs) -> Result<(), String> {
     let mixes = eight_core_mixes();
     let mix = mixes
-        .get(idx.wrapping_sub(1))
+        .get(args.index.wrapping_sub(1))
         .ok_or_else(|| format!("--index must be 1..={}", mixes.len()))?;
-    let p = exp_params(flags)?;
-    let cc = cc_config(flags)?;
-    let mechs = mechanisms(flags)?;
-    let csv = flags.contains_key("csv");
+    let a = &args.sweep;
+    let sweep = a
+        .experiment()?
+        .mix(mix.clone())
+        .run()
+        .map_err(|e| e.to_string())?;
 
-    if !csv {
+    if a.json {
+        println!("{}", sweep.to_json());
+        return Ok(());
+    }
+    if !a.csv {
         let names: Vec<&str> = mix.apps.iter().map(|a| a.name).collect();
         println!("mix {} : {}\n", mix.name, names.join(", "));
     }
-    csv_header(csv);
-    // The per-mechanism runs are independent: fan them out.
-    let results = sim::exp::par_map(mechs, sim::exp::default_threads(), |kind| {
-        (kind, run_eight_core(mix, kind, &cc, &p))
-    });
+    csv_header(a.csv);
     let mut base_ipc = None;
-    for (kind, r) in results {
-        if r.hit_cycle_cap {
-            eprintln!("warning: {kind:?} hit the safety cycle cap");
+    for cell in &sweep.cells {
+        if cell.result.hit_cycle_cap {
+            eprintln!("warning: {:?} hit the safety cycle cap", cell.mechanism);
         }
-        if kind == MechanismKind::Baseline {
-            base_ipc = Some(r.ipc_sum());
+        if cell.mechanism == MechanismKind::Baseline {
+            base_ipc = Some(cell.result.ipc_sum());
         }
-        print_result(kind.label(), &r, base_ipc, csv, 8);
+        print_result(cell.mechanism.label(), &cell.result, base_ipc, a.csv, 8);
     }
     Ok(())
 }
 
-fn cmd_bitline(flags: &HashMap<String, String>) -> Result<(), String> {
-    let age = get_f64(flags, "age", 64.0)?;
+fn cmd_bitline(args: &BitlineArgs) -> Result<(), String> {
+    let age = args.age;
     if !(0.0..=64.0).contains(&age) {
         return Err("--age must be within the 0..=64 ms refresh window".into());
     }
@@ -279,11 +453,11 @@ fn cmd_bitline(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_overhead(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_overhead(args: &OverheadArgs) -> Result<(), String> {
     let model = OverheadModel {
-        cores: get_u64(flags, "cores", 8)? as u32,
-        channels: get_u64(flags, "channels", 2)? as u32,
-        entries: get_u64(flags, "entries", 128)? as u32,
+        cores: args.cores,
+        channels: args.channels,
+        entries: args.entries,
         ..OverheadModel::paper_8core()
     };
     println!(

@@ -23,16 +23,15 @@
 //! ```
 //! use chargecache_repro::prelude::*;
 //!
-//! let spec = workload("tpch6").expect("paper workload");
 //! let mut params = ExpParams::tiny();
 //! params.insts_per_core = 2_000;
-//! let run = run_single_core(
-//!     &spec,
-//!     MechanismKind::ChargeCache,
-//!     &ChargeCacheConfig::paper(),
-//!     &params,
-//! );
-//! assert!(run.ipc(0) > 0.0);
+//! let sweep = Experiment::new()
+//!     .workload(workload("tpch6").expect("paper workload"))
+//!     .mechanism(MechanismKind::ChargeCache)
+//!     .params(params)
+//!     .run()
+//!     .expect("valid paper configuration");
+//! assert!(sweep.cells[0].metric(Metric::Ipc) > 0.0);
 //! ```
 
 pub use bitline;
@@ -50,7 +49,8 @@ pub mod prelude {
     pub use chargecache::{ChargeCacheConfig, LatencyMechanism, MechanismKind, NuatConfig, RowKey};
     pub use dram::{DramConfig, DramDevice, TimingParams};
     pub use memctrl::{CtrlConfig, MemorySystem, RowPolicy};
+    pub use sim::api::{run_probed, Experiment, Metric, Probe, SampleSeries, SweepResult, Variant};
     pub use sim::exp::{run_eight_core, run_single_core, ExpParams};
-    pub use sim::{RunResult, System, SystemConfig};
+    pub use sim::{InvalidConfig, RunResult, System, SystemConfig};
     pub use traces::{eight_core_mixes, single_core_workloads, workload};
 }

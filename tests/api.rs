@@ -1,0 +1,191 @@
+//! The `sim::api` contract: golden determinism across thread counts,
+//! memoization of shared baseline/alone runs, probe non-perturbation,
+//! and machine-readable JSON output (in-process and through `cc-sim`).
+
+use std::sync::Mutex;
+
+use chargecache::MechanismKind;
+use sim::api::{self, Experiment, SampleSeries, Variant};
+use sim::exp::{run_configured, ExpParams};
+use sim::{Engine, SystemConfig};
+use traces::workload;
+
+/// Serializes the tests that assert on the process-wide run cache.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny() -> ExpParams {
+    ExpParams {
+        insts_per_core: 2_000,
+        warmup_insts: 500,
+        ..ExpParams::tiny()
+    }
+}
+
+fn golden_experiment() -> Experiment {
+    Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .workload(workload("STREAMcopy").unwrap())
+        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .variants([Variant::entries(64), Variant::entries(128)])
+        .params(tiny())
+}
+
+#[test]
+fn golden_sweep_identical_across_thread_counts() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    api::clear_run_cache();
+    let serial = golden_experiment().threads(1).run().unwrap();
+    api::clear_run_cache();
+    let parallel = golden_experiment().threads(4).run().unwrap();
+    // Same cells, bit-identical results, byte-identical JSON encoding.
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    // And the encoding is valid JSON with one member per cell.
+    let doc = sim::json::parse(&serial.to_json()).unwrap();
+    let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
+    assert_eq!(cells.len(), serial.cells.len());
+}
+
+#[test]
+fn baseline_and_alone_runs_are_memoized_once() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    api::clear_run_cache();
+    let exp = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .params(tiny())
+        .alone_ipcs(MechanismKind::Baseline);
+    let before = api::run_cache_executions();
+    let first = exp.run().unwrap();
+    let after_first = api::run_cache_executions();
+    // The grid has two cells (baseline + ChargeCache) and one alone run.
+    // The alone run *is* the baseline cell's configuration, so exactly
+    // two simulations execute — the baseline is computed once per
+    // workload, not once per use.
+    assert_eq!(after_first - before, 2);
+    assert_eq!(first.alone_ipc("tpch2"), Some(first.cells[0].result.ipc(0)));
+    // Re-running the same experiment simulates nothing at all.
+    let second = exp.run().unwrap();
+    assert_eq!(api::run_cache_executions(), after_first);
+    assert_eq!(first, second);
+    assert!(api::run_cache_len() >= 2);
+}
+
+#[test]
+fn mechanism_irrelevant_cc_variants_share_baseline_runs() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    api::clear_run_cache();
+    let before = api::run_cache_executions();
+    let sweep = golden_experiment().threads(1).run().unwrap();
+    // Eight cells (2 workloads × 2 mechanisms × 2 capacities), but each
+    // workload's two Baseline cells differ only in the cc config the
+    // Baseline mechanism never reads: six simulations, not eight.
+    assert_eq!(sweep.cells.len(), 8);
+    assert_eq!(api::run_cache_executions() - before, 6);
+    let b64 = sweep.cell("tpch2", MechanismKind::Baseline, "64").unwrap();
+    let b128 = sweep.cell("tpch2", MechanismKind::Baseline, "128").unwrap();
+    assert_eq!(b64.result, b128.result);
+}
+
+#[test]
+fn duplicate_variant_labels_are_rejected() {
+    let err = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanism(MechanismKind::Baseline)
+        .variants([Variant::entries(64), Variant::new("64", |_| {})])
+        .params(tiny())
+        .run()
+        .unwrap_err();
+    assert!(err.0.contains("duplicate variant label"), "{err}");
+}
+
+#[test]
+fn probe_does_not_perturb_the_run() {
+    let spec = workload("STREAMcopy").unwrap();
+    let p = tiny();
+    for engine in [Engine::EventSkip, Engine::PerCycle] {
+        let mut cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+        cfg.engine = engine;
+        let plain = run_configured(cfg.clone(), std::slice::from_ref(&spec), &p).unwrap();
+        let mut series = SampleSeries::default();
+        let probed =
+            api::run_probed(cfg, std::slice::from_ref(&spec), &p, 3_000, &mut series).unwrap();
+        assert_eq!(plain, probed, "probe changed the {engine:?} run");
+        // Warmup sample + at least one interval sample + final sample.
+        assert!(
+            series.samples.len() >= 3,
+            "{} samples",
+            series.samples.len()
+        );
+        assert!(series
+            .samples
+            .windows(2)
+            .all(|w| w[0].cycle <= w[1].cycle && w[0].min_retired <= w[1].min_retired));
+        let last = series.samples.last().unwrap();
+        assert!(last.min_retired >= p.warmup_insts + p.insts_per_core);
+    }
+}
+
+#[test]
+fn run_configured_surfaces_invalid_configs_as_errors() {
+    let spec = workload("tpch2").unwrap();
+    let mut cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+    cfg.cpu_per_bus = 0;
+    let err = run_configured(cfg, std::slice::from_ref(&spec), &tiny()).unwrap_err();
+    assert!(err.0.contains("cpu_per_bus"), "unexpected error: {err}");
+
+    // Workload/core mismatch is an error too, not a panic.
+    let cfg = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+    let err = run_configured(cfg, std::slice::from_ref(&spec), &tiny()).unwrap_err();
+    assert!(err.0.contains("cores"), "unexpected error: {err}");
+}
+
+#[test]
+fn cc_sim_json_is_valid_and_thread_count_invariant() {
+    let run = |threads: &str| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
+            .args([
+                "run",
+                "--workload",
+                "tpch2",
+                "--mechanism",
+                "all",
+                "--insts",
+                "2000",
+                "--warmup",
+                "500",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            .output()
+            .expect("cc-sim runs");
+        assert!(out.status.success(), "cc-sim failed: {out:?}");
+        String::from_utf8(out.stdout).expect("utf-8 output")
+    };
+    let serial = run("1");
+    let parallel = run("3");
+    // Golden determinism through the CLI: byte-identical JSON.
+    assert_eq!(serial, parallel);
+
+    let doc = sim::json::parse(serial.trim()).expect("cc-sim --json emits valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("chargecache-sweep/v1")
+    );
+    let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
+    assert_eq!(cells.len(), MechanismKind::ALL.len());
+    for cell in cells {
+        assert_eq!(cell.get("subject").and_then(|s| s.as_str()), Some("tpch2"));
+        let ipc = cell.get("ipc").and_then(|i| i.as_arr()).unwrap()[0]
+            .as_num()
+            .unwrap();
+        assert!(ipc > 0.0);
+    }
+    assert_eq!(
+        doc.get("params")
+            .and_then(|p| p.get("insts_per_core"))
+            .and_then(|n| n.as_num()),
+        Some(2000.0)
+    );
+}

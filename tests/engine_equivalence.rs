@@ -15,9 +15,9 @@ use traces::{eight_core_mixes, workload, WorkloadSpec};
 
 fn run_both(mut cfg: SystemConfig, apps: &[WorkloadSpec], p: &ExpParams) -> (RunResult, RunResult) {
     cfg.engine = Engine::PerCycle;
-    let dense = run_configured(cfg.clone(), apps, p);
+    let dense = run_configured(cfg.clone(), apps, p).expect("valid configuration");
     cfg.engine = Engine::EventSkip;
-    let skipping = run_configured(cfg, apps, p);
+    let skipping = run_configured(cfg, apps, p).expect("valid configuration");
     (dense, skipping)
 }
 
