@@ -13,21 +13,20 @@
 //! the paper point is simulated once.
 
 use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
-use chargecache::{ChargeCacheConfig, InvalidationPolicy, MechanismKind};
+use chargecache::{MechanismSpec, ParamValue};
 use memctrl::SchedPolicy;
 use sim::api::{Experiment, SweepResult, Variant};
 use sim::exp::ExpParams;
 
-fn cc_variant(
-    label: &str,
-    edit: impl Fn(&mut ChargeCacheConfig) + Send + Sync + 'static,
-) -> Variant {
-    Variant::new(label, move |cfg| edit(&mut cfg.cc))
+/// A labelled mechanism-spec patch (the ablation axes are all spec
+/// parameters of the `chargecache` mechanism).
+fn cc_variant(label: &str, key: &'static str, value: ParamValue) -> Variant {
+    Variant::param_labelled(label, key, value)
 }
 
 fn hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
     let hs: Vec<f64> = sweep
-        .cells_of(MechanismKind::ChargeCache, variant)
+        .cells_of("chargecache", variant)
         .filter_map(|c| c.result.hcrac_hit_rate())
         .collect();
     mean(&hs)
@@ -38,21 +37,25 @@ fn main() {
     let mix_list = mixes(sweep_mix_count());
 
     let mut variants = vec![
-        cc_variant("periodic", |cc| {
-            cc.invalidation = InvalidationPolicy::Periodic
-        }),
-        cc_variant("exact", |cc| cc.invalidation = InvalidationPolicy::Exact),
+        cc_variant(
+            "periodic",
+            "invalidation",
+            ParamValue::Str("periodic".into()),
+        ),
+        cc_variant("exact", "invalidation", ParamValue::Str("exact".into())),
     ];
     for ways in [1usize, 2, 4, 8, 0] {
-        variants.push(cc_variant(&format!("ways-{ways}"), move |cc| {
-            cc.ways = ways
-        }));
+        variants.push(cc_variant(
+            &format!("ways-{ways}"),
+            "ways",
+            ParamValue::Int(ways as i64),
+        ));
     }
-    variants.push(cc_variant("private", |cc| cc.shared = false));
-    variants.push(cc_variant("shared", |cc| cc.shared = true));
+    variants.push(cc_variant("private", "shared", ParamValue::Bool(false)));
+    variants.push(cc_variant("shared", "shared", ParamValue::Bool(true)));
     let sweep = Experiment::new()
         .mixes(mix_list)
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(variants)
         .params(p)
         .run()
@@ -105,7 +108,7 @@ fn main() {
     // Single-core sweep: {FCFS, FR-FCFS} × {baseline, ChargeCache}.
     let sched_sweep = Experiment::new()
         .workloads(workloads())
-        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
         .variants([
             Variant::new("Fcfs", |cfg| cfg.ctrl.scheduler = SchedPolicy::Fcfs),
             Variant::new("FrFcfs", |cfg| cfg.ctrl.scheduler = SchedPolicy::FrFcfs),
@@ -117,8 +120,8 @@ fn main() {
     for sched in [SchedPolicy::Fcfs, SchedPolicy::FrFcfs] {
         let label = format!("{sched:?}");
         let speedups: Vec<f64> = sched_sweep
-            .cells_of(MechanismKind::Baseline, &label)
-            .zip(sched_sweep.cells_of(MechanismKind::ChargeCache, &label))
+            .cells_of("baseline", &label)
+            .zip(sched_sweep.cells_of("chargecache", &label))
             .filter(|(b, _)| b.result.ipc(0) > 0.0)
             .map(|(b, c)| c.result.ipc(0) / b.result.ipc(0) - 1.0)
             .collect();

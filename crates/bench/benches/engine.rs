@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::exp::{run_configured, ExpParams};
 use sim::{Engine, SystemConfig};
 use traces::{eight_core_mixes, workload, WorkloadSpec};
@@ -58,7 +58,7 @@ fn main() {
     let mut rows = Vec::new();
     for name in singles {
         let spec = workload(name).expect("paper workload");
-        let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+        let cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
         rows.push(time_engines(name, &cfg, std::slice::from_ref(&spec), &p));
     }
     // One eight-core mix at a reduced instruction budget (8 cores of
@@ -69,7 +69,7 @@ fn main() {
         warmup_insts: p.warmup_insts / 4,
         ..p
     };
-    let cfg8 = SystemConfig::paper_eight_core(MechanismKind::ChargeCache);
+    let cfg8 = SystemConfig::paper_eight_core(MechanismSpec::chargecache());
     rows.push(time_engines("w1 (8-core)", &cfg8, &mix.apps, &p8));
 
     println!("\n=== engine throughput (simulated CPU cycles / wall second) ===\n");

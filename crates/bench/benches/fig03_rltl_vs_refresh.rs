@@ -7,12 +7,11 @@
 //! stays the same — refreshes are uncorrelated with program behaviour.
 
 use bench::{all_eight, all_single, banner, mean, mixes, pct};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismSpec;
 use sim::exp::ExpParams;
 
 fn main() {
     let p = ExpParams::bench();
-    let cc = ChargeCacheConfig::paper();
     banner(
         "Figure 3: activations within 8 ms of precharge vs of refresh",
         "1-core avg 86% vs 12%; 8-core RLTL higher, refresh fraction unchanged",
@@ -29,7 +28,7 @@ fn main() {
     );
     let mut rltl = Vec::new();
     let mut refr = Vec::new();
-    for (spec, r) in all_single(MechanismKind::Baseline, &cc, &p) {
+    for (spec, r) in all_single(&MechanismSpec::baseline(), &p) {
         let f_rltl = r.rltl.rltl_fraction[IDX_8MS];
         let f_ref = r.rltl.refresh_8ms_fraction;
         println!(
@@ -54,7 +53,7 @@ fn main() {
     println!("\n--- (b) eight-core workloads ---");
     println!("{:<6} {:>10} {:>16}", "mix", "8ms-RLTL", "8ms-after-REF");
     let (mut rltl8, mut refr8) = (Vec::new(), Vec::new());
-    for (mix, r) in all_eight(MechanismKind::Baseline, &cc, &p, &mixes(20)) {
+    for (mix, r) in all_eight(&MechanismSpec::baseline(), &p, &mixes(20)) {
         let f_rltl = r.rltl.rltl_fraction[IDX_8MS];
         let f_ref = r.rltl.refresh_8ms_fraction;
         println!("{:<6} {:>10} {:>16}", mix.name, pct(f_rltl), pct(f_ref));

@@ -9,7 +9,7 @@
 //! the sweep is declared as one `sim::api` grid per core count.
 
 use bench::{banner, mean, mixes, pct, workloads};
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use memctrl::RowPolicy;
 use sim::api::{Experiment, Variant};
 use sim::exp::ExpParams;
@@ -53,7 +53,7 @@ fn main() {
     let mut avg_closed = vec![Vec::new(); 5];
     let sweep = Experiment::new()
         .workloads(workloads())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .variants(policy_variants())
         .params(p)
         .run()
@@ -91,7 +91,7 @@ fn main() {
     let mut avg8 = vec![Vec::new(); 5];
     let sweep8 = Experiment::new()
         .mixes(mixes(20))
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .variants(policy_variants())
         .params(p)
         .run()

@@ -13,16 +13,12 @@
 use std::collections::HashMap;
 
 use bench::{banner, mean, mixes, pct, workloads};
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::Experiment;
 use sim::exp::ExpParams;
 
-const MECHS: [MechanismKind; 4] = [
-    MechanismKind::Nuat,
-    MechanismKind::ChargeCache,
-    MechanismKind::CcNuat,
-    MechanismKind::LlDram,
-];
+/// The four non-baseline mechanisms, by registered name.
+const MECHS: [&str; 4] = ["nuat", "chargecache", "cc-nuat", "lldram"];
 
 fn main() {
     let p = ExpParams::bench();
@@ -35,15 +31,15 @@ fn main() {
     let specs = workloads();
     let sweep = Experiment::new()
         .workloads(specs.clone())
-        .mechanisms(&MechanismKind::ALL)
+        .mechanisms(&MechanismSpec::paper_all())
         .params(p)
         .run()
         .expect("paper configuration is valid");
-    let mut per_mech: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
+    let mut per_mech: HashMap<&str, Vec<f64>> = HashMap::new();
     let mut rows: Vec<(String, f64, Vec<f64>)> = Vec::new();
     for spec in &specs {
         let b = sweep
-            .cell(spec.name, MechanismKind::Baseline, "paper")
+            .cell(spec.name, "baseline", "paper")
             .expect("baseline cell");
         let speedups: Vec<f64> = MECHS
             .iter()
@@ -53,7 +49,7 @@ fn main() {
             })
             .collect();
         for (j, k) in MECHS.iter().enumerate() {
-            per_mech.entry(*k).or_default().push(speedups[j]);
+            per_mech.entry(k).or_default().push(speedups[j]);
         }
         rows.push((spec.name.to_string(), b.result.rmpkc(), speedups));
     }
@@ -78,7 +74,7 @@ fn main() {
     }
     print!("{:<12} {:>8} ", "AVG", "");
     for k in MECHS {
-        print!("{:>10}", pct(mean(&per_mech[&k])));
+        print!("{:>10}", pct(mean(&per_mech[k])));
     }
     println!("\n");
 
@@ -90,9 +86,9 @@ fn main() {
     // improvement — the paper's "system throughput" usage.
     let sweep8 = Experiment::new()
         .mixes(mix_list.clone())
-        .mechanisms(&MechanismKind::ALL)
+        .mechanisms(&MechanismSpec::paper_all())
         .params(p)
-        .alone_ipcs(MechanismKind::Baseline)
+        .alone_ipcs(MechanismSpec::baseline())
         .run()
         .expect("paper configuration is valid");
 
@@ -100,10 +96,10 @@ fn main() {
         "{:<6} {:>8} {:>9} {:>12} {:>9} {:>9}",
         "mix", "RMPKC", "NUAT", "ChargeCache", "CC+NUAT", "LL-DRAM"
     );
-    let mut per_mech8: HashMap<MechanismKind, Vec<f64>> = HashMap::new();
+    let mut per_mech8: HashMap<&str, Vec<f64>> = HashMap::new();
     for mix in &mix_list {
         let b = sweep8
-            .cell(&mix.name, MechanismKind::Baseline, "paper")
+            .cell(&mix.name, "baseline", "paper")
             .expect("baseline cell");
         let ws_base = sweep8.weighted_speedup(b).expect("alone runs computed");
         let speedups: Vec<f64> = MECHS
@@ -115,7 +111,7 @@ fn main() {
             })
             .collect();
         for (j, k) in MECHS.iter().enumerate() {
-            per_mech8.entry(*k).or_default().push(speedups[j]);
+            per_mech8.entry(k).or_default().push(speedups[j]);
         }
         println!(
             "{:<6} {:>8.2} {:>9} {:>12} {:>9} {:>9}",
@@ -129,7 +125,7 @@ fn main() {
     }
     print!("{:<6} {:>8} ", "AVG", "");
     for k in MECHS {
-        print!("{:>10}", pct(mean(&per_mech8[&k])));
+        print!("{:>10}", pct(mean(&per_mech8[k])));
     }
     println!();
 }

@@ -5,12 +5,11 @@
 //! for the same command work (less background + refresh energy).
 
 use bench::{all_eight, all_single, banner, mean, mixes, pct};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismSpec;
 use sim::exp::ExpParams;
 
 fn main() {
     let p = ExpParams::bench();
-    let cc = ChargeCacheConfig::paper();
     banner(
         "Figure 8: DRAM energy reduction of ChargeCache",
         "1-core avg 1.8% / max 6.9%; 8-core avg 7.9% / max 14.1%",
@@ -21,8 +20,8 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>10}",
         "workload", "base (mJ)", "CC (mJ)", "saving"
     );
-    let base = all_single(MechanismKind::Baseline, &cc, &p);
-    let ccr = all_single(MechanismKind::ChargeCache, &cc, &p);
+    let base = all_single(&MechanismSpec::baseline(), &p);
+    let ccr = all_single(&MechanismSpec::chargecache(), &p);
     let mut savings = Vec::new();
     for ((spec, b), (_, c)) in base.iter().zip(&ccr) {
         let (eb, ec) = (b.energy.total_mj(), c.energy.total_mj());
@@ -49,8 +48,8 @@ fn main() {
         "mix", "base (mJ)", "CC (mJ)", "saving"
     );
     let mix_list = mixes(20);
-    let base8 = all_eight(MechanismKind::Baseline, &cc, &p, &mix_list);
-    let cc8 = all_eight(MechanismKind::ChargeCache, &cc, &p, &mix_list);
+    let base8 = all_eight(&MechanismSpec::baseline(), &p, &mix_list);
+    let cc8 = all_eight(&MechanismSpec::chargecache(), &p, &mix_list);
     let mut savings8 = Vec::new();
     for ((mix, b), (_, c)) in base8.iter().zip(&cc8) {
         let (eb, ec) = (b.energy.total_mj(), c.energy.total_mj());

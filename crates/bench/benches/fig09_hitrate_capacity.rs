@@ -9,7 +9,7 @@
 //! memoized run cache.
 
 use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::{MechanismSpec, ParamValue};
 use sim::api::{Experiment, SweepResult, Variant};
 use sim::exp::ExpParams;
 
@@ -17,13 +17,19 @@ const CAPACITIES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
 
 fn capacity_variants() -> Vec<Variant> {
     let mut vs: Vec<Variant> = CAPACITIES.iter().map(|&n| Variant::entries(n)).collect();
-    vs.push(Variant::cc("unlimited", ChargeCacheConfig::unlimited()));
+    // The dashed unlimited-capacity ceiling: spec parameters, like every
+    // other point on the axis.
+    vs.push(Variant::new("unlimited", |cfg| {
+        cfg.mechanism.set("unlimited", ParamValue::Bool(true));
+        cfg.mechanism
+            .set("invalidation", ParamValue::Str("exact".into()));
+    }));
     vs
 }
 
 fn mean_hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
     let hs: Vec<f64> = sweep
-        .cells_of(MechanismKind::ChargeCache, variant)
+        .cells_of("chargecache", variant)
         .filter_map(|c| c.result.hcrac_hit_rate())
         .collect();
     mean(&hs)
@@ -42,14 +48,14 @@ fn main() {
     );
     let sweep1 = Experiment::new()
         .workloads(workloads())
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(capacity_variants())
         .params(p)
         .run()
         .expect("paper configuration is valid");
     let sweep8 = Experiment::new()
         .mixes(mixes(sweep_mix_count()))
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(capacity_variants())
         .params(p)
         .run()

@@ -8,7 +8,7 @@
 //! ChargeCache side sweeps the capacity axis as a variant list.
 
 use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::{Experiment, Variant};
 use sim::exp::ExpParams;
 
@@ -26,27 +26,27 @@ fn main() {
     let mix_list = mixes(sweep_mix_count());
     let base1 = Experiment::new()
         .workloads(specs.clone())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(p)
         .run()
         .expect("paper configuration is valid");
     let base8 = Experiment::new()
         .mixes(mix_list.clone())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(p)
         .run()
         .expect("paper configuration is valid");
 
     let cc1 = Experiment::new()
         .workloads(specs)
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(CAPACITIES.iter().map(|&n| Variant::entries(n)))
         .params(p)
         .run()
         .expect("paper configuration is valid");
     let cc8 = Experiment::new()
         .mixes(mix_list)
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(CAPACITIES.iter().map(|&n| Variant::entries(n)))
         .params(p)
         .run()
@@ -63,7 +63,7 @@ fn main() {
             .iter()
             .map(|b| {
                 let c = cc1
-                    .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                    .cell(&b.subject, "chargecache", &label)
                     .expect("capacity cell");
                 c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0
             })
@@ -73,7 +73,7 @@ fn main() {
             .iter()
             .map(|b| {
                 let c = cc8
-                    .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                    .cell(&b.subject, "chargecache", &label)
                     .expect("capacity cell");
                 c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0
             })

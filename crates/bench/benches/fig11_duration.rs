@@ -8,7 +8,8 @@
 //! duration-independent baselines are shared, memoized runs.
 
 use bench::{banner, mean, mixes, pct, sweep_mix_count, workloads};
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use bitline::derive::CycleQuantized;
+use chargecache::MechanismSpec;
 use sim::api::{Experiment, Variant};
 use sim::exp::ExpParams;
 
@@ -25,13 +26,13 @@ fn main() {
     let mix_list = mixes(sweep_mix_count());
     let base1 = Experiment::new()
         .workloads(specs.clone())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(p)
         .run()
         .expect("paper configuration is valid");
     let base8 = Experiment::new()
         .mixes(mix_list.clone())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(p)
         .run()
         .expect("paper configuration is valid");
@@ -39,14 +40,14 @@ fn main() {
     let durations = || DURATIONS_MS.iter().map(|&d| Variant::duration_ms(d));
     let cc1 = Experiment::new()
         .workloads(specs)
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(durations())
         .params(p)
         .run()
         .expect("paper configuration is valid");
     let cc8 = Experiment::new()
         .mixes(mix_list)
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(durations())
         .params(p)
         .run()
@@ -58,12 +59,19 @@ fn main() {
     );
     for d in DURATIONS_MS {
         let label = format!("{d} ms");
-        let cc = ChargeCacheConfig::with_duration_ms(d);
+        // Same derivation the chargecache factory applies (its tck comes
+        // from the cell's DRAM timing), so the printed pair matches what
+        // the cells actually ran.
+        let tck = sim::SystemConfig::paper_single_core(MechanismSpec::chargecache())
+            .dram
+            .timing
+            .tck_ns;
+        let red = CycleQuantized::for_duration_ms(d, tck);
         let mut s1 = Vec::new();
         let mut h1 = Vec::new();
         for b in &base1.cells {
             let c = cc1
-                .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                .cell(&b.subject, "chargecache", &label)
                 .expect("duration cell");
             s1.push(c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0);
             if let Some(h) = c.result.hcrac_hit_rate() {
@@ -74,7 +82,7 @@ fn main() {
         let mut h8 = Vec::new();
         for b in &base8.cells {
             let c = cc8
-                .cell(&b.subject, MechanismKind::ChargeCache, &label)
+                .cell(&b.subject, "chargecache", &label)
                 .expect("duration cell");
             s8.push(c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0);
             if let Some(h) = c.result.hcrac_hit_rate() {
@@ -84,10 +92,7 @@ fn main() {
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
             label,
-            format!(
-                "{}/{}",
-                cc.reductions.trcd_reduction, cc.reductions.tras_reduction
-            ),
+            format!("{}/{}", red.trcd_reduction, red.tras_reduction),
             pct(mean(&s1)),
             pct(mean(&h1)),
             pct(mean(&s8)),

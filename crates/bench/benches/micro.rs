@@ -9,7 +9,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use chargecache::{ChargeCache, ChargeCacheConfig, Hcrac, LatencyMechanism, MechanismKind, RowKey};
+use chargecache::{ChargeCache, ChargeCacheConfig, Hcrac, LatencyMechanism, MechanismSpec, RowKey};
 use cpu::{Llc, LlcConfig, MemOp, TraceEntry, VecTrace};
 use dram::{BankLoc, Command, DramConfig, DramDevice, TimingParams};
 use sim::{System, SystemConfig};
@@ -130,7 +130,7 @@ fn bench_system() {
         .collect();
     bench("system/step_1k_cycles", || {
         let mut sys = System::new(
-            SystemConfig::paper_single_core(MechanismKind::ChargeCache),
+            SystemConfig::paper_single_core(MechanismSpec::chargecache()),
             vec![Box::new(VecTrace::looping(entries.clone()))],
         );
         for _ in 0..1000 {

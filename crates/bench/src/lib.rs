@@ -13,8 +13,8 @@
 //! repeated baselines and alone-IPC runs are simulated once per process
 //! no matter how many figures or sweep points request them.
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
-use sim::api::{Experiment, Variant};
+use chargecache::MechanismSpec;
+use sim::api::Experiment;
 use sim::exp::ExpParams;
 use sim::RunResult;
 use traces::{eight_core_mixes, single_core_workloads, MixSpec, WorkloadSpec};
@@ -59,17 +59,14 @@ pub fn mixes(n: usize) -> Vec<MixSpec> {
     eight_core_mixes().into_iter().take(n).collect()
 }
 
-/// Runs every single-core workload under `kind`, in parallel (memoized).
-pub fn all_single(
-    kind: MechanismKind,
-    cc: &ChargeCacheConfig,
-    p: &ExpParams,
-) -> Vec<(WorkloadSpec, RunResult)> {
+/// Runs every single-core workload under `mechanism`, in parallel
+/// (memoized). Parameters travel inside the spec
+/// (`"chargecache(entries=64)".parse()`).
+pub fn all_single(mechanism: &MechanismSpec, p: &ExpParams) -> Vec<(WorkloadSpec, RunResult)> {
     let specs = workloads();
     let sweep = Experiment::new()
         .workloads(specs.clone())
-        .mechanism(kind)
-        .variant(Variant::cc("cc", cc.clone()))
+        .mechanism(mechanism.clone())
         .params(*p)
         .run()
         .expect("paper configuration is valid");
@@ -79,17 +76,15 @@ pub fn all_single(
         .collect()
 }
 
-/// Runs every given mix under `kind`, in parallel (memoized).
+/// Runs every given mix under `mechanism`, in parallel (memoized).
 pub fn all_eight(
-    kind: MechanismKind,
-    cc: &ChargeCacheConfig,
+    mechanism: &MechanismSpec,
     p: &ExpParams,
     mix_list: &[MixSpec],
 ) -> Vec<(MixSpec, RunResult)> {
     let sweep = Experiment::new()
         .mixes(mix_list.to_vec())
-        .mechanism(kind)
-        .variant(Variant::cc("cc", cc.clone()))
+        .mechanism(mechanism.clone())
         .params(*p)
         .run()
         .expect("paper configuration is valid");
@@ -100,14 +95,13 @@ pub fn all_eight(
         .collect()
 }
 
-/// Per-application alone-IPCs under `kind` (weighted-speedup denominators),
-/// keyed by workload name.
+/// Per-application alone-IPCs under `mechanism` (weighted-speedup
+/// denominators), keyed by workload name.
 pub fn alone_ipcs(
-    kind: MechanismKind,
-    cc: &ChargeCacheConfig,
+    mechanism: &MechanismSpec,
     p: &ExpParams,
 ) -> std::collections::HashMap<&'static str, f64> {
-    all_single(kind, cc, p)
+    all_single(mechanism, p)
         .into_iter()
         .map(|(spec, r)| (spec.name, r.ipc(0)))
         .collect()

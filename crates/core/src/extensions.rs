@@ -16,7 +16,8 @@ use bitline::derive::{CycleQuantized, ReducedTimings};
 use bitline::temperature;
 use dram::{ActTimings, BusCycle, TimingParams};
 
-use crate::mechanism::{LatencyMechanism, MechanismKind, MechanismStats};
+use crate::mechanism::LatencyMechanism;
+use crate::report::{MechanismReport, StatSink, C_ACTIVATES, C_REDUCED};
 use crate::RowKey;
 
 /// AL-DRAM-style global latency scaling for a fixed operating temperature.
@@ -81,18 +82,13 @@ impl LatencyMechanism for AlDram {
 
     fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: self.reduced_activates,
-            hcrac: None,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, self.reduced_activates);
     }
 
-    fn kind(&self) -> MechanismKind {
-        // Reported as the baseline family: AL-DRAM has no HCRAC; callers
-        // distinguish composed stacks through `BestOf`'s labels.
-        MechanismKind::Baseline
+    fn name(&self) -> &str {
+        "aldram"
     }
 }
 
@@ -163,16 +159,13 @@ impl LatencyMechanism for TlDram {
 
     fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: self.reduced_activates,
-            hcrac: None,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, self.reduced_activates);
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::Baseline
+    fn name(&self) -> &str {
+        "tldram"
     }
 }
 
@@ -215,24 +208,50 @@ impl LatencyMechanism for BestOf {
         self.b.on_precharge(now, core, key);
     }
 
+    fn on_refresh_row(&mut self, now: BusCycle, key: RowKey) {
+        self.a.on_refresh_row(now, key);
+        self.b.on_refresh_row(now, key);
+    }
+
+    fn on_read(&mut self, now: BusCycle, core: usize, key: RowKey) {
+        self.a.on_read(now, core, key);
+        self.b.on_read(now, core, key);
+    }
+
+    fn on_write(&mut self, now: BusCycle, core: usize, key: RowKey) {
+        self.a.on_write(now, core, key);
+        self.b.on_write(now, core, key);
+    }
+
     fn tick(&mut self, now: BusCycle) {
         self.a.tick(now);
         self.b.tick(now);
     }
 
-    fn stats(&self) -> MechanismStats {
-        let sa = self.a.stats();
-        let sb = self.b.stats();
-        MechanismStats {
-            activates: sa.activates.max(sb.activates),
-            // Upper bound: an activation reduced by either constituent.
-            reduced_activates: sa.reduced_activates.max(sb.reduced_activates),
-            hcrac: sa.hcrac.or(sb.hcrac),
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        let mut sa = MechanismReport::default();
+        self.a.report_stats(&mut sa);
+        let mut sb = MechanismReport::default();
+        self.b.report_stats(&mut sb);
+        out.counter(C_ACTIVATES, sa.activates().max(sb.activates()));
+        // Upper bound: an activation reduced by either constituent.
+        out.counter(
+            C_REDUCED,
+            sa.reduced_activates().max(sb.reduced_activates()),
+        );
+        // Forward whichever constituent's extra counters exist (first
+        // wins), so e.g. a composed ChargeCache still reports its HCRAC.
+        let extra = |r: &MechanismReport| r.iter().any(|(n, _)| n != C_ACTIVATES && n != C_REDUCED);
+        let src = if extra(&sa) { sa } else { sb };
+        for (name, v) in src.iter() {
+            if name != C_ACTIVATES && name != C_REDUCED {
+                out.counter(name, v);
+            }
         }
     }
 
-    fn kind(&self) -> MechanismKind {
-        self.a.kind()
+    fn name(&self) -> &str {
+        "best-of"
     }
 }
 
@@ -255,7 +274,9 @@ mod tests {
         let t = timing();
         let mut m = AlDram::new(85.0, &t);
         assert_eq!(m.on_activate(0, 0, key(1), 0), t.act_timings());
-        assert_eq!(m.stats().reduced_activates, 0);
+        let mut r = MechanismReport::default();
+        m.report_stats(&mut r);
+        assert_eq!(r.reduced_activates(), 0);
     }
 
     #[test]
@@ -287,8 +308,10 @@ mod tests {
         let far = m.on_activate(0, 0, key(100), 0);
         assert!(near.trcd < far.trcd);
         assert_eq!(far, t.act_timings());
-        assert_eq!(m.stats().activates, 2);
-        assert_eq!(m.stats().reduced_activates, 1);
+        let mut r = MechanismReport::default();
+        m.report_stats(&mut r);
+        assert_eq!(r.activates(), 2);
+        assert_eq!(r.reduced_activates(), 1);
     }
 
     #[test]

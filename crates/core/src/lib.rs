@@ -13,9 +13,17 @@
 //!   scheme that guarantees no entry older than the caching duration is
 //!   ever used (plus the exact per-entry-expiry ablation variant);
 //! * [`mechanism`] — the [`mechanism::LatencyMechanism`] seam the memory
-//!   controller calls on every ACT and PRE, with five implementations:
-//!   [`Baseline`], [`ChargeCache`], [`Nuat`], [`CcNuat`] and [`LlDram`]
-//!   (the paper's four comparison points plus the do-nothing baseline);
+//!   controller calls on every ACT, PRE, REF-refreshed row and column
+//!   command, with five implementations: [`Baseline`], [`ChargeCache`],
+//!   [`Nuat`], [`CcNuat`] and [`LlDram`] (the paper's four comparison
+//!   points plus the do-nothing baseline);
+//! * [`spec`] — the open plugin API: [`MechanismSpec`] (typed parameters
+//!   with a `name(key=val,...)` string grammar) resolved through a
+//!   [`MechanismRegistry`] of factories, so custom mechanisms plug in
+//!   without editing this crate;
+//! * [`report`] — trait-based statistics ([`StatSink`] /
+//!   [`MechanismReport`]): mechanisms report named counters instead of
+//!   filling a fixed struct;
 //! * [`overhead`] — the paper's storage/area/power overhead equations
 //!   (Section 6.3, Equations 1 and 2).
 //!
@@ -46,15 +54,21 @@ pub mod hcrac;
 pub mod invalidation;
 pub mod mechanism;
 pub mod overhead;
+pub mod report;
+pub mod spec;
 
 pub use config::{ChargeCacheConfig, InvalidationPolicy, NuatConfig};
 pub use extensions::{AlDram, BestOf, TlDram};
 pub use hcrac::{Hcrac, HcracStats};
-pub use mechanism::{
-    build_mechanism, Baseline, CcNuat, ChargeCache, LatencyMechanism, LlDram, MechanismKind,
-    MechanismStats, Nuat,
-};
+pub use mechanism::{Baseline, CcNuat, ChargeCache, LatencyMechanism, LlDram, Nuat};
 pub use overhead::OverheadModel;
+pub use report::{
+    MechanismReport, StatSink, C_ACTIVATES, C_HCRAC_EVICTIONS, C_HCRAC_HITS, C_HCRAC_INSERTS,
+    C_HCRAC_INVALIDATIONS, C_HCRAC_LOOKUPS, C_REDUCED,
+};
+pub use spec::{
+    registry, MechanismContext, MechanismFactory, MechanismRegistry, MechanismSpec, ParamValue,
+};
 
 /// Globally unique identifier of one DRAM row: channel, rank, bank and row
 /// packed into 64 bits. This is what the HCRAC tags.

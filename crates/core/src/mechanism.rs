@@ -3,10 +3,19 @@
 //! The memory controller calls [`LatencyMechanism::on_activate`] before
 //! issuing every `ACT` (the returned [`ActTimings`] governs that
 //! activation) and [`LatencyMechanism::on_precharge`] after every row
-//! closure. [`LatencyMechanism::tick`] advances time-based state such as
-//! the periodic invalidation counters.
+//! closure. [`LatencyMechanism::on_refresh_row`] observes every row
+//! replenished by the rotating auto-refresh schedule (refresh restores
+//! charge — the physical basis of NUAT), [`LatencyMechanism::on_read`] /
+//! [`LatencyMechanism::on_write`] observe column commands, and
+//! [`LatencyMechanism::tick`] advances time-based state such as the
+//! periodic invalidation counters. All observation hooks default to
+//! no-ops, so a mechanism implements only the events it cares about.
 //!
-//! Implementations:
+//! Statistics are reported through the [`crate::StatSink`] trait
+//! ([`LatencyMechanism::report_stats`]) as named counters, so custom
+//! mechanisms can expose arbitrary counters without a core edit.
+//!
+//! Implementations here are the paper's comparison points:
 //!
 //! * [`Baseline`] — specification timings, always;
 //! * [`ChargeCache`] — the paper's mechanism (HCRAC + IIC/EC);
@@ -14,74 +23,33 @@
 //! * [`CcNuat`] — ChargeCache with NUAT as the fallback on a miss;
 //! * [`LlDram`] — idealized low-latency DRAM: every activation uses the
 //!   reduced timings (ChargeCache with a 100% hit rate).
+//!
+//! They are instantiated through [`crate::MechanismSpec`] and the
+//! [`crate::MechanismRegistry`] (see [`crate::spec`]); the concrete
+//! constructors below remain public for direct composition (e.g.
+//! [`crate::BestOf`]).
 
+use bitline::derive::CycleQuantized;
 use dram::{ActTimings, BusCycle, TimingParams};
 
 use crate::config::{ChargeCacheConfig, InvalidationPolicy, NuatConfig};
 use crate::hcrac::{Hcrac, HcracStats};
 use crate::invalidation::PeriodicInvalidator;
+use crate::report::{
+    StatSink, C_ACTIVATES, C_HCRAC_EVICTIONS, C_HCRAC_HITS, C_HCRAC_INSERTS, C_HCRAC_INVALIDATIONS,
+    C_HCRAC_LOOKUPS, C_REDUCED,
+};
 use crate::RowKey;
 
-/// Which mechanism an object implements (for labels and factories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MechanismKind {
-    /// Unmodified DDR3 timing.
-    Baseline,
-    /// NUAT (recently-refreshed rows are fast).
-    Nuat,
-    /// ChargeCache (recently-accessed rows are fast).
-    ChargeCache,
-    /// ChargeCache with NUAT fallback.
-    CcNuat,
-    /// Idealized low-latency DRAM.
-    LlDram,
-}
-
-impl MechanismKind {
-    /// All kinds in the order the paper's figures present them.
-    pub const ALL: [MechanismKind; 5] = [
-        MechanismKind::Baseline,
-        MechanismKind::Nuat,
-        MechanismKind::ChargeCache,
-        MechanismKind::CcNuat,
-        MechanismKind::LlDram,
-    ];
-
-    /// Human-readable label matching the paper's legends.
-    pub fn label(&self) -> &'static str {
-        match self {
-            MechanismKind::Baseline => "Baseline",
-            MechanismKind::Nuat => "NUAT",
-            MechanismKind::ChargeCache => "ChargeCache",
-            MechanismKind::CcNuat => "ChargeCache + NUAT",
-            MechanismKind::LlDram => "Low-Latency DRAM",
-        }
-    }
-}
-
-/// Aggregate statistics every mechanism reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct MechanismStats {
-    /// Activations observed.
-    pub activates: u64,
-    /// Activations served with reduced timings.
-    pub reduced_activates: u64,
-    /// HCRAC statistics, when the mechanism has one.
-    pub hcrac: Option<HcracStats>,
-}
-
-impl MechanismStats {
-    /// Fraction of activations served with reduced timings.
-    pub fn reduced_fraction(&self) -> f64 {
-        if self.activates == 0 {
-            0.0
-        } else {
-            self.reduced_activates as f64 / self.activates as f64
-        }
-    }
-}
-
 /// Mechanism interface called by the memory controller.
+///
+/// Only [`Self::on_activate`], [`Self::on_precharge`],
+/// [`Self::report_stats`] and [`Self::name`] are mandatory; every other
+/// hook is a default no-op.
+///
+/// Statistics counters must be monotonically non-decreasing over a run
+/// (the simulator subtracts a warmup snapshot to obtain post-warmup
+/// deltas).
 pub trait LatencyMechanism: Send {
     /// Chooses the timing pair for an activation of `key`, requested by
     /// `core`, given the row's refresh age (`u64::MAX` if unknown).
@@ -96,35 +64,40 @@ pub trait LatencyMechanism: Send {
     /// Observes a row closure (explicit or auto precharge).
     fn on_precharge(&mut self, now: BusCycle, core: usize, key: RowKey);
 
+    /// Observes one row being replenished by an auto-refresh `REF`
+    /// command. Refresh restores the row's charge exactly like a
+    /// precharge-after-activation does, so charge-aware mechanisms may
+    /// treat refreshed rows as highly charged (the physical basis of
+    /// NUAT, and of the `refresh-cc` plugin example).
+    fn on_refresh_row(&mut self, _now: BusCycle, _key: RowKey) {}
+
+    /// Observes a column read issued to `key`'s open row.
+    fn on_read(&mut self, _now: BusCycle, _core: usize, _key: RowKey) {}
+
+    /// Observes a column write issued to `key`'s open row.
+    fn on_write(&mut self, _now: BusCycle, _core: usize, _key: RowKey) {}
+
     /// Advances time-based state (invalidation counters). Called every
-    /// controller cycle; implementations must be O(1) amortized.
+    /// controller cycle; implementations must be O(1) amortized and
+    /// tolerate sparse (cycle-skipped) call times.
     fn tick(&mut self, _now: BusCycle) {}
 
-    /// Mechanism statistics.
-    fn stats(&self) -> MechanismStats;
+    /// Reports statistics as named counters (see [`crate::report`] for
+    /// the well-known names).
+    fn report_stats(&self, out: &mut dyn StatSink);
 
-    /// Mechanism kind.
-    fn kind(&self) -> MechanismKind;
+    /// The mechanism's registered name (matches
+    /// [`crate::MechanismSpec::name`] for registry-built instances).
+    fn name(&self) -> &str;
 }
 
-/// Builds a boxed mechanism of the given kind from the supplied
-/// configurations.
-pub fn build_mechanism(
-    kind: MechanismKind,
-    cc_cfg: &ChargeCacheConfig,
-    nuat_cfg: &NuatConfig,
-    timing: &TimingParams,
-    cores: usize,
-) -> Box<dyn LatencyMechanism> {
-    match kind {
-        MechanismKind::Baseline => Box::new(Baseline::new(timing)),
-        MechanismKind::Nuat => Box::new(Nuat::new(nuat_cfg.clone(), timing)),
-        MechanismKind::ChargeCache => Box::new(ChargeCache::new(cc_cfg.clone(), timing, cores)),
-        MechanismKind::CcNuat => {
-            Box::new(CcNuat::new(cc_cfg.clone(), nuat_cfg.clone(), timing, cores))
-        }
-        MechanismKind::LlDram => Box::new(LlDram::new(cc_cfg, timing)),
-    }
+/// Pushes the HCRAC counter block into a sink.
+fn report_hcrac(out: &mut dyn StatSink, s: &HcracStats) {
+    out.counter(C_HCRAC_LOOKUPS, s.lookups);
+    out.counter(C_HCRAC_HITS, s.hits);
+    out.counter(C_HCRAC_INSERTS, s.inserts);
+    out.counter(C_HCRAC_EVICTIONS, s.capacity_evictions);
+    out.counter(C_HCRAC_INVALIDATIONS, s.invalidations);
 }
 
 /// Unmodified DDR3: every activation uses specification timings.
@@ -152,16 +125,13 @@ impl LatencyMechanism for Baseline {
 
     fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: 0,
-            hcrac: None,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, 0);
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::Baseline
+    fn name(&self) -> &str {
+        "baseline"
     }
 }
 
@@ -244,6 +214,15 @@ impl ChargeCache {
         self.reduced
     }
 
+    /// Inserts `key` as highly charged at `now` into the HCRAC that
+    /// serves `core` (what [`LatencyMechanism::on_precharge`] does, made
+    /// public so wrapper mechanisms like the `refresh-cc` plugin example
+    /// can insert rows for other charge-restoring events).
+    pub fn insert(&mut self, now: BusCycle, core: usize, key: RowKey) {
+        let idx = self.cache_index(core);
+        self.caches[idx].insert(key, now);
+    }
+
     /// Aggregated HCRAC statistics across all instances.
     pub fn hcrac_stats(&self) -> HcracStats {
         let mut agg = HcracStats::default();
@@ -291,8 +270,7 @@ impl LatencyMechanism for ChargeCache {
     }
 
     fn on_precharge(&mut self, now: BusCycle, core: usize, key: RowKey) {
-        let idx = self.cache_index(core);
-        self.caches[idx].insert(key, now);
+        self.insert(now, core, key);
     }
 
     fn tick(&mut self, now: BusCycle) {
@@ -318,16 +296,14 @@ impl LatencyMechanism for ChargeCache {
         }
     }
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: self.reduced_activates,
-            hcrac: Some(self.hcrac_stats()),
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, self.reduced_activates);
+        report_hcrac(out, &self.hcrac_stats());
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::ChargeCache
+    fn name(&self) -> &str {
+        "chargecache"
     }
 }
 
@@ -397,16 +373,13 @@ impl LatencyMechanism for Nuat {
 
     fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: self.reduced_activates,
-            hcrac: None,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, self.reduced_activates);
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::Nuat
+    fn name(&self) -> &str {
+        "nuat"
     }
 }
 
@@ -459,18 +432,17 @@ impl LatencyMechanism for CcNuat {
         self.cc.tick(now);
     }
 
-    fn stats(&self) -> MechanismStats {
-        let cc = self.cc.stats();
-        let nuat = self.nuat.stats();
-        MechanismStats {
-            activates: cc.activates,
-            reduced_activates: cc.reduced_activates + nuat.reduced_activates,
-            hcrac: cc.hcrac,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.cc.activates);
+        out.counter(
+            C_REDUCED,
+            self.cc.reduced_activates + self.nuat.reduced_activates,
+        );
+        report_hcrac(out, &self.cc.hcrac_stats());
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::CcNuat
+    fn name(&self) -> &str {
+        "cc-nuat"
     }
 }
 
@@ -482,13 +454,12 @@ pub struct LlDram {
 }
 
 impl LlDram {
-    /// Creates the idealized device using the hit timings from a
-    /// ChargeCache configuration.
-    pub fn new(cc_cfg: &ChargeCacheConfig, timing: &TimingParams) -> Self {
-        let reduced = timing.act_timings().reduced_by(
-            cc_cfg.reductions.trcd_reduction,
-            cc_cfg.reductions.tras_reduction,
-        );
+    /// Creates the idealized device applying `reductions` to every
+    /// activation.
+    pub fn new(reductions: CycleQuantized, timing: &TimingParams) -> Self {
+        let reduced = timing
+            .act_timings()
+            .reduced_by(reductions.trcd_reduction, reductions.tras_reduction);
         Self {
             reduced,
             activates: 0,
@@ -504,22 +475,20 @@ impl LatencyMechanism for LlDram {
 
     fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
 
-    fn stats(&self) -> MechanismStats {
-        MechanismStats {
-            activates: self.activates,
-            reduced_activates: self.activates,
-            hcrac: None,
-        }
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+        out.counter(C_REDUCED, self.activates);
     }
 
-    fn kind(&self) -> MechanismKind {
-        MechanismKind::LlDram
+    fn name(&self) -> &str {
+        "lldram"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::MechanismReport;
 
     fn timing() -> TimingParams {
         TimingParams::ddr3_1600()
@@ -529,6 +498,12 @@ mod tests {
         RowKey::new(0, 0, 0, row)
     }
 
+    fn report(m: &dyn LatencyMechanism) -> MechanismReport {
+        let mut r = MechanismReport::default();
+        m.report_stats(&mut r);
+        r
+    }
+
     #[test]
     fn baseline_never_reduces() {
         let t = timing();
@@ -536,8 +511,10 @@ mod tests {
         for i in 0..100 {
             assert_eq!(m.on_activate(i, 0, key(i as u32), 0), t.act_timings());
         }
-        assert_eq!(m.stats().reduced_activates, 0);
-        assert_eq!(m.stats().activates, 100);
+        let r = report(&m);
+        assert_eq!(r.reduced_activates(), 0);
+        assert_eq!(r.activates(), 100);
+        assert_eq!(r.hcrac_hit_rate(), None);
     }
 
     #[test]
@@ -548,7 +525,8 @@ mod tests {
         cc.on_precharge(100, 0, key(5));
         let got = cc.on_activate(200, 0, key(5), u64::MAX);
         assert_eq!(got, cc.reduced_timings());
-        assert_eq!(cc.stats().reduced_fraction(), 0.5);
+        assert_eq!(report(&cc).reduced_fraction(), 0.5);
+        assert_eq!(report(&cc).hcrac_hit_rate(), Some(0.5));
     }
 
     #[test]
@@ -612,6 +590,17 @@ mod tests {
     }
 
     #[test]
+    fn public_insert_matches_precharge_insertion() {
+        let t = timing();
+        let mut cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
+        cc.insert(0, 0, key(7));
+        assert_eq!(
+            cc.on_activate(10, 0, key(7), u64::MAX),
+            cc.reduced_timings()
+        );
+    }
+
+    #[test]
     fn nuat_bins_by_refresh_age() {
         let t = timing();
         let mut n = Nuat::new(NuatConfig::paper_5pb(), &t);
@@ -644,24 +633,23 @@ mod tests {
     #[test]
     fn lldram_always_reduces() {
         let t = timing();
-        let cfg = ChargeCacheConfig::paper();
-        let mut m = LlDram::new(&cfg, &t);
+        let mut m = LlDram::new(CycleQuantized::paper_1ms(), &t);
         for i in 0..10 {
             let got = m.on_activate(i, 0, key(i as u32), u64::MAX);
             assert_eq!(got.trcd, t.trcd - 4);
         }
-        assert_eq!(m.stats().reduced_fraction(), 1.0);
+        assert_eq!(report(&m).reduced_fraction(), 1.0);
     }
 
     #[test]
-    fn factory_builds_every_kind() {
+    fn default_hooks_are_no_ops() {
         let t = timing();
-        let cc = ChargeCacheConfig::paper();
-        let nu = NuatConfig::paper_5pb();
-        for kind in MechanismKind::ALL {
-            let m = build_mechanism(kind, &cc, &nu, &t, 2);
-            assert_eq!(m.kind(), kind);
-            assert!(!kind.label().is_empty());
-        }
+        let mut m = Baseline::new(&t);
+        // None of these may panic or change statistics.
+        m.on_refresh_row(0, key(1));
+        m.on_read(0, 0, key(1));
+        m.on_write(0, 0, key(1));
+        m.tick(1_000);
+        assert_eq!(report(&m).activates(), 0);
     }
 }

@@ -178,7 +178,8 @@ impl Channel {
                 out.write_done_at = Some(burst_end);
             }
             Command::Ref { rank } => {
-                self.ranks[rank.rank as usize].issue_ref(now, t);
+                let (first_row, count) = self.ranks[rank.rank as usize].issue_ref(now, t);
+                out.refreshed = Some((first_row, count));
             }
         }
         out

@@ -73,6 +73,11 @@ pub struct IssueOutcome {
     /// cycle at which each precharge *begins* — the instant the row's cells
     /// start leaking again, which is what ChargeCache timestamps.
     pub closed_rows: Vec<(BankLoc, RowId, BusCycle)>,
+    /// For `REF` commands: the row range (first row, count) replenished in
+    /// *every bank* of the refreshed rank, per the rotating refresh
+    /// schedule. Charge-aware mechanisms treat these rows as highly
+    /// charged (`LatencyMechanism::on_refresh_row` in `crates/core`).
+    pub refreshed: Option<(RowId, u32)>,
 }
 
 /// A timestamped command, recorded for energy accounting and debugging.

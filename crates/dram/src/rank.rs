@@ -21,6 +21,10 @@ use crate::BusCycle;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rank {
     banks: Vec<Bank>,
+    /// Rows per bank (clamps the refresh schedule's reported row ranges:
+    /// the bin count is timing-derived, so shrunk test organizations have
+    /// more bins than rows).
+    rows: u32,
     /// Earliest next ACT to any bank (tRRD, tFAW).
     next_act: BusCycle,
     /// Earliest next RD command (tCCD, WR→RD turnaround).
@@ -38,6 +42,7 @@ impl Rank {
     pub fn new(cfg: &DramConfig) -> Self {
         Self {
             banks: (0..cfg.org.banks).map(|_| Bank::new()).collect(),
+            rows: cfg.org.rows,
             next_act: 0,
             next_rd: 0,
             next_wr: 0,
@@ -156,17 +161,25 @@ impl Rank {
         closed
     }
 
-    /// Applies a REF at `now`.
+    /// Applies a REF at `now`. Returns the row range (first row, count;
+    /// per bank) the REF replenished, so the controller can inform
+    /// charge-aware mechanisms.
     ///
     /// # Panics
     ///
     /// Panics (in debug) if any bank still has an open row.
-    pub fn issue_ref(&mut self, now: BusCycle, t: &TimingParams) {
+    pub fn issue_ref(&mut self, now: BusCycle, t: &TimingParams) -> (RowId, u32) {
         debug_assert!(self.all_banks_precharged());
         for b in &mut self.banks {
             b.apply_refresh(now, t);
         }
+        let (first, count) = self.refresh.next_bin_rows();
         self.refresh.apply_ref(now);
+        // The schedule's bin count is timing-derived, so organizations
+        // with fewer rows than bins (shrunk test configs) have bins past
+        // the last physical row: report only rows that exist.
+        let end = (first + count).min(self.rows);
+        (first.min(self.rows), end.saturating_sub(first))
     }
 
     /// Cycle at which the next REF becomes due.
@@ -255,6 +268,27 @@ mod tests {
         for b in 0..8 {
             assert_eq!(r.earliest_act(b, 0, &t), 100 + u64::from(t.trfc));
         }
+    }
+
+    #[test]
+    fn refresh_reports_only_physical_rows_on_shrunk_organizations() {
+        // 1024 rows but a timing-derived 8192-bin schedule: most bins lie
+        // past the last physical row and must report zero rows.
+        let mut cfg = DramConfig::ddr3_1600_paper();
+        cfg.org.rows = 1024;
+        let t = cfg.timing.clone();
+        let mut r = Rank::new(&cfg);
+        let mut reported = 0u32;
+        for i in 0..200u64 {
+            let (first, count) = r.issue_ref((i + 1) * u64::from(t.trefi), &t);
+            assert!(
+                u64::from(first) + u64::from(count) <= 1024,
+                "REF reported phantom rows {first}+{count}"
+            );
+            reported += count;
+        }
+        // The permuted schedule hits some real bins within 200 REFs.
+        assert!(reported > 0, "no real rows reported at all");
     }
 
     #[test]

@@ -123,6 +123,15 @@ impl RefreshState {
         (row / self.rows_per_ref).min(self.bins - 1)
     }
 
+    /// The row range (first row, count; per bank) the *next* REF will
+    /// replenish. The controller reads this alongside
+    /// [`Self::apply_ref`] to inform charge-aware mechanisms which rows
+    /// a refresh just restored.
+    pub fn next_bin_rows(&self) -> (RowId, u32) {
+        let bin = self.order[self.next_pos as usize];
+        (bin * self.rows_per_ref, self.rows_per_ref)
+    }
+
     /// Applies one REF command at `now`: refreshes the next bin in the
     /// visit order and schedules the following REF one `tREFI` later.
     pub fn apply_ref(&mut self, now: BusCycle) {
@@ -225,6 +234,19 @@ mod tests {
             assert!(r.refresh_age(row, 1600) <= 1600, "row {row}");
         }
         assert_eq!(r.issued(), 16);
+    }
+
+    #[test]
+    fn next_bin_rows_tracks_the_visit_order() {
+        let mut r = identity();
+        assert_eq!(r.next_bin_rows(), (0, 8));
+        r.apply_ref(6250);
+        assert_eq!(r.next_bin_rows(), (8, 8));
+        // The refreshed range covers exactly the rows whose age resets.
+        r.apply_ref(12_500);
+        assert_eq!(r.refresh_age(8, 12_500), 0);
+        assert_eq!(r.refresh_age(15, 12_500), 0);
+        assert_ne!(r.refresh_age(16, 12_500), 0);
     }
 
     #[test]

@@ -462,9 +462,24 @@ impl ChannelCtrl {
             let cmd = Command::Ref { rank: rl };
             if device.all_banks_precharged(rl) {
                 if device.can_issue(&cmd, now) {
-                    device.issue(&cmd, now, device.config().timing.act_timings());
+                    let out = device.issue(&cmd, now, device.config().timing.act_timings());
                     self.stats.refreshes += 1;
                     self.refresh_pending[rank as usize] = false;
+                    // Inform the mechanism of every row the REF just
+                    // replenished (same range in every bank of the rank).
+                    if let Some((first_row, count)) = out.refreshed {
+                        let banks = device.config().org.banks;
+                        for bank in 0..banks {
+                            let loc = BankLoc {
+                                channel: self.channel,
+                                rank,
+                                bank,
+                            };
+                            for row in first_row..first_row + count {
+                                self.mech.on_refresh_row(now, RowKey::from_loc(loc, row));
+                            }
+                        }
+                    }
                     return true;
                 }
                 continue;
@@ -659,6 +674,11 @@ impl ChannelCtrl {
         }
         let spec = device.config().timing.act_timings();
         let out = device.issue(&cmd, now, spec);
+        let key = RowKey::from_loc(q.p.addr.loc, q.p.addr.row);
+        match q.p.kind {
+            AccessKind::Read => self.mech.on_read(now, q.p.core, key),
+            AccessKind::Write => self.mech.on_write(now, q.p.core, key),
+        }
         if q.progress == Progress::Fresh {
             self.stats.row_hits += 1;
         }

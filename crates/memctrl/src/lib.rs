@@ -47,8 +47,7 @@ pub use rltl::{RltlReport, RltlTracker, PAPER_INTERVALS_MS};
 pub use stats::CtrlStats;
 
 use chargecache::{
-    build_mechanism, Baseline, ChargeCacheConfig, LatencyMechanism, MechanismKind, MechanismStats,
-    NuatConfig,
+    registry, Baseline, LatencyMechanism, MechanismContext, MechanismReport, MechanismSpec,
 };
 use controller::ChannelCtrl;
 use dram::{AddressMapper, BusCycle, DramConfig, DramDevice};
@@ -118,20 +117,28 @@ impl MemorySystem {
         Self::new(dram_cfg, ctrl_cfg, mechs)
     }
 
-    /// Convenience: a system running mechanism `kind` on every channel with
-    /// the given configurations for `cores` cores.
-    pub fn with_mechanism(
+    /// A system running the mechanism described by `spec` on every
+    /// channel, resolved through the global
+    /// [`chargecache::MechanismRegistry`] for `cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec's name is unregistered or its
+    /// parameters are rejected by the factory.
+    pub fn from_spec(
         dram_cfg: DramConfig,
         ctrl_cfg: CtrlConfig,
-        kind: MechanismKind,
-        cc_cfg: &ChargeCacheConfig,
-        nuat_cfg: &NuatConfig,
+        spec: &MechanismSpec,
         cores: usize,
-    ) -> Self {
+    ) -> Result<Self, String> {
+        let ctx = MechanismContext {
+            timing: &dram_cfg.timing,
+            cores,
+        };
         let mechs = (0..dram_cfg.org.channels)
-            .map(|_| build_mechanism(kind, cc_cfg, nuat_cfg, &dram_cfg.timing, cores))
-            .collect();
-        Self::new(dram_cfg, ctrl_cfg, mechs)
+            .map(|_| registry::build_spec(spec, &ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(dram_cfg, ctrl_cfg, mechs))
     }
 
     /// The DRAM device (for stats and energy logging).
@@ -264,24 +271,12 @@ impl MemorySystem {
         agg.report()
     }
 
-    /// Mechanism statistics aggregated across channels.
-    pub fn mech_stats(&self) -> MechanismStats {
-        let mut agg = MechanismStats::default();
+    /// Mechanism statistics aggregated across channels (named counters
+    /// accumulate additively; see [`chargecache::report`]).
+    pub fn mech_report(&self) -> MechanismReport {
+        let mut agg = MechanismReport::default();
         for ch in &self.channels {
-            let s = ch.mech().stats();
-            agg.activates += s.activates;
-            agg.reduced_activates += s.reduced_activates;
-            match (&mut agg.hcrac, s.hcrac) {
-                (Some(a), Some(b)) => {
-                    a.lookups += b.lookups;
-                    a.hits += b.hits;
-                    a.inserts += b.inserts;
-                    a.capacity_evictions += b.capacity_evictions;
-                    a.invalidations += b.invalidations;
-                }
-                (None, Some(b)) => agg.hcrac = Some(b),
-                _ => {}
-            }
+            ch.mech().report_stats(&mut agg);
         }
         agg
     }
@@ -456,14 +451,13 @@ mod tests {
     #[test]
     fn chargecache_system_reduces_reactivations() {
         let cfg = DramConfig::ddr3_1600_paper();
-        let mut mem = MemorySystem::with_mechanism(
+        let mut mem = MemorySystem::from_spec(
             cfg.clone(),
             CtrlConfig::default(),
-            MechanismKind::ChargeCache,
-            &ChargeCacheConfig::paper(),
-            &NuatConfig::paper_5pb(),
+            &MechanismSpec::chargecache(),
             1,
-        );
+        )
+        .expect("built-in spec");
         let row_stride = cfg.org.row_bytes() * u64::from(cfg.org.banks);
         // Ping-pong between two rows of the same bank: every activation
         // after the first round should hit in the HCRAC.
@@ -480,13 +474,13 @@ mod tests {
         }
         // Each round after the first re-activates exactly one recently
         // precharged row (the other is still open and served as a row hit).
-        let m = mem.mech_stats();
-        assert!(m.activates >= 7, "activates = {}", m.activates);
+        let m = mem.mech_report();
+        assert!(m.activates() >= 7, "activates = {}", m.activates());
         assert!(
-            m.reduced_activates >= m.activates - 2,
+            m.reduced_activates() >= m.activates() - 2,
             "reduced {} of {}",
-            m.reduced_activates,
-            m.activates
+            m.reduced_activates(),
+            m.activates()
         );
         let rltl = mem.rltl_report();
         assert!(

@@ -14,7 +14,7 @@
 //! # Example
 //!
 //! ```
-//! use chargecache::MechanismKind;
+//! use chargecache::MechanismSpec;
 //! use sim::api::{Experiment, Metric, Variant};
 //! use sim::ExpParams;
 //! use traces::workload;
@@ -23,18 +23,23 @@
 //! p.insts_per_core = 2_000;
 //! let sweep = Experiment::new()
 //!     .workload(workload("tpch6").expect("paper workload"))
-//!     .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+//!     .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
 //!     .variants([Variant::entries(64), Variant::entries(128)])
 //!     .params(p)
 //!     .run()
 //!     .expect("valid paper configuration");
 //!
-//! let base = sweep.cell("tpch6", MechanismKind::Baseline, "64").unwrap();
-//! let cc = sweep.cell("tpch6", MechanismKind::ChargeCache, "128").unwrap();
+//! let base = sweep.cell("tpch6", "baseline", "64").unwrap();
+//! let cc = sweep.cell("tpch6", "chargecache", "128").unwrap();
 //! assert!(cc.metric(Metric::Ipc) >= base.metric(Metric::Ipc));
 //! let json = sweep.to_json();
-//! assert!(sim::json::parse(&json).is_ok());
+//! assert!(sim::json::parse_sweep(&json).is_ok());
 //! ```
+//!
+//! The mechanism axis takes [`MechanismSpec`]s, so custom mechanisms
+//! registered through [`chargecache::registry::register_mechanism`] sweep
+//! exactly like the built-ins, and parameter sweeps are spec patches
+//! ([`Variant::entries`], [`Variant::duration_ms`], [`Variant::param`]).
 //!
 //! # Streaming probes
 //!
@@ -45,7 +50,7 @@
 //! a single run this way:
 //!
 //! ```
-//! use chargecache::MechanismKind;
+//! use chargecache::MechanismSpec;
 //! use sim::api::{run_probed, SampleSeries};
 //! use sim::{ExpParams, SystemConfig};
 //! use traces::workload;
@@ -53,7 +58,7 @@
 //! let spec = workload("STREAMcopy").expect("paper workload");
 //! let mut p = ExpParams::tiny();
 //! p.insts_per_core = 2_000;
-//! let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+//! let cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
 //! let mut series = SampleSeries::default();
 //! let r = run_probed(cfg, std::slice::from_ref(&spec), &p, 10_000, &mut series).unwrap();
 //! assert!(!series.samples.is_empty());
@@ -63,7 +68,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::{registry, MechanismSpec, ParamValue};
 use traces::{MixSpec, WorkloadSpec};
 
 use crate::config::{InvalidConfig, SystemConfig};
@@ -105,10 +110,10 @@ impl Subject {
     }
 
     /// Paper base configuration for this subject under `mechanism`.
-    fn base_config(&self, mechanism: MechanismKind) -> SystemConfig {
+    fn base_config(&self, mechanism: &MechanismSpec) -> SystemConfig {
         match self {
-            Subject::Single(_) => SystemConfig::paper_single_core(mechanism),
-            Subject::Mix(_) => SystemConfig::paper_eight_core(mechanism),
+            Subject::Single(_) => SystemConfig::paper_single_core(mechanism.clone()),
+            Subject::Mix(_) => SystemConfig::paper_eight_core(mechanism.clone()),
         }
     }
 }
@@ -154,25 +159,38 @@ impl Variant {
         }
     }
 
-    /// Paper ChargeCache config with `entries` HCRAC entries per core
-    /// (the Figure 9/10 capacity axis). Label: the entry count.
+    /// `entries=N` spec patch (the Figure 9/10 HCRAC-capacity axis),
+    /// applied only to mechanisms whose factory supports the parameter —
+    /// Baseline cells stay untouched (and therefore memoizable across
+    /// the capacity axis). Label: the entry count.
     pub fn entries(entries: usize) -> Self {
-        Self::new(entries.to_string(), move |cfg| {
-            cfg.cc = ChargeCacheConfig::with_entries(entries);
-        })
+        Self::param_labelled(
+            entries.to_string(),
+            "entries",
+            ParamValue::Int(entries as i64),
+        )
     }
 
-    /// Paper ChargeCache config with a different caching duration
-    /// (the Figure 11 axis). Label: `"{ms} ms"`.
+    /// `duration=Nms` spec patch (the Figure 11 caching-duration axis).
+    /// Label: `"{ms} ms"`.
     pub fn duration_ms(ms: f64) -> Self {
-        Self::new(format!("{ms} ms"), move |cfg| {
-            cfg.cc = ChargeCacheConfig::with_duration_ms(ms);
-        })
+        Self::param_labelled(format!("{ms} ms"), "duration", ParamValue::DurationMs(ms))
     }
 
-    /// A fully explicit ChargeCache configuration.
-    pub fn cc(label: impl Into<String>, cc: ChargeCacheConfig) -> Self {
-        Self::new(label, move |cfg| cfg.cc = cc.clone())
+    /// An arbitrary mechanism-parameter patch (`key=value` label),
+    /// applied only to mechanisms whose factory supports `key`. This is
+    /// how custom registered mechanisms get swept over their own knobs.
+    pub fn param(key: &'static str, value: ParamValue) -> Self {
+        Self::param_labelled(format!("{key}={value}"), key, value)
+    }
+
+    /// A labelled mechanism-parameter patch (see [`Variant::param`]).
+    pub fn param_labelled(label: impl Into<String>, key: &'static str, value: ParamValue) -> Self {
+        Self::new(label, move |cfg| {
+            if registry::supports_param(&cfg.mechanism, key) {
+                cfg.mechanism.set(key, value.clone());
+            }
+        })
     }
 
     /// The variant's label (row/column key in the [`SweepResult`]).
@@ -198,12 +216,12 @@ impl std::fmt::Debug for Variant {
 #[derive(Debug, Clone, Default)]
 pub struct Experiment {
     subjects: Vec<Subject>,
-    mechanisms: Vec<MechanismKind>,
+    mechanisms: Vec<MechanismSpec>,
     variants: Vec<Variant>,
     params: Option<ExpParams>,
     engine: Option<Engine>,
     threads: Option<usize>,
-    alone: Option<MechanismKind>,
+    alone: Option<MechanismSpec>,
     configure: Option<Variant>,
 }
 
@@ -243,9 +261,9 @@ impl Experiment {
         self
     }
 
-    /// Adds one mechanism to the mechanism axis.
+    /// Adds one mechanism spec to the mechanism axis.
     #[must_use]
-    pub fn mechanism(mut self, m: MechanismKind) -> Self {
+    pub fn mechanism(mut self, m: MechanismSpec) -> Self {
         self.mechanisms.push(m);
         self
     }
@@ -253,7 +271,7 @@ impl Experiment {
     /// Appends to the mechanism axis ([`Experiment::run`] rejects
     /// duplicates: they would alias in [`SweepResult`] lookups).
     #[must_use]
-    pub fn mechanisms(mut self, ms: &[MechanismKind]) -> Self {
+    pub fn mechanisms(mut self, ms: &[MechanismSpec]) -> Self {
         self.mechanisms.extend_from_slice(ms);
         self
     }
@@ -309,7 +327,7 @@ impl Experiment {
     /// memoized like every other run, so they cost one simulation per
     /// workload per process no matter how many sweeps request them.
     #[must_use]
-    pub fn alone_ipcs(mut self, mechanism: MechanismKind) -> Self {
+    pub fn alone_ipcs(mut self, mechanism: MechanismSpec) -> Self {
         self.alone = Some(mechanism);
         self
     }
@@ -319,7 +337,7 @@ impl Experiment {
     pub fn cell_config(
         &self,
         subject: &Subject,
-        mechanism: MechanismKind,
+        mechanism: &MechanismSpec,
         variant: &Variant,
     ) -> SystemConfig {
         let mut cfg = subject.base_config(mechanism);
@@ -356,14 +374,17 @@ impl Experiment {
                 return Err(InvalidConfig(format!("duplicate subject {:?}", s.name())));
             }
         }
-        let mechanisms = if self.mechanisms.is_empty() {
-            MechanismKind::ALL.to_vec()
+        // Canonicalize registry aliases (`cc` → `chargecache`, …) so the
+        // duplicate check catches aliased repeats, cache keys coincide,
+        // and `SweepResult::cell` lookups by canonical name always hit.
+        let mechanisms: Vec<MechanismSpec> = if self.mechanisms.is_empty() {
+            MechanismSpec::paper_all().to_vec()
         } else {
-            self.mechanisms.clone()
+            self.mechanisms.iter().map(registry::canonicalize).collect()
         };
         for (i, m) in mechanisms.iter().enumerate() {
             if mechanisms[..i].contains(m) {
-                return Err(InvalidConfig(format!("duplicate mechanism {m:?}")));
+                return Err(InvalidConfig(format!("duplicate mechanism {m}")));
             }
         }
         let variants = if self.variants.is_empty() {
@@ -386,7 +407,7 @@ impl Experiment {
         // Grid cells, subject-major.
         let mut jobs: Vec<Job> = Vec::new();
         for subject in &self.subjects {
-            for &mech in &mechanisms {
+            for mech in &mechanisms {
                 for variant in &variants {
                     let cfg = self.cell_config(subject, mech, variant);
                     cfg.validate().map_err(InvalidConfig)?;
@@ -400,14 +421,15 @@ impl Experiment {
         }
         // Alone-IPC runs: one single-core job per distinct workload.
         let mut alone_names: Vec<String> = Vec::new();
-        if let Some(alone_mech) = self.alone {
+        let alone_spec = self.alone.as_ref().map(registry::canonicalize);
+        if let Some(alone_mech) = &alone_spec {
             for subject in &self.subjects {
                 for app in subject.apps() {
                     if alone_names.iter().any(|n| n == app.name) {
                         continue;
                     }
                     alone_names.push(app.name.to_string());
-                    let mut cfg = SystemConfig::paper_single_core(alone_mech);
+                    let mut cfg = SystemConfig::paper_single_core(alone_mech.clone());
                     if let Some(e) = self.engine {
                         cfg.engine = e;
                     }
@@ -424,12 +446,16 @@ impl Experiment {
         let mut it = results.into_iter();
         let mut cells = Vec::new();
         for subject in &self.subjects {
-            for &mech in &mechanisms {
+            for mech in &mechanisms {
                 for variant in &variants {
+                    // Record the *effective* spec — the axis spec after the
+                    // variant's parameter patches — so the JSON names the
+                    // exact configuration the cell ran.
+                    let effective = self.cell_config(subject, mech, variant).mechanism;
                     cells.push(Cell {
                         subject: subject.name().to_string(),
                         apps: subject.apps().iter().map(|a| a.name.to_string()).collect(),
-                        mechanism: mech,
+                        mechanism: effective,
                         variant: variant.label.clone(),
                         result: it.next().expect("one result per cell").as_ref().clone(),
                     });
@@ -450,7 +476,7 @@ impl Experiment {
             variants: variants.iter().map(|v| v.label.clone()).collect(),
             cells,
             alone,
-            alone_mechanism: self.alone,
+            alone_mechanism: alone_spec,
         })
     }
 }
@@ -468,26 +494,12 @@ struct Job {
 impl Job {
     /// Cache key: the run is a pure function of exactly these inputs.
     ///
-    /// Sub-configurations the cell's mechanism never reads (`cc`/`nuat`
-    /// reach the simulation only through
-    /// [`chargecache::build_mechanism`]) are folded to the paper default
-    /// first, so e.g. a Baseline cell hits the same cache entry across
-    /// every cc-variant of a capacity sweep instead of re-simulating per
-    /// variant.
+    /// A configuration carries only the knobs its mechanism reads (the
+    /// spec's own parameters), so cells that share a spec — e.g. every
+    /// Baseline cell of a capacity sweep, which [`Variant::entries`]
+    /// leaves unpatched — hash to the same key and simulate once.
     fn key(&self) -> String {
-        let mut cfg = self.cfg.clone();
-        match cfg.mechanism {
-            MechanismKind::Baseline => {
-                cfg.cc = ChargeCacheConfig::paper();
-                cfg.nuat = chargecache::NuatConfig::paper_5pb();
-            }
-            MechanismKind::Nuat => cfg.cc = ChargeCacheConfig::paper(),
-            MechanismKind::ChargeCache | MechanismKind::LlDram => {
-                cfg.nuat = chargecache::NuatConfig::paper_5pb();
-            }
-            MechanismKind::CcNuat => {}
-        }
-        format!("{:?}\u{1}{:?}\u{1}{:?}", cfg, self.apps, self.params)
+        format!("{:?}\u{1}{:?}\u{1}{:?}", self.cfg, self.apps, self.params)
     }
 }
 
@@ -575,8 +587,8 @@ pub struct Cell {
     pub subject: String,
     /// Application name per core.
     pub apps: Vec<String>,
-    /// Mechanism of this cell.
-    pub mechanism: MechanismKind,
+    /// Mechanism spec of this cell.
+    pub mechanism: MechanismSpec,
     /// Variant label of this cell.
     pub variant: String,
     /// The full measured result.
@@ -639,7 +651,7 @@ pub struct SweepResult {
     /// Run-length parameters shared by every cell.
     pub params: ExpParams,
     /// Mechanism axis, in sweep order.
-    pub mechanisms: Vec<MechanismKind>,
+    pub mechanisms: Vec<MechanismSpec>,
     /// Variant labels, in sweep order.
     pub variants: Vec<String>,
     /// All cells, subject-major then mechanism then variant.
@@ -649,26 +661,30 @@ pub struct SweepResult {
     /// [`Experiment::alone_ipcs`] was requested.
     pub alone: Vec<(String, f64)>,
     /// Mechanism the alone runs used.
-    pub alone_mechanism: Option<MechanismKind>,
+    pub alone_mechanism: Option<MechanismSpec>,
 }
 
 impl SweepResult {
     /// Looks up one cell by subject name, mechanism and variant label.
-    pub fn cell(&self, subject: &str, mechanism: MechanismKind, variant: &str) -> Option<&Cell> {
-        self.cells
-            .iter()
-            .find(|c| c.subject == subject && c.mechanism == mechanism && c.variant == variant)
+    /// `mechanism` matches either the spec's full string form
+    /// (`"chargecache(entries=64)"`) or its bare name (first match when
+    /// the axis has several specs of one name).
+    pub fn cell(&self, subject: &str, mechanism: &str, variant: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| {
+            c.subject == subject && c.variant == variant && spec_matches(&c.mechanism, mechanism)
+        })
     }
 
-    /// All cells of one mechanism × variant, in subject order.
+    /// All cells of one mechanism × variant, in subject order
+    /// (`mechanism` matches as in [`SweepResult::cell`]).
     pub fn cells_of<'a>(
         &'a self,
-        mechanism: MechanismKind,
+        mechanism: &'a str,
         variant: &'a str,
     ) -> impl Iterator<Item = &'a Cell> + 'a {
         self.cells
             .iter()
-            .filter(move |c| c.mechanism == mechanism && c.variant == variant)
+            .filter(move |c| spec_matches(&c.mechanism, mechanism) && c.variant == variant)
     }
 
     /// Alone-run IPC of one workload, when computed.
@@ -698,7 +714,11 @@ impl SweepResult {
     }
 
     /// Encodes the whole table as deterministic JSON (schema
-    /// `chargecache-sweep/v1`; see `README.md` for the field reference).
+    /// `chargecache-sweep/v2`; see `README.md` for the field reference).
+    /// Mechanisms are recorded as their spec strings
+    /// (`"chargecache(entries=64)"`), so custom registered mechanisms
+    /// round-trip losslessly; [`crate::json::parse_sweep`] reads v2 and
+    /// the pre-redesign v1 documents.
     pub fn to_json(&self) -> String {
         let params = Json::Obj(vec![
             (
@@ -719,7 +739,8 @@ impl SweepResult {
                 (
                     "mechanism".into(),
                     self.alone_mechanism
-                        .map_or(Json::Null, |m| Json::str(mechanism_id(m))),
+                        .as_ref()
+                        .map_or(Json::Null, |m| Json::str(m.to_string())),
                 ),
                 (
                     "ipc".into(),
@@ -734,14 +755,14 @@ impl SweepResult {
         };
         let cells = Json::Arr(self.cells.iter().map(cell_json).collect());
         Json::Obj(vec![
-            ("schema".into(), Json::str("chargecache-sweep/v1")),
+            ("schema".into(), Json::str(crate::json::SCHEMA_V2)),
             ("params".into(), params),
             (
                 "mechanisms".into(),
                 Json::Arr(
                     self.mechanisms
                         .iter()
-                        .map(|&m| Json::str(mechanism_id(m)))
+                        .map(|m| Json::str(m.to_string()))
                         .collect(),
                 ),
             ),
@@ -756,23 +777,17 @@ impl SweepResult {
     }
 }
 
-/// Stable machine-readable mechanism identifier (matches the `cc-sim`
-/// `--mechanism` flag values).
-pub fn mechanism_id(m: MechanismKind) -> &'static str {
-    match m {
-        MechanismKind::Baseline => "baseline",
-        MechanismKind::Nuat => "nuat",
-        MechanismKind::ChargeCache => "cc",
-        MechanismKind::CcNuat => "ccnuat",
-        MechanismKind::LlDram => "lldram",
-    }
+/// True if `query` identifies `spec`: the full spec string or the bare
+/// mechanism name.
+fn spec_matches(spec: &MechanismSpec, query: &str) -> bool {
+    spec.name() == query || spec.to_string() == query
 }
 
 fn cell_json(c: &Cell) -> Json {
     let r = &c.result;
     Json::Obj(vec![
         ("subject".into(), Json::str(&c.subject)),
-        ("mechanism".into(), Json::str(mechanism_id(c.mechanism))),
+        ("mechanism".into(), Json::str(c.mechanism.to_string())),
         ("variant".into(), Json::str(&c.variant)),
         (
             "apps".into(),
@@ -787,6 +802,15 @@ fn cell_json(c: &Cell) -> Json {
         (
             "hcrac_hit_rate".into(),
             r.hcrac_hit_rate().map_or(Json::Null, Json::num),
+        ),
+        (
+            "mech".into(),
+            Json::Obj(
+                r.mech
+                    .iter()
+                    .map(|(name, v)| (name.to_string(), Json::uint(v)))
+                    .collect(),
+            ),
         ),
         ("energy_mj".into(), Json::num(r.energy.total_mj())),
         ("cpu_cycles".into(), Json::uint(r.cpu_cycles)),
@@ -948,18 +972,19 @@ mod tests {
     fn sweep_grid_has_one_cell_per_point() {
         let sweep = Experiment::new()
             .workload(workload("tpch6").unwrap())
-            .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+            .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
             .variants([Variant::entries(32), Variant::entries(64)])
             .params(tiny())
             .threads(2)
             .run()
             .unwrap();
         assert_eq!(sweep.cells.len(), 4);
-        assert!(sweep.cell("tpch6", MechanismKind::Baseline, "32").is_some());
+        assert!(sweep.cell("tpch6", "baseline", "32").is_some());
+        assert!(sweep.cell("tpch6", "chargecache", "64").is_some());
         assert!(sweep
-            .cell("tpch6", MechanismKind::ChargeCache, "64")
+            .cell("tpch6", "chargecache(entries=64)", "64")
             .is_some());
-        assert!(sweep.cell("tpch6", MechanismKind::Nuat, "32").is_none());
+        assert!(sweep.cell("tpch6", "nuat", "32").is_none());
         for c in &sweep.cells {
             assert!(c.metric(Metric::Ipc) > 0.0);
         }
@@ -976,7 +1001,7 @@ mod tests {
         let bad = Variant::new("bad", |cfg| cfg.cores = 0);
         let err = Experiment::new()
             .workload(workload("tpch6").unwrap())
-            .mechanism(MechanismKind::Baseline)
+            .mechanism(MechanismSpec::baseline())
             .variant(bad)
             .params(tiny())
             .run()
@@ -988,14 +1013,14 @@ mod tests {
     fn json_output_parses_and_matches_cells() {
         let sweep = Experiment::new()
             .workload(workload("hmmer").unwrap())
-            .mechanism(MechanismKind::Baseline)
+            .mechanism(MechanismSpec::baseline())
             .params(tiny())
             .run()
             .unwrap();
         let doc = crate::json::parse(&sweep.to_json()).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("chargecache-sweep/v1")
+            Some(crate::json::SCHEMA_V2)
         );
         let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
         assert_eq!(cells.len(), 1);
@@ -1010,9 +1035,9 @@ mod tests {
         let mix = traces::eight_core_mixes().into_iter().next().unwrap();
         let sweep = Experiment::new()
             .mix(mix.clone())
-            .mechanism(MechanismKind::Baseline)
+            .mechanism(MechanismSpec::baseline())
             .params(tiny())
-            .alone_ipcs(MechanismKind::Baseline)
+            .alone_ipcs(MechanismSpec::baseline())
             .run()
             .unwrap();
         // Every distinct app got one alone entry.

@@ -1,6 +1,6 @@
 //! Full-system configuration (the paper's Table 1).
 
-use chargecache::{ChargeCacheConfig, MechanismKind, NuatConfig};
+use chargecache::{registry, MechanismSpec};
 use cpu::{CoreConfig, LlcConfig};
 use dram::DramConfig;
 use memctrl::CtrlConfig;
@@ -52,12 +52,13 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Controller parameters.
     pub ctrl: CtrlConfig,
-    /// Latency mechanism under test.
-    pub mechanism: MechanismKind,
-    /// ChargeCache parameters (used by `ChargeCache`, `CcNuat`, `LlDram`).
-    pub cc: ChargeCacheConfig,
-    /// NUAT parameters (used by `Nuat`, `CcNuat`).
-    pub nuat: NuatConfig,
+    /// Latency mechanism under test, as a registry-resolvable spec.
+    /// Parameters live inside the spec (`chargecache(entries=1024)`), so
+    /// a configuration carries exactly the knobs its mechanism reads —
+    /// nothing else. Custom mechanisms registered through
+    /// [`chargecache::registry::register_mechanism`] plug in here without
+    /// any simulator change.
+    pub mechanism: MechanismSpec,
     /// Main-loop engine (cycle-skipping by default).
     pub engine: Engine,
     /// Record the per-command DRAM log for energy accounting. Costs an
@@ -68,7 +69,7 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     /// The paper's single-core system: 1 channel, open-row policy.
-    pub fn paper_single_core(mechanism: MechanismKind) -> Self {
+    pub fn paper_single_core(mechanism: MechanismSpec) -> Self {
         Self {
             cores: 1,
             cpu_per_bus: 5,
@@ -77,15 +78,13 @@ impl SystemConfig {
             dram: DramConfig::ddr3_1600_paper(),
             ctrl: CtrlConfig::paper_single_core(),
             mechanism,
-            cc: ChargeCacheConfig::paper(),
-            nuat: NuatConfig::paper_5pb(),
             engine: Engine::default(),
             measure_energy: true,
         }
     }
 
     /// The paper's eight-core system: 2 channels, closed-row policy.
-    pub fn paper_eight_core(mechanism: MechanismKind) -> Self {
+    pub fn paper_eight_core(mechanism: MechanismSpec) -> Self {
         Self {
             cores: 8,
             cpu_per_bus: 5,
@@ -94,8 +93,6 @@ impl SystemConfig {
             dram: DramConfig::ddr3_1600_paper_2ch(),
             ctrl: CtrlConfig::paper_multi_core(),
             mechanism,
-            cc: ChargeCacheConfig::paper(),
-            nuat: NuatConfig::paper_5pb(),
             engine: Engine::default(),
             measure_energy: true,
         }
@@ -116,8 +113,12 @@ impl SystemConfig {
         self.llc.validate()?;
         self.dram.validate()?;
         self.ctrl.validate()?;
-        self.cc.validate()?;
-        self.nuat.validate()?;
+        // Mechanism parameters are validated by their registered factory,
+        // so bad specs (entries=0, non-power-of-two sets, zero caching
+        // duration, unknown mechanisms or keys) surface here as
+        // `InvalidConfig` instead of panicking deep inside `Hcrac::new`.
+        registry::validate_spec(&self.mechanism)
+            .map_err(|e| format!("mechanism {}: {e}", self.mechanism))?;
         Ok(())
     }
 
@@ -135,17 +136,31 @@ mod tests {
 
     #[test]
     fn paper_configs_validate() {
-        SystemConfig::paper_single_core(MechanismKind::Baseline)
+        SystemConfig::paper_single_core(MechanismSpec::baseline())
             .validate()
             .unwrap();
-        SystemConfig::paper_eight_core(MechanismKind::ChargeCache)
+        SystemConfig::paper_eight_core(MechanismSpec::chargecache())
             .validate()
             .unwrap();
     }
 
     #[test]
+    fn bad_mechanism_specs_fail_validation_not_construction() {
+        for bad in [
+            "chargecache(entries=0)",
+            "chargecache(entries=96)",
+            "chargecache(duration=0ms)",
+            "chargecache(bogus=1)",
+            "no-such-mechanism",
+        ] {
+            let cfg = SystemConfig::paper_single_core(bad.parse().unwrap());
+            assert!(cfg.validate().is_err(), "{bad} passed validation");
+        }
+    }
+
+    #[test]
     fn table1_parameters_hold() {
-        let c = SystemConfig::paper_eight_core(MechanismKind::ChargeCache);
+        let c = SystemConfig::paper_eight_core(MechanismSpec::chargecache());
         assert_eq!(c.cores, 8);
         assert_eq!(c.cpu_per_bus, 5); // 4 GHz / 800 MHz
         assert_eq!(c.core.issue_width, 3);
@@ -155,12 +170,11 @@ mod tests {
         assert_eq!(c.llc.ways, 16);
         assert_eq!(c.dram.org.channels, 2);
         assert_eq!(c.dram.org.banks, 8);
-        assert_eq!(c.cc.entries_per_core, 128);
     }
 
     #[test]
     fn regions_are_disjoint() {
-        let c = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+        let c = SystemConfig::paper_eight_core(MechanismSpec::baseline());
         for i in 0..8 {
             for j in 0..8 {
                 if i != j {

@@ -7,7 +7,7 @@
 //! substitution S5) and scale with the `CC_SCALE` environment variable
 //! (e.g. `CC_SCALE=10` runs 10× longer).
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismSpec;
 use traces::{MixSpec, WorkloadSpec};
 
 use crate::config::{InvalidConfig, SystemConfig};
@@ -74,16 +74,10 @@ impl Default for ExpParams {
 ///
 /// # Panics
 ///
-/// Panics if `cc` is invalid (use [`run_configured`] plus
-/// [`chargecache::ChargeCacheConfig::validate`] for graceful handling).
-pub fn run_single_core(
-    spec: &WorkloadSpec,
-    mechanism: MechanismKind,
-    cc: &ChargeCacheConfig,
-    p: &ExpParams,
-) -> RunResult {
-    let mut cfg = SystemConfig::paper_single_core(mechanism);
-    cfg.cc = cc.clone();
+/// Panics if the mechanism spec is invalid (use [`run_configured`] for
+/// graceful handling).
+pub fn run_single_core(spec: &WorkloadSpec, mechanism: &MechanismSpec, p: &ExpParams) -> RunResult {
+    let cfg = SystemConfig::paper_single_core(mechanism.clone());
     run_configured(cfg, std::slice::from_ref(spec), p).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -91,15 +85,9 @@ pub fn run_single_core(
 ///
 /// # Panics
 ///
-/// Panics if `cc` is invalid.
-pub fn run_eight_core(
-    mix: &MixSpec,
-    mechanism: MechanismKind,
-    cc: &ChargeCacheConfig,
-    p: &ExpParams,
-) -> RunResult {
-    let mut cfg = SystemConfig::paper_eight_core(mechanism);
-    cfg.cc = cc.clone();
+/// Panics if the mechanism spec is invalid.
+pub fn run_eight_core(mix: &MixSpec, mechanism: &MechanismSpec, p: &ExpParams) -> RunResult {
+    let cfg = SystemConfig::paper_eight_core(mechanism.clone());
     run_configured(cfg, &mix.apps, p).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -154,13 +142,8 @@ pub fn run_configured(
 /// Alone-run IPC of a workload under a mechanism (the weighted-speedup
 /// denominator). Uses the single-core system but the *multi-core* row
 /// policy is irrelevant at one core, matching the paper's methodology.
-pub fn alone_ipc(
-    spec: &WorkloadSpec,
-    mechanism: MechanismKind,
-    cc: &ChargeCacheConfig,
-    p: &ExpParams,
-) -> f64 {
-    run_single_core(spec, mechanism, cc, p).ipc(0)
+pub fn alone_ipc(spec: &WorkloadSpec, mechanism: &MechanismSpec, p: &ExpParams) -> f64 {
+    run_single_core(spec, mechanism, p).ipc(0)
 }
 
 /// Maps `f` over `items` on `threads` worker threads, preserving order.
@@ -248,12 +231,7 @@ mod tests {
     fn tiny_single_core_run_produces_metrics() {
         let spec = workload("STREAMcopy").unwrap();
         let p = ExpParams::tiny();
-        let r = run_single_core(
-            &spec,
-            MechanismKind::Baseline,
-            &ChargeCacheConfig::paper(),
-            &p,
-        );
+        let r = run_single_core(&spec, &MechanismSpec::baseline(), &p);
         assert!(!r.hit_cycle_cap, "run hit the cycle cap");
         assert!(r.ipc(0) > 0.0);
         assert!(r.rmpkc() > 0.0, "STREAMcopy must reach DRAM");
@@ -270,12 +248,7 @@ mod tests {
             insts_per_core: 10_000,
             ..ExpParams::tiny()
         };
-        let r = run_single_core(
-            &spec,
-            MechanismKind::Baseline,
-            &ChargeCacheConfig::paper(),
-            &p,
-        );
+        let r = run_single_core(&spec, &MechanismSpec::baseline(), &p);
         // Footprint ≤ LLC: after warmup, DRAM reads are rare.
         assert!(r.rmpkc() < 2.0, "hmmer RMPKC = {}", r.rmpkc());
     }

@@ -9,6 +9,17 @@
 
 use std::fmt;
 
+/// The pre-redesign sweep schema: mechanisms recorded as fixed ids
+/// (`baseline`/`nuat`/`cc`/`ccnuat`/`lldram`). [`parse_sweep`] still
+/// reads it.
+pub const SCHEMA_V1: &str = "chargecache-sweep/v1";
+
+/// The current sweep schema: mechanisms recorded as
+/// [`chargecache::MechanismSpec`] strings (`chargecache(entries=64)`),
+/// plus a per-cell `mech` counter object — custom registered mechanisms
+/// round-trip losslessly.
+pub const SCHEMA_V2: &str = "chargecache-sweep/v2";
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -341,6 +352,204 @@ impl Parser<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Typed sweep documents (v1 + v2)
+// ---------------------------------------------------------------------------
+
+/// One parsed sweep cell (see [`parse_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellDoc {
+    /// Subject (workload or mix) name.
+    pub subject: String,
+    /// Mechanism spec string, normalized to the v2 naming (v1 ids like
+    /// `cc` are mapped to `chargecache`).
+    pub mechanism: String,
+    /// Variant label.
+    pub variant: String,
+    /// Application name per core.
+    pub apps: Vec<String>,
+    /// Per-core IPC.
+    pub ipc: Vec<f64>,
+    /// Sum of per-core IPCs.
+    pub ipc_sum: f64,
+    /// Simulated CPU cycles of the measured interval.
+    pub cpu_cycles: u64,
+    /// HCRAC hit rate (absent for mechanisms without an HCRAC).
+    pub hcrac_hit_rate: Option<f64>,
+    /// Total DRAM energy in mJ.
+    pub energy_mj: f64,
+    /// Mechanism counters (v2 only; empty when reading v1 documents).
+    pub mech_counters: Vec<(String, u64)>,
+}
+
+/// A parsed sweep document (see [`parse_sweep`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDoc {
+    /// Schema version: 1 or 2.
+    pub schema_version: u32,
+    /// Mechanism axis as normalized spec strings.
+    pub mechanisms: Vec<String>,
+    /// Variant labels.
+    pub variants: Vec<String>,
+    /// Alone-run mechanism (normalized spec string), if recorded.
+    pub alone_mechanism: Option<String>,
+    /// Alone-run IPC per workload, in document order.
+    pub alone_ipc: Vec<(String, f64)>,
+    /// All cells, in document order.
+    pub cells: Vec<SweepCellDoc>,
+}
+
+impl SweepDoc {
+    /// Finds a cell by subject, mechanism (name or full spec string) and
+    /// variant label.
+    pub fn cell(&self, subject: &str, mechanism: &str, variant: &str) -> Option<&SweepCellDoc> {
+        self.cells.iter().find(|c| {
+            c.subject == subject
+                && c.variant == variant
+                && (c.mechanism == mechanism || c.mechanism.split('(').next() == Some(mechanism))
+        })
+    }
+}
+
+/// Maps a v1 mechanism id onto the v2 spec naming.
+fn normalize_v1_mechanism(id: &str) -> String {
+    match id {
+        "cc" => "chargecache".to_string(),
+        "ccnuat" => "cc-nuat".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+/// Parses a sweep document of either schema into a [`SweepDoc`].
+///
+/// v2 (`chargecache-sweep/v2`) is read as-is; v1 mechanisms ids are
+/// normalized to the v2 spec naming, so downstream tooling written
+/// against v2 reads archived v1 results unchanged.
+///
+/// # Errors
+///
+/// Returns a message on syntax errors, unknown schemas, or missing
+/// fields.
+pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
+    let doc = parse(text.trim())?;
+    let schema = str_field(&doc, "schema")?;
+    let schema_version = match schema.as_str() {
+        SCHEMA_V1 => 1,
+        SCHEMA_V2 => 2,
+        other => return Err(format!("unknown sweep schema {other:?}")),
+    };
+    let normalize = |s: &str| -> String {
+        if schema_version == 1 {
+            normalize_v1_mechanism(s)
+        } else {
+            s.to_string()
+        }
+    };
+    let str_arr = |key: &str| -> Result<Vec<String>, String> {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array field {key:?}"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("non-string entry in {key:?}"))
+            })
+            .collect()
+    };
+    let mechanisms = str_arr("mechanisms")?
+        .into_iter()
+        .map(|m| normalize(&m))
+        .collect();
+    let variants = str_arr("variants")?;
+    let (alone_mechanism, alone_ipc) = match doc.get("alone_ipc") {
+        None | Some(Json::Null) => (None, Vec::new()),
+        Some(alone) => {
+            let mech = alone
+                .get("mechanism")
+                .and_then(Json::as_str)
+                .map(&normalize);
+            let ipcs = match alone.get("ipc") {
+                Some(Json::Obj(members)) => members
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_num()
+                            .map(|x| (k.clone(), x))
+                            .ok_or_else(|| format!("non-numeric alone IPC for {k:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("alone_ipc.ipc must be an object".into()),
+            };
+            (mech, ipcs)
+        }
+    };
+    let mut cells = Vec::new();
+    for cell in doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"cells\"")?
+    {
+        let apps = cell
+            .get("apps")
+            .and_then(Json::as_arr)
+            .ok_or("cell missing \"apps\"")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string).ok_or("non-string app name"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ipc = cell
+            .get("ipc")
+            .and_then(Json::as_arr)
+            .ok_or("cell missing \"ipc\"")?
+            .iter()
+            .map(|v| v.as_num().ok_or("non-numeric ipc entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mech_counters = match cell.get("mech") {
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(k, v)| {
+                    v.as_num()
+                        .map(|x| (k.clone(), x as u64))
+                        .ok_or_else(|| format!("non-numeric mech counter {k:?}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        cells.push(SweepCellDoc {
+            subject: str_field(cell, "subject")?,
+            mechanism: normalize(&str_field(cell, "mechanism")?),
+            variant: str_field(cell, "variant")?,
+            apps,
+            ipc,
+            ipc_sum: num_field(cell, "ipc_sum")?,
+            cpu_cycles: num_field(cell, "cpu_cycles")? as u64,
+            hcrac_hit_rate: cell.get("hcrac_hit_rate").and_then(Json::as_num),
+            energy_mj: num_field(cell, "energy_mj")?,
+            mech_counters,
+        });
+    }
+    Ok(SweepDoc {
+        schema_version,
+        mechanisms,
+        variants,
+        alone_mechanism,
+        alone_ipc,
+        cells,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +603,41 @@ mod tests {
     fn parses_nested_whitespace() {
         let v = parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
         assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_sweep_reads_v1_documents_with_normalized_mechanisms() {
+        // A minimal archived v1 document (the pre-redesign encoder's
+        // layout with fixed mechanism ids).
+        let v1 = r#"{
+            "schema":"chargecache-sweep/v1",
+            "params":{"insts_per_core":2000,"warmup_insts":500,"max_cycle_factor":300,"seed":42},
+            "mechanisms":["baseline","cc","ccnuat"],
+            "variants":["128"],
+            "alone_ipc":{"mechanism":"cc","ipc":{"tpch2":0.5}},
+            "cells":[{
+                "subject":"tpch2","mechanism":"cc","variant":"128",
+                "apps":["tpch2"],"ipc":[0.75],"ipc_sum":0.75,
+                "rmpkc":1.5,"hcrac_hit_rate":0.25,"energy_mj":0.002,
+                "cpu_cycles":4000,"hit_cycle_cap":false
+            }]
+        }"#;
+        let doc = parse_sweep(v1).unwrap();
+        assert_eq!(doc.schema_version, 1);
+        assert_eq!(doc.mechanisms, ["baseline", "chargecache", "cc-nuat"]);
+        assert_eq!(doc.alone_mechanism.as_deref(), Some("chargecache"));
+        assert_eq!(doc.alone_ipc, vec![("tpch2".to_string(), 0.5)]);
+        let cell = doc.cell("tpch2", "chargecache", "128").unwrap();
+        assert_eq!(cell.ipc, [0.75]);
+        assert_eq!(cell.cpu_cycles, 4000);
+        assert_eq!(cell.hcrac_hit_rate, Some(0.25));
+        assert!(cell.mech_counters.is_empty(), "v1 has no counter block");
+    }
+
+    #[test]
+    fn parse_sweep_rejects_unknown_schemas() {
+        let err = parse_sweep(r#"{"schema":"chargecache-sweep/v9"}"#).unwrap_err();
+        assert!(err.contains("unknown sweep schema"), "{err}");
+        assert!(parse_sweep("not json").is_err());
     }
 }

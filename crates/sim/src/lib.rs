@@ -13,7 +13,7 @@
 //! a structured, JSON-encodable [`api::SweepResult`]:
 //!
 //! ```
-//! use chargecache::MechanismKind;
+//! use chargecache::MechanismSpec;
 //! use sim::api::{Experiment, Metric};
 //! use sim::ExpParams;
 //! use traces::workload;
@@ -22,7 +22,7 @@
 //! p.insts_per_core = 2_000;
 //! let sweep = Experiment::new()
 //!     .workload(workload("libquantum").expect("paper workload"))
-//!     .mechanism(MechanismKind::ChargeCache)
+//!     .mechanism(MechanismSpec::chargecache())
 //!     .params(p)
 //!     .run()
 //!     .expect("valid paper configuration");

@@ -1,6 +1,6 @@
 //! Run results and derived metrics (IPC, weighted speedup, RMPKC).
 
-use chargecache::MechanismStats;
+use chargecache::MechanismReport;
 use cpu::{CoreStats, LlcStats};
 use drampower::EnergyBreakdown;
 use memctrl::{CtrlStats, ReuseReport, RltlReport};
@@ -16,8 +16,8 @@ pub struct RunResult {
     pub ctrl: CtrlStats,
     /// LLC statistics.
     pub llc: LlcStats,
-    /// Mechanism statistics.
-    pub mech: MechanismStats,
+    /// Mechanism statistics (named counters; see [`chargecache::report`]).
+    pub mech: MechanismReport,
     /// RLTL measurement (includes warmup activations).
     pub rltl: RltlReport,
     /// Row-reuse-distance histogram (includes warmup activations).
@@ -55,7 +55,7 @@ impl RunResult {
 
     /// HCRAC hit rate, when the mechanism has one.
     pub fn hcrac_hit_rate(&self) -> Option<f64> {
-        self.mech.hcrac.map(|h| h.hit_rate())
+        self.mech.hcrac_hit_rate()
     }
 }
 

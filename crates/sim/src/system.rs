@@ -113,14 +113,13 @@ impl System {
             .map(|(id, t)| Core::new(id, cfg.core, t))
             .collect();
         let llc = Llc::new(cfg.llc);
-        let mut mem = MemorySystem::with_mechanism(
+        let mut mem = MemorySystem::from_spec(
             cfg.dram.clone(),
             cfg.ctrl.clone(),
-            cfg.mechanism,
-            &cfg.cc,
-            &cfg.nuat,
+            &cfg.mechanism,
             cfg.cores,
-        );
+        )
+        .map_err(InvalidConfig)?;
         if cfg.measure_energy {
             mem.device_mut().enable_log();
         }
@@ -415,8 +414,7 @@ impl System {
             now: self.now,
             retired: self.cores.iter().map(|c| c.retired()).collect(),
             ctrl: self.mem.stats(),
-            mech_activates: self.mem.mech_stats().activates,
-            mech_reduced: self.mem.mech_stats().reduced_activates,
+            mech: self.mem.mech_report(),
         }
     }
 
@@ -433,9 +431,8 @@ impl System {
         }
         let mut ctrl = self.mem.stats();
         ctrl_sub(&mut ctrl, &warm.ctrl);
-        let mut mech = self.mem.mech_stats();
-        mech.activates -= warm.mech_activates;
-        mech.reduced_activates -= warm.mech_reduced;
+        let mut mech = self.mem.mech_report();
+        mech.subtract(&warm.mech);
         let log = self.mem.device_mut().take_log();
         let energy = drampower::EnergyModel::ddr3_4gb_x8(self.cfg.dram.clone())
             .energy(&log, bus_cycles.max(1));
@@ -458,8 +455,7 @@ pub(crate) struct Snapshot {
     now: u64,
     retired: Vec<u64>,
     ctrl: memctrl::CtrlStats,
-    mech_activates: u64,
-    mech_reduced: u64,
+    mech: chargecache::MechanismReport,
 }
 
 fn ctrl_sub(a: &mut memctrl::CtrlStats, b: &memctrl::CtrlStats) {
@@ -530,7 +526,7 @@ fn service_access(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chargecache::MechanismKind;
+    use chargecache::MechanismSpec;
     use cpu::{TraceEntry, VecTrace};
 
     fn load_trace(n: usize, stride: u64, nonmem: u32) -> Box<dyn TraceSource> {
@@ -546,7 +542,7 @@ mod tests {
 
     #[test]
     fn single_core_system_completes_a_trace() {
-        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let cfg = SystemConfig::paper_single_core(MechanismSpec::baseline());
         let mut sys = System::new(cfg, vec![load_trace(100, 64, 2)]);
         assert!(sys.run_until_retired(300, 1_000_000));
         assert_eq!(sys.core_stats(0).loads, 100);
@@ -564,7 +560,7 @@ mod tests {
                 op: Some(MemOp::Load((i % 100) * 64)),
             })
             .collect();
-        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let cfg = SystemConfig::paper_single_core(MechanismSpec::baseline());
         let mut sys = System::new(cfg, vec![Box::new(VecTrace::once(entries))]);
         assert!(sys.run_until_retired(400, 1_000_000));
         // 100 distinct lines → exactly 100 DRAM reads despite 200 loads.
@@ -581,7 +577,7 @@ mod tests {
                 op: Some(MemOp::Store(i * 64)),
             })
             .collect();
-        let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+        let cfg = SystemConfig::paper_single_core(MechanismSpec::baseline());
         let mut sys = System::new(cfg, vec![Box::new(VecTrace::once(entries))]);
         assert!(sys.run_until_retired(200, 1_000_000));
         assert_eq!(sys.memory().stats().writes, 0);
@@ -591,7 +587,7 @@ mod tests {
     fn merged_loads_share_one_fill() {
         // Two cores read the same addresses: fills are shared.
         let cfg = {
-            let mut c = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+            let mut c = SystemConfig::paper_eight_core(MechanismSpec::baseline());
             c.cores = 2;
             c
         };
@@ -609,8 +605,8 @@ mod tests {
 
     #[test]
     fn chargecache_never_slows_a_system_down() {
-        let mk = |kind| {
-            let mut cfg = SystemConfig::paper_single_core(kind);
+        let mk = |spec: MechanismSpec| {
+            let mut cfg = SystemConfig::paper_single_core(spec);
             cfg.dram.org.rows = 1024; // keep the address space tight
             cfg
         };
@@ -623,7 +619,7 @@ mod tests {
             .collect();
         let base = {
             let mut s = System::new(
-                mk(MechanismKind::Baseline),
+                mk(MechanismSpec::baseline()),
                 vec![Box::new(VecTrace::once(entries.clone()))],
             );
             assert!(s.run_until_retired(3000, 10_000_000));
@@ -631,7 +627,7 @@ mod tests {
         };
         let cc = {
             let mut s = System::new(
-                mk(MechanismKind::ChargeCache),
+                mk(MechanismSpec::chargecache()),
                 vec![Box::new(VecTrace::once(entries))],
             );
             assert!(s.run_until_retired(3000, 10_000_000));

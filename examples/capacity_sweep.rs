@@ -6,7 +6,7 @@
 //! cargo run --release --example capacity_sweep -- tpch17
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::{MechanismSpec, ParamValue};
 use sim::api::{Experiment, Variant};
 use sim::ExpParams;
 use traces::workload;
@@ -21,7 +21,7 @@ fn main() {
 
     let baseline = Experiment::new()
         .workload(spec.clone())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(params)
         .run()
         .expect("paper configuration is valid");
@@ -43,15 +43,20 @@ fn main() {
         .collect();
     let variants = grid.iter().map(|&(entries, ways)| {
         Variant::new(format!("{entries}w{ways}"), move |cfg| {
-            cfg.cc = ChargeCacheConfig::with_entries(entries);
-            cfg.cc.ways = ways;
+            cfg.mechanism
+                .set("entries", ParamValue::Int(entries as i64));
+            cfg.mechanism.set("ways", ParamValue::Int(ways as i64));
         })
     });
     let sweep = Experiment::new()
         .workload(spec.clone())
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .variants(variants)
-        .variant(Variant::cc("unlimited", ChargeCacheConfig::unlimited()))
+        .variant(Variant::new("unlimited", |cfg| {
+            cfg.mechanism.set("unlimited", ParamValue::Bool(true));
+            cfg.mechanism
+                .set("invalidation", ParamValue::Str("exact".into()));
+        }))
         .params(params)
         .run()
         .expect("paper configuration is valid");
@@ -70,7 +75,7 @@ fn main() {
     }
 
     let unlimited = sweep
-        .cell(spec.name, MechanismKind::ChargeCache, "unlimited")
+        .cell(spec.name, "chargecache", "unlimited")
         .expect("unlimited cell");
     println!(
         "{:>8} {:>6} {:>9.1}% {:>+9.2}%",

@@ -4,7 +4,8 @@
 //!
 //! This example deliberately stays *below* the `sim::api` experiment
 //! layer: it drives a bare [`MemorySystem`] with hand-built mechanism
-//! compositions that have no [`chargecache::MechanismKind`] grid point.
+//! compositions (registered specs would be the `sim::api` route; see
+//! the `plugin_mechanism` example for that).
 //! Everything that runs full-system sweeps lives on `sim::api` — see the
 //! other examples.
 //!

@@ -11,7 +11,7 @@
 //! cargo run --release --example hitrate_timeseries -- STREAMcopy
 //! ```
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::run_probed;
 use sim::{ExpParams, System, SystemConfig};
 use traces::workload;
@@ -26,12 +26,12 @@ struct Point {
 }
 
 fn observe(sys: &System) -> Point {
-    let m = sys.memory().mech_stats();
+    let m = sys.memory().mech_report();
     Point {
         cycle: sys.now(),
         retired: sys.min_retired(),
-        activates: m.activates,
-        reduced: m.reduced_activates,
+        activates: m.activates(),
+        reduced: m.reduced_activates(),
     }
 }
 
@@ -44,7 +44,7 @@ fn main() {
         std::process::exit(1);
     });
     let p = ExpParams::bench();
-    let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    let cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
     // Roughly 8/IPC samples across the measured interval (a run takes
     // about insts/IPC cycles), at any scale.
     let interval = (p.insts_per_core / 8).max(1_000);

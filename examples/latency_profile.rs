@@ -9,7 +9,8 @@
 //! cargo run --release --example latency_profile -- milc
 //! ```
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use bitline::derive::CycleQuantized;
+use chargecache::MechanismSpec;
 use sim::api::Experiment;
 use sim::ExpParams;
 use traces::workload;
@@ -20,20 +21,18 @@ fn main() {
         eprintln!("unknown workload {name:?}");
         std::process::exit(1);
     });
-    let cc = ChargeCacheConfig::paper();
-
     let sweep = Experiment::new()
         .workload(spec.clone())
-        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
         .params(ExpParams::bench())
         .run()
         .expect("paper configuration is valid");
     let base = &sweep
-        .cell(spec.name, MechanismKind::Baseline, "paper")
+        .cell(spec.name, "baseline", "paper")
         .expect("baseline cell")
         .result;
     let ccr = &sweep
-        .cell(spec.name, MechanismKind::ChargeCache, "paper")
+        .cell(spec.name, "chargecache", "paper")
         .expect("ChargeCache cell")
         .result;
 
@@ -68,9 +67,14 @@ fn main() {
             ccr.ctrl.read_latency_quantile(q).unwrap_or(0)
         );
     }
+    let tck = sim::SystemConfig::paper_single_core(MechanismSpec::chargecache())
+        .dram
+        .timing
+        .tck_ns;
+    let red = CycleQuantized::for_duration_ms(1.0, tck);
     println!(
         "\nHCRAC hit rate: {:.1}% — each hit removes up to {} bus cycles of tRCD",
         ccr.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-        cc.reductions.trcd_reduction
+        red.trcd_reduction
     );
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example multicore_speedup -- 7     # mix w7
 //! ```
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::Experiment;
 use sim::ExpParams;
 use traces::eight_core_mixes;
@@ -39,9 +39,9 @@ fn main() {
     // (baseline system), so ratios isolate the shared-run improvement.
     let sweep = Experiment::new()
         .mix(mix.clone())
-        .mechanisms(&MechanismKind::ALL)
+        .mechanisms(&MechanismSpec::paper_all())
         .params(ExpParams::bench())
-        .alone_ipcs(MechanismKind::Baseline)
+        .alone_ipcs(MechanismSpec::baseline())
         .run()
         .expect("paper configuration is valid");
 
@@ -50,17 +50,17 @@ fn main() {
         "{:<20} {:>16} {:>12}",
         "mechanism", "weighted speedup", "vs baseline"
     );
-    for kind in MechanismKind::ALL {
+    for spec in MechanismSpec::paper_all() {
         let cell = sweep
-            .cell(&mix.name, kind, "paper")
+            .cell(&mix.name, spec.name(), "paper")
             .expect("mechanism cell");
         let ws = sweep.weighted_speedup(cell).expect("alone runs computed");
-        if kind == MechanismKind::Baseline {
+        if spec.name() == "baseline" {
             ws_base = ws;
         }
         println!(
             "{:<20} {:>16.3} {:>11.2}%",
-            kind.label(),
+            spec.label(),
             ws,
             (ws / ws_base - 1.0) * 100.0
         );

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::{Experiment, Metric};
 use sim::ExpParams;
 use traces::workload;
@@ -22,16 +22,16 @@ fn main() {
     // One declarative sweep: {workload} × {baseline, ChargeCache}.
     let sweep = Experiment::new()
         .workload(spec.clone())
-        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
         .params(ExpParams::bench())
         .run()
         .expect("paper configuration is valid");
 
     let baseline = sweep
-        .cell(spec.name, MechanismKind::Baseline, "paper")
+        .cell(spec.name, "baseline", "paper")
         .expect("baseline cell");
     let chargecache = sweep
-        .cell(spec.name, MechanismKind::ChargeCache, "paper")
+        .cell(spec.name, "chargecache", "paper")
         .expect("ChargeCache cell");
 
     println!("baseline IPC:     {:.4}", baseline.metric(Metric::Ipc));

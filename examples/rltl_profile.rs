@@ -7,7 +7,7 @@
 //! cargo run --release --example rltl_profile -- mcf     # one workload
 //! ```
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::Experiment;
 use sim::ExpParams;
 use traces::{single_core_workloads, workload, WorkloadSpec};
@@ -15,7 +15,7 @@ use traces::{single_core_workloads, workload, WorkloadSpec};
 fn profile_all(specs: Vec<WorkloadSpec>, params: ExpParams) {
     let sweep = Experiment::new()
         .workloads(specs)
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .params(params)
         .run()
         .expect("paper configuration is valid");

@@ -12,7 +12,7 @@
 //! cargo run --release --example row_reuse
 //! ```
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::Experiment;
 use sim::ExpParams;
 use traces::single_core_workloads;
@@ -24,7 +24,7 @@ fn main() {
     );
     let sweep = Experiment::new()
         .workloads(single_core_workloads())
-        .mechanism(MechanismKind::ChargeCache)
+        .mechanism(MechanismSpec::chargecache())
         .params(ExpParams::bench())
         .run()
         .expect("paper configuration is valid");

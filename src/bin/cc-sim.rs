@@ -1,16 +1,26 @@
 //! `cc-sim` — command-line front-end for the ChargeCache reproduction.
 //!
 //! ```text
-//! cc-sim list                                   # workloads and mixes
-//! cc-sim run  --workload mcf --mechanism cc     # one single-core run
-//! cc-sim run  --workload mcf --mechanism all    # all five mechanisms
-//! cc-sim run  --workload mcf --json             # machine-readable sweep
+//! cc-sim --list-mechanisms                      # registered mechanism specs
+//! cc-sim --list-workloads                       # 22 workloads + 20 mixes
+//! cc-sim run  --workload mcf --mechanism chargecache
+//! cc-sim run  --workload mcf --mechanism 'chargecache(entries=1024,duration=2ms)'
+//! cc-sim run  --workload mcf --mechanism refresh-cc   # plugin mechanism
+//! cc-sim run  --workload mcf --mechanism all    # the paper's five
+//! cc-sim run  --workload mcf --json             # machine-readable sweep (v2)
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
 //! cc-sim bitline --age 64                       # waveform CSV
 //! cc-sim overhead --cores 8 --channels 2 --entries 128
 //! ```
 //!
-//! Common `run`/`mix` flags: `--entries N`, `--duration MS`, `--insts N`,
+//! `--mechanism` accepts **any registered spec** in the
+//! `name(key=val,...)` grammar — including plugin mechanisms like
+//! `perfect-cc` and `refresh-cc`, which live outside `crates/core` and
+//! register at startup. `--list-mechanisms` prints every registered
+//! factory with its parameter defaults.
+//!
+//! Common `run`/`mix` flags: `--entries N`, `--duration MS` (parameter
+//! patches applied to every mechanism that supports them), `--insts N`,
 //! `--warmup N`, `--seed N`, `--threads N`, `--csv`, `--json`.
 //!
 //! Flags are parsed by a typed parser: unknown flags are rejected, every
@@ -20,20 +30,26 @@
 
 use std::process::ExitCode;
 
-use chargecache::{ChargeCacheConfig, MechanismKind, OverheadModel};
-use sim::api::{Experiment, Variant};
+use chargecache::{registry, MechanismSpec, OverheadModel, ParamValue};
+use chargecache_repro::mechs::register_extended_mechanisms;
+use sim::api::Experiment;
 use sim::exp::{default_threads, ExpParams};
 use sim::RunResult;
 use traces::{eight_core_mixes, single_core_workloads, workload};
 
 fn main() -> ExitCode {
+    // Plugin mechanisms (perfect-cc, refresh-cc) live outside
+    // `crates/core`; registering them first makes every `--mechanism`
+    // spec and `--list-mechanisms` row uniform with the built-ins.
+    register_extended_mechanisms();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
-        "list" => cmd_list(),
+        "list" | "--list-workloads" => cmd_list(),
+        "--list-mechanisms" => cmd_list_mechanisms(),
         "run" => RunArgs::parse(rest).and_then(|a| cmd_run(&a)),
         "mix" => MixArgs::parse(rest).and_then(|a| cmd_mix(&a)),
         "bitline" => BitlineArgs::parse(rest).and_then(|a| cmd_bitline(&a)),
@@ -57,23 +73,30 @@ const USAGE: &str = "\
 cc-sim — ChargeCache (HPCA 2016) reproduction CLI
 
 USAGE:
-  cc-sim list
-  cc-sim run  --workload <name> --mechanism <mech|all> [options]
-  cc-sim mix  --index <1..20>   --mechanism <mech|all> [options]
+  cc-sim --list-mechanisms            registered mechanism specs + defaults
+  cc-sim --list-workloads             the 22 workloads and 20 mixes (alias: list)
+  cc-sim run  --workload <name> --mechanism <spec|all> [options]
+  cc-sim mix  --index <1..20>   --mechanism <spec|all> [options]
   cc-sim bitline [--age <ms>]
   cc-sim overhead [--cores N] [--channels N] [--entries N]
 
-MECHANISMS: baseline, nuat, cc (chargecache), ccnuat, lldram, all
+MECHANISM SPECS:
+  any registered mechanism in the name(key=val,...) grammar, e.g.
+    --mechanism baseline
+    --mechanism 'chargecache(entries=1024,duration=2ms)'
+    --mechanism 'refresh-cc(entries=256)'        (plugin, outside core)
+    --mechanism all                              (the paper's five)
+  see `cc-sim --list-mechanisms` for names, defaults and descriptions
 
 OPTIONS (run/mix):
-  --entries N     HCRAC entries per core          [default 128]
-  --duration MS   caching duration in ms          [default 1]
+  --entries N     HCRAC entries per core patch    [default: per mechanism]
+  --duration MS   caching duration patch, in ms   [default: per mechanism]
   --insts N       measured instructions per core  [default 120000 × CC_SCALE]
   --warmup N      warmup instructions per core    [default 25000 × CC_SCALE]
   --seed N        trace seed                      [default 42]
   --threads N     sweep worker threads            [default: all cores]
   --csv           machine-readable CSV output
-  --json          machine-readable JSON sweep (schema chargecache-sweep/v1)";
+  --json          machine-readable JSON sweep (schema chargecache-sweep/v2)";
 
 // ---------------------------------------------------------------------------
 // Typed flag parsing
@@ -115,9 +138,9 @@ impl<'a> Cursor<'a> {
 
 /// Flags shared by `run` and `mix`.
 struct SweepArgs {
-    mechanisms: Vec<MechanismKind>,
-    entries: usize,
-    duration: f64,
+    mechanisms: Vec<MechanismSpec>,
+    entries: Option<usize>,
+    duration: Option<f64>,
     insts: Option<u64>,
     warmup: Option<u64>,
     seed: Option<u64>,
@@ -129,9 +152,9 @@ struct SweepArgs {
 impl Default for SweepArgs {
     fn default() -> Self {
         Self {
-            mechanisms: MechanismKind::ALL.to_vec(),
-            entries: 128,
-            duration: 1.0,
+            mechanisms: MechanismSpec::paper_all().to_vec(),
+            entries: None,
+            duration: None,
             insts: None,
             warmup: None,
             seed: None,
@@ -148,8 +171,8 @@ impl SweepArgs {
     fn try_flag(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
         match flag {
             "mechanism" => self.mechanisms = parse_mechanisms(cur.value(flag)?)?,
-            "entries" => self.entries = cur.parsed(flag)?,
-            "duration" => self.duration = cur.parsed(flag)?,
+            "entries" => self.entries = Some(cur.parsed(flag)?),
+            "duration" => self.duration = Some(cur.parsed(flag)?),
             "insts" => self.insts = Some(cur.parsed(flag)?),
             "warmup" => self.warmup = Some(cur.parsed(flag)?),
             "seed" => self.seed = Some(cur.parsed(flag)?),
@@ -181,34 +204,43 @@ impl SweepArgs {
         p
     }
 
-    fn cc_config(&self) -> Result<ChargeCacheConfig, String> {
-        let mut cfg = ChargeCacheConfig::with_duration_ms(self.duration);
-        cfg.entries_per_core = self.entries;
-        cfg.validate()?;
-        Ok(cfg)
+    /// The mechanism axis with `--entries` / `--duration` patched into
+    /// every spec whose factory supports the parameter.
+    fn specs(&self) -> Result<Vec<MechanismSpec>, String> {
+        let mut specs = self.mechanisms.clone();
+        for spec in &mut specs {
+            if let Some(n) = self.entries {
+                if registry::supports_param(spec, "entries") {
+                    spec.set("entries", ParamValue::Int(n as i64));
+                }
+            }
+            if let Some(ms) = self.duration {
+                if registry::supports_param(spec, "duration") {
+                    spec.set("duration", ParamValue::DurationMs(ms));
+                }
+            }
+            registry::validate_spec(spec)?;
+        }
+        Ok(specs)
     }
 
     fn experiment(&self) -> Result<Experiment, String> {
-        let cc = self.cc_config()?;
-        let label = format!("entries={} duration={}ms", self.entries, self.duration);
         Ok(Experiment::new()
-            .mechanisms(&self.mechanisms)
-            .variant(Variant::cc(label, cc))
+            .mechanisms(&self.specs()?)
             .params(self.params())
             .threads(self.threads.unwrap_or_else(default_threads)))
     }
 }
 
-fn parse_mechanisms(v: &str) -> Result<Vec<MechanismKind>, String> {
-    match v {
-        "all" => Ok(MechanismKind::ALL.to_vec()),
-        "baseline" => Ok(vec![MechanismKind::Baseline]),
-        "nuat" => Ok(vec![MechanismKind::Nuat]),
-        "cc" | "chargecache" => Ok(vec![MechanismKind::ChargeCache]),
-        "ccnuat" => Ok(vec![MechanismKind::CcNuat]),
-        "lldram" | "ll" => Ok(vec![MechanismKind::LlDram]),
-        other => Err(format!("unknown mechanism {other:?}")),
+fn parse_mechanisms(v: &str) -> Result<Vec<MechanismSpec>, String> {
+    if v == "all" {
+        return Ok(MechanismSpec::paper_all().to_vec());
     }
+    // Resolve aliases (cc → chargecache) so output labels and JSON use
+    // the canonical name, then validate the parameters up front.
+    let spec = registry::canonicalize(&v.parse::<MechanismSpec>()?);
+    registry::validate_spec(&spec).map_err(|e| format!("{e} — see `cc-sim --list-mechanisms`"))?;
+    Ok(vec![spec])
 }
 
 struct RunArgs {
@@ -308,6 +340,21 @@ impl OverheadArgs {
 // Commands
 // ---------------------------------------------------------------------------
 
+fn cmd_list_mechanisms() -> Result<(), String> {
+    println!("registered mechanisms (name — label):");
+    for (name, label, defaults, describe) in registry::list() {
+        println!("  {name:<12} {label}");
+        println!("               {describe}");
+        if defaults.params().is_empty() {
+            println!("               parameters: none");
+        } else {
+            println!("               defaults:   {defaults}");
+        }
+    }
+    println!("\nspec grammar: name(key=val,...)   e.g. 'chargecache(entries=1024,duration=2ms)'");
+    Ok(())
+}
+
 fn cmd_list() -> Result<(), String> {
     println!("single-core workloads:");
     for w in single_core_workloads() {
@@ -379,21 +426,24 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         return Ok(());
     }
     if !a.csv {
+        let mechs: Vec<String> = sweep.mechanisms.iter().map(|m| m.to_string()).collect();
         println!(
-            "workload {} | {} entries, {} ms duration | {} insts/core\n",
-            spec.name, a.entries, a.duration, sweep.params.insts_per_core
+            "workload {} | {} | {} insts/core\n",
+            spec.name,
+            mechs.join(", "),
+            sweep.params.insts_per_core
         );
     }
     csv_header(a.csv);
     let mut base_ipc = None;
     for cell in &sweep.cells {
         if cell.result.hit_cycle_cap {
-            eprintln!("warning: {:?} hit the safety cycle cap", cell.mechanism);
+            eprintln!("warning: {} hit the safety cycle cap", cell.mechanism);
         }
-        if cell.mechanism == MechanismKind::Baseline {
+        if cell.mechanism.name() == "baseline" {
             base_ipc = Some(cell.result.ipc(0));
         }
-        print_result(cell.mechanism.label(), &cell.result, base_ipc, a.csv, 1);
+        print_result(&cell.mechanism.label(), &cell.result, base_ipc, a.csv, 1);
     }
     Ok(())
 }
@@ -422,12 +472,12 @@ fn cmd_mix(args: &MixArgs) -> Result<(), String> {
     let mut base_ipc = None;
     for cell in &sweep.cells {
         if cell.result.hit_cycle_cap {
-            eprintln!("warning: {:?} hit the safety cycle cap", cell.mechanism);
+            eprintln!("warning: {} hit the safety cycle cap", cell.mechanism);
         }
-        if cell.mechanism == MechanismKind::Baseline {
+        if cell.mechanism.name() == "baseline" {
             base_ipc = Some(cell.result.ipc_sum());
         }
-        print_result(cell.mechanism.label(), &cell.result, base_ipc, a.csv, 8);
+        print_result(&cell.mechanism.label(), &cell.result, base_ipc, a.csv, 8);
     }
     Ok(())
 }

@@ -27,12 +27,14 @@
 //! params.insts_per_core = 2_000;
 //! let sweep = Experiment::new()
 //!     .workload(workload("tpch6").expect("paper workload"))
-//!     .mechanism(MechanismKind::ChargeCache)
+//!     .mechanism(MechanismSpec::chargecache())
 //!     .params(params)
 //!     .run()
 //!     .expect("valid paper configuration");
 //! assert!(sweep.cells[0].metric(Metric::Ipc) > 0.0);
 //! ```
+
+pub mod mechs;
 
 pub use bitline;
 pub use chargecache;
@@ -46,7 +48,10 @@ pub use traces;
 /// Most-used items for experiments.
 pub mod prelude {
     pub use bitline::{ActivationModel, CycleQuantized, ReducedTimings};
-    pub use chargecache::{ChargeCacheConfig, LatencyMechanism, MechanismKind, NuatConfig, RowKey};
+    pub use chargecache::{
+        registry, ChargeCacheConfig, LatencyMechanism, MechanismFactory, MechanismReport,
+        MechanismSpec, NuatConfig, ParamValue, RowKey, StatSink,
+    };
     pub use dram::{DramConfig, DramDevice, TimingParams};
     pub use memctrl::{CtrlConfig, MemorySystem, RowPolicy};
     pub use sim::api::{run_probed, Experiment, Metric, Probe, SampleSeries, SweepResult, Variant};

@@ -4,7 +4,7 @@
 
 use std::sync::Mutex;
 
-use chargecache::MechanismKind;
+use chargecache::MechanismSpec;
 use sim::api::{self, Experiment, SampleSeries, Variant};
 use sim::exp::{run_configured, ExpParams};
 use sim::{Engine, SystemConfig};
@@ -25,7 +25,7 @@ fn golden_experiment() -> Experiment {
     Experiment::new()
         .workload(workload("tpch2").unwrap())
         .workload(workload("STREAMcopy").unwrap())
-        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
         .variants([Variant::entries(64), Variant::entries(128)])
         .params(tiny())
 }
@@ -52,9 +52,9 @@ fn baseline_and_alone_runs_are_memoized_once() {
     api::clear_run_cache();
     let exp = Experiment::new()
         .workload(workload("tpch2").unwrap())
-        .mechanisms(&[MechanismKind::Baseline, MechanismKind::ChargeCache])
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
         .params(tiny())
-        .alone_ipcs(MechanismKind::Baseline);
+        .alone_ipcs(MechanismSpec::baseline());
     let before = api::run_cache_executions();
     let first = exp.run().unwrap();
     let after_first = api::run_cache_executions();
@@ -82,16 +82,40 @@ fn mechanism_irrelevant_cc_variants_share_baseline_runs() {
     // Baseline mechanism never reads: six simulations, not eight.
     assert_eq!(sweep.cells.len(), 8);
     assert_eq!(api::run_cache_executions() - before, 6);
-    let b64 = sweep.cell("tpch2", MechanismKind::Baseline, "64").unwrap();
-    let b128 = sweep.cell("tpch2", MechanismKind::Baseline, "128").unwrap();
+    let b64 = sweep.cell("tpch2", "baseline", "64").unwrap();
+    let b128 = sweep.cell("tpch2", "baseline", "128").unwrap();
     assert_eq!(b64.result, b128.result);
+}
+
+#[test]
+fn alias_specs_canonicalize_in_sweeps() {
+    // `cc` is the v1 id and a registry alias: the sweep must store the
+    // canonical name (lookups by "chargecache" hit) and catch an aliased
+    // duplicate on the axis.
+    let sweep = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanism("cc".parse().unwrap())
+        .params(tiny())
+        .run()
+        .unwrap();
+    assert!(sweep.cell("tpch2", "chargecache", "paper").is_some());
+    assert_eq!(sweep.mechanisms[0].name(), "chargecache");
+
+    let err = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanism("cc".parse().unwrap())
+        .mechanism(MechanismSpec::chargecache())
+        .params(tiny())
+        .run()
+        .unwrap_err();
+    assert!(err.0.contains("duplicate mechanism"), "{err}");
 }
 
 #[test]
 fn duplicate_variant_labels_are_rejected() {
     let err = Experiment::new()
         .workload(workload("tpch2").unwrap())
-        .mechanism(MechanismKind::Baseline)
+        .mechanism(MechanismSpec::baseline())
         .variants([Variant::entries(64), Variant::new("64", |_| {})])
         .params(tiny())
         .run()
@@ -104,7 +128,7 @@ fn probe_does_not_perturb_the_run() {
     let spec = workload("STREAMcopy").unwrap();
     let p = tiny();
     for engine in [Engine::EventSkip, Engine::PerCycle] {
-        let mut cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+        let mut cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
         cfg.engine = engine;
         let plain = run_configured(cfg.clone(), std::slice::from_ref(&spec), &p).unwrap();
         let mut series = SampleSeries::default();
@@ -129,13 +153,13 @@ fn probe_does_not_perturb_the_run() {
 #[test]
 fn run_configured_surfaces_invalid_configs_as_errors() {
     let spec = workload("tpch2").unwrap();
-    let mut cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+    let mut cfg = SystemConfig::paper_single_core(MechanismSpec::baseline());
     cfg.cpu_per_bus = 0;
     let err = run_configured(cfg, std::slice::from_ref(&spec), &tiny()).unwrap_err();
     assert!(err.0.contains("cpu_per_bus"), "unexpected error: {err}");
 
     // Workload/core mismatch is an error too, not a panic.
-    let cfg = SystemConfig::paper_eight_core(MechanismKind::Baseline);
+    let cfg = SystemConfig::paper_eight_core(MechanismSpec::baseline());
     let err = run_configured(cfg, std::slice::from_ref(&spec), &tiny()).unwrap_err();
     assert!(err.0.contains("cores"), "unexpected error: {err}");
 }
@@ -171,10 +195,14 @@ fn cc_sim_json_is_valid_and_thread_count_invariant() {
     let doc = sim::json::parse(serial.trim()).expect("cc-sim --json emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some("chargecache-sweep/v1")
+        Some(sim::json::SCHEMA_V2)
     );
     let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
-    assert_eq!(cells.len(), MechanismKind::ALL.len());
+    assert_eq!(cells.len(), MechanismSpec::paper_all().len());
+    // And the typed parser reads the CLI's output directly.
+    let typed = sim::json::parse_sweep(&serial).expect("typed v2 parse");
+    assert_eq!(typed.schema_version, 2);
+    assert!(typed.cell("tpch2", "chargecache", "paper").is_some());
     for cell in cells {
         assert_eq!(cell.get("subject").and_then(|s| s.as_str()), Some("tpch2"));
         let ipc = cell.get("ipc").and_then(|i| i.as_arr()).unwrap()[0]

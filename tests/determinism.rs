@@ -2,7 +2,7 @@
 //! configuration and seed. This is what makes the per-figure benches
 //! meaningful as regression artifacts.
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismSpec;
 use sim::exp::{run_eight_core, run_single_core, ExpParams};
 use traces::{eight_core_mixes, workload};
 
@@ -10,13 +10,11 @@ use traces::{eight_core_mixes, workload};
 fn single_core_runs_are_bit_identical() {
     let spec = workload("tpch2").unwrap();
     let p = ExpParams::tiny();
-    let cc = ChargeCacheConfig::paper();
-    let a = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
-    let b = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    let a = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
+    let b = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
     assert_eq!(a.cpu_cycles, b.cpu_cycles);
     assert_eq!(a.ctrl, b.ctrl);
-    assert_eq!(a.mech.activates, b.mech.activates);
-    assert_eq!(a.mech.reduced_activates, b.mech.reduced_activates);
+    assert_eq!(a.mech, b.mech);
     assert_eq!(a.rltl, b.rltl);
     assert_eq!(a.energy, b.energy);
 }
@@ -29,9 +27,8 @@ fn eight_core_runs_are_bit_identical() {
         warmup_insts: 500,
         ..ExpParams::tiny()
     };
-    let cc = ChargeCacheConfig::paper();
-    let a = run_eight_core(mix, MechanismKind::CcNuat, &cc, &p);
-    let b = run_eight_core(mix, MechanismKind::CcNuat, &cc, &p);
+    let a = run_eight_core(mix, &MechanismSpec::cc_nuat(), &p);
+    let b = run_eight_core(mix, &MechanismSpec::cc_nuat(), &p);
     assert_eq!(a.cpu_cycles, b.cpu_cycles);
     for core in 0..8 {
         assert_eq!(a.cores[core].retired, b.cores[core].retired);
@@ -42,7 +39,6 @@ fn eight_core_runs_are_bit_identical() {
 #[test]
 fn different_seeds_change_the_run() {
     let spec = workload("sjeng").unwrap();
-    let cc = ChargeCacheConfig::paper();
     let p1 = ExpParams {
         seed: 1,
         ..ExpParams::tiny()
@@ -51,8 +47,8 @@ fn different_seeds_change_the_run() {
         seed: 2,
         ..ExpParams::tiny()
     };
-    let a = run_single_core(&spec, MechanismKind::Baseline, &cc, &p1);
-    let b = run_single_core(&spec, MechanismKind::Baseline, &cc, &p2);
+    let a = run_single_core(&spec, &MechanismSpec::baseline(), &p1);
+    let b = run_single_core(&spec, &MechanismSpec::baseline(), &p2);
     // Same workload class, different concrete streams.
     assert_ne!((a.cpu_cycles, a.ctrl.reads), (b.cpu_cycles, b.ctrl.reads));
 }

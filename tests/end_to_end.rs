@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the paper's qualitative results must
 //! hold end-to-end on tiny (debug-friendly) runs.
 
-use chargecache::{ChargeCacheConfig, MechanismKind};
+use chargecache::MechanismSpec;
 use sim::exp::{run_eight_core, run_single_core, ExpParams};
 use traces::{eight_core_mixes, workload};
 
@@ -15,9 +15,8 @@ fn params() -> ExpParams {
 fn chargecache_does_not_degrade_streamcopy() {
     let spec = workload("STREAMcopy").unwrap();
     let p = params();
-    let cc = ChargeCacheConfig::paper();
-    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
-    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    let base = run_single_core(&spec, &MechanismSpec::baseline(), &p);
+    let ccr = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
     assert!(
         ccr.ipc(0) >= base.ipc(0) * 0.995,
         "CC {} vs baseline {}",
@@ -32,9 +31,8 @@ fn chargecache_does_not_degrade_streamcopy() {
 fn lldram_bounds_chargecache_from_above() {
     let spec = workload("mcf").unwrap();
     let p = params();
-    let cc = ChargeCacheConfig::paper();
-    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
-    let ll = run_single_core(&spec, MechanismKind::LlDram, &cc, &p);
+    let ccr = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
+    let ll = run_single_core(&spec, &MechanismSpec::lldram(), &p);
     assert!(
         ll.ipc(0) >= ccr.ipc(0) * 0.995,
         "LL {} vs CC {}",
@@ -49,12 +47,7 @@ fn lldram_bounds_chargecache_from_above() {
 fn rltl_dominates_refresh_fraction() {
     let spec = workload("STREAMcopy").unwrap();
     let p = params();
-    let r = run_single_core(
-        &spec,
-        MechanismKind::Baseline,
-        &ChargeCacheConfig::paper(),
-        &p,
-    );
+    let r = run_single_core(&spec, &MechanismSpec::baseline(), &p);
     // 8 ms bucket (index 4) vs 8 ms-after-refresh.
     let rltl = r.rltl.rltl_fraction[4];
     let refr = r.rltl.refresh_8ms_fraction;
@@ -71,12 +64,7 @@ fn rltl_dominates_refresh_fraction() {
 fn high_rltl_workload_hits_in_hcrac() {
     let spec = workload("STREAMcopy").unwrap();
     let p = params();
-    let r = run_single_core(
-        &spec,
-        MechanismKind::ChargeCache,
-        &ChargeCacheConfig::paper(),
-        &p,
-    );
+    let r = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
     let hit = r.hcrac_hit_rate().unwrap();
     assert!(hit > 0.5, "hit rate = {hit}");
     assert!(r.mech.reduced_fraction() > 0.5);
@@ -91,12 +79,11 @@ fn hmmer_is_unaffected_by_any_mechanism() {
         insts_per_core: 8_000,
         ..params()
     };
-    let cc = ChargeCacheConfig::paper();
-    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
-    for kind in [MechanismKind::ChargeCache, MechanismKind::LlDram] {
-        let r = run_single_core(&spec, kind, &cc, &p);
+    let base = run_single_core(&spec, &MechanismSpec::baseline(), &p);
+    for spec_m in [MechanismSpec::chargecache(), MechanismSpec::lldram()] {
+        let r = run_single_core(&spec, &spec_m, &p);
         let delta = (r.ipc(0) / base.ipc(0) - 1.0).abs();
-        assert!(delta < 0.01, "{kind:?} moved hmmer by {delta}");
+        assert!(delta < 0.01, "{spec_m} moved hmmer by {delta}");
     }
 }
 
@@ -105,13 +92,12 @@ fn hmmer_is_unaffected_by_any_mechanism() {
 #[test]
 fn multicore_contention_raises_rltl() {
     let p = params();
-    let cc = ChargeCacheConfig::paper();
     let mix = &eight_core_mixes()[0];
-    let eight = run_eight_core(mix, MechanismKind::Baseline, &cc, &p);
+    let eight = run_eight_core(mix, &MechanismSpec::baseline(), &p);
     // Weighted single-core average of the same apps.
     let mut singles = Vec::new();
     for app in &mix.apps {
-        let r = run_single_core(app, MechanismKind::Baseline, &cc, &p);
+        let r = run_single_core(app, &MechanismSpec::baseline(), &p);
         if r.rltl.activations > 100 {
             singles.push(r.rltl.rltl_fraction[3]); // ≤ 1 ms
         }
@@ -130,9 +116,8 @@ fn multicore_contention_raises_rltl() {
 fn chargecache_saves_energy_when_it_saves_time() {
     let spec = workload("milc").unwrap();
     let p = params();
-    let cc = ChargeCacheConfig::paper();
-    let base = run_single_core(&spec, MechanismKind::Baseline, &cc, &p);
-    let ccr = run_single_core(&spec, MechanismKind::ChargeCache, &cc, &p);
+    let base = run_single_core(&spec, &MechanismSpec::baseline(), &p);
+    let ccr = run_single_core(&spec, &MechanismSpec::chargecache(), &p);
     if ccr.cpu_cycles < base.cpu_cycles {
         assert!(
             ccr.energy.total_pj() < base.energy.total_pj() * 1.001,
@@ -150,13 +135,12 @@ fn all_mechanisms_run_an_eight_core_mix() {
         warmup_insts: 1_000,
         ..params()
     };
-    let cc = ChargeCacheConfig::paper();
     let mix = &eight_core_mixes()[1];
-    for kind in MechanismKind::ALL {
-        let r = run_eight_core(mix, kind, &cc, &p);
-        assert!(!r.hit_cycle_cap, "{kind:?} hit the cycle cap");
+    for spec in MechanismSpec::paper_all() {
+        let r = run_eight_core(mix, &spec, &p);
+        assert!(!r.hit_cycle_cap, "{spec} hit the cycle cap");
         for core in 0..8 {
-            assert!(r.ipc(core) > 0.0, "{kind:?} core {core} stuck");
+            assert!(r.ipc(core) > 0.0, "{spec} core {core} stuck");
         }
     }
 }

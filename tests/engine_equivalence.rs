@@ -8,7 +8,7 @@
 //! breakdown derived from the per-command DRAM log. Any divergence means
 //! the skip logic jumped over (or mis-ordered) an observable event.
 
-use chargecache::{ChargeCacheConfig, InvalidationPolicy, MechanismKind};
+use chargecache::MechanismSpec;
 use sim::exp::{run_configured, ExpParams};
 use sim::{Engine, RunResult, SystemConfig};
 use traces::{eight_core_mixes, workload, WorkloadSpec};
@@ -36,7 +36,7 @@ fn assert_identical(dense: &RunResult, skipping: &RunResult, label: &str) {
 fn single_core_chargecache_is_bit_identical() {
     let spec = workload("STREAMcopy").unwrap();
     let p = ExpParams::tiny();
-    let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    let cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
     let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
     assert!(dense.ctrl.reads > 0, "workload must reach DRAM");
     assert_identical(&dense, &skipping, "STREAMcopy/ChargeCache");
@@ -48,7 +48,7 @@ fn single_core_baseline_random_is_bit_identical() {
     // the hardest pattern for the skip logic's next-event bounds.
     let spec = workload("mcf").unwrap();
     let p = ExpParams::tiny();
-    let cfg = SystemConfig::paper_single_core(MechanismKind::Baseline);
+    let cfg = SystemConfig::paper_single_core(MechanismSpec::baseline());
     let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
     assert_identical(&dense, &skipping, "mcf/Baseline");
 }
@@ -58,11 +58,11 @@ fn single_core_exact_invalidation_is_bit_identical() {
     // The exact-expiry ablation exercises the lazy sweep's catch-up path.
     let spec = workload("tpch2").unwrap();
     let p = ExpParams::tiny();
-    let mut cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
-    cfg.cc = ChargeCacheConfig {
-        invalidation: InvalidationPolicy::Exact,
-        ..ChargeCacheConfig::paper()
-    };
+    let cfg = SystemConfig::paper_single_core(
+        "chargecache(invalidation=exact)"
+            .parse()
+            .expect("valid spec"),
+    );
     let (dense, skipping) = run_both(cfg.clone(), std::slice::from_ref(&spec), &p);
     assert_identical(&dense, &skipping, "tpch2/ChargeCache(exact)");
 }
@@ -77,7 +77,7 @@ fn eight_core_mix_is_bit_identical() {
         warmup_insts: 500,
         ..ExpParams::tiny()
     };
-    let cfg = SystemConfig::paper_eight_core(MechanismKind::CcNuat);
+    let cfg = SystemConfig::paper_eight_core(MechanismSpec::cc_nuat());
     let (dense, skipping) = run_both(cfg, &mix.apps, &p);
     assert!(dense.ctrl.reads > 0, "mix must reach DRAM");
     assert_identical(&dense, &skipping, "w1/CcNuat eight-core");
@@ -89,7 +89,7 @@ fn llc_resident_workload_is_bit_identical() {
     // stretches where the *cache hit* event source dominates.
     let spec = workload("hmmer").unwrap();
     let p = ExpParams::tiny();
-    let cfg = SystemConfig::paper_single_core(MechanismKind::ChargeCache);
+    let cfg = SystemConfig::paper_single_core(MechanismSpec::chargecache());
     let (dense, skipping) = run_both(cfg, std::slice::from_ref(&spec), &p);
     assert_identical(&dense, &skipping, "hmmer/ChargeCache");
 }

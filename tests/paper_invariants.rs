@@ -4,7 +4,7 @@
 
 use bitline::derive::{CycleQuantized, ReducedTimings};
 use bitline::ActivationModel;
-use chargecache::{ChargeCacheConfig, MechanismKind, NuatConfig, OverheadModel};
+use chargecache::{ChargeCacheConfig, MechanismSpec, NuatConfig, OverheadModel};
 use dram::{DramConfig, TimingParams};
 use sim::SystemConfig;
 
@@ -59,15 +59,19 @@ fn table1_configuration_is_encoded() {
     assert_eq!(d.org.rows, 65_536);
     assert_eq!(d.org.row_bytes(), 8192);
 
-    let s = SystemConfig::paper_eight_core(MechanismKind::ChargeCache);
+    let s = SystemConfig::paper_eight_core(MechanismSpec::chargecache());
     assert_eq!(s.core.issue_width, 3);
     assert_eq!(s.core.window, 128);
     assert_eq!(s.core.mshrs, 8);
     assert_eq!(s.llc.capacity_bytes, 4 << 20);
     assert_eq!(s.llc.ways, 16);
-    assert_eq!(s.cc.entries_per_core, 128);
-    assert_eq!(s.cc.ways, 2);
-    assert_eq!(s.cc.duration_ms, 1.0);
+    // Table 1's HCRAC defaults now live in the mechanism factory.
+    let defaults = chargecache::registry::with_registry(|r| {
+        r.resolve("chargecache").expect("built-in").defaults()
+    });
+    assert_eq!(defaults.usize_param("entries", 0).unwrap(), 128);
+    assert_eq!(defaults.usize_param("ways", 0).unwrap(), 2);
+    assert_eq!(defaults.duration_ms_param("duration", 0.0).unwrap(), 1.0);
 }
 
 #[test]
