@@ -134,7 +134,8 @@ pub struct NuatConfig {
 }
 
 impl NuatConfig {
-    /// The 5-bin ("5PB") configuration used in the paper's comparison.
+    /// The 5-bin ("5PB") configuration used in the paper's comparison,
+    /// quantized against the paper's DDR3-1600 clock (tCK = 1.25 ns).
     ///
     /// The bins partition the 64 ms refresh window (as in Shin et al.'s
     /// 0–6 ms / 6–16 ms / … scheme); each bin's reductions come from the
@@ -144,6 +145,20 @@ impl NuatConfig {
     /// weaker than ChargeCache's 1 ms-hit timings — the asymmetry behind
     /// the paper's Figure 7.
     pub fn paper_5pb() -> Self {
+        Self::paper_5pb_for(1.25)
+    }
+
+    /// The 5-bin configuration quantized against an arbitrary clock
+    /// period: the analog (nanosecond) reductions are clock-independent,
+    /// but the cycle counts they quantize to are not. The registry
+    /// factories call this with the *selected* timing preset's `tck_ns`,
+    /// so a `ddr3-2133` sweep cell gets bins quantized at 0.9375 ns
+    /// rather than the paper's 1.25 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tck_ns` is not positive.
+    pub fn paper_5pb_for(tck_ns: f64) -> Self {
         let bins = [6.4, 12.8, 25.6, 38.4, 51.2]
             .into_iter()
             .map(|ms| {
@@ -151,7 +166,7 @@ impl NuatConfig {
                     ms,
                     CycleQuantized::from_timings(
                         bitline::derive::ReducedTimings::for_duration_ms(ms),
-                        1.25,
+                        tck_ns,
                     ),
                 )
             })

@@ -48,6 +48,8 @@
 //! assert_eq!(t.tras, timing.tras - 8);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod extensions;
 pub mod hcrac;
@@ -63,8 +65,8 @@ pub use hcrac::{Hcrac, HcracStats};
 pub use mechanism::{Baseline, CcNuat, ChargeCache, LatencyMechanism, LlDram, Nuat};
 pub use overhead::OverheadModel;
 pub use report::{
-    MechanismReport, StatSink, C_ACTIVATES, C_HCRAC_EVICTIONS, C_HCRAC_HITS, C_HCRAC_INSERTS,
-    C_HCRAC_INVALIDATIONS, C_HCRAC_LOOKUPS, C_REDUCED,
+    MechanismReport, StatSink, C_ACTIVATES, C_CLAMPED, C_HCRAC_EVICTIONS, C_HCRAC_HITS,
+    C_HCRAC_INSERTS, C_HCRAC_INVALIDATIONS, C_HCRAC_LOOKUPS, C_REDUCED,
 };
 pub use spec::{
     registry, MechanismContext, MechanismFactory, MechanismRegistry, MechanismSpec, ParamValue,

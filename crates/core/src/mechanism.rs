@@ -36,8 +36,8 @@ use crate::config::{ChargeCacheConfig, InvalidationPolicy, NuatConfig};
 use crate::hcrac::{Hcrac, HcracStats};
 use crate::invalidation::PeriodicInvalidator;
 use crate::report::{
-    StatSink, C_ACTIVATES, C_HCRAC_EVICTIONS, C_HCRAC_HITS, C_HCRAC_INSERTS, C_HCRAC_INVALIDATIONS,
-    C_HCRAC_LOOKUPS, C_REDUCED,
+    StatSink, C_ACTIVATES, C_CLAMPED, C_HCRAC_EVICTIONS, C_HCRAC_HITS, C_HCRAC_INSERTS,
+    C_HCRAC_INVALIDATIONS, C_HCRAC_LOOKUPS, C_REDUCED,
 };
 use crate::RowKey;
 
@@ -154,6 +154,10 @@ pub struct ChargeCache {
     next_sweep: u64,
     activates: u64,
     reduced_activates: u64,
+    /// True when the configured reductions saturate at the 1-cycle floor
+    /// for this timing set (see [`ActTimings::clamped_by`]).
+    reduced_is_clamped: bool,
+    clamped_activates: u64,
 }
 
 impl ChargeCache {
@@ -191,6 +195,8 @@ impl ChargeCache {
         };
         let base = timing.act_timings();
         let reduced = base.reduced_by(cfg.reductions.trcd_reduction, cfg.reductions.tras_reduction);
+        let reduced_is_clamped =
+            base.clamped_by(cfg.reductions.trcd_reduction, cfg.reductions.tras_reduction);
         Self {
             cfg,
             base,
@@ -201,6 +207,8 @@ impl ChargeCache {
             next_sweep: 0,
             activates: 0,
             reduced_activates: 0,
+            reduced_is_clamped,
+            clamped_activates: 0,
         }
     }
 
@@ -263,6 +271,9 @@ impl LatencyMechanism for ChargeCache {
             // scheme guarantees age ≤ duration by construction.
             Some(age) if !exact || age <= duration => {
                 self.reduced_activates += 1;
+                if self.reduced_is_clamped {
+                    self.clamped_activates += 1;
+                }
                 self.reduced
             }
             _ => self.base,
@@ -299,6 +310,9 @@ impl LatencyMechanism for ChargeCache {
     fn report_stats(&self, out: &mut dyn StatSink) {
         out.counter(C_ACTIVATES, self.activates);
         out.counter(C_REDUCED, self.reduced_activates);
+        if self.reduced_is_clamped {
+            out.counter(C_CLAMPED, self.clamped_activates);
+        }
         report_hcrac(out, &self.hcrac_stats());
     }
 
@@ -310,11 +324,13 @@ impl LatencyMechanism for ChargeCache {
 /// NUAT: activations of recently-refreshed rows use reduced timings.
 #[derive(Debug, Clone)]
 pub struct Nuat {
-    /// `(max_age_cycles, timings)` in increasing age order.
-    bins: Vec<(u64, ActTimings)>,
+    /// `(max_age_cycles, timings, reduction_clamped)` in increasing age
+    /// order.
+    bins: Vec<(u64, ActTimings, bool)>,
     base: ActTimings,
     activates: u64,
     reduced_activates: u64,
+    clamped_activates: u64,
 }
 
 impl Nuat {
@@ -333,6 +349,7 @@ impl Nuat {
                 (
                     timing.ms_to_cycles(ms),
                     base.reduced_by(red.trcd_reduction, red.tras_reduction),
+                    base.clamped_by(red.trcd_reduction, red.tras_reduction),
                 )
             })
             .collect();
@@ -341,17 +358,29 @@ impl Nuat {
             base,
             activates: 0,
             reduced_activates: 0,
+            clamped_activates: 0,
         }
     }
 
     /// The timing pair for a given refresh age.
     pub fn timings_for_age(&self, refresh_age: BusCycle) -> ActTimings {
-        for &(max_age, t) in &self.bins {
+        self.bin_for_age(refresh_age).0
+    }
+
+    /// The timing pair for a refresh age plus whether that bin's
+    /// reduction saturated at the 1-cycle floor.
+    fn bin_for_age(&self, refresh_age: BusCycle) -> (ActTimings, bool) {
+        for &(max_age, t, clamped) in &self.bins {
             if refresh_age <= max_age {
-                return t;
+                return (t, clamped);
             }
         }
-        self.base
+        (self.base, false)
+    }
+
+    /// True if any configured bin's reduction clamps for this timing set.
+    fn any_bin_clamped(&self) -> bool {
+        self.bins.iter().any(|&(_, _, clamped)| clamped)
     }
 }
 
@@ -364,9 +393,12 @@ impl LatencyMechanism for Nuat {
         refresh_age: BusCycle,
     ) -> ActTimings {
         self.activates += 1;
-        let t = self.timings_for_age(refresh_age);
+        let (t, clamped) = self.bin_for_age(refresh_age);
         if t != self.base {
             self.reduced_activates += 1;
+            if clamped {
+                self.clamped_activates += 1;
+            }
         }
         t
     }
@@ -376,6 +408,9 @@ impl LatencyMechanism for Nuat {
     fn report_stats(&self, out: &mut dyn StatSink) {
         out.counter(C_ACTIVATES, self.activates);
         out.counter(C_REDUCED, self.reduced_activates);
+        if self.any_bin_clamped() {
+            out.counter(C_CLAMPED, self.clamped_activates);
+        }
     }
 
     fn name(&self) -> &str {
@@ -438,6 +473,12 @@ impl LatencyMechanism for CcNuat {
             C_REDUCED,
             self.cc.reduced_activates + self.nuat.reduced_activates,
         );
+        if self.cc.reduced_is_clamped || self.nuat.any_bin_clamped() {
+            out.counter(
+                C_CLAMPED,
+                self.cc.clamped_activates + self.nuat.clamped_activates,
+            );
+        }
         report_hcrac(out, &self.cc.hcrac_stats());
     }
 
@@ -450,6 +491,7 @@ impl LatencyMechanism for CcNuat {
 #[derive(Debug, Clone)]
 pub struct LlDram {
     reduced: ActTimings,
+    reduced_is_clamped: bool,
     activates: u64,
 }
 
@@ -457,11 +499,11 @@ impl LlDram {
     /// Creates the idealized device applying `reductions` to every
     /// activation.
     pub fn new(reductions: CycleQuantized, timing: &TimingParams) -> Self {
-        let reduced = timing
-            .act_timings()
-            .reduced_by(reductions.trcd_reduction, reductions.tras_reduction);
+        let base = timing.act_timings();
         Self {
-            reduced,
+            reduced: base.reduced_by(reductions.trcd_reduction, reductions.tras_reduction),
+            reduced_is_clamped: base
+                .clamped_by(reductions.trcd_reduction, reductions.tras_reduction),
             activates: 0,
         }
     }
@@ -478,6 +520,9 @@ impl LatencyMechanism for LlDram {
     fn report_stats(&self, out: &mut dyn StatSink) {
         out.counter(C_ACTIVATES, self.activates);
         out.counter(C_REDUCED, self.activates);
+        if self.reduced_is_clamped {
+            out.counter(C_CLAMPED, self.activates);
+        }
     }
 
     fn name(&self) -> &str {
@@ -639,6 +684,35 @@ mod tests {
             assert_eq!(got.trcd, t.trcd - 4);
         }
         assert_eq!(report(&m).reduced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn clamped_reductions_surface_a_counter() {
+        // A device whose tRCD cannot absorb the paper's 4-cycle reduction:
+        // every hit clamps, and the mechanism says so.
+        let mut t = timing();
+        t.trcd = 3;
+        t.tcl = 3;
+        let mut cc = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
+        cc.on_precharge(0, 0, key(5));
+        let got = cc.on_activate(10, 0, key(5), u64::MAX);
+        assert_eq!(got.trcd, 1, "3 - 4 saturates at the floor");
+        let r = report(&cc);
+        assert!(r.has(C_CLAMPED));
+        assert_eq!(r.get(C_CLAMPED), 1);
+
+        // LL-DRAM under the same device clamps on every activation.
+        let mut ll = LlDram::new(CycleQuantized::paper_1ms(), &t);
+        ll.on_activate(0, 0, key(1), u64::MAX);
+        ll.on_activate(1, 0, key(2), u64::MAX);
+        assert_eq!(report(&ll).get(C_CLAMPED), 2);
+
+        // The paper's own configuration never clamps: the counter is not
+        // reported at all (so default counter tables are unchanged).
+        let cc = ChargeCache::new(ChargeCacheConfig::paper(), &timing(), 1);
+        assert!(!report(&cc).has(C_CLAMPED));
+        let n = Nuat::new(NuatConfig::paper_5pb(), &timing());
+        assert!(!report(&n).has(C_CLAMPED));
     }
 
     #[test]

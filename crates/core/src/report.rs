@@ -30,6 +30,13 @@ pub const C_HCRAC_INSERTS: &str = "hcrac_inserts";
 pub const C_HCRAC_EVICTIONS: &str = "hcrac_capacity_evictions";
 /// HCRAC entries invalidated (periodic or exact expiry).
 pub const C_HCRAC_INVALIDATIONS: &str = "hcrac_invalidations";
+/// Activations whose timing reduction saturated at the 1-cycle floor
+/// (`dram::ActTimings::reduced_by` clamps silently; mechanisms whose
+/// configured reductions clamp report this counter so sweeps combining
+/// fast presets with aggressive reductions are auditable). Reported only
+/// by mechanisms whose reduced pair actually clamps, so default
+/// configurations keep their counter tables unchanged.
+pub const C_CLAMPED: &str = "clamped_reduced_activates";
 
 /// Receiver of named mechanism counters
 /// (see [`crate::LatencyMechanism::report_stats`]).

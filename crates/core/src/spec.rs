@@ -804,7 +804,12 @@ impl MechanismFactory for NuatFactory {
         ctx: &MechanismContext,
     ) -> Result<Box<dyn LatencyMechanism>, String> {
         self.validate(spec)?;
-        Ok(Box::new(Nuat::new(NuatConfig::paper_5pb(), ctx.timing)))
+        // Bin reductions quantize against the *selected* clock, not the
+        // paper's 1.25 ns default.
+        Ok(Box::new(Nuat::new(
+            NuatConfig::paper_5pb_for(ctx.timing.tck_ns),
+            ctx.timing,
+        )))
     }
 }
 
@@ -879,7 +884,7 @@ impl MechanismFactory for CcNuatFactory {
         }
         Ok(Box::new(CcNuat::new(
             cfg,
-            NuatConfig::paper_5pb(),
+            NuatConfig::paper_5pb_for(ctx.timing.tck_ns),
             ctx.timing,
             ctx.cores,
         )))

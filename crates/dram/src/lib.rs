@@ -38,6 +38,8 @@
 //! assert_eq!(t, u64::from(cfg.timing.trcd));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod address;
 pub mod bank;
 pub mod channel;
@@ -46,6 +48,7 @@ pub mod config;
 pub mod error;
 pub mod rank;
 pub mod refresh;
+pub mod spec;
 pub mod stats;
 pub mod timing;
 
@@ -56,6 +59,7 @@ pub use command::{BankLoc, Command, CommandKind, RankLoc, RowId};
 pub use config::{DramConfig, Organization};
 pub use error::IssueError;
 pub use rank::Rank;
+pub use spec::{TimingSpec, TimingValue, TIMING_KEYS};
 pub use stats::DeviceStats;
 pub use timing::{ActTimings, SpeedBin, TimingParams};
 

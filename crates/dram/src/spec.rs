@@ -1,0 +1,431 @@
+//! Timing presets and the `TimingSpec` string grammar.
+//!
+//! The paper evaluates ChargeCache on exactly one device — DDR3-1600
+//! 11-11-11 (Table 1) — but the mechanism applies to any DDR-derived
+//! interface (Section 7.2), and its payoff shifts as the baseline gets
+//! faster or slower. A [`TimingSpec`] selects the device: a JEDEC
+//! speed-bin preset name plus optional per-parameter overrides, with a
+//! string grammar mirroring the mechanism layer's `MechanismSpec`:
+//!
+//! ```text
+//! spec     := preset | preset "(" params ")"
+//! params   := param ("," param)*
+//! param    := key "=" value
+//! value    := int | float                # cycles, or nanoseconds for tck
+//! ```
+//!
+//! Preset names and keys match `[A-Za-z_][A-Za-z0-9_.+-]*`; whitespace
+//! around tokens is ignored. [`TimingSpec`] round-trips:
+//! `spec.to_string().parse()` reproduces the spec exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use dram::{TimingParams, TimingSpec};
+//!
+//! // The default spec is the paper's Table 1 device.
+//! let spec = TimingSpec::default();
+//! assert_eq!(spec.to_string(), "ddr3-1600");
+//! assert_eq!(spec.resolve().unwrap(), TimingParams::ddr3_1600());
+//!
+//! // Presets resolve to their JEDEC CL-tRCD-tRP triplet; overrides
+//! // patch individual fields after the preset is applied.
+//! let spec: TimingSpec = "ddr3-2133(trcd=13)".parse().unwrap();
+//! let t = spec.resolve().unwrap();
+//! assert_eq!((t.tcl, t.trcd, t.trp), (14, 13, 14));
+//! assert_eq!(spec.to_string(), "ddr3-2133(trcd=13)");
+//!
+//! // Incoherent parameter sets are rejected, not simulated.
+//! assert!("ddr3-1600(tras=50)".parse::<TimingSpec>().unwrap().resolve().is_err());
+//! assert!("ddr9-9999".parse::<TimingSpec>().unwrap().resolve().is_err());
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::timing::{SpeedBin, TimingParams};
+
+/// One override value of a [`TimingSpec`]: a cycle count or (for `tck`)
+/// a nanosecond figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimingValue {
+    /// An unsigned integer (cycle-count fields).
+    Int(u32),
+    /// A float (always displayed with a decimal point; the `tck` field).
+    Float(f64),
+}
+
+impl TimingValue {
+    /// The value as a float (ints widen losslessly).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            TimingValue::Int(i) => f64::from(i),
+            TimingValue::Float(x) => x,
+        }
+    }
+}
+
+impl fmt::Display for TimingValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingValue::Int(i) => write!(f, "{i}"),
+            TimingValue::Float(x) => {
+                let s = format!("{x}");
+                if s.contains('.') || s.contains('e') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for TimingValue {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err("empty parameter value".into());
+        }
+        // Integers first, so "13" round-trips as Int; anything with a
+        // decimal point or exponent becomes Float.
+        if let Ok(i) = s.parse::<u32>() {
+            return Ok(TimingValue::Int(i));
+        }
+        if s.starts_with(|c: char| c.is_ascii_digit() || matches!(c, '-' | '+' | '.')) {
+            if let Ok(x) = s.parse::<f64>() {
+                if !x.is_finite() {
+                    return Err(format!("non-finite value {s:?}"));
+                }
+                return Ok(TimingValue::Float(x));
+            }
+        }
+        Err(format!("unparsable timing value {s:?}"))
+    }
+}
+
+/// True for tokens matching `[A-Za-z_][A-Za-z0-9_.+-]*`.
+fn is_token(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '+' | '-'))
+}
+
+/// A DRAM timing selection: a preset name plus typed overrides.
+///
+/// Overrides keep insertion order, so [`fmt::Display`] output is
+/// deterministic; only *explicitly set* overrides are stored — the
+/// preset supplies every other field at resolution time. Parse with
+/// [`FromStr`] (`"ddr3-1866(trcd=12,tfaw=26)".parse()`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSpec {
+    preset: String,
+    params: Vec<(String, TimingValue)>,
+}
+
+/// Override keys accepted by [`TimingSpec::resolve`]: every
+/// [`TimingParams`] cycle field plus `tck` (the clock period in ns).
+pub const TIMING_KEYS: &[&str] = &[
+    "tck", "trcd", "tcl", "tcwl", "trp", "tras", "trc", "tbl", "tccd", "trtp", "twr", "twtr",
+    "trrd", "tfaw", "trfc", "trefi", "trtrs",
+];
+
+impl TimingSpec {
+    /// A spec with no overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preset` is not a valid token
+    /// (`[A-Za-z_][A-Za-z0-9_.+-]*`). Unknown (but well-formed) preset
+    /// names are accepted here and rejected by [`TimingSpec::resolve`].
+    pub fn new(preset: impl Into<String>) -> Self {
+        let preset = preset.into();
+        assert!(is_token(&preset), "invalid timing preset name {preset:?}");
+        Self {
+            preset,
+            params: Vec::new(),
+        }
+    }
+
+    /// A spec for a named speed bin (no overrides).
+    pub fn for_bin(bin: SpeedBin) -> Self {
+        Self::new(bin.name())
+    }
+
+    /// Builder-style override setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not a valid token.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: TimingValue) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Sets (or replaces) one override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not a valid token.
+    pub fn set(&mut self, key: impl Into<String>, value: TimingValue) {
+        let key = key.into();
+        assert!(is_token(&key), "invalid timing key {key:?}");
+        match self.params.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.params.push((key, value)),
+        }
+    }
+
+    /// The preset name (speed-bin lookup key).
+    pub fn preset(&self) -> &str {
+        &self.preset
+    }
+
+    /// The explicitly set overrides, in insertion order.
+    pub fn params(&self) -> &[(String, TimingValue)] {
+        &self.params
+    }
+
+    /// One override, if explicitly set.
+    pub fn get(&self, key: &str) -> Option<TimingValue> {
+        self.params.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// True when this is the bare default spec (`ddr3-1600`, no
+    /// overrides) — the configuration every pre-preset result was
+    /// produced under.
+    pub fn is_default(&self) -> bool {
+        self.preset == SpeedBin::Ddr3_1600.name() && self.params.is_empty()
+    }
+
+    /// Resolves the spec into a concrete, validated parameter set: the
+    /// preset's [`TimingParams`] with each override applied, then checked
+    /// by [`TimingParams::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the preset name is unknown, an override key
+    /// is not one of [`TIMING_KEYS`], a cycle field is given a
+    /// non-integer value, or the resulting parameter set is incoherent
+    /// (e.g. `tras` exceeding `trc`, a zero `tck`).
+    pub fn resolve(&self) -> Result<TimingParams, String> {
+        let Some(bin) = SpeedBin::from_name(&self.preset) else {
+            let known: Vec<&str> = SpeedBin::ALL.iter().map(|b| b.name()).collect();
+            return Err(format!(
+                "unknown timing preset {:?} (known: {})",
+                self.preset,
+                known.join(", ")
+            ));
+        };
+        let mut t = bin.timing();
+        for (key, value) in &self.params {
+            let cycles = |v: TimingValue| -> Result<u32, String> {
+                match v {
+                    TimingValue::Int(i) => Ok(i),
+                    TimingValue::Float(x) => {
+                        Err(format!("{key} must be an integer cycle count, got {x}"))
+                    }
+                }
+            };
+            match key.as_str() {
+                "tck" => {
+                    let ns = value.as_f64();
+                    if !(ns.is_finite() && ns > 0.0) {
+                        return Err(format!("tck must be a positive period in ns, got {value}"));
+                    }
+                    t.tck_ns = ns;
+                }
+                "trcd" => t.trcd = cycles(*value)?,
+                "tcl" => t.tcl = cycles(*value)?,
+                "tcwl" => t.tcwl = cycles(*value)?,
+                "trp" => t.trp = cycles(*value)?,
+                "tras" => t.tras = cycles(*value)?,
+                "trc" => t.trc = cycles(*value)?,
+                "tbl" => t.tbl = cycles(*value)?,
+                "tccd" => t.tccd = cycles(*value)?,
+                "trtp" => t.trtp = cycles(*value)?,
+                "twr" => t.twr = cycles(*value)?,
+                "twtr" => t.twtr = cycles(*value)?,
+                "trrd" => t.trrd = cycles(*value)?,
+                "tfaw" => t.tfaw = cycles(*value)?,
+                "trfc" => t.trfc = cycles(*value)?,
+                "trefi" => t.trefi = cycles(*value)?,
+                "trtrs" => t.trtrs = cycles(*value)?,
+                other => {
+                    return Err(format!(
+                        "unknown timing parameter {other:?} (known: {})",
+                        TIMING_KEYS.join(", ")
+                    ))
+                }
+            }
+        }
+        t.validate()
+            .map_err(|e| format!("incoherent timing spec {self}: {e}"))?;
+        Ok(t)
+    }
+
+    /// `(name, description, params)` for every preset, in speed order
+    /// (drives `cc-sim --list-timings`).
+    pub fn presets() -> Vec<(&'static str, &'static str, TimingParams)> {
+        SpeedBin::ALL
+            .iter()
+            .map(|b| (b.name(), b.describe(), b.timing()))
+            .collect()
+    }
+}
+
+impl Default for TimingSpec {
+    /// The paper's Table 1 device: bare `ddr3-1600`.
+    fn default() -> Self {
+        Self::for_bin(SpeedBin::Ddr3_1600)
+    }
+}
+
+impl fmt::Display for TimingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.preset)?;
+        if self.params.is_empty() {
+            return Ok(());
+        }
+        f.write_str("(")?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl FromStr for TimingSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        let (preset, params_src) = match s.find('(') {
+            None => (s, None),
+            Some(open) => {
+                let Some(body) = s[open + 1..].strip_suffix(')') else {
+                    return Err(format!("timing spec {s:?} is missing its closing ')'"));
+                };
+                (&s[..open], Some(body))
+            }
+        };
+        let preset = preset.trim();
+        if !is_token(preset) {
+            return Err(format!("invalid timing preset name {preset:?}"));
+        }
+        let mut spec = TimingSpec::new(preset);
+        if let Some(body) = params_src {
+            let body = body.trim();
+            if !body.is_empty() {
+                for part in body.split(',') {
+                    let Some((k, v)) = part.split_once('=') else {
+                        return Err(format!("timing parameter {part:?} is not key=value"));
+                    };
+                    let k = k.trim();
+                    if !is_token(k) {
+                        return Err(format!("invalid timing key {k:?}"));
+                    }
+                    if spec.get(k).is_some() {
+                        return Err(format!("duplicate timing parameter {k:?}"));
+                    }
+                    spec.set(k, v.parse::<TimingValue>()?);
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_the_paper_device() {
+        let spec = TimingSpec::default();
+        assert!(spec.is_default());
+        assert_eq!(spec.resolve().unwrap(), TimingParams::ddr3_1600());
+    }
+
+    #[test]
+    fn every_preset_resolves_and_round_trips() {
+        for (name, _describe, params) in TimingSpec::presets() {
+            let spec: TimingSpec = name.parse().unwrap();
+            assert_eq!(spec.to_string(), name);
+            assert_eq!(spec.resolve().unwrap(), params);
+        }
+    }
+
+    #[test]
+    fn overrides_patch_individual_fields() {
+        let spec: TimingSpec = "ddr3-1600(trcd=13,tck=1.5)".parse().unwrap();
+        let t = spec.resolve().unwrap();
+        assert_eq!(t.trcd, 13);
+        assert_eq!(t.tck_ns, 1.5);
+        // Unpatched fields keep the preset values.
+        assert_eq!(t.tcl, 11);
+        assert_eq!(spec.to_string(), "ddr3-1600(trcd=13,tck=1.5)");
+    }
+
+    #[test]
+    fn resolve_rejects_bad_specs() {
+        for (src, needle) in [
+            ("ddr9-9999", "unknown timing preset"),
+            ("ddr3-1600(bogus=1)", "unknown timing parameter"),
+            ("ddr3-1600(trcd=1.5)", "integer cycle count"),
+            ("ddr3-1600(tck=0)", "positive"),
+            ("ddr3-1600(tras=50)", "incoherent"), // tras > trc
+            ("ddr3-1600(trcd=30)", "incoherent"), // trcd > tras
+            ("ddr3-1600(trcd=0)", "incoherent"),
+        ] {
+            let err = src.parse::<TimingSpec>().unwrap().resolve().unwrap_err();
+            assert!(err.contains(needle), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "ddr3-1600(",
+            "ddr3-1600)x",
+            "ddr3-1600(trcd)",
+            "ddr3-1600(trcd=13,trcd=14)",
+            "ddr3-1600(=1)",
+            "3ddr",
+            "ddr3-1600(k=)",
+            "ddr3-1600(k=1)junk",
+            "ddr3-1600(trcd=abc)",
+        ] {
+            assert!(bad.parse::<TimingSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_normalizes() {
+        let spec: TimingSpec = "  ddr3-1866 ( trcd = 12 , tfaw = 26 )  ".parse().unwrap();
+        assert_eq!(spec.to_string(), "ddr3-1866(trcd=12,tfaw=26)");
+        let bare: TimingSpec = "ddr3-1333()".parse().unwrap();
+        assert_eq!(bare.to_string(), "ddr3-1333");
+        assert!(!bare.is_default());
+    }
+
+    #[test]
+    fn float_values_keep_their_type_through_display() {
+        assert_eq!(TimingValue::Float(2.0).to_string(), "2.0");
+        assert_eq!(
+            "2.0".parse::<TimingValue>().unwrap(),
+            TimingValue::Float(2.0)
+        );
+        assert_eq!("2".parse::<TimingValue>().unwrap(), TimingValue::Int(2));
+    }
+}

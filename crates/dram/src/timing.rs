@@ -19,11 +19,23 @@ pub struct ActTimings {
 impl ActTimings {
     /// Applies cycle reductions, saturating at 1 cycle (a zero-cycle
     /// `tRCD`/`tRAS` is physically meaningless).
+    ///
+    /// Saturation silently weakens the requested reduction; use
+    /// [`ActTimings::clamped_by`] to detect it — mechanisms surface a
+    /// `clamped_reduced_activates` counter so sweeps combining fast
+    /// timing presets with aggressive reductions stay auditable.
     pub fn reduced_by(self, trcd_reduction: u32, tras_reduction: u32) -> Self {
         Self {
             trcd: self.trcd.saturating_sub(trcd_reduction).max(1),
             tras: self.tras.saturating_sub(tras_reduction).max(1),
         }
+    }
+
+    /// True if [`ActTimings::reduced_by`] with these reductions would
+    /// saturate at the 1-cycle floor on either field (i.e. the full
+    /// reduction cannot be applied to this pair).
+    pub fn clamped_by(self, trcd_reduction: u32, tras_reduction: u32) -> bool {
+        trcd_reduction >= self.trcd || tras_reduction >= self.tras
     }
 }
 
@@ -78,6 +90,8 @@ pub enum SpeedBin {
     Ddr3_1600,
     /// DDR3-1866 (CL 13).
     Ddr3_1866,
+    /// DDR3-2133 (CL 14) — the fastest JEDEC DDR3 bin.
+    Ddr3_2133,
     /// DDR4-2400-class timing on the same model (CL 17).
     Ddr4_2400,
     /// LPDDR3-1600-class timing (mobile; relaxed core timings).
@@ -85,19 +99,63 @@ pub enum SpeedBin {
 }
 
 impl SpeedBin {
-    /// All presets.
-    pub const ALL: [SpeedBin; 6] = [
+    /// All presets, slowest DDR3 bin first.
+    pub const ALL: [SpeedBin; 7] = [
         SpeedBin::Ddr3_1066,
         SpeedBin::Ddr3_1333,
         SpeedBin::Ddr3_1600,
         SpeedBin::Ddr3_1866,
+        SpeedBin::Ddr3_2133,
         SpeedBin::Ddr4_2400,
         SpeedBin::Lpddr3_1600,
+    ];
+
+    /// The JEDEC DDR3 speed grades, slowest first (the
+    /// latency-sensitivity sweep axis).
+    pub const DDR3: [SpeedBin; 5] = [
+        SpeedBin::Ddr3_1066,
+        SpeedBin::Ddr3_1333,
+        SpeedBin::Ddr3_1600,
+        SpeedBin::Ddr3_1866,
+        SpeedBin::Ddr3_2133,
     ];
 
     /// The timing parameter set for this bin.
     pub fn timing(&self) -> TimingParams {
         TimingParams::for_bin(*self)
+    }
+
+    /// The preset name used by the [`crate::TimingSpec`] grammar.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpeedBin::Ddr3_1066 => "ddr3-1066",
+            SpeedBin::Ddr3_1333 => "ddr3-1333",
+            SpeedBin::Ddr3_1600 => "ddr3-1600",
+            SpeedBin::Ddr3_1866 => "ddr3-1866",
+            SpeedBin::Ddr3_2133 => "ddr3-2133",
+            SpeedBin::Ddr4_2400 => "ddr4-2400",
+            SpeedBin::Lpddr3_1600 => "lpddr3-1600",
+        }
+    }
+
+    /// The bin whose [`SpeedBin::name`] is `name`, if any.
+    pub fn from_name(name: &str) -> Option<SpeedBin> {
+        SpeedBin::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// One-line description for `cc-sim --list-timings`.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            SpeedBin::Ddr3_1066 => "DDR3-1066 7-7-7, 533 MHz bus (tCK 1.875 ns)",
+            SpeedBin::Ddr3_1333 => "DDR3-1333 9-9-9, 667 MHz bus (tCK 1.5 ns)",
+            SpeedBin::Ddr3_1600 => {
+                "DDR3-1600 11-11-11, 800 MHz bus (tCK 1.25 ns) — the paper's Table 1 device"
+            }
+            SpeedBin::Ddr3_1866 => "DDR3-1866 13-13-13, 933 MHz bus (tCK 1.071 ns)",
+            SpeedBin::Ddr3_2133 => "DDR3-2133 14-14-14, 1067 MHz bus (tCK 0.9375 ns)",
+            SpeedBin::Ddr4_2400 => "DDR4-2400-class 17-17-17 on the DDR3 model (tCK 0.833 ns)",
+            SpeedBin::Lpddr3_1600 => "LPDDR3-1600-class, relaxed mobile core timings (tCK 1.25 ns)",
+        }
     }
 }
 
@@ -138,6 +196,7 @@ impl TimingParams {
             SpeedBin::Ddr3_1333 => Self::from_ns(1.5, 13.5, 36.0, 13.5, 9, 7, 260.0),
             SpeedBin::Ddr3_1600 => Self::ddr3_1600(),
             SpeedBin::Ddr3_1866 => Self::from_ns(1.071, 13.91, 34.0, 13.91, 13, 9, 260.0),
+            SpeedBin::Ddr3_2133 => Self::from_ns(0.9375, 13.125, 33.0, 13.125, 14, 10, 260.0),
             SpeedBin::Ddr4_2400 => Self::from_ns(0.833, 14.16, 32.0, 14.16, 17, 12, 350.0),
             SpeedBin::Lpddr3_1600 => Self::from_ns(1.25, 18.0, 42.0, 18.0, 12, 8, 210.0),
         }
@@ -290,6 +349,15 @@ mod tests {
     }
 
     #[test]
+    fn clamped_by_detects_saturation() {
+        let a = ActTimings { trcd: 11, tras: 28 };
+        assert!(!a.clamped_by(4, 8));
+        assert!(!a.clamped_by(10, 27)); // exactly reaches the 1-cycle floor
+        assert!(a.clamped_by(11, 8)); // tRCD cannot absorb the reduction
+        assert!(a.clamped_by(4, 28)); // tRAS cannot absorb the reduction
+    }
+
+    #[test]
     fn invalid_params_detected() {
         let mut t = TimingParams::ddr3_1600();
         t.trc = 10;
@@ -316,12 +384,7 @@ mod tests {
     fn speed_bin_analog_timings_are_clock_independent() {
         // tRCD in nanoseconds stays within the DDR3 13-14 ns band across
         // the DDR3 bins even though the cycle counts differ.
-        for bin in [
-            SpeedBin::Ddr3_1066,
-            SpeedBin::Ddr3_1333,
-            SpeedBin::Ddr3_1600,
-            SpeedBin::Ddr3_1866,
-        ] {
+        for bin in SpeedBin::DDR3 {
             let t = bin.timing();
             let trcd_ns = f64::from(t.trcd) * t.tck_ns;
             assert!((13.0..=15.1).contains(&trcd_ns), "{bin:?}: {trcd_ns}");

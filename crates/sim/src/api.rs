@@ -41,6 +41,34 @@
 //! exactly like the built-ins, and parameter sweeps are spec patches
 //! ([`Variant::entries`], [`Variant::duration_ms`], [`Variant::param`]).
 //!
+//! # The timing axis
+//!
+//! A sweep can cross mechanisms × DRAM speed bins: the timing axis takes
+//! [`dram::TimingSpec`]s (`"ddr3-1866"`, `"ddr3-2133(trcd=13)"`), each
+//! installed through [`SystemConfig::set_timing`] so the core-to-bus
+//! clock ratio and the mechanisms' cycle reductions follow the selected
+//! `tck_ns`:
+//!
+//! ```
+//! use chargecache::MechanismSpec;
+//! use sim::api::Experiment;
+//! use sim::ExpParams;
+//! use traces::workload;
+//!
+//! let mut p = ExpParams::tiny();
+//! p.insts_per_core = 2_000;
+//! let sweep = Experiment::new()
+//!     .workload(workload("STREAMcopy").expect("paper workload"))
+//!     .timings(["ddr3-1600".parse().unwrap(), "ddr3-2133".parse().unwrap()])
+//!     .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::lldram()])
+//!     .params(p)
+//!     .run()
+//!     .expect("valid configuration");
+//! let base = sweep.cell_at("STREAMcopy", "ddr3-2133", "baseline", "paper").unwrap();
+//! let ll = sweep.cell_at("STREAMcopy", "ddr3-2133", "lldram", "paper").unwrap();
+//! assert!(ll.result.ipc(0) >= base.result.ipc(0));
+//! ```
+//!
 //! # Streaming probes
 //!
 //! A [`Probe`] observes a running [`System`] at a fixed cycle interval,
@@ -69,6 +97,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use chargecache::{registry, MechanismSpec, ParamValue};
+use dram::TimingSpec;
 use traces::{MixSpec, WorkloadSpec};
 
 use crate::config::{InvalidConfig, SystemConfig};
@@ -216,6 +245,7 @@ impl std::fmt::Debug for Variant {
 #[derive(Debug, Clone, Default)]
 pub struct Experiment {
     subjects: Vec<Subject>,
+    timings: Vec<TimingSpec>,
     mechanisms: Vec<MechanismSpec>,
     variants: Vec<Variant>,
     params: Option<ExpParams>,
@@ -258,6 +288,25 @@ impl Experiment {
     #[must_use]
     pub fn mixes(mut self, mixes: impl IntoIterator<Item = MixSpec>) -> Self {
         self.subjects.extend(mixes.into_iter().map(Subject::Mix));
+        self
+    }
+
+    /// Adds one timing spec to the timing axis (defaults to the single
+    /// paper `ddr3-1600` device when the axis is left empty). Each cell's
+    /// configuration is installed through [`SystemConfig::set_timing`],
+    /// so the core-to-bus clock ratio follows the preset and HCRAC/NUAT
+    /// cycle reductions re-quantize against the selected `tck_ns`.
+    #[must_use]
+    pub fn timing(mut self, t: TimingSpec) -> Self {
+        self.timings.push(t);
+        self
+    }
+
+    /// Appends to the timing axis ([`Experiment::run`] rejects
+    /// duplicates: they would alias in [`SweepResult`] lookups).
+    #[must_use]
+    pub fn timings(mut self, ts: impl IntoIterator<Item = TimingSpec>) -> Self {
+        self.timings.extend(ts);
         self
     }
 
@@ -333,14 +382,24 @@ impl Experiment {
     }
 
     /// The system configuration of one cell (public so callers can audit
-    /// exactly what a cell will run).
+    /// exactly what a cell will run). The timing spec installs first
+    /// (clock ratio, resolved DRAM parameters), then the
+    /// experiment-wide [`Experiment::configure`] override, then the
+    /// cell's variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `timing` fails [`TimingSpec::resolve`].
     pub fn cell_config(
         &self,
         subject: &Subject,
+        timing: &TimingSpec,
         mechanism: &MechanismSpec,
         variant: &Variant,
-    ) -> SystemConfig {
+    ) -> Result<SystemConfig, String> {
         let mut cfg = subject.base_config(mechanism);
+        cfg.set_timing(timing.clone())
+            .map_err(|e| format!("timing {timing}: {e}"))?;
         if let Some(c) = &self.configure {
             (c.apply)(&mut cfg);
         }
@@ -348,7 +407,7 @@ impl Experiment {
         if let Some(e) = self.engine {
             cfg.engine = e;
         }
-        cfg
+        Ok(cfg)
     }
 
     /// Executes the grid in parallel and returns the result table.
@@ -401,28 +460,51 @@ impl Experiment {
                 )));
             }
         }
+        let timings = if self.timings.is_empty() {
+            vec![TimingSpec::default()]
+        } else {
+            self.timings.clone()
+        };
+        for (i, t) in timings.iter().enumerate() {
+            if timings[..i].contains(t) {
+                return Err(InvalidConfig(format!("duplicate timing {t}")));
+            }
+        }
         let params = self.params.unwrap_or_default();
         let threads = self.threads.unwrap_or_else(default_threads).max(1);
 
-        // Grid cells, subject-major.
+        // Grid cells: subject-major, then timing, mechanism, variant.
         let mut jobs: Vec<Job> = Vec::new();
         for subject in &self.subjects {
-            for mech in &mechanisms {
-                for variant in &variants {
-                    let cfg = self.cell_config(subject, mech, variant);
-                    cfg.validate().map_err(InvalidConfig)?;
-                    jobs.push(Job {
-                        cfg,
-                        apps: subject.apps().to_vec(),
-                        params,
-                    });
+            for timing in &timings {
+                for mech in &mechanisms {
+                    for variant in &variants {
+                        let cfg = self
+                            .cell_config(subject, timing, mech, variant)
+                            .map_err(InvalidConfig)?;
+                        cfg.validate().map_err(InvalidConfig)?;
+                        jobs.push(Job {
+                            cfg,
+                            apps: subject.apps().to_vec(),
+                            params,
+                        });
+                    }
                 }
             }
         }
-        // Alone-IPC runs: one single-core job per distinct workload.
+        // Alone-IPC runs: one single-core job per distinct workload,
+        // under the sweep's (single) timing so the weighted-speedup
+        // denominators describe the same device as the cells.
         let mut alone_names: Vec<String> = Vec::new();
         let alone_spec = self.alone.as_ref().map(registry::canonicalize);
         if let Some(alone_mech) = &alone_spec {
+            if timings.len() > 1 {
+                return Err(InvalidConfig(
+                    "alone-IPC denominators are ambiguous across a multi-preset \
+                     timing axis; run one sweep per timing"
+                        .into(),
+                ));
+            }
             for subject in &self.subjects {
                 for app in subject.apps() {
                     if alone_names.iter().any(|n| n == app.name) {
@@ -430,6 +512,7 @@ impl Experiment {
                     }
                     alone_names.push(app.name.to_string());
                     let mut cfg = SystemConfig::paper_single_core(alone_mech.clone());
+                    cfg.set_timing(timings[0].clone()).map_err(InvalidConfig)?;
                     if let Some(e) = self.engine {
                         cfg.engine = e;
                     }
@@ -446,19 +529,25 @@ impl Experiment {
         let mut it = results.into_iter();
         let mut cells = Vec::new();
         for subject in &self.subjects {
-            for mech in &mechanisms {
-                for variant in &variants {
-                    // Record the *effective* spec — the axis spec after the
-                    // variant's parameter patches — so the JSON names the
-                    // exact configuration the cell ran.
-                    let effective = self.cell_config(subject, mech, variant).mechanism;
-                    cells.push(Cell {
-                        subject: subject.name().to_string(),
-                        apps: subject.apps().iter().map(|a| a.name.to_string()).collect(),
-                        mechanism: effective,
-                        variant: variant.label.clone(),
-                        result: it.next().expect("one result per cell").as_ref().clone(),
-                    });
+            for timing in &timings {
+                for mech in &mechanisms {
+                    for variant in &variants {
+                        // Record the *effective* spec — the axis spec after
+                        // the variant's parameter patches — so the JSON
+                        // names the exact configuration the cell ran.
+                        let effective = self
+                            .cell_config(subject, timing, mech, variant)
+                            .expect("validated above")
+                            .mechanism;
+                        cells.push(Cell {
+                            subject: subject.name().to_string(),
+                            apps: subject.apps().iter().map(|a| a.name.to_string()).collect(),
+                            timing: timing.clone(),
+                            mechanism: effective,
+                            variant: variant.label.clone(),
+                            result: it.next().expect("one result per cell").as_ref().clone(),
+                        });
+                    }
                 }
             }
         }
@@ -472,6 +561,7 @@ impl Experiment {
 
         Ok(SweepResult {
             params,
+            timings,
             mechanisms,
             variants: variants.iter().map(|v| v.label.clone()).collect(),
             cells,
@@ -587,6 +677,8 @@ pub struct Cell {
     pub subject: String,
     /// Application name per core.
     pub apps: Vec<String>,
+    /// DRAM timing spec of this cell.
+    pub timing: TimingSpec,
     /// Mechanism spec of this cell.
     pub mechanism: MechanismSpec,
     /// Variant label of this cell.
@@ -650,11 +742,14 @@ impl Cell {
 pub struct SweepResult {
     /// Run-length parameters shared by every cell.
     pub params: ExpParams,
+    /// Timing axis, in sweep order (a single `ddr3-1600` unless the
+    /// experiment set one).
+    pub timings: Vec<TimingSpec>,
     /// Mechanism axis, in sweep order.
     pub mechanisms: Vec<MechanismSpec>,
     /// Variant labels, in sweep order.
     pub variants: Vec<String>,
-    /// All cells, subject-major then mechanism then variant.
+    /// All cells, subject-major then timing then mechanism then variant.
     pub cells: Vec<Cell>,
     /// Alone-run IPC per workload (weighted-speedup denominators), in
     /// first-occurrence order. Empty unless
@@ -668,10 +763,31 @@ impl SweepResult {
     /// Looks up one cell by subject name, mechanism and variant label.
     /// `mechanism` matches either the spec's full string form
     /// (`"chargecache(entries=64)"`) or its bare name (first match when
-    /// the axis has several specs of one name).
+    /// the axis has several specs of one name). With a multi-preset
+    /// timing axis this returns the cell of whichever timing was listed
+    /// first; use [`SweepResult::cell_at`] to select a timing.
     pub fn cell(&self, subject: &str, mechanism: &str, variant: &str) -> Option<&Cell> {
         self.cells.iter().find(|c| {
             c.subject == subject && c.variant == variant && spec_matches(&c.mechanism, mechanism)
+        })
+    }
+
+    /// Looks up one cell by subject, timing spec string, mechanism and
+    /// variant label. `timing` matches the cell's full spec string
+    /// (`"ddr3-1866"`, `"ddr3-1600(trcd=13)"`); `mechanism` matches as
+    /// in [`SweepResult::cell`].
+    pub fn cell_at(
+        &self,
+        subject: &str,
+        timing: &str,
+        mechanism: &str,
+        variant: &str,
+    ) -> Option<&Cell> {
+        self.cells.iter().find(|c| {
+            c.subject == subject
+                && c.variant == variant
+                && c.timing.to_string() == timing
+                && spec_matches(&c.mechanism, mechanism)
         })
     }
 
@@ -714,11 +830,12 @@ impl SweepResult {
     }
 
     /// Encodes the whole table as deterministic JSON (schema
-    /// `chargecache-sweep/v2`; see `README.md` for the field reference).
-    /// Mechanisms are recorded as their spec strings
-    /// (`"chargecache(entries=64)"`), so custom registered mechanisms
-    /// round-trip losslessly; [`crate::json::parse_sweep`] reads v2 and
-    /// the pre-redesign v1 documents.
+    /// `chargecache-sweep/v3`; see `docs/SCHEMA.md` for the field
+    /// reference). Mechanisms and timings are recorded as their spec
+    /// strings (`"chargecache(entries=64)"`, `"ddr3-1866"`), so custom
+    /// registered mechanisms and overridden presets round-trip
+    /// losslessly; [`crate::json::parse_sweep`] reads v3 plus the
+    /// archived v2 and v1 documents.
     pub fn to_json(&self) -> String {
         let params = Json::Obj(vec![
             (
@@ -755,8 +872,17 @@ impl SweepResult {
         };
         let cells = Json::Arr(self.cells.iter().map(cell_json).collect());
         Json::Obj(vec![
-            ("schema".into(), Json::str(crate::json::SCHEMA_V2)),
+            ("schema".into(), Json::str(crate::json::SCHEMA_V3)),
             ("params".into(), params),
+            (
+                "timings".into(),
+                Json::Arr(
+                    self.timings
+                        .iter()
+                        .map(|t| Json::str(t.to_string()))
+                        .collect(),
+                ),
+            ),
             (
                 "mechanisms".into(),
                 Json::Arr(
@@ -787,6 +913,7 @@ fn cell_json(c: &Cell) -> Json {
     let r = &c.result;
     Json::Obj(vec![
         ("subject".into(), Json::str(&c.subject)),
+        ("timing".into(), Json::str(c.timing.to_string())),
         ("mechanism".into(), Json::str(c.mechanism.to_string())),
         ("variant".into(), Json::str(&c.variant)),
         (
@@ -1020,7 +1147,7 @@ mod tests {
         let doc = crate::json::parse(&sweep.to_json()).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some(crate::json::SCHEMA_V2)
+            Some(crate::json::SCHEMA_V3)
         );
         let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
         assert_eq!(cells.len(), 1);

@@ -2,8 +2,13 @@
 
 use chargecache::{registry, MechanismSpec};
 use cpu::{CoreConfig, LlcConfig};
-use dram::DramConfig;
+use dram::{DramConfig, TimingSpec};
 use memctrl::CtrlConfig;
+
+/// The paper's core clock in GHz (Table 1); [`SystemConfig::set_timing`]
+/// re-derives `cpu_per_bus` from it so the simulated CPU stays at ~4 GHz
+/// whatever bus clock the timing preset selects.
+const CPU_GHZ: f64 = 4.0;
 
 /// A configuration rejected by [`SystemConfig::validate`]: the first
 /// violated constraint, as a human-readable message.
@@ -48,7 +53,11 @@ pub struct SystemConfig {
     pub core: CoreConfig,
     /// Shared LLC parameters.
     pub llc: LlcConfig,
-    /// DRAM organization and timing.
+    /// DRAM organization and timing. `dram.timing` holds the *resolved*
+    /// parameter set; it must agree with [`SystemConfig::timing`]
+    /// ([`SystemConfig::validate`] checks) — change timings through
+    /// [`SystemConfig::set_timing`], which keeps the two in sync and
+    /// re-derives [`SystemConfig::cpu_per_bus`].
     pub dram: DramConfig,
     /// Controller parameters.
     pub ctrl: CtrlConfig,
@@ -59,6 +68,12 @@ pub struct SystemConfig {
     /// [`chargecache::registry::register_mechanism`] plug in here without
     /// any simulator change.
     pub mechanism: MechanismSpec,
+    /// DRAM timing selection, as a preset spec (`ddr3-1600`,
+    /// `ddr3-2133(trcd=13)`, …) mirroring the mechanism-spec grammar.
+    /// This is the *source of truth* the JSON output records per cell;
+    /// `dram.timing` carries its resolution. Defaults to the paper's
+    /// `ddr3-1600` device.
+    pub timing: TimingSpec,
     /// Main-loop engine (cycle-skipping by default).
     pub engine: Engine,
     /// Record the per-command DRAM log for energy accounting. Costs an
@@ -78,6 +93,7 @@ impl SystemConfig {
             dram: DramConfig::ddr3_1600_paper(),
             ctrl: CtrlConfig::paper_single_core(),
             mechanism,
+            timing: TimingSpec::default(),
             engine: Engine::default(),
             measure_energy: true,
         }
@@ -93,9 +109,39 @@ impl SystemConfig {
             dram: DramConfig::ddr3_1600_paper_2ch(),
             ctrl: CtrlConfig::paper_multi_core(),
             mechanism,
+            timing: TimingSpec::default(),
             engine: Engine::default(),
             measure_energy: true,
         }
+    }
+
+    /// Installs a timing spec: resolves it, replaces the DRAM timing
+    /// parameters, and re-derives [`SystemConfig::cpu_per_bus`] so the
+    /// simulated core clock stays at the paper's 4 GHz whatever bus
+    /// clock the preset selects (`ddr3-1600` keeps the Table 1 ratio
+    /// of 5 exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec names an unknown preset, carries an
+    /// unknown or ill-typed override, or resolves to an incoherent
+    /// parameter set ([`TimingSpec::resolve`]).
+    pub fn set_timing(&mut self, spec: TimingSpec) -> Result<(), String> {
+        let t = spec.resolve()?;
+        self.cpu_per_bus = (CPU_GHZ * t.tck_ns).round().max(1.0) as u64;
+        self.dram.timing = t;
+        self.timing = spec;
+        Ok(())
+    }
+
+    /// Builder form of [`SystemConfig::set_timing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the spec fails to resolve.
+    pub fn with_timing(mut self, spec: TimingSpec) -> Result<Self, String> {
+        self.set_timing(spec)?;
+        Ok(self)
     }
 
     /// Validates every sub-configuration.
@@ -113,6 +159,21 @@ impl SystemConfig {
         self.llc.validate()?;
         self.dram.validate()?;
         self.ctrl.validate()?;
+        // The timing spec is the source of truth the sweep JSON records;
+        // a `dram.timing` that drifted from it would make every cell's
+        // `timing` field a lie. Resolution also rejects incoherent specs
+        // (unknown presets, `tras` exceeding `trc`, a zero tCK, …).
+        let resolved = self
+            .timing
+            .resolve()
+            .map_err(|e| format!("timing {}: {e}", self.timing))?;
+        if resolved != self.dram.timing {
+            return Err(format!(
+                "dram.timing does not match the timing spec {} — set timings \
+                 through SystemConfig::set_timing",
+                self.timing
+            ));
+        }
         // Mechanism parameters are validated by their registered factory,
         // so bad specs (entries=0, non-power-of-two sets, zero caching
         // duration, unknown mechanisms or keys) surface here as
@@ -170,6 +231,36 @@ mod tests {
         assert_eq!(c.llc.ways, 16);
         assert_eq!(c.dram.org.channels, 2);
         assert_eq!(c.dram.org.banks, 8);
+    }
+
+    #[test]
+    fn set_timing_keeps_spec_and_params_in_sync() {
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.set_timing("ddr3-2133".parse().unwrap()).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.dram.timing, dram::SpeedBin::Ddr3_2133.timing());
+        // 4 GHz core over a 1067 MHz bus: 4 × 0.9375 = 3.75 → 4.
+        assert_eq!(c.cpu_per_bus, 4);
+        // The default spec reproduces the paper constructor exactly.
+        let d = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        assert_eq!(d.cpu_per_bus, 5);
+        assert_eq!(
+            d.clone().with_timing(TimingSpec::default()).unwrap().dram,
+            d.dram
+        );
+    }
+
+    #[test]
+    fn drifted_dram_timing_fails_validation() {
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.dram.timing = dram::SpeedBin::Ddr3_1866.timing();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("set_timing"), "{err}");
+
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.timing = "no-such-preset".parse().unwrap();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("unknown timing preset"), "{err}");
     }
 
     #[test]

@@ -14,11 +14,22 @@ use std::fmt;
 /// reads it.
 pub const SCHEMA_V1: &str = "chargecache-sweep/v1";
 
-/// The current sweep schema: mechanisms recorded as
+/// The PR 3 sweep schema: mechanisms recorded as
 /// [`chargecache::MechanismSpec`] strings (`chargecache(entries=64)`),
 /// plus a per-cell `mech` counter object — custom registered mechanisms
-/// round-trip losslessly.
+/// round-trip losslessly. [`parse_sweep`] still reads it.
 pub const SCHEMA_V2: &str = "chargecache-sweep/v2";
+
+/// The current sweep schema: v2 plus the DRAM timing axis — a top-level
+/// `timings` array and a per-cell `timing` field, both
+/// [`dram::TimingSpec`] strings (`"ddr3-1866"`,
+/// `"ddr3-1600(trcd=13)"`). v1/v2 documents, which predate configurable
+/// timing, are read as implicitly `ddr3-1600` (the only device they
+/// could have simulated).
+pub const SCHEMA_V3: &str = "chargecache-sweep/v3";
+
+/// The timing spec string v1/v2 documents are normalized to.
+const V1_V2_TIMING: &str = "ddr3-1600";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -361,6 +372,8 @@ impl Parser<'_> {
 pub struct SweepCellDoc {
     /// Subject (workload or mix) name.
     pub subject: String,
+    /// Timing spec string (v3; v1/v2 cells read as `"ddr3-1600"`).
+    pub timing: String,
     /// Mechanism spec string, normalized to the v2 naming (v1 ids like
     /// `cc` are mapped to `chargecache`).
     pub mechanism: String,
@@ -385,8 +398,10 @@ pub struct SweepCellDoc {
 /// A parsed sweep document (see [`parse_sweep`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepDoc {
-    /// Schema version: 1 or 2.
+    /// Schema version: 1, 2 or 3.
     pub schema_version: u32,
+    /// Timing axis as spec strings (v3; `["ddr3-1600"]` for v1/v2).
+    pub timings: Vec<String>,
     /// Mechanism axis as normalized spec strings.
     pub mechanisms: Vec<String>,
     /// Variant labels.
@@ -433,11 +448,13 @@ fn num_field(v: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field {key:?}"))
 }
 
-/// Parses a sweep document of either schema into a [`SweepDoc`].
+/// Parses a sweep document of any schema version into a [`SweepDoc`].
 ///
-/// v2 (`chargecache-sweep/v2`) is read as-is; v1 mechanisms ids are
-/// normalized to the v2 spec naming, so downstream tooling written
-/// against v2 reads archived v1 results unchanged.
+/// v3 (`chargecache-sweep/v3`) is read as-is; v1/v2 documents, which
+/// predate configurable timing, get a `["ddr3-1600"]` timing axis and
+/// `"ddr3-1600"` per cell, and v1 mechanism ids are normalized to the
+/// v2+ spec naming — so downstream tooling written against v3 reads
+/// archived results unchanged.
 ///
 /// # Errors
 ///
@@ -449,6 +466,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
     let schema_version = match schema.as_str() {
         SCHEMA_V1 => 1,
         SCHEMA_V2 => 2,
+        SCHEMA_V3 => 3,
         other => return Err(format!("unknown sweep schema {other:?}")),
     };
     let normalize = |s: &str| -> String {
@@ -475,6 +493,11 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         .map(|m| normalize(&m))
         .collect();
     let variants = str_arr("variants")?;
+    let timings = if schema_version >= 3 {
+        str_arr("timings")?
+    } else {
+        vec![V1_V2_TIMING.to_string()]
+    };
     let (alone_mechanism, alone_ipc) = match doc.get("alone_ipc") {
         None | Some(Json::Null) => (None, Vec::new()),
         Some(alone) => {
@@ -527,8 +550,14 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => Vec::new(),
         };
+        let timing = if schema_version >= 3 {
+            str_field(cell, "timing")?
+        } else {
+            V1_V2_TIMING.to_string()
+        };
         cells.push(SweepCellDoc {
             subject: str_field(cell, "subject")?,
+            timing,
             mechanism: normalize(&str_field(cell, "mechanism")?),
             variant: str_field(cell, "variant")?,
             apps,
@@ -542,6 +571,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
     }
     Ok(SweepDoc {
         schema_version,
+        timings,
         mechanisms,
         variants,
         alone_mechanism,
@@ -625,6 +655,9 @@ mod tests {
         let doc = parse_sweep(v1).unwrap();
         assert_eq!(doc.schema_version, 1);
         assert_eq!(doc.mechanisms, ["baseline", "chargecache", "cc-nuat"]);
+        // Pre-v3 documents could only describe the paper's device.
+        assert_eq!(doc.timings, ["ddr3-1600"]);
+        assert_eq!(doc.cells[0].timing, "ddr3-1600");
         assert_eq!(doc.alone_mechanism.as_deref(), Some("chargecache"));
         assert_eq!(doc.alone_ipc, vec![("tpch2".to_string(), 0.5)]);
         let cell = doc.cell("tpch2", "chargecache", "128").unwrap();

@@ -29,6 +29,8 @@
 //! assert!(sweep.cells[0].metric(Metric::Ipc) > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod config;
 pub mod exp;
@@ -38,6 +40,7 @@ pub mod system;
 
 pub use api::{Experiment, Metric, Probe, SweepResult, Variant};
 pub use config::{Engine, InvalidConfig, SystemConfig};
+pub use dram::{SpeedBin, TimingSpec};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};
 pub use metrics::{speedup_over, weighted_speedup, RunResult};
 pub use system::System;

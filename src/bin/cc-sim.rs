@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! cc-sim --list-mechanisms                      # registered mechanism specs
+//! cc-sim --list-timings                         # DRAM timing presets
 //! cc-sim --list-workloads                       # 22 workloads + 20 mixes
 //! cc-sim run  --workload mcf --mechanism chargecache
 //! cc-sim run  --workload mcf --mechanism 'chargecache(entries=1024,duration=2ms)'
 //! cc-sim run  --workload mcf --mechanism refresh-cc   # plugin mechanism
 //! cc-sim run  --workload mcf --mechanism all    # the paper's five
-//! cc-sim run  --workload mcf --json             # machine-readable sweep (v2)
+//! cc-sim run  --workload mcf --timing ddr3-2133 # a faster speed bin
+//! cc-sim run  --workload mcf --json             # machine-readable sweep (v3)
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
 //! cc-sim bitline --age 64                       # waveform CSV
 //! cc-sim overhead --cores 8 --channels 2 --entries 128
@@ -17,11 +19,15 @@
 //! `name(key=val,...)` grammar — including plugin mechanisms like
 //! `perfect-cc` and `refresh-cc`, which live outside `crates/core` and
 //! register at startup. `--list-mechanisms` prints every registered
-//! factory with its parameter defaults.
+//! factory with its parameter defaults. `--timing` accepts any JEDEC
+//! speed-bin preset in the matching `preset(key=val,...)` grammar
+//! (`ddr3-1066` … `ddr3-2133`, `ddr4-2400`, `lpddr3-1600`), with
+//! per-parameter overrides like `ddr3-1866(trcd=12)`.
 //!
-//! Common `run`/`mix` flags: `--entries N`, `--duration MS` (parameter
-//! patches applied to every mechanism that supports them), `--insts N`,
-//! `--warmup N`, `--seed N`, `--threads N`, `--csv`, `--json`.
+//! Common `run`/`mix` flags: `--timing SPEC`, `--entries N`,
+//! `--duration MS` (parameter patches applied to every mechanism that
+//! supports them), `--insts N`, `--warmup N`, `--seed N`, `--threads N`,
+//! `--csv`, `--json`.
 //!
 //! Flags are parsed by a typed parser: unknown flags are rejected, every
 //! value is validated at the boundary, and the experiments themselves run
@@ -32,6 +38,7 @@ use std::process::ExitCode;
 
 use chargecache::{registry, MechanismSpec, OverheadModel, ParamValue};
 use chargecache_repro::mechs::register_extended_mechanisms;
+use dram::TimingSpec;
 use sim::api::Experiment;
 use sim::exp::{default_threads, ExpParams};
 use sim::RunResult;
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "list" | "--list-workloads" => cmd_list(),
         "--list-mechanisms" => cmd_list_mechanisms(),
+        "--list-timings" => cmd_list_timings(),
         "run" => RunArgs::parse(rest).and_then(|a| cmd_run(&a)),
         "mix" => MixArgs::parse(rest).and_then(|a| cmd_mix(&a)),
         "bitline" => BitlineArgs::parse(rest).and_then(|a| cmd_bitline(&a)),
@@ -74,6 +82,7 @@ cc-sim — ChargeCache (HPCA 2016) reproduction CLI
 
 USAGE:
   cc-sim --list-mechanisms            registered mechanism specs + defaults
+  cc-sim --list-timings               DRAM timing presets (JEDEC speed bins)
   cc-sim --list-workloads             the 22 workloads and 20 mixes (alias: list)
   cc-sim run  --workload <name> --mechanism <spec|all> [options]
   cc-sim mix  --index <1..20>   --mechanism <spec|all> [options]
@@ -88,7 +97,15 @@ MECHANISM SPECS:
     --mechanism all                              (the paper's five)
   see `cc-sim --list-mechanisms` for names, defaults and descriptions
 
+TIMING SPECS:
+  a JEDEC speed-bin preset, optionally with parameter overrides, e.g.
+    --timing ddr3-1600                           (the paper's Table 1 device)
+    --timing ddr3-2133
+    --timing 'ddr3-1866(trcd=12,tfaw=26)'
+  see `cc-sim --list-timings` for presets and their resolved parameters
+
 OPTIONS (run/mix):
+  --timing SPEC   DRAM timing preset spec         [default ddr3-1600]
   --entries N     HCRAC entries per core patch    [default: per mechanism]
   --duration MS   caching duration patch, in ms   [default: per mechanism]
   --insts N       measured instructions per core  [default 120000 × CC_SCALE]
@@ -96,7 +113,7 @@ OPTIONS (run/mix):
   --seed N        trace seed                      [default 42]
   --threads N     sweep worker threads            [default: all cores]
   --csv           machine-readable CSV output
-  --json          machine-readable JSON sweep (schema chargecache-sweep/v2)";
+  --json          machine-readable JSON sweep (schema chargecache-sweep/v3)";
 
 // ---------------------------------------------------------------------------
 // Typed flag parsing
@@ -139,6 +156,7 @@ impl<'a> Cursor<'a> {
 /// Flags shared by `run` and `mix`.
 struct SweepArgs {
     mechanisms: Vec<MechanismSpec>,
+    timing: Option<TimingSpec>,
     entries: Option<usize>,
     duration: Option<f64>,
     insts: Option<u64>,
@@ -153,6 +171,7 @@ impl Default for SweepArgs {
     fn default() -> Self {
         Self {
             mechanisms: MechanismSpec::paper_all().to_vec(),
+            timing: None,
             entries: None,
             duration: None,
             insts: None,
@@ -171,6 +190,14 @@ impl SweepArgs {
     fn try_flag(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
         match flag {
             "mechanism" => self.mechanisms = parse_mechanisms(cur.value(flag)?)?,
+            "timing" => {
+                let spec: TimingSpec = cur.value(flag)?.parse()?;
+                // Resolve up front so a bad preset or incoherent override
+                // fails at the flag, not deep inside the sweep.
+                spec.resolve()
+                    .map_err(|e| format!("{e} — see `cc-sim --list-timings`"))?;
+                self.timing = Some(spec);
+            }
             "entries" => self.entries = Some(cur.parsed(flag)?),
             "duration" => self.duration = Some(cur.parsed(flag)?),
             "insts" => self.insts = Some(cur.parsed(flag)?),
@@ -225,10 +252,14 @@ impl SweepArgs {
     }
 
     fn experiment(&self) -> Result<Experiment, String> {
-        Ok(Experiment::new()
+        let mut exp = Experiment::new()
             .mechanisms(&self.specs()?)
             .params(self.params())
-            .threads(self.threads.unwrap_or_else(default_threads)))
+            .threads(self.threads.unwrap_or_else(default_threads));
+        if let Some(t) = &self.timing {
+            exp = exp.timing(t.clone());
+        }
+        Ok(exp)
     }
 }
 
@@ -355,6 +386,27 @@ fn cmd_list_mechanisms() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_list_timings() -> Result<(), String> {
+    println!("DRAM timing presets (name — CL-tRCD-tRP @ tCK):");
+    for (name, describe, t) in TimingSpec::presets() {
+        println!(
+            "  {name:<12} {}-{}-{} @ {} ns",
+            t.tcl, t.trcd, t.trp, t.tck_ns
+        );
+        println!("               {describe}");
+        println!(
+            "               tRAS={} tRC={} tFAW={} tRRD={} tRFC={} tREFI={}",
+            t.tras, t.trc, t.tfaw, t.trrd, t.trfc, t.trefi
+        );
+    }
+    println!(
+        "\nspec grammar: preset(key=val,...)   e.g. 'ddr3-1866(trcd=12,tfaw=26)'\n\
+         override keys: {}",
+        dram::TIMING_KEYS.join(", ")
+    );
+    Ok(())
+}
+
 fn cmd_list() -> Result<(), String> {
     println!("single-core workloads:");
     for w in single_core_workloads() {
@@ -428,8 +480,9 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
     if !a.csv {
         let mechs: Vec<String> = sweep.mechanisms.iter().map(|m| m.to_string()).collect();
         println!(
-            "workload {} | {} | {} insts/core\n",
+            "workload {} | {} | {} | {} insts/core\n",
             spec.name,
+            sweep.timings[0],
             mechs.join(", "),
             sweep.params.insts_per_core
         );

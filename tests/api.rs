@@ -195,13 +195,14 @@ fn cc_sim_json_is_valid_and_thread_count_invariant() {
     let doc = sim::json::parse(serial.trim()).expect("cc-sim --json emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some(sim::json::SCHEMA_V2)
+        Some(sim::json::SCHEMA_V3)
     );
     let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
     assert_eq!(cells.len(), MechanismSpec::paper_all().len());
     // And the typed parser reads the CLI's output directly.
-    let typed = sim::json::parse_sweep(&serial).expect("typed v2 parse");
-    assert_eq!(typed.schema_version, 2);
+    let typed = sim::json::parse_sweep(&serial).expect("typed v3 parse");
+    assert_eq!(typed.schema_version, 3);
+    assert_eq!(typed.timings, ["ddr3-1600"]);
     assert!(typed.cell("tpch2", "chargecache", "paper").is_some());
     for cell in cells {
         assert_eq!(cell.get("subject").and_then(|s| s.as_str()), Some("tpch2"));

@@ -225,7 +225,7 @@ fn cc_sim_lists_and_runs_plugin_mechanisms() {
     assert!(text.contains("entries=128"), "defaults not shown:\n{text}");
 
     // A plugin spec with parameters runs through --mechanism and lands in
-    // the v2 JSON.
+    // the v3 JSON.
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
         .args([
             "run",
@@ -243,7 +243,7 @@ fn cc_sim_lists_and_runs_plugin_mechanisms() {
         .expect("cc-sim runs");
     assert!(out.status.success(), "cc-sim failed: {out:?}");
     let doc = sim::json::parse_sweep(&String::from_utf8(out.stdout).unwrap()).unwrap();
-    assert_eq!(doc.schema_version, 2);
+    assert_eq!(doc.schema_version, 3);
     assert_eq!(doc.mechanisms, ["refresh-cc(entries=256)"]);
     assert!(doc.cell("tpch2", "refresh-cc", "paper").is_some());
 }
