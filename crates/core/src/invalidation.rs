@@ -52,6 +52,12 @@ impl PeriodicInvalidator {
         self.period
     }
 
+    /// Cycle at which the next invalidation fires. Ticking before this
+    /// cycle is a no-op, which callers use to gate the per-tick sweep.
+    pub fn next_fire(&self) -> u64 {
+        self.next_fire
+    }
+
     /// Advances time to `now` and returns the indices of every entry whose
     /// invalidation fired in the interim (usually zero or one; more if the
     /// caller ticks coarsely).

@@ -152,6 +152,12 @@ pub struct ChargeCache {
     /// called at arbitrary (cycle-skipped) times and still expire at the
     /// same boundaries a per-cycle caller would.
     next_sweep: u64,
+    /// Earliest `next_fire` across the periodic invalidators: ticks
+    /// before this cycle return immediately instead of polling every
+    /// per-core invalidator (the controller ticks the mechanism on every
+    /// visited bus boundary; invalidations fire orders of magnitude less
+    /// often).
+    next_fire_min: u64,
     activates: u64,
     reduced_activates: u64,
     /// True when the configured reductions saturate at the 1-cycle floor
@@ -205,6 +211,7 @@ impl ChargeCache {
             caches,
             invalidators,
             next_sweep: 0,
+            next_fire_min: 0,
             activates: 0,
             reduced_activates: 0,
             reduced_is_clamped,
@@ -300,11 +307,20 @@ impl LatencyMechanism for ChargeCache {
             }
             return;
         }
+        // Nothing can fire before the earliest pending invalidation, and
+        // ticks arrive once per visited bus boundary — skip the per-core
+        // poll until then.
+        if now < self.next_fire_min {
+            return;
+        }
+        let mut min = u64::MAX;
         for (inv, cache) in self.invalidators.iter_mut().zip(&mut self.caches) {
             for idx in inv.advance(now) {
                 cache.invalidate_index(idx);
             }
+            min = min.min(inv.next_fire());
         }
+        self.next_fire_min = min;
     }
 
     fn report_stats(&self, out: &mut dyn StatSink) {

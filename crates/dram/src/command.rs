@@ -22,6 +22,23 @@ impl BankLoc {
             rank: self.rank,
         }
     }
+
+    /// Flat rank-major index of this bank within its channel
+    /// (`rank * banks_per_rank + bank`). Controllers use it to key
+    /// per-bank state vectors; inverse of [`BankLoc::from_flat_index`].
+    pub fn flat_index(&self, banks_per_rank: u8) -> usize {
+        usize::from(self.rank) * usize::from(banks_per_rank) + usize::from(self.bank)
+    }
+
+    /// Reconstructs the bank at flat rank-major `index` of `channel`.
+    /// Inverse of [`BankLoc::flat_index`].
+    pub fn from_flat_index(channel: u8, index: usize, banks_per_rank: u8) -> Self {
+        Self {
+            channel,
+            rank: (index / usize::from(banks_per_rank)) as u8,
+            bank: (index % usize::from(banks_per_rank)) as u8,
+        }
+    }
 }
 
 /// Coordinates of one rank in the memory system.
@@ -255,5 +272,25 @@ mod tests {
         assert!(!CommandKind::Rd.is_write());
         assert!(CommandKind::WrA.is_write());
         assert!(!CommandKind::Ref.is_read());
+    }
+
+    #[test]
+    fn flat_index_roundtrips_rank_major() {
+        let banks = 8;
+        let mut seen = vec![false; 2 * usize::from(banks)];
+        for rank in 0..2u8 {
+            for bank in 0..banks {
+                let loc = BankLoc {
+                    channel: 1,
+                    rank,
+                    bank,
+                };
+                let idx = loc.flat_index(banks);
+                assert!(!seen[idx], "flat index {idx} collides");
+                seen[idx] = true;
+                assert_eq!(BankLoc::from_flat_index(1, idx, banks), loc);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

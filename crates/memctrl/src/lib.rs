@@ -46,6 +46,8 @@ pub use reuse::{ReuseReport, RowReuseTracker};
 pub use rltl::{RltlReport, RltlTracker, PAPER_INTERVALS_MS};
 pub use stats::CtrlStats;
 
+use std::sync::Arc;
+
 use chargecache::{
     registry, Baseline, LatencyMechanism, MechanismContext, MechanismReport, MechanismSpec,
 };
@@ -85,22 +87,16 @@ impl MemorySystem {
             "need one mechanism per channel"
         );
         let mapper = AddressMapper::paper_default(dram_cfg.org.clone());
-        let cycles_per_ms = dram_cfg.timing.cycles_per_ms();
-        let device = DramDevice::new(dram_cfg.clone());
+        // Cold-path allocation hygiene: one shared controller config
+        // instead of a deep clone per channel, and the DRAM config moves
+        // into the device instead of being cloned for it.
+        let ctrl_cfg = Arc::new(ctrl_cfg);
         let channels = mechs
             .into_iter()
             .enumerate()
-            .map(|(ch, mech)| {
-                ChannelCtrl::new(
-                    ch as u8,
-                    ctrl_cfg.clone(),
-                    mech,
-                    dram_cfg.org.ranks,
-                    dram_cfg.org.banks,
-                    cycles_per_ms,
-                )
-            })
+            .map(|(ch, mech)| ChannelCtrl::new(ch as u8, Arc::clone(&ctrl_cfg), mech, &dram_cfg))
             .collect();
+        let device = DramDevice::new(dram_cfg);
         Self {
             device,
             mapper,

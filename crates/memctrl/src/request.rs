@@ -35,6 +35,25 @@ pub(crate) struct Pending {
     pub kind: AccessKind,
 }
 
+/// Per-request scheduling progress, used to classify row hits, misses and
+/// conflicts the way the paper's methodology does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Progress {
+    /// Not yet touched by the scheduler.
+    Fresh,
+    /// We issued a precharge on this request's behalf (row conflict).
+    PreIssued,
+    /// We issued the activation (row miss or tail of a conflict).
+    ActIssued,
+}
+
+/// A request resident in a per-bank scheduler queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Queued {
+    pub p: Pending,
+    pub progress: Progress,
+}
+
 /// Completion notification returned by `MemorySystem::tick`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {

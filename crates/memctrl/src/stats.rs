@@ -24,6 +24,15 @@ pub struct CtrlStats {
     /// Read-latency histogram: bucket `i` counts completions with latency
     /// ≤ 2^i bus cycles (last bucket catches everything beyond).
     pub read_latency_hist: [u64; 16],
+    /// Scheduler passes run (cycles where the issue gate was open).
+    /// Deterministic and engine-independent, but *not* part of the
+    /// paper-facing metric surface — it measures scheduler work.
+    pub sched_passes: u64,
+    /// Per-bank evaluations performed across all scheduler passes. With
+    /// the bank-indexed scheduler, `sched_bank_visits / sched_passes`
+    /// stays flat as queues deepen (the flat-scan design grew linearly
+    /// with queue occupancy).
+    pub sched_bank_visits: u64,
 }
 
 impl CtrlStats {
@@ -91,6 +100,18 @@ impl CtrlStats {
         self.read_latency_count += o.read_latency_count;
         for (a, b) in self.read_latency_hist.iter_mut().zip(&o.read_latency_hist) {
             *a += b;
+        }
+        self.sched_passes += o.sched_passes;
+        self.sched_bank_visits += o.sched_bank_visits;
+    }
+
+    /// Mean bank evaluations per scheduler pass — the per-pass scan cost
+    /// the bank index keeps flat in queue depth.
+    pub fn bank_visits_per_pass(&self) -> f64 {
+        if self.sched_passes == 0 {
+            0.0
+        } else {
+            self.sched_bank_visits as f64 / self.sched_passes as f64
         }
     }
 }

@@ -471,6 +471,8 @@ fn ctrl_sub(a: &mut memctrl::CtrlStats, b: &memctrl::CtrlStats) {
     for (x, y) in a.read_latency_hist.iter_mut().zip(&b.read_latency_hist) {
         *x -= y;
     }
+    a.sched_passes -= b.sched_passes;
+    a.sched_bank_visits -= b.sched_bank_visits;
 }
 
 /// Resolves one core memory access against the LLC and memory system.
@@ -610,26 +612,24 @@ mod tests {
             cfg.dram.org.rows = 1024; // keep the address space tight
             cfg
         };
-        // Bank-conflict-heavy pattern: two regions 64 KB apart.
-        let entries: Vec<TraceEntry> = (0..2000)
-            .map(|i| TraceEntry {
-                nonmem: 2,
-                op: Some(MemOp::Load((i % 2) * 65536 + (i / 2 % 64) * 64 * 7)),
-            })
-            .collect();
+        // Bank-conflict-heavy pattern: two regions 64 KB apart. One
+        // VecTrace allocation serves both runs (clone the replay cursor,
+        // not the entry vector).
+        let trace = VecTrace::once(
+            (0..2000)
+                .map(|i| TraceEntry {
+                    nonmem: 2,
+                    op: Some(MemOp::Load((i % 2) * 65536 + (i / 2 % 64) * 64 * 7)),
+                })
+                .collect(),
+        );
         let base = {
-            let mut s = System::new(
-                mk(MechanismSpec::baseline()),
-                vec![Box::new(VecTrace::once(entries.clone()))],
-            );
+            let mut s = System::new(mk(MechanismSpec::baseline()), vec![Box::new(trace.clone())]);
             assert!(s.run_until_retired(3000, 10_000_000));
             s.now()
         };
         let cc = {
-            let mut s = System::new(
-                mk(MechanismSpec::chargecache()),
-                vec![Box::new(VecTrace::once(entries))],
-            );
+            let mut s = System::new(mk(MechanismSpec::chargecache()), vec![Box::new(trace)]);
             assert!(s.run_until_retired(3000, 10_000_000));
             s.now()
         };
