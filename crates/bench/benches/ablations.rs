@@ -27,7 +27,7 @@ fn cc_variant(label: &str, key: &'static str, value: ParamValue) -> Variant {
 fn hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
     let hs: Vec<f64> = sweep
         .cells_of("chargecache", variant)
-        .filter_map(|c| c.result.hcrac_hit_rate())
+        .filter_map(|c| c.result().hcrac_hit_rate())
         .collect();
     mean(&hs)
 }
@@ -122,8 +122,8 @@ fn main() {
         let speedups: Vec<f64> = sched_sweep
             .cells_of("baseline", &label)
             .zip(sched_sweep.cells_of("chargecache", &label))
-            .filter(|(b, _)| b.result.ipc(0) > 0.0)
-            .map(|(b, c)| c.result.ipc(0) / b.result.ipc(0) - 1.0)
+            .filter(|(b, _)| b.result().ipc(0) > 0.0)
+            .map(|(b, c)| c.result().ipc(0) / b.result().ipc(0) - 1.0)
             .collect();
         let g = mean(&speedups);
         println!("{sched:?}: ChargeCache gains {} on average", pct(g));

@@ -59,8 +59,8 @@ fn main() {
         .run()
         .expect("paper configuration is valid");
     for cell in &sweep.cells {
-        let fr = print_row(&cell.subject, &cell.variant, &cell.result);
-        if cell.result.rltl.activations > 0 {
+        let fr = print_row(&cell.subject, &cell.variant, cell.result());
+        if cell.result().rltl.activations > 0 {
             let store = if cell.variant == "open" {
                 &mut avg_open
             } else {
@@ -97,7 +97,7 @@ fn main() {
         .run()
         .expect("paper configuration is valid");
     for cell in &sweep8.cells {
-        let fr = print_row(&cell.subject, &cell.variant, &cell.result);
+        let fr = print_row(&cell.subject, &cell.variant, cell.result());
         for (acc, f) in avg8.iter_mut().zip(fr) {
             acc.push(f);
         }

@@ -51,7 +51,7 @@ fn main() {
         for (j, k) in MECHS.iter().enumerate() {
             per_mech.entry(k).or_default().push(speedups[j]);
         }
-        rows.push((spec.name.to_string(), b.result.rmpkc(), speedups));
+        rows.push((spec.name.to_string(), b.result().rmpkc(), speedups));
     }
     // The paper sorts Figure 7a by ascending RMPKC.
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -116,7 +116,7 @@ fn main() {
         println!(
             "{:<6} {:>8.2} {:>9} {:>12} {:>9} {:>9}",
             mix.name,
-            b.result.rmpkc(),
+            b.result().rmpkc(),
             pct(speedups[0]),
             pct(speedups[1]),
             pct(speedups[2]),

@@ -30,7 +30,7 @@ fn capacity_variants() -> Vec<Variant> {
 fn mean_hit_rate(sweep: &SweepResult, variant: &str) -> f64 {
     let hs: Vec<f64> = sweep
         .cells_of("chargecache", variant)
-        .filter_map(|c| c.result.hcrac_hit_rate())
+        .filter_map(|c| c.result().hcrac_hit_rate())
         .collect();
     mean(&hs)
 }

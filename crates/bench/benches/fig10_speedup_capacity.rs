@@ -65,7 +65,7 @@ fn main() {
                 let c = cc1
                     .cell(&b.subject, "chargecache", &label)
                     .expect("capacity cell");
-                c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0
+                c.result().ipc(0) / b.result().ipc(0).max(1e-9) - 1.0
             })
             .collect();
         let s8: Vec<f64> = base8
@@ -75,7 +75,7 @@ fn main() {
                 let c = cc8
                     .cell(&b.subject, "chargecache", &label)
                     .expect("capacity cell");
-                c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0
+                c.result().ipc_sum() / b.result().ipc_sum().max(1e-9) - 1.0
             })
             .collect();
         println!(

@@ -73,8 +73,8 @@ fn main() {
             let c = cc1
                 .cell(&b.subject, "chargecache", &label)
                 .expect("duration cell");
-            s1.push(c.result.ipc(0) / b.result.ipc(0).max(1e-9) - 1.0);
-            if let Some(h) = c.result.hcrac_hit_rate() {
+            s1.push(c.result().ipc(0) / b.result().ipc(0).max(1e-9) - 1.0);
+            if let Some(h) = c.result().hcrac_hit_rate() {
                 h1.push(h);
             }
         }
@@ -84,8 +84,8 @@ fn main() {
             let c = cc8
                 .cell(&b.subject, "chargecache", &label)
                 .expect("duration cell");
-            s8.push(c.result.ipc_sum() / b.result.ipc_sum().max(1e-9) - 1.0);
-            if let Some(h) = c.result.hcrac_hit_rate() {
+            s8.push(c.result().ipc_sum() / b.result().ipc_sum().max(1e-9) - 1.0);
+            if let Some(h) = c.result().hcrac_hit_rate() {
                 h8.push(h);
             }
         }

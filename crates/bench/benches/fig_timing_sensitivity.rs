@@ -55,12 +55,12 @@ fn main() {
             let base = sweep
                 .cell_at(w.name, &timing, "baseline", "paper")
                 .expect("baseline cell");
-            base_ipc.push(base.result.ipc(0));
+            base_ipc.push(base.result().ipc(0));
             for (i, mech) in ["chargecache", "cc-nuat", "lldram"].iter().enumerate() {
                 let c = sweep
                     .cell_at(w.name, &timing, mech, "paper")
                     .expect("mechanism cell");
-                speedups[i].push(c.result.ipc(0) / base.result.ipc(0).max(1e-9) - 1.0);
+                speedups[i].push(c.result().ipc(0) / base.result().ipc(0).max(1e-9) - 1.0);
             }
         }
         println!(

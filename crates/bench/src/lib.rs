@@ -72,7 +72,12 @@ pub fn all_single(mechanism: &MechanismSpec, p: &ExpParams) -> Vec<(WorkloadSpec
         .expect("paper configuration is valid");
     specs
         .into_iter()
-        .zip(sweep.cells.into_iter().map(|c| c.result))
+        .zip(
+            sweep
+                .cells
+                .into_iter()
+                .map(|c| c.outcome.expect("sweep cell failed")),
+        )
         .collect()
 }
 
@@ -91,7 +96,12 @@ pub fn all_eight(
     mix_list
         .iter()
         .cloned()
-        .zip(sweep.cells.into_iter().map(|c| c.result))
+        .zip(
+            sweep
+                .cells
+                .into_iter()
+                .map(|c| c.outcome.expect("sweep cell failed")),
+        )
         .collect()
 }
 

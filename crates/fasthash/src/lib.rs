@@ -86,6 +86,53 @@ pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 /// `HashSet` keyed with [`FastHasher`].
 pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 
+// ---------------------------------------------------------------------------
+// Stable content hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a 64-bit offset basis (the checksum variant).
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 128-bit FNV-1a over a byte stream: the *stable content hash* used to
+/// key the disk-backed run cache (`sim::cache`).
+///
+/// Unlike [`FastHasher`] — whose only contract is determinism within one
+/// process family — this digest is a frozen wire format: the same bytes
+/// hash to the same value on every platform, build, and release forever,
+/// because persisted cache entries written by one `cc-sim` invocation
+/// must be found by the next. Do not change the constants or the byte
+/// order; introduce a new function instead.
+#[must_use]
+pub fn content_hash_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a over a byte stream: the payload checksum of persisted
+/// run-cache entries. Same stability contract as [`content_hash_128`].
+#[must_use]
+pub fn checksum_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

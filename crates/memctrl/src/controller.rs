@@ -117,14 +117,18 @@ impl BankBucket {
 
     /// Removes `seq` and returns its entry. A `seq` the bucket never
     /// held indicates an index-maintenance bug: debug builds assert,
-    /// release builds degrade to a no-op (the sweep finishes with skewed
-    /// stats instead of aborting).
-    fn remove(&mut self, seq: u64) -> Option<Queued> {
+    /// release builds degrade to a no-op and bump `misses`
+    /// ([`CtrlStats::index_release_misses`]) so the sweep finishes with
+    /// *observably* skewed stats instead of aborting.
+    fn remove(&mut self, seq: u64, misses: &mut u64) -> Option<Queued> {
         let at = self.entries.iter().position(|&(s, _)| s == seq);
         debug_assert!(
             at.is_some(),
             "removing request seq {seq} that was never queued"
         );
+        if at.is_none() {
+            *misses += 1;
+        }
         let (_, q) = self.entries.remove(at?)?;
         if let Some(list) = self.by_row.get_mut(&q.p.addr.row) {
             // Hits issue oldest-first, so the seq is the front of its row
@@ -133,6 +137,7 @@ impl BankBucket {
                 list.pop_front();
             } else if let Some(i) = list.iter().position(|&(s, _)| s == seq) {
                 debug_assert!(false, "request seq {seq} out of age order in its row list");
+                *misses += 1;
                 list.remove(i);
             }
             if list.is_empty() {
@@ -365,7 +370,8 @@ impl ChannelCtrl {
 
     /// Drops one queued-write count for `p`'s line (on write issue).
     /// A line that was never indexed indicates an index-maintenance bug:
-    /// debug builds assert, release builds saturate to a no-op.
+    /// debug builds assert, release builds saturate to a no-op and bump
+    /// [`CtrlStats::index_release_misses`].
     fn release_wq_line(&mut self, p: &Pending) {
         let key = line_key(p);
         match self.wq_lines.get_mut(&key) {
@@ -373,7 +379,10 @@ impl ChannelCtrl {
                 self.wq_lines.remove(&key);
             }
             Some(n) => *n -= 1,
-            None => debug_assert!(false, "releasing a write line that was never indexed"),
+            None => {
+                debug_assert!(false, "releasing a write line that was never indexed");
+                self.stats.index_release_misses += 1;
+            }
         }
     }
 
@@ -915,7 +924,13 @@ impl ChannelCtrl {
             self.stats.row_hits += 1;
         }
         self.note_closed_rows(&out.closed_rows);
-        let Some(q) = self.bucket_mut(kind, bank).remove(seq) else {
+        // Direct field access (not `bucket_mut`) so the stats counter can
+        // be borrowed alongside the bucket.
+        let bucket = match kind {
+            AccessKind::Read => &mut self.read_banks[bank],
+            AccessKind::Write => &mut self.write_banks[bank],
+        };
+        let Some(q) = bucket.remove(seq, &mut self.stats.index_release_misses) else {
             return;
         };
         match q.p.kind {
@@ -1157,23 +1172,32 @@ mod tests {
             c.enqueue(p, 0);
             c.release_wq_line(&p);
             assert!(c.wq_lines.is_empty());
+            assert_eq!(c.stats.index_release_misses, 0);
         } else {
             c.release_wq_line(&p); // must not panic or underflow
             assert!(c.wq_lines.is_empty());
+            // The degraded path is observable, not silent.
+            assert_eq!(c.stats.index_release_misses, 1);
         }
     }
 
     #[test]
     fn bucket_remove_of_unknown_seq_degrades_gracefully() {
         let mut b = BankBucket::default();
+        let mut misses = 0u64;
         if !cfg!(debug_assertions) {
-            assert!(b.remove(7).is_none());
+            assert!(b.remove(7, &mut misses).is_none());
+            assert_eq!(misses, 1, "degraded removal must bump the counter");
         }
         let (mut c, mapper) = ctrl(CtrlConfig::paper_single_core());
         c.enqueue(pend(&mapper, 0, 0x40, AccessKind::Read), 0);
         let bank = mapper.decode(0x40).loc.flat_index(c.banks_per_rank);
-        let q = c.bucket_mut(AccessKind::Read, bank).remove(0);
+        let mut ok_misses = 0u64;
+        let q = c
+            .bucket_mut(AccessKind::Read, bank)
+            .remove(0, &mut ok_misses);
         assert!(q.is_some());
+        assert_eq!(ok_misses, 0, "a legal removal is not an anomaly");
         assert!(c.bucket(AccessKind::Read, bank).is_empty());
         let _ = b;
     }

@@ -33,6 +33,14 @@ pub struct CtrlStats {
     /// stays flat as queues deepen (the flat-scan design grew linearly
     /// with queue occupancy).
     pub sched_bank_visits: u64,
+    /// Index-release anomalies: removals of a request seq the bank index
+    /// never held, or write-line releases with no forwarding entry. Debug
+    /// builds assert on these paths; release builds degrade to a no-op
+    /// and bump this counter so index corruption is *observable* instead
+    /// of silently skewing a sweep. Always zero in a healthy run.
+    /// Excluded from the golden fingerprint surface (like the scheduler
+    /// work counters above).
+    pub index_release_misses: u64,
 }
 
 impl CtrlStats {
@@ -103,6 +111,7 @@ impl CtrlStats {
         }
         self.sched_passes += o.sched_passes;
         self.sched_bank_visits += o.sched_bank_visits;
+        self.index_release_misses += o.index_release_misses;
     }
 
     /// Mean bank evaluations per scheduler pass — the per-pass scan cost

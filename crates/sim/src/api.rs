@@ -66,8 +66,20 @@
 //!     .expect("valid configuration");
 //! let base = sweep.cell_at("STREAMcopy", "ddr3-2133", "baseline", "paper").unwrap();
 //! let ll = sweep.cell_at("STREAMcopy", "ddr3-2133", "lldram", "paper").unwrap();
-//! assert!(ll.result.ipc(0) >= base.result.ipc(0));
+//! assert!(ll.result().ipc(0) >= base.result().ipc(0));
 //! ```
+//!
+//! # Durability and fault isolation
+//!
+//! Each cell executes under `catch_unwind` with a bounded retry, so a
+//! panicking mechanism poisons only its own cell: the sweep completes and
+//! the cell carries a typed [`CellError`] in [`Cell::outcome`] (v4 JSON
+//! encodes it as an `error` member). With
+//! [`Experiment::cache_dir`], every completed result is also persisted
+//! through the content-addressed [`crate::cache::DiskCache`] the moment
+//! it finishes — an interrupted sweep re-run against the same directory
+//! resumes, loading completed cells and simulating only the remainder,
+//! with byte-identical final JSON.
 //!
 //! # Streaming probes
 //!
@@ -93,6 +105,8 @@
 //! assert!(r.ipc(0) > 0.0);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -100,6 +114,7 @@ use chargecache::{registry, MechanismSpec, ParamValue};
 use dram::TimingSpec;
 use traces::{MixSpec, WorkloadSpec};
 
+use crate::cache::DiskCache;
 use crate::config::{InvalidConfig, SystemConfig};
 use crate::exp::{default_threads, par_map, run_configured, ExpParams};
 use crate::json::Json;
@@ -253,6 +268,7 @@ pub struct Experiment {
     threads: Option<usize>,
     alone: Option<MechanismSpec>,
     configure: Option<Variant>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -370,6 +386,18 @@ impl Experiment {
         self
     }
 
+    /// Persists every result in the disk-backed run cache at `dir`
+    /// (created if needed), making the sweep resumable: a re-run against
+    /// the same directory loads completed cells and simulates only the
+    /// remainder. An unwritable or uncreatable directory degrades to the
+    /// in-memory memoizer alone; corrupt entries are quarantined and
+    /// re-simulated (see [`crate::cache`] for the ladder).
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Also computes the alone-run IPC of every workload appearing in any
     /// subject, single-core under `mechanism` with the paper
     /// configuration — the weighted-speedup denominators. Alone runs are
@@ -414,14 +442,23 @@ impl Experiment {
     ///
     /// Every `(configuration, workloads, params)` triple is memoized in a
     /// process-wide cache: cells that repeat across sweeps (shared
-    /// baselines, alone runs) are simulated exactly once.
+    /// baselines, alone runs) are simulated exactly once. With
+    /// [`Experiment::cache_dir`], results additionally persist to disk
+    /// and survive the process.
+    ///
+    /// A cell that panics (after the bounded retry) or surfaces a
+    /// configuration error mid-run does **not** abort the sweep: its
+    /// [`Cell::outcome`] carries the [`CellError`] and every other cell
+    /// completes normally.
     ///
     /// # Errors
     ///
     /// Returns [`InvalidConfig`] if the experiment is empty, an axis
     /// contains duplicates (subject names, mechanisms or variant labels
-    /// — they would alias in [`SweepResult`] lookups), or any cell's
-    /// configuration fails [`SystemConfig::validate`].
+    /// — they would alias in [`SweepResult`] lookups), any cell's
+    /// configuration fails [`SystemConfig::validate`], or an alone-IPC
+    /// denominator run fails (a sweep-wide denominator, unlike a cell,
+    /// has no useful partial result).
     pub fn run(&self) -> Result<SweepResult, InvalidConfig> {
         if self.subjects.is_empty() {
             return Err(InvalidConfig("experiment has no subjects".into()));
@@ -525,7 +562,8 @@ impl Experiment {
             }
         }
 
-        let results = run_memoized(jobs, threads)?;
+        let disk = self.cache_dir.as_ref().map(|d| DiskCache::shared(d));
+        let results = run_memoized(jobs, threads, disk.as_deref());
         let mut it = results.into_iter();
         let mut cells = Vec::new();
         for subject in &self.subjects {
@@ -545,19 +583,26 @@ impl Experiment {
                             timing: timing.clone(),
                             mechanism: effective,
                             variant: variant.label.clone(),
-                            result: it.next().expect("one result per cell").as_ref().clone(),
+                            outcome: it
+                                .next()
+                                .expect("one result per cell")
+                                .map(|r| r.as_ref().clone()),
                         });
                     }
                 }
             }
         }
-        let alone: Vec<(String, f64)> = alone_names
-            .into_iter()
-            .map(|name| {
-                let ipc = it.next().expect("one result per alone run").ipc(0);
-                (name, ipc)
-            })
-            .collect();
+        let mut alone: Vec<(String, f64)> = Vec::new();
+        for name in alone_names {
+            match it.next().expect("one result per alone run") {
+                Ok(r) => alone.push((name, r.ipc(0))),
+                Err(e) => {
+                    return Err(InvalidConfig(format!(
+                        "alone-IPC run for {name:?} failed: {e}"
+                    )))
+                }
+            }
+        }
 
         Ok(SweepResult {
             params,
@@ -624,15 +669,83 @@ pub fn clear_run_cache() {
     run_cache().lock().expect("run cache poisoned").clear();
 }
 
+/// Maximum execution attempts for one cell before a panic is recorded as
+/// its [`CellError`]. One retry distinguishes a transiently poisoned run
+/// (e.g. a mechanism tripping on residual global state) from a
+/// deterministic fault without letting a hard panic loop forever.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Why one sweep cell failed. Carried in [`Cell::outcome`] (and encoded
+/// as the v4 JSON `error` member) instead of aborting the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Failure class.
+    pub kind: CellErrorKind,
+    /// The panic payload or configuration error message.
+    pub message: String,
+    /// Execution attempts consumed (≤ the bounded retry limit; config
+    /// errors are deterministic and never retried).
+    pub attempts: u32,
+}
+
+/// Classification of a [`CellError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The simulation panicked on every attempt.
+    Panic,
+    /// The configuration was rejected once the run was underway.
+    Config,
+}
+
+impl CellErrorKind {
+    /// Stable lower-case identifier (the JSON `error.kind` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellErrorKind::Panic => "panic",
+            CellErrorKind::Config => "config",
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt{}: {}",
+            self.kind.as_str(),
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// Best-effort text of a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Executes `jobs` on `threads` workers, serving repeats from the
-/// process-wide cache. Results are returned in job order.
-fn run_memoized(jobs: Vec<Job>, threads: usize) -> Result<Vec<Arc<RunResult>>, InvalidConfig> {
+/// process-wide cache (and `disk`, when given). Results are returned in
+/// job order; a failed job yields its [`CellError`] in place.
+fn run_memoized(
+    jobs: Vec<Job>,
+    threads: usize,
+    disk: Option<&DiskCache>,
+) -> Vec<Result<Arc<RunResult>, CellError>> {
     let keys: Vec<String> = jobs.iter().map(Job::key).collect();
-    // Work out which keys actually need simulating (first occurrence
+    // Work out which keys actually need resolving (first occurrence
     // wins; later duplicates share the result). Cache hits are captured
     // into `local` under the same lock, so a concurrent
     // [`clear_run_cache`] between here and assembly cannot lose them.
-    let mut local: fasthash::FastHashMap<String, Arc<RunResult>> = Default::default();
+    let mut local: fasthash::FastHashMap<String, Result<Arc<RunResult>, CellError>> =
+        Default::default();
     let mut missing: Vec<(String, Job)> = Vec::new();
     {
         let cache = run_cache().lock().expect("run cache poisoned");
@@ -641,29 +754,91 @@ fn run_memoized(jobs: Vec<Job>, threads: usize) -> Result<Vec<Arc<RunResult>>, I
                 continue;
             }
             if let Some(r) = cache.get(key) {
-                local.insert(key.clone(), r.clone());
+                local.insert(key.clone(), Ok(r.clone()));
             } else {
                 missing.push((key.clone(), job));
             }
         }
     }
-    let computed: Vec<(String, Result<RunResult, InvalidConfig>)> =
+    let computed: Vec<(String, Result<Arc<RunResult>, CellError>)> =
         par_map(missing, threads, |(key, job)| {
-            CACHE_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
-            (key, run_configured(job.cfg, &job.apps, &job.params))
+            let outcome = execute_job(&key, &job, disk);
+            (key, outcome)
         });
     {
         let mut cache = run_cache().lock().expect("run cache poisoned");
         for (key, result) in computed {
-            let r = Arc::new(result?);
-            cache.insert(key.clone(), r.clone());
-            local.insert(key, r);
+            // Only successes are memoized: a failed cell is re-attempted
+            // by the next sweep rather than replayed from the cache.
+            if let Ok(r) = &result {
+                cache.insert(key.clone(), r.clone());
+            }
+            local.insert(key, result);
         }
     }
-    Ok(keys
-        .iter()
-        .map(|k| local.get(k).expect("every key computed above").clone())
-        .collect())
+    keys.iter()
+        .map(|k| local.get(k).expect("every key resolved above").clone())
+        .collect()
+}
+
+/// One cell's execution ladder: disk load → simulate under
+/// `catch_unwind` with bounded retry → persist.
+fn execute_job(
+    key: &str,
+    job: &Job,
+    disk: Option<&DiskCache>,
+) -> Result<Arc<RunResult>, CellError> {
+    let content = crate::cache::content_key(key);
+    if let Some(d) = disk {
+        if let Some(payload) = d.load(content) {
+            match RunResult::decode(&payload) {
+                // A disk hit is not an execution: `run_cache_executions`
+                // deltas count simulations only, which is what the
+                // resume goldens assert on.
+                Some(r) => return Ok(Arc::new(r)),
+                // The checksum held but the payload layout didn't:
+                // treat it exactly like any other corrupt entry.
+                None => d.quarantine_entry(content),
+            }
+        }
+    }
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        CACHE_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+        // `AssertUnwindSafe`: the closure owns clones of the job inputs
+        // and a poisoned run's partial state is dropped wholesale, so no
+        // broken invariant can leak into the next attempt.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            run_configured(job.cfg.clone(), &job.apps, &job.params)
+        }));
+        match run {
+            Ok(Ok(r)) => {
+                // Persist the moment the cell completes (not at sweep
+                // end): a sweep killed mid-grid leaves every finished
+                // cell behind for the resuming run.
+                if let Some(d) = disk {
+                    d.store(content, &r.encode());
+                }
+                return Ok(Arc::new(r));
+            }
+            Ok(Err(e)) => {
+                return Err(CellError {
+                    kind: CellErrorKind::Config,
+                    message: e.0,
+                    attempts,
+                })
+            }
+            Err(payload) if attempts >= MAX_ATTEMPTS => {
+                return Err(CellError {
+                    kind: CellErrorKind::Panic,
+                    message: panic_message(payload.as_ref()),
+                    attempts,
+                })
+            }
+            Err(_) => {} // retry
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -683,8 +858,11 @@ pub struct Cell {
     pub mechanism: MechanismSpec,
     /// Variant label of this cell.
     pub variant: String,
-    /// The full measured result.
-    pub result: RunResult,
+    /// The full measured result, or why this cell failed. A failed cell
+    /// never aborts the sweep; use [`Cell::result`] where failure is a
+    /// bug and [`Cell::error`] / [`SweepResult::failed_cells`] where it
+    /// must be handled.
+    pub outcome: Result<RunResult, CellError>,
 }
 
 /// A typed scalar metric extracted from a [`Cell`].
@@ -710,9 +888,41 @@ pub enum Metric {
 }
 
 impl Cell {
-    /// Extracts one scalar metric.
+    /// The measured result.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the cell's identity if the cell failed. Figure benches
+    /// and examples — where a failed cell has no meaningful fallback —
+    /// use this accessor; tooling that must survive failures matches on
+    /// [`Cell::outcome`] instead.
+    pub fn result(&self) -> &RunResult {
+        match &self.outcome {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "cell {}/{}/{}/{} failed: {e}",
+                self.subject, self.timing, self.mechanism, self.variant
+            ),
+        }
+    }
+
+    /// The failure, if this cell failed.
+    pub fn error(&self) -> Option<&CellError> {
+        self.outcome.as_ref().err()
+    }
+
+    /// True when the cell completed.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Extracts one scalar metric. NaN for every metric of a failed cell
+    /// (NaN-propagation keeps chart pipelines alive; exact tooling
+    /// checks [`Cell::error`] first).
     pub fn metric(&self, m: Metric) -> f64 {
-        let r = &self.result;
+        let Ok(r) = &self.outcome else {
+            return f64::NAN;
+        };
         match m {
             Metric::Ipc => r.ipc(0),
             Metric::IpcSum => r.ipc_sum(),
@@ -726,12 +936,12 @@ impl Cell {
     }
 
     /// The headline IPC: core-0 IPC for single-core cells, the IPC sum
-    /// for multiprogrammed cells.
+    /// for multiprogrammed cells. NaN for a failed cell.
     pub fn headline_ipc(&self) -> f64 {
         if self.apps.len() == 1 {
-            self.result.ipc(0)
+            self.metric(Metric::Ipc)
         } else {
-            self.result.ipc_sum()
+            self.metric(Metric::IpcSum)
         }
     }
 }
@@ -819,23 +1029,36 @@ impl SweepResult {
 
     /// Weighted speedup of a multiprogrammed cell versus the alone-IPC
     /// denominators (Snavely & Tullsen). `None` unless alone runs were
-    /// computed for every app of the cell.
+    /// computed for every app of the cell, or if the cell failed.
     pub fn weighted_speedup(&self, cell: &Cell) -> Option<f64> {
+        let r = cell.outcome.as_ref().ok()?;
         let mut ws = 0.0;
         for (core, app) in cell.apps.iter().enumerate() {
             let alone = self.alone_ipc(app)?;
-            ws += cell.result.ipc(core) / alone.max(1e-9);
+            ws += r.ipc(core) / alone.max(1e-9);
         }
         Some(ws)
     }
 
+    /// The cells that failed (empty in a healthy sweep).
+    pub fn failed_cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(|c| !c.is_ok())
+    }
+
+    /// True when any cell failed.
+    pub fn has_failures(&self) -> bool {
+        self.failed_cells().next().is_some()
+    }
+
     /// Encodes the whole table as deterministic JSON (schema
-    /// `chargecache-sweep/v3`; see `docs/SCHEMA.md` for the field
+    /// `chargecache-sweep/v4`; see `docs/SCHEMA.md` for the field
     /// reference). Mechanisms and timings are recorded as their spec
     /// strings (`"chargecache(entries=64)"`, `"ddr3-1866"`), so custom
     /// registered mechanisms and overridden presets round-trip
-    /// losslessly; [`crate::json::parse_sweep`] reads v3 plus the
-    /// archived v2 and v1 documents.
+    /// losslessly; a failed cell keeps its identity members and carries
+    /// an `error` object instead of metrics.
+    /// [`crate::json::parse_sweep`] reads v4 plus the archived v3, v2
+    /// and v1 documents.
     pub fn to_json(&self) -> String {
         let params = Json::Obj(vec![
             (
@@ -872,7 +1095,7 @@ impl SweepResult {
         };
         let cells = Json::Arr(self.cells.iter().map(cell_json).collect());
         Json::Obj(vec![
-            ("schema".into(), Json::str(crate::json::SCHEMA_V3)),
+            ("schema".into(), Json::str(crate::json::SCHEMA_V4)),
             ("params".into(), params),
             (
                 "timings".into(),
@@ -910,8 +1133,7 @@ fn spec_matches(spec: &MechanismSpec, query: &str) -> bool {
 }
 
 fn cell_json(c: &Cell) -> Json {
-    let r = &c.result;
-    Json::Obj(vec![
+    let identity = vec![
         ("subject".into(), Json::str(&c.subject)),
         ("timing".into(), Json::str(c.timing.to_string())),
         ("mechanism".into(), Json::str(c.mechanism.to_string())),
@@ -920,6 +1142,27 @@ fn cell_json(c: &Cell) -> Json {
             "apps".into(),
             Json::Arr(c.apps.iter().map(Json::str).collect()),
         ),
+    ];
+    let r = match &c.outcome {
+        Ok(r) => r,
+        Err(e) => {
+            // A failed cell keeps its identity members (so the grid
+            // shape is reconstructible) and carries the error instead of
+            // metrics.
+            let mut members = identity;
+            members.push((
+                "error".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::str(e.kind.as_str())),
+                    ("message".into(), Json::str(&e.message)),
+                    ("attempts".into(), Json::uint(u64::from(e.attempts))),
+                ]),
+            ));
+            return Json::Obj(members);
+        }
+    };
+    let mut members = identity;
+    members.extend(vec![
         (
             "ipc".into(),
             Json::Arr((0..c.apps.len()).map(|i| Json::num(r.ipc(i))).collect()),
@@ -985,7 +1228,8 @@ fn cell_json(c: &Cell) -> Json {
                 ("refresh".into(), Json::num(r.energy.refresh_pj)),
             ]),
         ),
-    ])
+    ]);
+    Json::Obj(members)
 }
 
 // ---------------------------------------------------------------------------
@@ -1147,14 +1391,15 @@ mod tests {
         let doc = crate::json::parse(&sweep.to_json()).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some(crate::json::SCHEMA_V3)
+            Some(crate::json::SCHEMA_V4)
         );
         let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
         assert_eq!(cells.len(), 1);
+        assert!(cells[0].get("error").is_none());
         let ipc = cells[0].get("ipc").and_then(Json::as_arr).unwrap()[0]
             .as_num()
             .unwrap();
-        assert!((ipc - sweep.cells[0].result.ipc(0)).abs() < 1e-12);
+        assert!((ipc - sweep.cells[0].result().ipc(0)).abs() < 1e-12);
     }
 
     #[test]

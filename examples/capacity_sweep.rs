@@ -25,12 +25,12 @@ fn main() {
         .params(params)
         .run()
         .expect("paper configuration is valid");
-    let base_ipc = baseline.cells[0].result.ipc(0);
+    let base_ipc = baseline.cells[0].result().ipc(0);
     println!(
         "workload {} — baseline IPC {:.4}, RMPKC {:.2}\n",
         spec.name,
         base_ipc,
-        baseline.cells[0].result.rmpkc()
+        baseline.cells[0].result().rmpkc()
     );
 
     println!(
@@ -69,8 +69,8 @@ fn main() {
             } else {
                 ways.to_string()
             },
-            cell.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-            (cell.result.ipc(0) / base_ipc - 1.0) * 100.0
+            cell.result().hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+            (cell.result().ipc(0) / base_ipc - 1.0) * 100.0
         );
     }
 
@@ -81,7 +81,7 @@ fn main() {
         "{:>8} {:>6} {:>9.1}% {:>+9.2}%",
         "∞",
         "-",
-        unlimited.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0,
-        (unlimited.result.ipc(0) / base_ipc - 1.0) * 100.0
+        unlimited.result().hcrac_hit_rate().unwrap_or(0.0) * 100.0,
+        (unlimited.result().ipc(0) / base_ipc - 1.0) * 100.0
     );
 }

@@ -27,14 +27,14 @@ fn main() {
         .params(ExpParams::bench())
         .run()
         .expect("paper configuration is valid");
-    let base = &sweep
+    let base = sweep
         .cell(spec.name, "baseline", "paper")
         .expect("baseline cell")
-        .result;
-    let ccr = &sweep
+        .result();
+    let ccr = sweep
         .cell(spec.name, "chargecache", "paper")
         .expect("ChargeCache cell")
-        .result;
+        .result();
 
     println!(
         "workload {} — read latency (bus cycles, enqueue → data)\n",

@@ -114,9 +114,9 @@ fn main() {
         "{:<24} {:>8} {:>10} {:>12}",
         "mechanism", "IPC", "speedup", "reduced ACTs"
     );
-    let base_ipc = sweep.cells[0].result.ipc(0);
+    let base_ipc = sweep.cells[0].result().ipc(0);
     for cell in &sweep.cells {
-        let r = &cell.result;
+        let r = cell.result();
         println!(
             "{:<24} {:>8.4} {:>+9.2}% {:>11.1}%",
             cell.mechanism.label(),

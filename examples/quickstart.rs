@@ -43,7 +43,7 @@ fn main() {
     println!();
     println!(
         "HCRAC hit rate:   {:.1}%  (fraction of activations served with reduced tRCD/tRAS)",
-        chargecache.result.hcrac_hit_rate().unwrap_or(0.0) * 100.0
+        chargecache.result().hcrac_hit_rate().unwrap_or(0.0) * 100.0
     );
     println!(
         "0.125ms-RLTL:     {:.1}%  (the row locality ChargeCache exploits)",

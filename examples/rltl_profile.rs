@@ -20,7 +20,7 @@ fn profile_all(specs: Vec<WorkloadSpec>, params: ExpParams) {
         .run()
         .expect("paper configuration is valid");
     for cell in &sweep.cells {
-        print_profile(&cell.subject, &cell.result);
+        print_profile(&cell.subject, cell.result());
     }
 }
 

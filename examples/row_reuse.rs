@@ -30,7 +30,7 @@ fn main() {
         .expect("paper configuration is valid");
     let mut rows = Vec::new();
     for cell in &sweep.cells {
-        let r = &cell.result;
+        let r = cell.result();
         if r.reuse.activations < 100 {
             continue; // cache-resident workloads have nothing to measure
         }

@@ -1,8 +1,8 @@
 //! Latency sensitivity of row-access-locality caching: one workload
 //! swept across the JEDEC DDR3 speed bins for cc/ccnuat/ll, printing the
 //! speedup-vs-speed-bin curve and emitting the full sweep as a
-//! `chargecache-sweep/v3` JSON document (the first schema that records
-//! the timing axis).
+//! `chargecache-sweep/v4` JSON document (the schema records the timing
+//! axis since v3).
 //!
 //! ```sh
 //! cargo run --release --example timing_sensitivity -- mcf
@@ -66,14 +66,14 @@ fn main() {
                 .expect("mechanism cell");
             format!(
                 "{:+.2}%",
-                (c.result.ipc(0) / base.result.ipc(0).max(1e-9) - 1.0) * 100.0
+                (c.result().ipc(0) / base.result().ipc(0).max(1e-9) - 1.0) * 100.0
             )
         };
         println!(
             "{:<12} {:>6} {:>10.4} {:>10} {:>10} {:>10}",
             timing,
             bin.timing().trcd,
-            base.result.ipc(0),
+            base.result().ipc(0),
             speedup("chargecache"),
             speedup("cc-nuat"),
             speedup("lldram")

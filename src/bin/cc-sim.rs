@@ -9,7 +9,8 @@
 //! cc-sim run  --workload mcf --mechanism refresh-cc   # plugin mechanism
 //! cc-sim run  --workload mcf --mechanism all    # the paper's five
 //! cc-sim run  --workload mcf --timing ddr3-2133 # a faster speed bin
-//! cc-sim run  --workload mcf --json             # machine-readable sweep (v3)
+//! cc-sim run  --workload mcf --json             # machine-readable sweep (v4)
+//! cc-sim run  --workload mcf --json --cache-dir .cc-cache   # resumable
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
 //! cc-sim bitline --age 64                       # waveform CSV
 //! cc-sim overhead --cores 8 --channels 2 --entries 128
@@ -18,7 +19,8 @@
 //! `--mechanism` accepts **any registered spec** in the
 //! `name(key=val,...)` grammar — including plugin mechanisms like
 //! `perfect-cc` and `refresh-cc`, which live outside `crates/core` and
-//! register at startup. `--list-mechanisms` prints every registered
+//! register at startup — and may be repeated to sweep several mechanisms
+//! in one invocation. `--list-mechanisms` prints every registered
 //! factory with its parameter defaults. `--timing` accepts any JEDEC
 //! speed-bin preset in the matching `preset(key=val,...)` grammar
 //! (`ddr3-1066` … `ddr3-2133`, `ddr4-2400`, `lpddr3-1600`), with
@@ -27,22 +29,51 @@
 //! Common `run`/`mix` flags: `--timing SPEC`, `--entries N`,
 //! `--duration MS` (parameter patches applied to every mechanism that
 //! supports them), `--insts N`, `--warmup N`, `--seed N`, `--threads N`,
-//! `--csv`, `--json`.
+//! `--csv`, `--json`, `--out FILE`, `--cache-dir DIR`, `--no-cache`.
+//!
+//! # Durability
+//!
+//! With `--cache-dir DIR` (or the `CC_CACHE_DIR` environment variable)
+//! every completed cell is persisted to a content-addressed disk cache
+//! as soon as it finishes, so a killed or crashed sweep re-run against
+//! the same directory resumes where it left off and produces the same
+//! JSON byte for byte. A cell that panics fails *alone*: the rest of
+//! the sweep completes, the failure is reported per cell on stderr (and
+//! as an `error` object in `--json` output), and the process exits 3.
+//!
+//! # Exit codes
+//!
+//! `0` success · `2` usage or configuration error · `3` one or more
+//! cells failed · `4` output I/O error (an unwritable `--out` path).
 //!
 //! Flags are parsed by a typed parser: unknown flags are rejected, every
 //! value is validated at the boundary, and the experiments themselves run
 //! through [`sim::api::Experiment`] (shared memoized run cache, parallel
 //! sweep execution, deterministic JSON encoding).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chargecache::{registry, MechanismSpec, OverheadModel, ParamValue};
 use chargecache_repro::mechs::register_extended_mechanisms;
 use dram::TimingSpec;
-use sim::api::Experiment;
+use sim::api::{Experiment, SweepResult};
 use sim::exp::{default_threads, ExpParams};
-use sim::RunResult;
+use sim::{DiskCache, RunResult};
 use traces::{eight_core_mixes, single_core_workloads, workload};
+
+/// Typed top-level failure, mapped onto the process exit code so
+/// scripts and CI can tell failure classes apart without parsing
+/// stderr: usage/configuration errors exit 2, per-cell simulation
+/// failures exit 3, output I/O failures exit 4.
+enum CliError {
+    /// Bad flags, unknown specs, invalid configuration.
+    Usage(String),
+    /// The sweep ran, but one or more cells failed (panic or config).
+    Cell(String),
+    /// Writing `--out` failed.
+    Io(String),
+}
 
 fn main() -> ExitCode {
     // Plugin mechanisms (perfect-cc, refresh-cc) live outside
@@ -52,27 +83,43 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "list" | "--list-workloads" => cmd_list(),
         "--list-mechanisms" => cmd_list_mechanisms(),
         "--list-timings" => cmd_list_timings(),
-        "run" => RunArgs::parse(rest).and_then(|a| cmd_run(&a)),
-        "mix" => MixArgs::parse(rest).and_then(|a| cmd_mix(&a)),
-        "bitline" => BitlineArgs::parse(rest).and_then(|a| cmd_bitline(&a)),
-        "overhead" => OverheadArgs::parse(rest).and_then(|a| cmd_overhead(&a)),
+        "run" => RunArgs::parse(rest)
+            .map_err(CliError::Usage)
+            .and_then(|a| cmd_run(&a)),
+        "mix" => MixArgs::parse(rest)
+            .map_err(CliError::Usage)
+            .and_then(|a| cmd_mix(&a)),
+        "bitline" => BitlineArgs::parse(rest)
+            .map_err(CliError::Usage)
+            .and_then(|a| cmd_bitline(&a)),
+        "overhead" => OverheadArgs::parse(rest)
+            .map_err(CliError::Usage)
+            .and_then(|a| cmd_overhead(&a)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(CliError::Cell(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(4)
         }
     }
 }
@@ -95,6 +142,7 @@ MECHANISM SPECS:
     --mechanism 'chargecache(entries=1024,duration=2ms)'
     --mechanism 'refresh-cc(entries=256)'        (plugin, outside core)
     --mechanism all                              (the paper's five)
+  repeat --mechanism to sweep several specs in one invocation
   see `cc-sim --list-mechanisms` for names, defaults and descriptions
 
 TIMING SPECS:
@@ -113,7 +161,14 @@ OPTIONS (run/mix):
   --seed N        trace seed                      [default 42]
   --threads N     sweep worker threads            [default: all cores]
   --csv           machine-readable CSV output
-  --json          machine-readable JSON sweep (schema chargecache-sweep/v3)";
+  --json          machine-readable JSON sweep (schema chargecache-sweep/v4)
+  --out FILE      write the --json sweep to FILE instead of stdout
+  --cache-dir DIR persist finished cells to a disk run cache (resumable;
+                  defaults to $CC_CACHE_DIR when set)
+  --no-cache      ignore --cache-dir and $CC_CACHE_DIR
+
+EXIT CODES:
+  0 success  ·  2 usage/config error  ·  3 cell failure  ·  4 output I/O error";
 
 // ---------------------------------------------------------------------------
 // Typed flag parsing
@@ -156,6 +211,9 @@ impl<'a> Cursor<'a> {
 /// Flags shared by `run` and `mix`.
 struct SweepArgs {
     mechanisms: Vec<MechanismSpec>,
+    /// Whether `--mechanism` appeared at least once: the first use
+    /// replaces the default axis, later uses accumulate.
+    mechanisms_set: bool,
     timing: Option<TimingSpec>,
     entries: Option<usize>,
     duration: Option<f64>,
@@ -165,12 +223,16 @@ struct SweepArgs {
     threads: Option<usize>,
     csv: bool,
     json: bool,
+    out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 impl Default for SweepArgs {
     fn default() -> Self {
         Self {
             mechanisms: MechanismSpec::paper_all().to_vec(),
+            mechanisms_set: false,
             timing: None,
             entries: None,
             duration: None,
@@ -180,6 +242,9 @@ impl Default for SweepArgs {
             threads: None,
             csv: false,
             json: false,
+            out: None,
+            cache_dir: None,
+            no_cache: false,
         }
     }
 }
@@ -189,7 +254,15 @@ impl SweepArgs {
     /// flag and the caller should try its own.
     fn try_flag(&mut self, flag: &str, cur: &mut Cursor) -> Result<bool, String> {
         match flag {
-            "mechanism" => self.mechanisms = parse_mechanisms(cur.value(flag)?)?,
+            "mechanism" => {
+                let parsed = parse_mechanisms(cur.value(flag)?)?;
+                if self.mechanisms_set {
+                    self.mechanisms.extend(parsed);
+                } else {
+                    self.mechanisms = parsed;
+                    self.mechanisms_set = true;
+                }
+            }
             "timing" => {
                 let spec: TimingSpec = cur.value(flag)?.parse()?;
                 // Resolve up front so a bad preset or incoherent override
@@ -212,9 +285,34 @@ impl SweepArgs {
             }
             "csv" => self.csv = true,
             "json" => self.json = true,
+            "out" => self.out = Some(PathBuf::from(cur.value(flag)?)),
+            "cache-dir" => self.cache_dir = Some(PathBuf::from(cur.value(flag)?)),
+            "no-cache" => self.no_cache = true,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Cross-flag validation, run once parsing is complete.
+    fn check(&self) -> Result<(), String> {
+        if self.out.is_some() && !self.json {
+            return Err("--out requires --json (only the JSON sweep is written to a file)".into());
+        }
+        Ok(())
+    }
+
+    /// The disk-cache directory in effect: `--no-cache` wins, then
+    /// `--cache-dir`, then the `CC_CACHE_DIR` environment variable.
+    fn effective_cache_dir(&self) -> Option<PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        if let Some(d) = &self.cache_dir {
+            return Some(d.clone());
+        }
+        std::env::var_os("CC_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
     }
 
     fn params(&self) -> ExpParams {
@@ -259,8 +357,69 @@ impl SweepArgs {
         if let Some(t) = &self.timing {
             exp = exp.timing(t.clone());
         }
+        if let Some(dir) = self.effective_cache_dir() {
+            exp = exp.cache_dir(dir);
+        }
         Ok(exp)
     }
+
+    /// Emits the machine-readable sweep: to `--out` when given (the one
+    /// I/O operation mapped to exit code 4), stdout otherwise.
+    fn emit_json(&self, sweep: &SweepResult) -> Result<(), CliError> {
+        let doc = sweep.to_json();
+        match &self.out {
+            Some(path) => std::fs::write(path, doc.as_bytes())
+                .map_err(|e| CliError::Io(format!("writing {}: {e}", path.display()))),
+            None => {
+                println!("{doc}");
+                Ok(())
+            }
+        }
+    }
+
+    /// One stderr summary line of disk-cache effectiveness, so resumed
+    /// runs can be verified without inspecting the cache directory.
+    fn report_cache(&self) {
+        if let Some(dir) = self.effective_cache_dir() {
+            let s = DiskCache::shared(&dir).stats();
+            eprintln!(
+                "cache {}: hits={} misses={} stored={} quarantined={} store_failures={}{}",
+                dir.display(),
+                s.hits,
+                s.misses,
+                s.stores,
+                s.quarantined,
+                s.store_failures,
+                if s.degraded {
+                    " (degraded: in-memory only)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+}
+
+/// Per-cell failure diagnostics on stderr, then the exit-3 error when
+/// any cell failed. Called after output so partial results still land.
+fn finish_sweep(args: &SweepArgs, sweep: &SweepResult) -> Result<(), CliError> {
+    for cell in sweep.failed_cells() {
+        if let Some(e) = cell.error() {
+            eprintln!(
+                "cell {}/{}/{}/{} failed: {e}",
+                cell.subject, cell.timing, cell.mechanism, cell.variant
+            );
+        }
+    }
+    args.report_cache();
+    let failed = sweep.failed_cells().count();
+    if failed > 0 {
+        return Err(CliError::Cell(format!(
+            "{failed} of {} sweep cells failed (see per-cell diagnostics above)",
+            sweep.cells.len()
+        )));
+    }
+    Ok(())
 }
 
 fn parse_mechanisms(v: &str) -> Result<Vec<MechanismSpec>, String> {
@@ -293,6 +452,7 @@ impl RunArgs {
                 other => return Err(format!("unknown flag --{other} for `run`")),
             }
         }
+        sweep.check()?;
         Ok(Self {
             workload: workload.ok_or("run needs --workload <name> (see `cc-sim list`)")?,
             sweep,
@@ -319,6 +479,7 @@ impl MixArgs {
                 other => return Err(format!("unknown flag --{other} for `mix`")),
             }
         }
+        sweep.check()?;
         Ok(Self { index, sweep })
     }
 }
@@ -371,7 +532,7 @@ impl OverheadArgs {
 // Commands
 // ---------------------------------------------------------------------------
 
-fn cmd_list_mechanisms() -> Result<(), String> {
+fn cmd_list_mechanisms() -> Result<(), CliError> {
     println!("registered mechanisms (name — label):");
     for (name, label, defaults, describe) in registry::list() {
         println!("  {name:<12} {label}");
@@ -386,7 +547,7 @@ fn cmd_list_mechanisms() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list_timings() -> Result<(), String> {
+fn cmd_list_timings() -> Result<(), CliError> {
     println!("DRAM timing presets (name — CL-tRCD-tRP @ tCK):");
     for (name, describe, t) in TimingSpec::presets() {
         println!(
@@ -407,7 +568,7 @@ fn cmd_list_timings() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("single-core workloads:");
     for w in single_core_workloads() {
         println!(
@@ -463,19 +624,20 @@ fn csv_header(csv: bool) {
     }
 }
 
-fn cmd_run(args: &RunArgs) -> Result<(), String> {
-    let spec =
-        workload(&args.workload).ok_or_else(|| format!("unknown workload {:?}", args.workload))?;
+fn cmd_run(args: &RunArgs) -> Result<(), CliError> {
+    let spec = workload(&args.workload)
+        .ok_or_else(|| CliError::Usage(format!("unknown workload {:?}", args.workload)))?;
     let a = &args.sweep;
     let sweep = a
-        .experiment()?
+        .experiment()
+        .map_err(CliError::Usage)?
         .workload(spec.clone())
         .run()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Usage(e.to_string()))?;
 
     if a.json {
-        println!("{}", sweep.to_json());
-        return Ok(());
+        a.emit_json(&sweep)?;
+        return finish_sweep(a, &sweep);
     }
     if !a.csv {
         let mechs: Vec<String> = sweep.mechanisms.iter().map(|m| m.to_string()).collect();
@@ -490,32 +652,37 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
     csv_header(a.csv);
     let mut base_ipc = None;
     for cell in &sweep.cells {
-        if cell.result.hit_cycle_cap {
+        let Ok(r) = &cell.outcome else {
+            // Reported on stderr by finish_sweep; keep the table aligned.
+            continue;
+        };
+        if r.hit_cycle_cap {
             eprintln!("warning: {} hit the safety cycle cap", cell.mechanism);
         }
         if cell.mechanism.name() == "baseline" {
-            base_ipc = Some(cell.result.ipc(0));
+            base_ipc = Some(r.ipc(0));
         }
-        print_result(&cell.mechanism.label(), &cell.result, base_ipc, a.csv, 1);
+        print_result(&cell.mechanism.label(), r, base_ipc, a.csv, 1);
     }
-    Ok(())
+    finish_sweep(a, &sweep)
 }
 
-fn cmd_mix(args: &MixArgs) -> Result<(), String> {
+fn cmd_mix(args: &MixArgs) -> Result<(), CliError> {
     let mixes = eight_core_mixes();
     let mix = mixes
         .get(args.index.wrapping_sub(1))
-        .ok_or_else(|| format!("--index must be 1..={}", mixes.len()))?;
+        .ok_or_else(|| CliError::Usage(format!("--index must be 1..={}", mixes.len())))?;
     let a = &args.sweep;
     let sweep = a
-        .experiment()?
+        .experiment()
+        .map_err(CliError::Usage)?
         .mix(mix.clone())
         .run()
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Usage(e.to_string()))?;
 
     if a.json {
-        println!("{}", sweep.to_json());
-        return Ok(());
+        a.emit_json(&sweep)?;
+        return finish_sweep(a, &sweep);
     }
     if !a.csv {
         let names: Vec<&str> = mix.apps.iter().map(|a| a.name).collect();
@@ -524,21 +691,26 @@ fn cmd_mix(args: &MixArgs) -> Result<(), String> {
     csv_header(a.csv);
     let mut base_ipc = None;
     for cell in &sweep.cells {
-        if cell.result.hit_cycle_cap {
+        let Ok(r) = &cell.outcome else {
+            continue;
+        };
+        if r.hit_cycle_cap {
             eprintln!("warning: {} hit the safety cycle cap", cell.mechanism);
         }
         if cell.mechanism.name() == "baseline" {
-            base_ipc = Some(cell.result.ipc_sum());
+            base_ipc = Some(r.ipc_sum());
         }
-        print_result(&cell.mechanism.label(), &cell.result, base_ipc, a.csv, 8);
+        print_result(&cell.mechanism.label(), r, base_ipc, a.csv, 8);
     }
-    Ok(())
+    finish_sweep(a, &sweep)
 }
 
-fn cmd_bitline(args: &BitlineArgs) -> Result<(), String> {
+fn cmd_bitline(args: &BitlineArgs) -> Result<(), CliError> {
     let age = args.age;
     if !(0.0..=64.0).contains(&age) {
-        return Err("--age must be within the 0..=64 ms refresh window".into());
+        return Err(CliError::Usage(
+            "--age must be within the 0..=64 ms refresh window".into(),
+        ));
     }
     let m = bitline::ActivationModel::calibrated();
     println!("t_ns,v_full,v_aged_{age}ms");
@@ -556,7 +728,7 @@ fn cmd_bitline(args: &BitlineArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_overhead(args: &OverheadArgs) -> Result<(), String> {
+fn cmd_overhead(args: &OverheadArgs) -> Result<(), CliError> {
     let model = OverheadModel {
         cores: args.cores,
         channels: args.channels,

@@ -20,6 +20,12 @@
 //! Call [`register_extended_mechanisms`] once at startup (idempotent) to
 //! make the specs `perfect-cc` and `refresh-cc(...)` resolvable.
 //!
+//! A third plugin, [`FaultyMech`], exists purely to exercise the
+//! sweep-level fault isolation in `sim::api`: it panics after a
+//! configurable number of activations. It is only registered when the
+//! `CC_FAULT_INJECTION` environment variable is set, so it never shows
+//! up in `--list-mechanisms` or resolves from a spec in normal use.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +60,11 @@ use dram::{ActTimings, BusCycle, TimingParams};
 pub fn register_extended_mechanisms() {
     registry::register_mechanism(Arc::new(PerfectCcFactory));
     registry::register_mechanism(Arc::new(RefreshCcFactory));
+    // Test-only fault injector: opt-in via environment so production
+    // spec resolution can never reach a deliberately panicking plugin.
+    if std::env::var_os("CC_FAULT_INJECTION").is_some() {
+        registry::register_mechanism(Arc::new(FaultyFactory));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +288,78 @@ impl RefreshCcFactory {
     }
 }
 
+// ---------------------------------------------------------------------------
+// faulty (test-only, gated behind CC_FAULT_INJECTION)
+// ---------------------------------------------------------------------------
+
+/// Deliberately panicking mechanism for fault-isolation testing.
+///
+/// Behaves as the baseline (specification timings, no state) until its
+/// `after`-th activation, then panics. A sweep containing a `faulty`
+/// cell must report that one cell as failed and complete every other
+/// cell — `tests/cache.rs` and the cc-sim exit-code tests hold
+/// `sim::api`'s `catch_unwind` isolation to exactly that.
+pub struct FaultyMech {
+    base: ActTimings,
+    after: u64,
+    activates: u64,
+}
+
+impl LatencyMechanism for FaultyMech {
+    fn on_activate(&mut self, _: BusCycle, _: usize, _: RowKey, _: BusCycle) -> ActTimings {
+        assert!(
+            self.activates < self.after,
+            "injected fault: faulty mechanism panicked after {} activations",
+            self.activates
+        );
+        self.activates += 1;
+        self.base
+    }
+
+    fn on_precharge(&mut self, _: BusCycle, _: usize, _: RowKey) {}
+
+    fn report_stats(&self, out: &mut dyn StatSink) {
+        out.counter(C_ACTIVATES, self.activates);
+    }
+
+    fn name(&self) -> &str {
+        "faulty"
+    }
+}
+
+struct FaultyFactory;
+
+impl MechanismFactory for FaultyFactory {
+    fn name(&self) -> &str {
+        "faulty"
+    }
+    fn label(&self) -> &str {
+        "Fault injector"
+    }
+    fn describe(&self) -> &str {
+        "test-only: panics after `after` activations (requires CC_FAULT_INJECTION)"
+    }
+    fn defaults(&self) -> MechanismSpec {
+        MechanismSpec::new(self.name().to_string()).with("after", ParamValue::Int(0))
+    }
+    fn validate(&self, spec: &MechanismSpec) -> Result<(), String> {
+        spec.ensure_known_keys(&["after"])?;
+        spec.usize_param("after", 0).map(|_| ())
+    }
+    fn build(
+        &self,
+        spec: &MechanismSpec,
+        ctx: &MechanismContext,
+    ) -> Result<Box<dyn LatencyMechanism>, String> {
+        self.validate(spec)?;
+        Ok(Box::new(FaultyMech {
+            base: ctx.timing.act_timings(),
+            after: spec.usize_param("after", 0)? as u64,
+            activates: 0,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +397,22 @@ mod tests {
         let mut stock = ChargeCache::new(ChargeCacheConfig::paper(), &t, 1);
         stock.on_refresh_row(1_000, key(9)); // default no-op hook
         assert_eq!(stock.on_activate(2_000, 0, key(9), 1_000), t.act_timings());
+    }
+
+    #[test]
+    fn faulty_mech_panics_after_configured_activations() {
+        let t = timing();
+        let mut m = FaultyMech {
+            base: t.act_timings(),
+            after: 2,
+            activates: 0,
+        };
+        assert_eq!(m.on_activate(0, 0, key(1), u64::MAX), t.act_timings());
+        assert_eq!(m.on_activate(1, 0, key(2), u64::MAX), t.act_timings());
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.on_activate(2, 0, key(3), u64::MAX)
+        }));
+        assert!(boom.is_err(), "third activation must inject the fault");
     }
 
     #[test]

@@ -63,7 +63,10 @@ fn baseline_and_alone_runs_are_memoized_once() {
     // two simulations execute — the baseline is computed once per
     // workload, not once per use.
     assert_eq!(after_first - before, 2);
-    assert_eq!(first.alone_ipc("tpch2"), Some(first.cells[0].result.ipc(0)));
+    assert_eq!(
+        first.alone_ipc("tpch2"),
+        Some(first.cells[0].result().ipc(0))
+    );
     // Re-running the same experiment simulates nothing at all.
     let second = exp.run().unwrap();
     assert_eq!(api::run_cache_executions(), after_first);
@@ -84,7 +87,7 @@ fn mechanism_irrelevant_cc_variants_share_baseline_runs() {
     assert_eq!(api::run_cache_executions() - before, 6);
     let b64 = sweep.cell("tpch2", "baseline", "64").unwrap();
     let b128 = sweep.cell("tpch2", "baseline", "128").unwrap();
-    assert_eq!(b64.result, b128.result);
+    assert_eq!(b64.result(), b128.result());
 }
 
 #[test]
@@ -168,6 +171,7 @@ fn run_configured_surfaces_invalid_configs_as_errors() {
 fn cc_sim_json_is_valid_and_thread_count_invariant() {
     let run = |threads: &str| {
         let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
+            .env_remove("CC_CACHE_DIR")
             .args([
                 "run",
                 "--workload",
@@ -195,13 +199,13 @@ fn cc_sim_json_is_valid_and_thread_count_invariant() {
     let doc = sim::json::parse(serial.trim()).expect("cc-sim --json emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some(sim::json::SCHEMA_V3)
+        Some(sim::json::SCHEMA_V4)
     );
     let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
     assert_eq!(cells.len(), MechanismSpec::paper_all().len());
     // And the typed parser reads the CLI's output directly.
-    let typed = sim::json::parse_sweep(&serial).expect("typed v3 parse");
-    assert_eq!(typed.schema_version, 3);
+    let typed = sim::json::parse_sweep(&serial).expect("typed v4 parse");
+    assert_eq!(typed.schema_version, 4);
     assert_eq!(typed.timings, ["ddr3-1600"]);
     assert!(typed.cell("tpch2", "chargecache", "paper").is_some());
     for cell in cells {
@@ -216,5 +220,87 @@ fn cc_sim_json_is_valid_and_thread_count_invariant() {
             .and_then(|p| p.get("insts_per_core"))
             .and_then(|n| n.as_num()),
         Some(2000.0)
+    );
+}
+
+#[test]
+fn cc_sim_exit_codes_distinguish_failure_classes() {
+    let bin = env!("CARGO_BIN_EXE_cc-sim");
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin)
+            .env_remove("CC_CACHE_DIR")
+            .args(args)
+            .output()
+            .expect("cc-sim runs")
+    };
+    // Usage and configuration errors exit 2.
+    let out = run(&["run", "--workload", "tpch2", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag");
+    let out = run(&["run", "--workload", "no-such-workload"]);
+    assert_eq!(out.status.code(), Some(2), "unknown workload");
+    let out = run(&["run", "--workload", "tpch2", "--out", "x.json"]);
+    assert_eq!(out.status.code(), Some(2), "--out without --json");
+    // An unwritable --out path is an I/O failure: exit 4, after the
+    // sweep ran, with the diagnostic naming the path.
+    let out = run(&[
+        "run",
+        "--workload",
+        "tpch2",
+        "--mechanism",
+        "baseline",
+        "--insts",
+        "2000",
+        "--warmup",
+        "500",
+        "--json",
+        "--out",
+        "/nonexistent-dir/sweep.json",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "unwritable --out");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("/nonexistent-dir/sweep.json"), "{stderr}");
+}
+
+#[test]
+fn cc_sim_isolates_a_panicking_cell_and_exits_3() {
+    // The `faulty` plugin registers only under CC_FAULT_INJECTION; its
+    // cell must fail alone (typed v4 error, named on stderr) while the
+    // baseline cell completes, and the process must exit 3.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
+        .env_remove("CC_CACHE_DIR")
+        .env("CC_FAULT_INJECTION", "1")
+        .args([
+            "run",
+            "--workload",
+            "tpch2",
+            "--mechanism",
+            "baseline",
+            "--mechanism",
+            "faulty",
+            "--insts",
+            "2000",
+            "--warmup",
+            "500",
+            "--json",
+        ])
+        .output()
+        .expect("cc-sim runs");
+    assert_eq!(out.status.code(), Some(3), "cell failure exit code");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let typed = sim::json::parse_sweep(&stdout).expect("typed v4 parse");
+    assert_eq!(typed.schema_version, 4);
+    let ok = typed
+        .cell("tpch2", "baseline", "paper")
+        .expect("baseline cell");
+    assert!(ok.error.is_none(), "healthy cell must carry no error");
+    let bad = typed.cell("tpch2", "faulty", "paper").expect("faulty cell");
+    let err = bad.error.as_ref().expect("faulty cell carries an error");
+    assert_eq!(err.kind, "panic");
+    assert_eq!(err.attempts, 2);
+    assert!(err.message.contains("injected fault"), "{}", err.message);
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("cell tpch2/ddr3-1600/faulty/paper failed"),
+        "{stderr}"
     );
 }

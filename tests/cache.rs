@@ -1,0 +1,451 @@
+//! The durability contract of `sim::cache` + `sim::api`: disk-backed
+//! resumption with byte-identical JSON, corruption fallback that is
+//! bit-identical to the cache-miss path (under both engines), graceful
+//! degradation when the cache directory is unusable, per-cell fault
+//! isolation for panicking mechanisms, and kill-and-resume through the
+//! `cc-sim` subprocess.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use chargecache::{
+    registry, LatencyMechanism, MechanismContext, MechanismFactory, MechanismSpec, StatSink,
+};
+use dram::{ActTimings, BusCycle};
+use sim::api::{self, Experiment, Variant};
+use sim::exp::ExpParams;
+use sim::{CellErrorKind, DiskCache, Engine};
+use traces::workload;
+
+/// Serializes the tests that assert on the process-wide run cache.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny() -> ExpParams {
+    ExpParams {
+        insts_per_core: 2_000,
+        warmup_insts: 500,
+        ..ExpParams::tiny()
+    }
+}
+
+/// Fresh directory path under the system temp dir, unique per test and
+/// per process so parallel test threads never share cache state.
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "cc-durability-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// The experiment used throughout: one workload, two mechanisms, both
+/// main-loop engines as variants — so every disk entry round-trips and
+/// every fallback path is exercised under `EventSkip` *and* `PerCycle`.
+fn experiment(cache: Option<&Path>) -> Experiment {
+    let mut exp = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
+        .variants([
+            Variant::new("event-skip", |cfg| cfg.engine = Engine::EventSkip),
+            Variant::new("per-cycle", |cfg| cfg.engine = Engine::PerCycle),
+        ])
+        .params(tiny())
+        .threads(2);
+    if let Some(dir) = cache {
+        exp = exp.cache_dir(dir);
+    }
+    exp
+}
+
+#[test]
+fn disk_cache_resumes_with_zero_executions_and_identical_json() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let dir = tmp_dir("resume");
+
+    // Cold reference: no disk cache at all.
+    api::clear_run_cache();
+    let cold = experiment(None).run().unwrap().to_json();
+
+    // First cached run simulates everything and is bit-identical to the
+    // uncached path (the cache must never perturb results).
+    api::clear_run_cache();
+    let before = api::run_cache_executions();
+    let first = experiment(Some(&dir)).run().unwrap().to_json();
+    let executed = api::run_cache_executions() - before;
+    assert!(executed > 0);
+    assert_eq!(first, cold, "caching changed the sweep output");
+
+    // Second run against the same directory: zero simulations (disk
+    // hits bypass the execution counter), byte-identical JSON.
+    api::clear_run_cache();
+    let before = api::run_cache_executions();
+    let second = experiment(Some(&dir)).run().unwrap().to_json();
+    assert_eq!(
+        api::run_cache_executions() - before,
+        0,
+        "resumed sweep re-simulated cached cells"
+    );
+    assert_eq!(second, cold);
+
+    let s = DiskCache::shared(&dir).stats();
+    assert_eq!(s.stores, executed, "every simulated cell must be persisted");
+    assert!(s.hits >= executed, "second run must hit every entry");
+    assert_eq!(s.quarantined, 0);
+    assert!(!s.degraded);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_sweep_resumes_byte_identical_in_process() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let dir = tmp_dir("partial");
+
+    // "Interrupted" sweep: only the baseline cells completed and were
+    // persisted before the (simulated) crash.
+    api::clear_run_cache();
+    experiment(Some(&dir))
+        .run()
+        .map(|_| ())
+        .unwrap_or_else(|e| panic!("{e}"));
+    // Keep only the baseline half of the cache: drop one entry file to
+    // model a sweep killed mid-grid.
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "run"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 2, "grid should persist several cells");
+    fs::remove_file(&entries[0]).unwrap();
+
+    // The resumed run simulates exactly the missing cell and nothing
+    // else, and its JSON matches an uninterrupted run byte for byte.
+    api::clear_run_cache();
+    let full = experiment(Some(&dir)).run().unwrap().to_json();
+    api::clear_run_cache();
+    let cold = experiment(None).run().unwrap().to_json();
+    assert_eq!(full, cold, "resumed JSON differs from a cold run");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entries_fall_back_to_bit_identical_resimulation() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let dir = tmp_dir("corrupt");
+
+    api::clear_run_cache();
+    let cold = experiment(Some(&dir)).run().unwrap().to_json();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "run"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 3,
+        "need at least 3 entries to corrupt distinctly, got {}",
+        entries.len()
+    );
+
+    // Three distinct corruptions: truncation (torn write), payload bit
+    // flip, wrong entry version.
+    let bytes = fs::read(&entries[0]).unwrap();
+    fs::write(&entries[0], &bytes[..bytes.len() - 5]).unwrap();
+    let mut bytes = fs::read(&entries[1]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&entries[1], &bytes).unwrap();
+    let mut bytes = fs::read(&entries[2]).unwrap();
+    bytes[8] ^= 0xFF; // version field of the header
+    fs::write(&entries[2], &bytes).unwrap();
+
+    // Every corrupt entry is quarantined and re-simulated; the output is
+    // bit-identical to the cache-miss path.
+    api::clear_run_cache();
+    let quarantined_before = DiskCache::shared(&dir).stats().quarantined;
+    let resumed = experiment(Some(&dir)).run().unwrap().to_json();
+    assert_eq!(resumed, cold, "corruption fallback changed results");
+    let s = DiskCache::shared(&dir).stats();
+    assert_eq!(
+        s.quarantined - quarantined_before,
+        3,
+        "each corrupt entry must be quarantined"
+    );
+    // Quarantined files are preserved for inspection, never trusted.
+    let corpses = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".corrupt"))
+        .count();
+    assert!(corpses >= 2, "quarantined entries should be kept on disk");
+
+    // The re-simulated cells were re-stored: a third run is all hits.
+    api::clear_run_cache();
+    let before = api::run_cache_executions();
+    let third = experiment(Some(&dir)).run().unwrap().to_json();
+    assert_eq!(api::run_cache_executions() - before, 0);
+    assert_eq!(third, cold);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_cache_dir_degrades_to_memoizer_only() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    // A regular file where the cache directory should be: creation
+    // fails, the cache opens degraded, and the sweep still succeeds
+    // with results identical to the uncached path. (chmod-based denial
+    // is unreliable here — the test may run as root.)
+    let file = tmp_dir("degraded-file");
+    fs::write(&file, b"not a directory").unwrap();
+
+    api::clear_run_cache();
+    let cold = experiment(None).run().unwrap().to_json();
+    api::clear_run_cache();
+    let degraded = experiment(Some(&file)).run().unwrap().to_json();
+    assert_eq!(degraded, cold, "degraded mode changed results");
+
+    let s = DiskCache::shared(&file).stats();
+    assert!(s.degraded);
+    assert_eq!((s.hits, s.stores, s.store_failures), (0, 0, 0));
+    assert_eq!(fs::read(&file).unwrap(), b"not a directory");
+    let _ = fs::remove_file(&file);
+}
+
+// ---------------------------------------------------------------------------
+// Fault isolation
+// ---------------------------------------------------------------------------
+
+/// A mechanism that always panics on its first activation, registered
+/// from inside this test exactly like any plugin.
+struct AlwaysPanic;
+
+impl LatencyMechanism for AlwaysPanic {
+    fn on_activate(
+        &mut self,
+        _: BusCycle,
+        _: usize,
+        _: chargecache::RowKey,
+        _: BusCycle,
+    ) -> ActTimings {
+        panic!("test-panic: deliberate fault");
+    }
+
+    fn on_precharge(&mut self, _: BusCycle, _: usize, _: chargecache::RowKey) {}
+
+    fn report_stats(&self, _: &mut dyn StatSink) {}
+
+    fn name(&self) -> &str {
+        "test-panic"
+    }
+}
+
+struct AlwaysPanicFactory;
+
+impl MechanismFactory for AlwaysPanicFactory {
+    fn name(&self) -> &str {
+        "test-panic"
+    }
+    fn describe(&self) -> &str {
+        "test double: panics on the first activation"
+    }
+    fn validate(&self, spec: &MechanismSpec) -> Result<(), String> {
+        spec.ensure_known_keys(&[])
+    }
+    fn build(
+        &self,
+        spec: &MechanismSpec,
+        _: &MechanismContext,
+    ) -> Result<Box<dyn LatencyMechanism>, String> {
+        self.validate(spec)?;
+        Ok(Box::new(AlwaysPanic))
+    }
+}
+
+#[test]
+fn panicking_mechanism_fails_only_its_own_cell() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    registry::register_mechanism(Arc::new(AlwaysPanicFactory));
+
+    api::clear_run_cache();
+    let sweep = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanisms(&[
+            MechanismSpec::baseline(),
+            "test-panic".parse().unwrap(),
+            MechanismSpec::chargecache(),
+        ])
+        .params(tiny())
+        .run()
+        .expect("a panicking cell must not abort the sweep");
+
+    assert!(sweep.has_failures());
+    assert_eq!(sweep.failed_cells().count(), 1);
+
+    // The poisoned cell carries a typed error with the bounded retry
+    // count and the panic payload.
+    let bad = sweep.cell("tpch2", "test-panic", "paper").unwrap();
+    let err = bad.error().expect("failed cell must expose its error");
+    assert_eq!(err.kind, CellErrorKind::Panic);
+    assert_eq!(err.attempts, 2, "panics are retried once, then recorded");
+    assert!(err.message.contains("deliberate fault"), "{}", err.message);
+    assert!(bad.metric(sim::api::Metric::Ipc).is_nan());
+
+    // Healthy cells are untouched: identical to a sweep without the
+    // faulty mechanism on the axis.
+    api::clear_run_cache();
+    let clean = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanisms(&[MechanismSpec::baseline(), MechanismSpec::chargecache()])
+        .params(tiny())
+        .run()
+        .unwrap();
+    for mech in ["baseline", "chargecache"] {
+        assert_eq!(
+            sweep.cell("tpch2", mech, "paper").unwrap().result(),
+            clean.cell("tpch2", mech, "paper").unwrap().result(),
+            "{mech} cell perturbed by a neighboring panic"
+        );
+    }
+
+    // The v4 JSON round-trips the error cell through the typed parser.
+    let doc = sim::json::parse_sweep(&sweep.to_json()).unwrap();
+    assert_eq!(doc.schema_version, 4);
+    let cell = doc.cell("tpch2", "test-panic", "paper").unwrap();
+    let e = cell.error.as_ref().expect("error object in v4 JSON");
+    assert_eq!(e.kind, "panic");
+    assert_eq!(e.attempts, 2);
+    assert!(doc
+        .cell("tpch2", "baseline", "paper")
+        .unwrap()
+        .error
+        .is_none());
+
+    // Failures are never memoized: re-running retries the faulty cell.
+    let before = api::run_cache_executions();
+    let again = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanism("test-panic".parse().unwrap())
+        .params(tiny())
+        .run()
+        .unwrap();
+    assert!(again.has_failures());
+    assert_eq!(
+        api::run_cache_executions() - before,
+        2,
+        "failed cells must be re-attempted, not served from the memoizer"
+    );
+}
+
+#[test]
+fn failed_cells_are_never_persisted_to_disk() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    registry::register_mechanism(Arc::new(AlwaysPanicFactory));
+    let dir = tmp_dir("no-persist-failure");
+
+    api::clear_run_cache();
+    let sweep = Experiment::new()
+        .workload(workload("tpch2").unwrap())
+        .mechanisms(&[MechanismSpec::baseline(), "test-panic".parse().unwrap()])
+        .params(tiny())
+        .cache_dir(&dir)
+        .run()
+        .unwrap();
+    assert_eq!(sweep.failed_cells().count(), 1);
+
+    // Exactly the healthy cell landed on disk.
+    let entries = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "run"))
+        .count();
+    assert_eq!(entries, 1, "only the successful cell may be persisted");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume through the cc-sim subprocess
+// ---------------------------------------------------------------------------
+
+fn cc_sim(dir_flags: &[&str]) -> std::process::Command {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"));
+    cmd.env_remove("CC_CACHE_DIR").args([
+        "run",
+        "--workload",
+        "mcf",
+        "--mechanism",
+        "all",
+        "--threads",
+        "1",
+        "--insts",
+        "4000",
+        "--warmup",
+        "500",
+        "--json",
+    ]);
+    cmd.args(dir_flags);
+    cmd
+}
+
+#[test]
+fn killed_cc_sim_sweep_resumes_byte_identical_with_cache_hits() {
+    let dir = tmp_dir("kill-resume");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Cold reference run, no cache involved.
+    let cold = cc_sim(&["--no-cache"]).output().expect("cc-sim runs");
+    assert!(cold.status.success(), "cold run failed: {cold:?}");
+
+    // Start a cached sweep and SIGKILL it as soon as the first finished
+    // cell lands on disk — a crash mid-grid. (If the sweep wins the
+    // race and exits first, every cell landed, which resumes all the
+    // same.)
+    let mut child = cc_sim(&["--cache-dir", &dir_s])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("cc-sim spawns");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let landed = fs::read_dir(&dir).is_ok_and(|rd| {
+            rd.filter_map(Result::ok)
+                .any(|e| e.path().extension().is_some_and(|x| x == "run"))
+        });
+        if landed || child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no cache entry ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // The resumed run serves completed cells from disk (≥1 hit, counted
+    // by the cache summary line) and its JSON is byte-identical to the
+    // cold run.
+    let resumed = cc_sim(&["--cache-dir", &dir_s])
+        .output()
+        .expect("cc-sim runs");
+    assert!(resumed.status.success(), "resumed run failed: {resumed:?}");
+    assert_eq!(
+        resumed.stdout, cold.stdout,
+        "resumed JSON differs from an uninterrupted run"
+    );
+    let stderr = String::from_utf8(resumed.stderr).expect("utf-8 stderr");
+    let hits: u64 = stderr
+        .lines()
+        .find_map(|l| l.split("hits=").nth(1))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no cache summary line in stderr:\n{stderr}"));
+    assert!(
+        hits >= 1,
+        "resumed run served no cells from disk:\n{stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -115,11 +115,11 @@ fn custom_mechanism_registered_from_a_test_runs_a_sweep() {
         .run()
         .expect("registered mechanism sweeps like a built-in");
     let cell = sweep.cell(spec.name, "every-nth", "paper").unwrap();
-    let acts = cell.result.mech.activates();
+    let acts = cell.result().mech.activates();
     assert!(acts > 0);
     // About ⌊acts/3⌋ activations were reduced — the custom logic ran.
     // (±1 for the warmup-boundary phase of the modulo counter.)
-    let reduced = cell.result.mech.reduced_activates() as i64;
+    let reduced = cell.result().mech.reduced_activates() as i64;
     assert!(
         (reduced - (acts / 3) as i64).abs() <= 1,
         "reduced {reduced} of {acts}"
@@ -127,7 +127,7 @@ fn custom_mechanism_registered_from_a_test_runs_a_sweep() {
     // Custom counters survive aggregation and warmup subtraction (a
     // constant "gauge" counter subtracts to zero — documented behavior;
     // the period is still visible pre-subtraction via report_stats).
-    assert!(cell.result.mech.has("every_nth_period"));
+    assert!(cell.result().mech.has("every_nth_period"));
     // And the v2 JSON names the custom spec.
     let doc = sim::json::parse_sweep(&sweep.to_json()).unwrap();
     assert!(doc.cell(spec.name, "every-nth", "paper").is_some());
@@ -171,14 +171,14 @@ fn facade_plugins_sweep_and_respect_the_oracle_ordering() {
     // The oracle upper-bounds the finite HCRAC and is itself bounded by
     // LL-DRAM (which also accelerates first touches).
     assert!(
-        oracle.result.mech.reduced_fraction() >= cc.result.mech.reduced_fraction(),
+        oracle.result().mech.reduced_fraction() >= cc.result().mech.reduced_fraction(),
         "oracle reduced fewer activations than the finite HCRAC"
     );
     assert!(
-        ll.result.mech.reduced_fraction() >= oracle.result.mech.reduced_fraction(),
+        ll.result().mech.reduced_fraction() >= oracle.result().mech.reduced_fraction(),
         "LL-DRAM must reduce at least as much as the oracle"
     );
-    assert!(oracle.result.mech.has("tracked_rows"));
+    assert!(oracle.result().mech.has("tracked_rows"));
 }
 
 #[test]
@@ -225,7 +225,7 @@ fn cc_sim_lists_and_runs_plugin_mechanisms() {
     assert!(text.contains("entries=128"), "defaults not shown:\n{text}");
 
     // A plugin spec with parameters runs through --mechanism and lands in
-    // the v3 JSON.
+    // the v4 JSON.
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
         .args([
             "run",
@@ -243,7 +243,7 @@ fn cc_sim_lists_and_runs_plugin_mechanisms() {
         .expect("cc-sim runs");
     assert!(out.status.success(), "cc-sim failed: {out:?}");
     let doc = sim::json::parse_sweep(&String::from_utf8(out.stdout).unwrap()).unwrap();
-    assert_eq!(doc.schema_version, 3);
+    assert_eq!(doc.schema_version, 4);
     assert_eq!(doc.mechanisms, ["refresh-cc(entries=256)"]);
     assert!(doc.cell("tpch2", "refresh-cc", "paper").is_some());
 }

@@ -218,7 +218,7 @@ fn timing_axis_sweeps_speed_bins_with_per_bin_results() {
         let ll = sweep.cell_at("STREAMcopy", &t, "lldram", "paper").unwrap();
         assert_eq!(base.timing.to_string(), t);
         // The idealized device is never slower than its own baseline.
-        assert!(ll.result.ipc(0) >= base.result.ipc(0), "{t}");
+        assert!(ll.result().ipc(0) >= base.result().ipc(0), "{t}");
     }
     // Distinct bins simulate distinct machines: IPC differs across the
     // baseline cells (same workload, different timing).
@@ -229,7 +229,7 @@ fn timing_axis_sweeps_speed_bins_with_per_bin_results() {
             sweep
                 .cell_at("STREAMcopy", &t, "baseline", "paper")
                 .unwrap()
-                .result
+                .result()
                 .cpu_cycles
         })
         .collect();
@@ -241,9 +241,9 @@ fn timing_axis_sweeps_speed_bins_with_per_bin_results() {
         "all bins produced identical runs: {ipcs:?}"
     );
 
-    // The v3 JSON round-trips the axis and the per-cell spec strings.
+    // The v4 JSON round-trips the axis and the per-cell spec strings.
     let doc = sim::json::parse_sweep(&sweep.to_json()).unwrap();
-    assert_eq!(doc.schema_version, 3);
+    assert_eq!(doc.schema_version, 4);
     assert_eq!(doc.timings.len(), 5);
     assert_eq!(doc.cells.len(), 10);
     assert!(doc.cells.iter().any(|c| c.timing == "ddr3-2133"));
@@ -318,7 +318,7 @@ fn baseline_cells_memoize_once_per_bin_across_variants() {
     for t in ["ddr3-1333", "ddr3-1866"] {
         let a = sweep.cell_at("tpch2", t, "baseline", "64").unwrap();
         let b = sweep.cell_at("tpch2", t, "baseline", "128").unwrap();
-        assert_eq!(a.result, b.result, "{t}");
+        assert_eq!(a.result(), b.result(), "{t}");
     }
 }
 
