@@ -108,7 +108,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use chargecache::{registry, MechanismSpec, ParamValue};
 use dram::TimingSpec;
@@ -438,28 +438,19 @@ impl Experiment {
         Ok(cfg)
     }
 
-    /// Executes the grid in parallel and returns the result table.
-    ///
-    /// Every `(configuration, workloads, params)` triple is memoized in a
-    /// process-wide cache: cells that repeat across sweeps (shared
-    /// baselines, alone runs) are simulated exactly once. With
-    /// [`Experiment::cache_dir`], results additionally persist to disk
-    /// and survive the process.
-    ///
-    /// A cell that panics (after the bounded retry) or surfaces a
-    /// configuration error mid-run does **not** abort the sweep: its
-    /// [`Cell::outcome`] carries the [`CellError`] and every other cell
-    /// completes normally.
+    /// Expands the experiment into its validated grid: the resolved axes
+    /// plus one [`CellPlan`] per grid point, in run order (subject-major,
+    /// then timing, mechanism, variant). This is the shared front half of
+    /// [`Experiment::run`]; the `cc-simd` sweep daemon plans submissions
+    /// the same way and schedules the cells through its own queue.
     ///
     /// # Errors
     ///
     /// Returns [`InvalidConfig`] if the experiment is empty, an axis
     /// contains duplicates (subject names, mechanisms or variant labels
-    /// — they would alias in [`SweepResult`] lookups), any cell's
-    /// configuration fails [`SystemConfig::validate`], or an alone-IPC
-    /// denominator run fails (a sweep-wide denominator, unlike a cell,
-    /// has no useful partial result).
-    pub fn run(&self) -> Result<SweepResult, InvalidConfig> {
+    /// — they would alias in [`SweepResult`] lookups), or any cell's
+    /// configuration fails [`SystemConfig::validate`].
+    pub fn plan(&self) -> Result<SweepPlan, InvalidConfig> {
         if self.subjects.is_empty() {
             return Err(InvalidConfig("experiment has no subjects".into()));
         }
@@ -508,10 +499,9 @@ impl Experiment {
             }
         }
         let params = self.params.unwrap_or_default();
-        let threads = self.threads.unwrap_or_else(default_threads).max(1);
 
         // Grid cells: subject-major, then timing, mechanism, variant.
-        let mut jobs: Vec<Job> = Vec::new();
+        let mut cells: Vec<CellPlan> = Vec::new();
         for subject in &self.subjects {
             for timing in &timings {
                 for mech in &mechanisms {
@@ -520,22 +510,65 @@ impl Experiment {
                             .cell_config(subject, timing, mech, variant)
                             .map_err(InvalidConfig)?;
                         cfg.validate().map_err(InvalidConfig)?;
-                        jobs.push(Job {
-                            cfg,
+                        cells.push(CellPlan {
+                            subject: subject.name().to_string(),
                             apps: subject.apps().to_vec(),
+                            timing: timing.clone(),
+                            // The *effective* spec — the axis spec after
+                            // the variant's parameter patches — so the
+                            // JSON names the exact configuration run.
+                            mechanism: cfg.mechanism.clone(),
+                            variant: variant.label.clone(),
+                            cfg,
                             params,
                         });
                     }
                 }
             }
         }
+        Ok(SweepPlan {
+            params,
+            timings,
+            mechanisms,
+            variants: variants.iter().map(|v| v.label.clone()).collect(),
+            cells,
+        })
+    }
+
+    /// Executes the grid in parallel and returns the result table.
+    ///
+    /// Every `(configuration, workloads, params)` triple is memoized in a
+    /// process-wide cache: cells that repeat across sweeps (shared
+    /// baselines, alone runs) are simulated exactly once, and identical
+    /// cells submitted concurrently (from other sweeps or through
+    /// [`run_cell`]) are *single-flighted* — followers wait for the one
+    /// execution instead of duplicating it. With
+    /// [`Experiment::cache_dir`], results additionally persist to disk
+    /// and survive the process.
+    ///
+    /// A cell that panics (after the bounded retry) or surfaces a
+    /// configuration error mid-run does **not** abort the sweep: its
+    /// [`Cell::outcome`] carries the [`CellError`] and every other cell
+    /// completes normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] on every [`Experiment::plan`] failure,
+    /// and additionally when an alone-IPC denominator run fails (a
+    /// sweep-wide denominator, unlike a cell, has no useful partial
+    /// result).
+    pub fn run(&self) -> Result<SweepResult, InvalidConfig> {
+        let plan = self.plan()?;
+        let threads = self.threads.unwrap_or_else(default_threads).max(1);
+        let mut jobs: Vec<Job> = plan.cells.iter().map(CellPlan::job).collect();
+
         // Alone-IPC runs: one single-core job per distinct workload,
         // under the sweep's (single) timing so the weighted-speedup
         // denominators describe the same device as the cells.
         let mut alone_names: Vec<String> = Vec::new();
         let alone_spec = self.alone.as_ref().map(registry::canonicalize);
         if let Some(alone_mech) = &alone_spec {
-            if timings.len() > 1 {
+            if plan.timings.len() > 1 {
                 return Err(InvalidConfig(
                     "alone-IPC denominators are ambiguous across a multi-preset \
                      timing axis; run one sweep per timing"
@@ -549,14 +582,15 @@ impl Experiment {
                     }
                     alone_names.push(app.name.to_string());
                     let mut cfg = SystemConfig::paper_single_core(alone_mech.clone());
-                    cfg.set_timing(timings[0].clone()).map_err(InvalidConfig)?;
+                    cfg.set_timing(plan.timings[0].clone())
+                        .map_err(InvalidConfig)?;
                     if let Some(e) = self.engine {
                         cfg.engine = e;
                     }
                     jobs.push(Job {
                         cfg,
                         apps: vec![app.clone()],
-                        params,
+                        params: plan.params,
                     });
                 }
             }
@@ -565,33 +599,17 @@ impl Experiment {
         let disk = self.cache_dir.as_ref().map(|d| DiskCache::shared(d));
         let results = run_memoized(jobs, threads, disk.as_deref());
         let mut it = results.into_iter();
-        let mut cells = Vec::new();
-        for subject in &self.subjects {
-            for timing in &timings {
-                for mech in &mechanisms {
-                    for variant in &variants {
-                        // Record the *effective* spec — the axis spec after
-                        // the variant's parameter patches — so the JSON
-                        // names the exact configuration the cell ran.
-                        let effective = self
-                            .cell_config(subject, timing, mech, variant)
-                            .expect("validated above")
-                            .mechanism;
-                        cells.push(Cell {
-                            subject: subject.name().to_string(),
-                            apps: subject.apps().iter().map(|a| a.name.to_string()).collect(),
-                            timing: timing.clone(),
-                            mechanism: effective,
-                            variant: variant.label.clone(),
-                            outcome: it
-                                .next()
-                                .expect("one result per cell")
-                                .map(|r| r.as_ref().clone()),
-                        });
-                    }
-                }
-            }
-        }
+        let cells = plan
+            .cells
+            .into_iter()
+            .map(|p| {
+                let outcome = it
+                    .next()
+                    .expect("one result per cell")
+                    .map(|r| r.as_ref().clone());
+                p.into_cell(outcome)
+            })
+            .collect();
         let mut alone: Vec<(String, f64)> = Vec::new();
         for name in alone_names {
             match it.next().expect("one result per alone run") {
@@ -605,14 +623,95 @@ impl Experiment {
         }
 
         Ok(SweepResult {
-            params,
-            timings,
-            mechanisms,
-            variants: variants.iter().map(|v| v.label.clone()).collect(),
+            params: plan.params,
+            timings: plan.timings,
+            mechanisms: plan.mechanisms,
+            variants: plan.variants,
             cells,
             alone,
             alone_mechanism: alone_spec,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep plans
+// ---------------------------------------------------------------------------
+
+/// The validated expansion of an [`Experiment`]: resolved axes plus one
+/// [`CellPlan`] per grid point, in run order. Produced by
+/// [`Experiment::plan`].
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Run-length parameters shared by every cell.
+    pub params: ExpParams,
+    /// Timing axis, in sweep order.
+    pub timings: Vec<TimingSpec>,
+    /// Mechanism axis (canonicalized), in sweep order.
+    pub mechanisms: Vec<MechanismSpec>,
+    /// Variant labels, in sweep order.
+    pub variants: Vec<String>,
+    /// One plan per grid cell, subject-major then timing then mechanism
+    /// then variant.
+    pub cells: Vec<CellPlan>,
+}
+
+/// One planned (not yet executed) sweep cell: the identity labels plus
+/// the fully-resolved configuration and parameters that determine its
+/// result. A plan is self-contained — [`CellPlan::run`] executes it
+/// through the shared memoizer/single-flight/disk ladder without the
+/// originating [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Subject name (workload or mix).
+    pub subject: String,
+    /// The per-core application list.
+    pub apps: Vec<WorkloadSpec>,
+    /// DRAM timing spec of this cell.
+    pub timing: TimingSpec,
+    /// Effective mechanism spec (the axis spec after variant patches).
+    pub mechanism: MechanismSpec,
+    /// Variant label.
+    pub variant: String,
+    /// Validated system configuration the cell runs.
+    pub cfg: SystemConfig,
+    /// Run-length parameters.
+    pub params: ExpParams,
+}
+
+impl CellPlan {
+    fn job(&self) -> Job {
+        Job {
+            cfg: self.cfg.clone(),
+            apps: self.apps.clone(),
+            params: self.params,
+        }
+    }
+
+    /// The content-addressed identity of this cell — the same 128-bit
+    /// key that names its disk run-cache entry. Two plans with equal
+    /// keys are the same simulation (and produce bit-identical results),
+    /// which is what queue-level dedup in the sweep daemon keys on.
+    pub fn content_key(&self) -> u128 {
+        crate::cache::content_key(&self.job().key())
+    }
+
+    /// Executes this cell through [`run_cell`] (memoizer → single-flight
+    /// → disk cache → simulate under `catch_unwind` → persist).
+    pub fn run(&self, disk: Option<&DiskCache>) -> Result<Arc<RunResult>, CellError> {
+        run_cell(&self.cfg, &self.apps, &self.params, disk)
+    }
+
+    /// Wraps an execution outcome into the [`Cell`] this plan describes.
+    pub fn into_cell(self, outcome: Result<RunResult, CellError>) -> Cell {
+        Cell {
+            subject: self.subject,
+            apps: self.apps.iter().map(|a| a.name.to_string()).collect(),
+            timing: self.timing,
+            mechanism: self.mechanism,
+            variant: self.variant,
+            outcome,
+        }
     }
 }
 
@@ -740,45 +839,126 @@ fn run_memoized(
     disk: Option<&DiskCache>,
 ) -> Vec<Result<Arc<RunResult>, CellError>> {
     let keys: Vec<String> = jobs.iter().map(Job::key).collect();
-    // Work out which keys actually need resolving (first occurrence
-    // wins; later duplicates share the result). Cache hits are captured
-    // into `local` under the same lock, so a concurrent
-    // [`clear_run_cache`] between here and assembly cannot lose them.
-    let mut local: fasthash::FastHashMap<String, Result<Arc<RunResult>, CellError>> =
-        Default::default();
-    let mut missing: Vec<(String, Job)> = Vec::new();
-    {
-        let cache = run_cache().lock().expect("run cache poisoned");
-        for (job, key) in jobs.into_iter().zip(&keys) {
-            if local.contains_key(key) || missing.iter().any(|(k, _)| k == key) {
-                continue;
-            }
-            if let Some(r) = cache.get(key) {
-                local.insert(key.clone(), Ok(r.clone()));
-            } else {
-                missing.push((key.clone(), job));
-            }
+    // First occurrence of each key wins; later duplicates share its
+    // result. Cache hits and cross-thread dedup are [`resolve_job`]'s
+    // job — this loop only collapses repeats *within* this sweep.
+    let mut unique: Vec<(String, Job)> = Vec::new();
+    for (job, key) in jobs.into_iter().zip(&keys) {
+        if unique.iter().any(|(k, _)| k == key) {
+            continue;
         }
+        unique.push((key.clone(), job));
     }
     let computed: Vec<(String, Result<Arc<RunResult>, CellError>)> =
-        par_map(missing, threads, |(key, job)| {
-            let outcome = execute_job(&key, &job, disk);
+        par_map(unique, threads, |(key, job)| {
+            let outcome = resolve_job(&key, &job, disk);
             (key, outcome)
         });
-    {
-        let mut cache = run_cache().lock().expect("run cache poisoned");
-        for (key, result) in computed {
-            // Only successes are memoized: a failed cell is re-attempted
-            // by the next sweep rather than replayed from the cache.
-            if let Ok(r) = &result {
-                cache.insert(key.clone(), r.clone());
-            }
-            local.insert(key, result);
-        }
-    }
+    let local: fasthash::FastHashMap<String, Result<Arc<RunResult>, CellError>> =
+        computed.into_iter().collect();
     keys.iter()
         .map(|k| local.get(k).expect("every key resolved above").clone())
         .collect()
+}
+
+/// One in-flight execution that concurrent requesters of the same key
+/// wait on instead of duplicating the simulation.
+#[derive(Default)]
+struct Flight {
+    result: Mutex<Option<Result<Arc<RunResult>, CellError>>>,
+    done: Condvar,
+}
+
+/// Keys currently executing somewhere in this process. Lock order is
+/// always `inflight` → `run_cache`; the leader's publish path takes each
+/// lock on its own, so no cycle exists.
+fn inflight() -> &'static Mutex<fasthash::FastHashMap<String, Arc<Flight>>> {
+    static INFLIGHT: OnceLock<Mutex<fasthash::FastHashMap<String, Arc<Flight>>>> = OnceLock::new();
+    INFLIGHT.get_or_init(|| Mutex::new(fasthash::FastHashMap::default()))
+}
+
+/// Resolves one job through the memoizer with *single-flight* semantics:
+/// if the key is already executing on another thread (a concurrent sweep
+/// or a daemon worker), wait for that execution instead of starting a
+/// second one. Successes are memoized before the flight is retired, so a
+/// later arrival either joins the flight or hits the memoizer; failures
+/// are never memoized — the next arrival after the flight retires
+/// re-attempts the cell.
+fn resolve_job(
+    key: &str,
+    job: &Job,
+    disk: Option<&DiskCache>,
+) -> Result<Arc<RunResult>, CellError> {
+    let flight = {
+        let mut inflight = inflight().lock().expect("inflight map poisoned");
+        // The memoizer check lives under the inflight lock: a key is
+        // either memoized, in flight, or ours to lead — never silently
+        // absent from all three.
+        if let Some(r) = run_cache().lock().expect("run cache poisoned").get(key) {
+            return Ok(r.clone());
+        }
+        if let Some(f) = inflight.get(key) {
+            let f = f.clone();
+            drop(inflight);
+            let mut slot = f.result.lock().expect("flight slot poisoned");
+            while slot.is_none() {
+                slot = f.done.wait(slot).expect("flight slot poisoned");
+            }
+            return slot.clone().expect("loop exits on Some");
+        }
+        let f = Arc::new(Flight::default());
+        inflight.insert(key.to_string(), f.clone());
+        f
+    };
+    let outcome = execute_job(key, job, disk);
+    // Only successes are memoized: a failed cell is re-attempted by the
+    // next sweep rather than replayed from the cache. Memoize *before*
+    // retiring the flight so no arrival can miss both.
+    if let Ok(r) = &outcome {
+        run_cache()
+            .lock()
+            .expect("run cache poisoned")
+            .insert(key.to_string(), r.clone());
+    }
+    inflight()
+        .lock()
+        .expect("inflight map poisoned")
+        .remove(key);
+    let mut slot = flight.result.lock().expect("flight slot poisoned");
+    *slot = Some(outcome.clone());
+    drop(slot);
+    flight.done.notify_all();
+    outcome
+}
+
+/// Executes one cell — a fully-resolved `(configuration, workloads,
+/// params)` triple — through the same ladder [`Experiment::run`] uses:
+/// process-wide memoizer → single-flight dedup against concurrent
+/// executions → disk cache (`disk`, when given) → simulate under
+/// `catch_unwind` with bounded retry → persist.
+///
+/// This is the single-cell entry point the `cc-simd` sweep daemon
+/// schedules through; because daemon workers and in-process sweeps share
+/// the memoizer and the in-flight table, identical cells submitted
+/// concurrently by different clients execute exactly once.
+///
+/// # Errors
+///
+/// Returns the cell's [`CellError`] if the simulation panicked on every
+/// attempt or the configuration was rejected mid-run. Failures are never
+/// cached; a later call re-attempts the cell.
+pub fn run_cell(
+    cfg: &SystemConfig,
+    apps: &[WorkloadSpec],
+    params: &ExpParams,
+    disk: Option<&DiskCache>,
+) -> Result<Arc<RunResult>, CellError> {
+    let job = Job {
+        cfg: cfg.clone(),
+        apps: apps.to_vec(),
+        params: *params,
+    };
+    resolve_job(&job.key(), &job, disk)
 }
 
 /// One cell's execution ladder: disk load → simulate under
@@ -1060,18 +1240,6 @@ impl SweepResult {
     /// [`crate::json::parse_sweep`] reads v4 plus the archived v3, v2
     /// and v1 documents.
     pub fn to_json(&self) -> String {
-        let params = Json::Obj(vec![
-            (
-                "insts_per_core".into(),
-                Json::uint(self.params.insts_per_core),
-            ),
-            ("warmup_insts".into(), Json::uint(self.params.warmup_insts)),
-            (
-                "max_cycle_factor".into(),
-                Json::uint(self.params.max_cycle_factor),
-            ),
-            ("seed".into(), Json::uint(self.params.seed)),
-        ]);
         let alone = if self.alone.is_empty() {
             Json::Null
         } else {
@@ -1093,43 +1261,85 @@ impl SweepResult {
                 ),
             ])
         };
-        let cells = Json::Arr(self.cells.iter().map(cell_json).collect());
-        Json::Obj(vec![
-            ("schema".into(), Json::str(crate::json::SCHEMA_V4)),
-            ("params".into(), params),
-            (
-                "timings".into(),
-                Json::Arr(
-                    self.timings
-                        .iter()
-                        .map(|t| Json::str(t.to_string()))
-                        .collect(),
-                ),
-            ),
-            (
-                "mechanisms".into(),
-                Json::Arr(
-                    self.mechanisms
-                        .iter()
-                        .map(|m| Json::str(m.to_string()))
-                        .collect(),
-                ),
-            ),
-            (
-                "variants".into(),
-                Json::Arr(self.variants.iter().map(Json::str).collect()),
-            ),
-            ("alone_ipc".into(), alone),
-            ("cells".into(), cells),
-        ])
-        .to_string()
+        assemble_sweep_json(
+            &self.params,
+            &self
+                .timings
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
+            &self
+                .mechanisms
+                .iter()
+                .map(|m| m.to_string())
+                .collect::<Vec<_>>(),
+            &self.variants,
+            alone,
+            self.cells.iter().map(Cell::to_json).collect(),
+        )
     }
+}
+
+/// Assembles a complete `chargecache-sweep/v4` document from its parts:
+/// the run-length parameters, the axis labels (spec strings, in sweep
+/// order), the `alone_ipc` member ([`Json::Null`] when absent) and one
+/// [`Cell::to_json`] object per cell, in grid order.
+///
+/// [`SweepResult::to_json`] delegates here, and the `cc-sim --server`
+/// client reassembles the daemon's streamed cells through the same
+/// function — which is why a served sweep is byte-identical to a local
+/// one.
+pub fn assemble_sweep_json(
+    params: &ExpParams,
+    timings: &[String],
+    mechanisms: &[String],
+    variants: &[String],
+    alone: Json,
+    cells: Vec<Json>,
+) -> String {
+    let params = Json::Obj(vec![
+        ("insts_per_core".into(), Json::uint(params.insts_per_core)),
+        ("warmup_insts".into(), Json::uint(params.warmup_insts)),
+        (
+            "max_cycle_factor".into(),
+            Json::uint(params.max_cycle_factor),
+        ),
+        ("seed".into(), Json::uint(params.seed)),
+    ]);
+    Json::Obj(vec![
+        ("schema".into(), Json::str(crate::json::SCHEMA_V4)),
+        ("params".into(), params),
+        (
+            "timings".into(),
+            Json::Arr(timings.iter().map(Json::str).collect()),
+        ),
+        (
+            "mechanisms".into(),
+            Json::Arr(mechanisms.iter().map(Json::str).collect()),
+        ),
+        (
+            "variants".into(),
+            Json::Arr(variants.iter().map(Json::str).collect()),
+        ),
+        ("alone_ipc".into(), alone),
+        ("cells".into(), Json::Arr(cells)),
+    ])
+    .to_string()
 }
 
 /// True if `query` identifies `spec`: the full spec string or the bare
 /// mechanism name.
 fn spec_matches(spec: &MechanismSpec, query: &str) -> bool {
     spec.name() == query || spec.to_string() == query
+}
+
+impl Cell {
+    /// Encodes this cell as its `chargecache-sweep/v4` `cells[]` object —
+    /// the same encoding [`SweepResult::to_json`] embeds, and the wire
+    /// format `cc-simd` streams per finished cell.
+    pub fn to_json(&self) -> Json {
+        cell_json(self)
+    }
 }
 
 fn cell_json(c: &Cell) -> Json {

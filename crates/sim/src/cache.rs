@@ -51,6 +51,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::SystemTime;
 
 use fasthash::{checksum_64, content_hash_128};
 
@@ -110,7 +111,7 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
-    degraded: bool,
+    degraded_reason: Option<String>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
@@ -126,10 +127,10 @@ impl DiskCache {
     /// *degraded* — every operation a no-op — and the sweep proceeds on
     /// the in-memory memoizer alone.
     pub fn open(dir: &Path) -> DiskCache {
-        let degraded = !probe_writable(dir);
+        let degraded_reason = probe_writable(dir).err();
         DiskCache {
             dir: dir.to_path_buf(),
-            degraded,
+            degraded_reason,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
@@ -161,7 +162,13 @@ impl DiskCache {
 
     /// True when the cache opened degraded (no persistence).
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.degraded_reason.is_some()
+    }
+
+    /// Why the cache opened degraded, when it did: the create/probe
+    /// failure in human-readable form. `None` for a healthy cache.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded_reason.as_deref()
     }
 
     /// Entry file path for `key`.
@@ -173,7 +180,7 @@ impl DiskCache {
     /// is a plain miss; an unverifiable file is quarantined and reported
     /// as a miss (the caller re-simulates, the same as the miss path).
     pub fn load(&self, key: u128) -> Option<Vec<u8>> {
-        if self.degraded {
+        if self.is_degraded() {
             return None;
         }
         let path = self.path_for(key);
@@ -187,6 +194,13 @@ impl DiskCache {
         match verify(&bytes, key) {
             Some(payload) => {
                 self.hits.fetch_add(1, Relaxed);
+                // Touch the entry so [`DiskCache::gc`]'s LRU order sees
+                // it as recently used, not just recently stored.
+                // Best-effort: a failed touch only skews eviction order.
+                let _ = fs::File::options()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
                 Some(payload.to_vec())
             }
             None => {
@@ -203,7 +217,7 @@ impl DiskCache {
     /// either no entry or a complete one, never a torn write. Failures
     /// only bump [`CacheStats::store_failures`].
     pub fn store(&self, key: u128, payload: &[u8]) {
-        if self.degraded {
+        if self.is_degraded() {
             return;
         }
         let final_path = self.path_for(key);
@@ -236,7 +250,7 @@ impl DiskCache {
     /// payload that decodes to nothing — so layout mismatches are
     /// handled exactly like checksum corruption.
     pub fn quarantine_entry(&self, key: u128) {
-        if self.degraded {
+        if self.is_degraded() {
             return;
         }
         self.quarantine(&self.path_for(key));
@@ -250,8 +264,77 @@ impl DiskCache {
             stores: self.stores.load(Relaxed),
             store_failures: self.store_failures.load(Relaxed),
             quarantined: self.quarantined.load(Relaxed),
-            degraded: self.degraded,
+            degraded: self.is_degraded(),
         }
+    }
+
+    /// Evicts least-recently-used entries until the directory's entry
+    /// files total at most `budget_bytes`.
+    ///
+    /// Recency is the entry file's modification time ([`DiskCache::load`]
+    /// touches it on every hit, so a hot entry stays resident even if it
+    /// was stored long ago), with the filename as a deterministic
+    /// tie-break. Only well-formed entry names (`{key:032x}.run`) are
+    /// candidates: in-progress `.tmp` writes and quarantined `.corrupt`
+    /// files are never touched.
+    ///
+    /// Eviction is a plain atomic unlink, safe against concurrent
+    /// readers and writers: a reader that already opened the file reads
+    /// it to completion (POSIX keeps the inode alive), a reader that
+    /// arrives after the unlink sees a clean miss and re-simulates, and a
+    /// concurrent `store` of the same key simply re-creates the name.
+    /// No path can surface a torn or corrupt entry.
+    pub fn gc(&self, budget_bytes: u64) -> GcStats {
+        let mut stats = GcStats {
+            degraded: self.is_degraded(),
+            ..GcStats::default()
+        };
+        if stats.degraded {
+            return stats;
+        }
+        let Ok(rd) = fs::read_dir(&self.dir) else {
+            return stats;
+        };
+        let mut entries: Vec<(PathBuf, String, u64, SystemTime)> = Vec::new();
+        for e in rd.flatten() {
+            let name = match e.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if !is_entry_name(&name) {
+                continue;
+            }
+            let Ok(md) = e.metadata() else { continue };
+            if !md.is_file() {
+                continue;
+            }
+            let mtime = md.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((e.path(), name, md.len(), mtime));
+        }
+        stats.scanned = entries.len() as u64;
+        entries.sort_by(|a, b| (a.3, &a.1).cmp(&(b.3, &b.1)));
+        let mut total: u64 = entries.iter().map(|e| e.2).sum();
+        for (path, _, len, _) in entries {
+            if total <= budget_bytes {
+                stats.retained += 1;
+                stats.retained_bytes += len;
+                continue;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    stats.evicted += 1;
+                    stats.evicted_bytes += len;
+                    total -= len;
+                }
+                Err(_) => {
+                    // Already gone (a concurrent GC raced us) or
+                    // unremovable; keep `total` conservative and
+                    // move on.
+                    stats.errors += 1;
+                }
+            }
+        }
+        stats
     }
 
     /// Moves an unverifiable entry aside (`<name>.corrupt`) so it is
@@ -268,22 +351,54 @@ impl DiskCache {
     }
 }
 
+/// Counter snapshot of one [`DiskCache::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entry files examined (well-formed `{key:032x}.run` names only).
+    pub scanned: u64,
+    /// Entries removed.
+    pub evicted: u64,
+    /// Bytes reclaimed by the removals.
+    pub evicted_bytes: u64,
+    /// Entries kept.
+    pub retained: u64,
+    /// Bytes still resident after the pass.
+    pub retained_bytes: u64,
+    /// Removal attempts that failed (raced or unremovable entries).
+    pub errors: u64,
+    /// True when the cache is degraded: nothing was scanned or evicted.
+    pub degraded: bool,
+}
+
+/// True for a well-formed entry filename: 32 lower-case hex digits plus
+/// the `.run` extension. Excludes temp files (leading dot, extra
+/// components) and quarantined `.corrupt` files by construction.
+fn is_entry_name(name: &str) -> bool {
+    name.len() == 36
+        && name.ends_with(".run")
+        && name[..32]
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
 /// Creates `dir` and proves it writable with a create/remove round trip.
 /// A plain metadata/permission check is not enough: this process may run
 /// as root (permission bits don't bind it) or the path may be a regular
 /// file, and only an actual write distinguishes those.
-fn probe_writable(dir: &Path) -> bool {
-    if fs::create_dir_all(dir).is_err() {
-        return false;
+/// Returns the failure in human-readable form, kept by the cache as its
+/// [`DiskCache::degraded_reason`].
+fn probe_writable(dir: &Path) -> Result<(), String> {
+    if let Err(e) = fs::create_dir_all(dir) {
+        return Err(format!("cannot create cache dir {}: {e}", dir.display()));
     }
     let probe = dir.join(format!(".probe.{}.tmp", std::process::id()));
     match fs::File::create(&probe) {
         Ok(f) => {
             drop(f);
             let _ = fs::remove_file(&probe);
-            true
+            Ok(())
         }
-        Err(_) => false,
+        Err(e) => Err(format!("cache dir {} not writable: {e}", dir.display())),
     }
 }
 
@@ -407,14 +522,108 @@ mod tests {
         fs::write(&file, b"in the way").unwrap();
         let c = DiskCache::open(&file);
         assert!(c.is_degraded());
+        let reason = c.degraded_reason().expect("degraded cache has a reason");
+        assert!(
+            reason.contains("cannot create cache dir"),
+            "unexpected reason: {reason}"
+        );
         let key = content_key("job");
         c.store(key, b"payload");
         assert_eq!(c.load(key), None);
         let s = c.stats();
         assert!(s.degraded);
         assert_eq!((s.hits, s.misses, s.stores, s.store_failures), (0, 0, 0, 0));
+        // GC on a degraded cache is a no-op too.
+        let g = c.gc(0);
+        assert!(g.degraded);
+        assert_eq!((g.scanned, g.evicted), (0, 0));
         assert_eq!(fs::read(&file).unwrap(), b"in the way");
         let _ = fs::remove_file(&file);
+    }
+
+    /// Backdates an entry's mtime by `secs` seconds.
+    fn backdate(path: &Path, secs: u64) {
+        let t = SystemTime::now() - std::time::Duration::from_secs(secs);
+        fs::File::options()
+            .append(true)
+            .open(path)
+            .and_then(|f| f.set_modified(t))
+            .expect("backdate entry");
+    }
+
+    #[test]
+    fn gc_evicts_lru_under_budget() {
+        let dir = tmp_dir("gc-lru");
+        let c = DiskCache::open(&dir);
+        let (ka, kb, kc) = (content_key("a"), content_key("b"), content_key("c"));
+        c.store(ka, b"payload a");
+        c.store(kb, b"payload b");
+        c.store(kc, b"payload c");
+        // Ages: a oldest, then b, then c (newest).
+        backdate(&c.path_for(ka), 300);
+        backdate(&c.path_for(kb), 200);
+        backdate(&c.path_for(kc), 100);
+        let entry_len = fs::metadata(c.path_for(ka)).unwrap().len();
+
+        // Unlimited budget evicts nothing.
+        let g = c.gc(3 * entry_len);
+        assert_eq!((g.scanned, g.evicted, g.retained), (3, 0, 3));
+
+        // Room for one entry: the two oldest go, the newest stays.
+        let g = c.gc(entry_len);
+        assert_eq!((g.evicted, g.retained, g.errors), (2, 1, 0));
+        assert_eq!(g.evicted_bytes, 2 * entry_len);
+        assert_eq!(g.retained_bytes, entry_len);
+        assert_eq!(c.load(ka), None);
+        assert_eq!(c.load(kb), None);
+        assert_eq!(c.load(kc).as_deref(), Some(&b"payload c"[..]));
+
+        // Zero budget clears the cache.
+        let g = c.gc(0);
+        assert_eq!((g.evicted, g.retained), (1, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_load_touch_protects_hot_entries() {
+        let dir = tmp_dir("gc-touch");
+        let c = DiskCache::open(&dir);
+        let (ka, kb) = (content_key("hot"), content_key("cold"));
+        c.store(ka, b"hot entry!");
+        c.store(kb, b"cold entry");
+        // Both old, the hot one older — then a load refreshes it.
+        backdate(&c.path_for(ka), 400);
+        backdate(&c.path_for(kb), 200);
+        assert!(c.load(ka).is_some());
+        let entry_len = fs::metadata(c.path_for(kb)).unwrap().len();
+        let g = c.gc(entry_len);
+        assert_eq!((g.evicted, g.retained), (1, 1));
+        assert!(c.load(ka).is_some(), "hot entry evicted despite touch");
+        assert_eq!(c.load(kb), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_ignores_temp_and_quarantined_files() {
+        let dir = tmp_dir("gc-skip");
+        let c = DiskCache::open(&dir);
+        let key = content_key("real");
+        c.store(key, b"real entry");
+        fs::write(dir.join(".deadbeef.123.0.tmp"), b"in-progress write").unwrap();
+        fs::write(
+            dir.join(format!("{:032x}.run.corrupt", content_key("bad"))),
+            b"quarantined",
+        )
+        .unwrap();
+        fs::write(dir.join("notes.txt"), b"unrelated").unwrap();
+        let g = c.gc(0);
+        assert_eq!((g.scanned, g.evicted), (1, 1));
+        assert!(dir.join(".deadbeef.123.0.tmp").exists());
+        assert!(dir
+            .join(format!("{:032x}.run.corrupt", content_key("bad")))
+            .exists());
+        assert!(dir.join("notes.txt").exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -39,8 +39,11 @@ pub mod json;
 pub mod metrics;
 pub mod system;
 
-pub use api::{CellError, CellErrorKind, Experiment, Metric, Probe, SweepResult, Variant};
-pub use cache::{CacheStats, DiskCache};
+pub use api::{
+    assemble_sweep_json, run_cell, Cell, CellError, CellErrorKind, CellPlan, Experiment, Metric,
+    Probe, SweepPlan, SweepResult, Variant,
+};
+pub use cache::{CacheStats, DiskCache, GcStats};
 pub use config::{Engine, InvalidConfig, SystemConfig};
 pub use dram::{SpeedBin, TimingSpec};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};

@@ -1,0 +1,303 @@
+//! Wire protocol: newline-delimited JSON with bounded framing.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. A connection carries any number of requests,
+//! and responses to different in-flight jobs interleave freely — each
+//! response names the job it belongs to. Framing is bounded: a request
+//! line longer than [`MAX_REQUEST_BYTES`] is discarded up to its
+//! newline and answered with an [`ErrorCode::Oversized`] error, after
+//! which the connection is back in sync.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"type":"submit","sweep":{...}}      → accepted | error, then cell*/done
+//! {"type":"status"}                    → status
+//! {"type":"cancel","job":"j1"}         → cancelled | error
+//! {"type":"gc","budget_bytes":N}       → gc | error
+//! {"type":"shutdown"}                  → bye (after the drain)
+//! ```
+//!
+//! # Responses
+//!
+//! ```text
+//! {"type":"accepted","job":"j1","cells":N,"params":{...},
+//!  "timings":[...],"mechanisms":[...],"variants":[...]}
+//! {"type":"cell","job":"j1","index":I,"cell":{...}}     v4 cell object
+//! {"type":"done","job":"j1","cells":N,"failed":F}
+//! {"type":"aborted","job":"j1","dropped":N}             shutdown drop
+//! {"type":"cancelled","job":"j1","dropped":N}
+//! {"type":"status","queued":N,"running":N,"jobs":N,
+//!  "shutting_down":B,"cache":{...}|null}
+//! {"type":"gc","scanned":N,"evicted":N,"evicted_bytes":N,
+//!  "retained":N,"retained_bytes":N,"errors":N}
+//! {"type":"bye"}
+//! {"type":"error","code":"...","message":"..."}
+//! ```
+
+use std::io::{self, BufRead};
+
+use sim::json::Json;
+
+use crate::spec::SweepSpec;
+
+/// Upper bound on one request line, newline excluded. Large enough for
+/// any realistic sweep spec (the full 42-subject × 5-mechanism grid is
+/// under 2 KiB), small enough that a garbage stream cannot balloon the
+/// daemon's memory.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Typed error classes carried in `error` responses (`code` member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    Parse,
+    /// The request line exceeded [`MAX_REQUEST_BYTES`].
+    Oversized,
+    /// The request JSON was well-formed but not a known request shape.
+    BadRequest,
+    /// The sweep spec failed validation (unknown subject, bad mechanism
+    /// or timing spec, malformed variant).
+    BadSpec,
+    /// The daemon's cell queue is at its bounded depth.
+    QueueFull,
+    /// This client is at its outstanding-cell quota.
+    ClientQuota,
+    /// `cancel` named a job this connection does not own.
+    UnknownJob,
+    /// The daemon is draining and accepts no new work.
+    ShuttingDown,
+    /// `gc` was requested but the daemon has no cache directory.
+    NoCache,
+}
+
+impl ErrorCode {
+    /// Stable lower-case identifier (the wire `code` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::BadSpec => "bad-spec",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::ClientQuota => "client-quota",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::NoCache => "no-cache",
+        }
+    }
+}
+
+/// One framed request line, or the typed oversized marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped). A final line truncated by EOF
+    /// is returned as-is: its JSON parse yields the typed error.
+    Line(String),
+    /// A line that exceeded [`MAX_REQUEST_BYTES`]; its bytes were
+    /// discarded through the terminating newline (or EOF), so the stream
+    /// is re-synchronized.
+    Oversized {
+        /// Bytes discarded, newline excluded.
+        discarded: usize,
+    },
+}
+
+/// Reads one bounded frame. `Ok(None)` is clean EOF. Never allocates
+/// more than [`MAX_REQUEST_BYTES`] for a line: once a line crosses the
+/// bound its bytes are discarded, and the frame comes back as
+/// [`Frame::Oversized`] with the reader positioned after the newline.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Frame>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarded = 0usize;
+    let mut oversized = false;
+    loop {
+        let buf = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF.
+            return Ok(match (oversized, line.is_empty()) {
+                (true, _) => Some(Frame::Oversized { discarded }),
+                (false, true) => None,
+                (false, false) => Some(Frame::Line(String::from_utf8_lossy(&line).into_owned())),
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(buf.len());
+        if oversized {
+            discarded += take;
+        } else {
+            line.extend_from_slice(&buf[..take]);
+            if line.len() > MAX_REQUEST_BYTES {
+                discarded = line.len();
+                line = Vec::new();
+                oversized = true;
+            }
+        }
+        match newline {
+            Some(i) => {
+                r.consume(i + 1);
+                return Ok(Some(if oversized {
+                    Frame::Oversized { discarded }
+                } else {
+                    Frame::Line(String::from_utf8_lossy(&line).into_owned())
+                }));
+            }
+            None => {
+                let n = buf.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit a sweep grid; the daemon streams its cells back.
+    Submit(SweepSpec),
+    /// Snapshot of queue depth, running cells and cache counters.
+    Status,
+    /// Drop a job's not-yet-run cells and stop streaming it.
+    Cancel(String),
+    /// Run [`sim::DiskCache::gc`] under the given byte budget.
+    Gc(u64),
+    /// Drain in-flight cells, drop queued ones, and exit.
+    Shutdown,
+}
+
+/// Parses one request line into a [`Request`], with the typed error
+/// code and message the daemon should answer on failure.
+pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
+    let j = sim::json::parse(line).map_err(|e| (ErrorCode::Parse, e))?;
+    let ty = j
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or((ErrorCode::BadRequest, "missing \"type\" member".to_string()))?;
+    match ty {
+        "submit" => {
+            let sweep = j.get("sweep").ok_or((
+                ErrorCode::BadRequest,
+                "submit needs a \"sweep\" member".to_string(),
+            ))?;
+            SweepSpec::from_json(sweep)
+                .map(Request::Submit)
+                .map_err(|e| (ErrorCode::BadSpec, e))
+        }
+        "status" => Ok(Request::Status),
+        "cancel" => {
+            let job = j.get("job").and_then(Json::as_str).ok_or((
+                ErrorCode::BadRequest,
+                "cancel needs a \"job\" member".to_string(),
+            ))?;
+            Ok(Request::Cancel(job.to_string()))
+        }
+        "gc" => {
+            let budget = j.get("budget_bytes").and_then(Json::as_num).ok_or((
+                ErrorCode::BadRequest,
+                "gc needs a numeric \"budget_bytes\" member".to_string(),
+            ))?;
+            if !(budget.is_finite() && budget >= 0.0) {
+                return Err((
+                    ErrorCode::BadRequest,
+                    format!("gc budget_bytes must be a non-negative number, got {budget}"),
+                ));
+            }
+            Ok(Request::Gc(budget as u64))
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err((
+            ErrorCode::BadRequest,
+            format!("unknown request type {other:?}"),
+        )),
+    }
+}
+
+/// Builds an `error` response object.
+pub fn error_json(code: ErrorCode, message: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("type".into(), Json::str("error")),
+        ("code".into(), Json::str(code.as_str())),
+        ("message".into(), Json::str(message.into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_lines_and_reports_clean_eof() {
+        let mut r = BufReader::new(&b"{\"type\":\"status\"}\nnext\n"[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Line("{\"type\":\"status\"}".into()))
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Line("next".into()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_final_line_surfaces_for_a_parse_error() {
+        let mut r = BufReader::new(&b"{\"type\":\"sta"[..]);
+        let Some(Frame::Line(l)) = read_frame(&mut r).unwrap() else {
+            panic!("expected a line frame");
+        };
+        assert!(parse_request(&l).is_err());
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_and_resyncs() {
+        let mut big = vec![b'x'; MAX_REQUEST_BYTES + 7];
+        big.push(b'\n');
+        big.extend_from_slice(b"{\"type\":\"status\"}\n");
+        let mut r = BufReader::new(&big[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Oversized {
+                discarded: MAX_REQUEST_BYTES + 7
+            })
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Line("{\"type\":\"status\"}".into()))
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn request_parse_rejects_unknown_shapes_with_typed_codes() {
+        assert!(matches!(
+            parse_request("not json"),
+            Err((ErrorCode::Parse, _))
+        ));
+        assert!(matches!(
+            parse_request("{\"no\":\"type\"}"),
+            Err((ErrorCode::BadRequest, _))
+        ));
+        assert!(matches!(
+            parse_request("{\"type\":\"warp\"}"),
+            Err((ErrorCode::BadRequest, _))
+        ));
+        assert!(matches!(
+            parse_request("{\"type\":\"submit\",\"sweep\":{\"subjects\":[\"no-such\"]}}"),
+            Err((ErrorCode::BadSpec, _))
+        ));
+        assert!(matches!(
+            parse_request("{\"type\":\"gc\",\"budget_bytes\":-4}"),
+            Err((ErrorCode::BadRequest, _))
+        ));
+        assert!(matches!(
+            parse_request("{\"type\":\"shutdown\"}"),
+            Ok(Request::Shutdown)
+        ));
+    }
+}

@@ -12,6 +12,8 @@
 //! cc-sim run  --workload mcf --json             # machine-readable sweep (v4)
 //! cc-sim run  --workload mcf --json --cache-dir .cc-cache   # resumable
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
+//! cc-sim run  --workload mcf --json --server /tmp/cc.sock  # via cc-simd
+//! cc-sim cache-gc --cache-dir .cc-cache --budget 512M      # trim the cache
 //! cc-sim bitline --age 64                       # waveform CSV
 //! cc-sim overhead --cores 8 --channels 2 --entries 128
 //! ```
@@ -40,6 +42,17 @@
 //! JSON byte for byte. A cell that panics fails *alone*: the rest of
 //! the sweep completes, the failure is reported per cell on stderr (and
 //! as an `error` object in `--json` output), and the process exits 3.
+//! `cache-gc --budget SIZE` trims the cache to a byte budget, evicting
+//! least-recently-used entries first.
+//!
+//! # Served sweeps
+//!
+//! With `--json --server SOCKET` the sweep is not simulated in-process:
+//! the grid is submitted to a running `cc-simd` daemon, the streamed
+//! cells are reassembled in grid order, and the resulting document is
+//! byte-identical to the local `--json` output of the same grid. The
+//! daemon owns the disk cache in this mode, so `--cache-dir`,
+//! `--no-cache` and `--threads` are rejected alongside `--server`.
 //!
 //! # Exit codes
 //!
@@ -60,6 +73,7 @@ use dram::TimingSpec;
 use sim::api::{Experiment, SweepResult};
 use sim::exp::{default_threads, ExpParams};
 use sim::{DiskCache, RunResult};
+use simd::{Client, ClientError, SweepSpec};
 use traces::{eight_core_mixes, single_core_workloads, workload};
 
 /// Typed top-level failure, mapped onto the process exit code so
@@ -101,6 +115,9 @@ fn main() -> ExitCode {
         "overhead" => OverheadArgs::parse(rest)
             .map_err(CliError::Usage)
             .and_then(|a| cmd_overhead(&a)),
+        "cache-gc" | "--cache-gc" => CacheGcArgs::parse(rest)
+            .map_err(CliError::Usage)
+            .and_then(|a| cmd_cache_gc(&a)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -133,6 +150,7 @@ USAGE:
   cc-sim --list-workloads             the 22 workloads and 20 mixes (alias: list)
   cc-sim run  --workload <name> --mechanism <spec|all> [options]
   cc-sim mix  --index <1..20>   --mechanism <spec|all> [options]
+  cc-sim cache-gc --budget <size> [--cache-dir DIR]
   cc-sim bitline [--age <ms>]
   cc-sim overhead [--cores N] [--channels N] [--entries N]
 
@@ -166,6 +184,13 @@ OPTIONS (run/mix):
   --cache-dir DIR persist finished cells to a disk run cache (resumable;
                   defaults to $CC_CACHE_DIR when set)
   --no-cache      ignore --cache-dir and $CC_CACHE_DIR
+  --server SOCK   submit the sweep to a cc-simd daemon instead of
+                  simulating in-process (requires --json; the daemon
+                  owns the cache, so cache/thread flags are rejected)
+
+CACHE GC (cache-gc):
+  --budget SIZE   byte budget: plain bytes or a k/M/G suffix (512M)
+  --cache-dir DIR cache to trim (defaults to $CC_CACHE_DIR)
 
 EXIT CODES:
   0 success  ·  2 usage/config error  ·  3 cell failure  ·  4 output I/O error";
@@ -226,6 +251,7 @@ struct SweepArgs {
     out: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    server: Option<PathBuf>,
 }
 
 impl Default for SweepArgs {
@@ -245,6 +271,7 @@ impl Default for SweepArgs {
             out: None,
             cache_dir: None,
             no_cache: false,
+            server: None,
         }
     }
 }
@@ -288,6 +315,7 @@ impl SweepArgs {
             "out" => self.out = Some(PathBuf::from(cur.value(flag)?)),
             "cache-dir" => self.cache_dir = Some(PathBuf::from(cur.value(flag)?)),
             "no-cache" => self.no_cache = true,
+            "server" => self.server = Some(PathBuf::from(cur.value(flag)?)),
             _ => return Ok(false),
         }
         Ok(true)
@@ -297,6 +325,28 @@ impl SweepArgs {
     fn check(&self) -> Result<(), String> {
         if self.out.is_some() && !self.json {
             return Err("--out requires --json (only the JSON sweep is written to a file)".into());
+        }
+        if self.server.is_some() {
+            if !self.json {
+                return Err("--server requires --json (served sweeps are JSON documents)".into());
+            }
+            if self.csv {
+                return Err("--server and --csv are mutually exclusive".into());
+            }
+            if self.cache_dir.is_some() || self.no_cache {
+                return Err(
+                    "--cache-dir/--no-cache have no effect with --server (the daemon owns the \
+                     cache; configure it with `cc-simd serve --cache-dir`)"
+                        .into(),
+                );
+            }
+            if self.threads.is_some() {
+                return Err(
+                    "--threads has no effect with --server (the daemon's worker pool is sized \
+                     with `cc-simd serve --threads`)"
+                        .into(),
+                );
+            }
         }
         Ok(())
     }
@@ -378,23 +428,28 @@ impl SweepArgs {
     }
 
     /// One stderr summary line of disk-cache effectiveness, so resumed
-    /// runs can be verified without inspecting the cache directory.
+    /// runs can be verified without inspecting the cache directory. A
+    /// degraded cache gets a single warning naming the reason instead of
+    /// a misleading all-zero counter line.
     fn report_cache(&self) {
         if let Some(dir) = self.effective_cache_dir() {
-            let s = DiskCache::shared(&dir).stats();
+            let cache = DiskCache::shared(&dir);
+            if let Some(reason) = cache.degraded_reason() {
+                eprintln!(
+                    "warning: disk cache disabled for this run ({reason}); \
+                     results were computed but not persisted"
+                );
+                return;
+            }
+            let s = cache.stats();
             eprintln!(
-                "cache {}: hits={} misses={} stored={} quarantined={} store_failures={}{}",
+                "cache {}: hits={} misses={} stored={} quarantined={} store_failures={}",
                 dir.display(),
                 s.hits,
                 s.misses,
                 s.stores,
                 s.quarantined,
                 s.store_failures,
-                if s.degraded {
-                    " (degraded: in-memory only)"
-                } else {
-                    ""
-                }
             );
         }
     }
@@ -417,6 +472,103 @@ fn finish_sweep(args: &SweepArgs, sweep: &SweepResult) -> Result<(), CliError> {
         return Err(CliError::Cell(format!(
             "{failed} of {} sweep cells failed (see per-cell diagnostics above)",
             sweep.cells.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs the sweep through a `cc-simd` daemon instead of in-process: the
+/// grid (with fully-resolved parameters, so the daemon's environment
+/// cannot skew run lengths) is submitted over the socket, the streamed
+/// cells are reassembled in grid order, and the document is emitted
+/// exactly like the local `--json` path.
+fn run_served(a: &SweepArgs, subject: &str) -> Result<(), CliError> {
+    let socket = a.server.as_ref().expect("run_served needs --server");
+    let spec = SweepSpec {
+        subjects: vec![subject.to_string()],
+        mechanisms: a.specs().map_err(CliError::Usage)?,
+        timings: a.timing.clone().into_iter().collect(),
+        variants: Vec::new(),
+        params: a.params(),
+        engine: None,
+    };
+    let mut client = Client::connect(socket)
+        .map_err(|e| CliError::Io(format!("connecting to daemon at {}: {e}", socket.display())))?;
+    let served = client.run_sweep(&spec).map_err(|e| match e {
+        ClientError::Daemon { .. } => CliError::Usage(e.to_string()),
+        ClientError::Aborted { .. } => CliError::Cell(e.to_string()),
+        ClientError::Io(_) | ClientError::Protocol(_) => CliError::Io(e.to_string()),
+    })?;
+    match &a.out {
+        Some(path) => std::fs::write(path, served.doc.as_bytes())
+            .map_err(|e| CliError::Io(format!("writing {}: {e}", path.display())))?,
+        None => println!("{}", served.doc),
+    }
+    if served.failed > 0 {
+        return Err(CliError::Cell(format!(
+            "{} served sweep cell(s) failed (see the error objects in the JSON)",
+            served.failed
+        )));
+    }
+    Ok(())
+}
+
+struct CacheGcArgs {
+    budget: u64,
+    cache_dir: Option<PathBuf>,
+}
+
+impl CacheGcArgs {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cur = Cursor::new(args);
+        let mut budget = None;
+        let mut cache_dir = None;
+        while let Some(flag) = cur.next_flag()? {
+            match flag {
+                "budget" => budget = Some(simd::parse_size(cur.value(flag)?)?),
+                "cache-dir" => cache_dir = Some(PathBuf::from(cur.value(flag)?)),
+                other => return Err(format!("unknown flag --{other} for `cache-gc`")),
+            }
+        }
+        Ok(Self {
+            budget: budget.ok_or("cache-gc needs --budget <size> (e.g. --budget 512M)")?,
+            cache_dir,
+        })
+    }
+}
+
+/// Trims the disk run cache to a byte budget, least-recently-used
+/// entries first. Removal is atomic per entry, so sweeps reading the
+/// same directory concurrently see a clean miss, never a torn entry.
+fn cmd_cache_gc(args: &CacheGcArgs) -> Result<(), CliError> {
+    let dir = args
+        .cache_dir
+        .clone()
+        .or_else(|| {
+            std::env::var_os("CC_CACHE_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })
+        .ok_or_else(|| CliError::Usage("cache-gc needs --cache-dir or $CC_CACHE_DIR".into()))?;
+    let cache = DiskCache::shared(&dir);
+    if let Some(reason) = cache.degraded_reason() {
+        return Err(CliError::Usage(format!("cache dir unusable: {reason}")));
+    }
+    let g = cache.gc(args.budget);
+    println!(
+        "cache {}: scanned={} evicted={} ({} bytes) retained={} ({} bytes)",
+        dir.display(),
+        g.scanned,
+        g.evicted,
+        g.evicted_bytes,
+        g.retained,
+        g.retained_bytes
+    );
+    if g.errors > 0 {
+        return Err(CliError::Io(format!(
+            "{} cache entr{} could not be removed",
+            g.errors,
+            if g.errors == 1 { "y" } else { "ies" }
         )));
     }
     Ok(())
@@ -628,6 +780,9 @@ fn cmd_run(args: &RunArgs) -> Result<(), CliError> {
     let spec = workload(&args.workload)
         .ok_or_else(|| CliError::Usage(format!("unknown workload {:?}", args.workload)))?;
     let a = &args.sweep;
+    if a.server.is_some() {
+        return run_served(a, spec.name);
+    }
     let sweep = a
         .experiment()
         .map_err(CliError::Usage)?
@@ -673,6 +828,9 @@ fn cmd_mix(args: &MixArgs) -> Result<(), CliError> {
         .get(args.index.wrapping_sub(1))
         .ok_or_else(|| CliError::Usage(format!("--index must be 1..={}", mixes.len())))?;
     let a = &args.sweep;
+    if a.server.is_some() {
+        return run_served(a, &mix.name);
+    }
     let sweep = a
         .experiment()
         .map_err(CliError::Usage)?

@@ -449,3 +449,67 @@ fn killed_cc_sim_sweep_resumes_byte_identical_with_cache_hits() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn gc_never_corrupts_a_concurrently_read_entry() {
+    // Readers hammer `load` while GC evicts under a shrinking budget:
+    // every load must return either the full stored payload or a clean
+    // miss — never a torn read, and never a quarantine (which would mean
+    // a reader mistook a half-removed entry for corruption).
+    let dir = tmp_dir("gc-race");
+    let cache = DiskCache::shared(&dir);
+    assert!(!cache.is_degraded());
+    let payload: Vec<u8> = (0..2048u32).flat_map(u32::to_le_bytes).collect();
+    let keys: Vec<u128> = (0..64u128).map(|i| i * 0x9E37_79B9_7F4A_7C15).collect();
+    for &k in &keys {
+        cache.store(k, &payload);
+    }
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let keys = &keys;
+                let payload = &payload;
+                scope.spawn(move || {
+                    let mut hits = 0u32;
+                    for _ in 0..200 {
+                        for &k in keys {
+                            if let Some(got) = cache.load(k) {
+                                assert_eq!(got, *payload, "torn read under concurrent GC");
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        // Concurrent GC passes with progressively tighter budgets, plus
+        // re-stores so readers keep finding live entries to race with.
+        let gcer = {
+            let cache = Arc::clone(&cache);
+            let keys = &keys;
+            let payload = &payload;
+            scope.spawn(move || {
+                for round in (0..16u64).rev() {
+                    let g = cache.gc(round * 4 * payload.len() as u64);
+                    assert_eq!(g.errors, 0, "GC failed to remove an entry");
+                    for &k in keys.iter().take(8) {
+                        cache.store(k, payload);
+                    }
+                }
+            })
+        };
+        gcer.join().expect("gc thread");
+        let total: u32 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        assert!(total > 0, "readers never observed a live entry");
+    });
+
+    let s = cache.stats();
+    assert_eq!(
+        s.quarantined, 0,
+        "a concurrent GC made a reader quarantine an entry"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
