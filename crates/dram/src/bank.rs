@@ -177,8 +177,16 @@ impl Bank {
     /// Applies the effect of a rank-level `REF` completing at
     /// `now + tRFC`: the bank cannot activate until then.
     pub fn apply_refresh(&mut self, now: BusCycle, t: &TimingParams) {
+        self.apply_refresh_lockout(now, t.trfc);
+    }
+
+    /// Applies a refresh lockout of `lockout` cycles starting at `now`:
+    /// the bank cannot activate until it elapses. Used directly by
+    /// per-bank refresh (`tRFCpb`) and via [`Self::apply_refresh`]
+    /// (`tRFC`) by all-bank refresh.
+    pub fn apply_refresh_lockout(&mut self, now: BusCycle, lockout: u32) {
         debug_assert!(self.is_precharged(), "REF with an active bank");
-        self.next_act = self.next_act.max(now + BusCycle::from(t.trfc));
+        self.next_act = self.next_act.max(now + BusCycle::from(lockout));
     }
 }
 
@@ -270,6 +278,14 @@ mod tests {
         let mut b = Bank::new();
         b.apply_refresh(100, &t);
         assert_eq!(b.earliest_act(0), 100 + u64::from(t.trfc));
+    }
+
+    #[test]
+    fn per_bank_refresh_lockout_uses_given_cycles() {
+        let t = t();
+        let mut b = Bank::new();
+        b.apply_refresh_lockout(100, t.trfcpb / 2);
+        assert_eq!(b.earliest_act(0), 100 + u64::from(t.trfcpb / 2));
     }
 
     #[test]

@@ -106,7 +106,16 @@ impl Channel {
             }
             Command::Ref { rank } => {
                 let r = &self.ranks[rank.rank as usize];
-                if !r.all_banks_precharged() {
+                if r.per_bank_refresh() {
+                    // REFpb needs only its target bank precharged.
+                    let target = r.refresh_target().unwrap_or(0);
+                    if !r.bank(target).is_precharged() {
+                        return Err(IssueError::BanksNotPrecharged {
+                            channel: rank.channel,
+                            rank: rank.rank,
+                        });
+                    }
+                } else if !r.all_banks_precharged() {
                     return Err(IssueError::BanksNotPrecharged {
                         channel: rank.channel,
                         rank: rank.rank,
@@ -178,8 +187,9 @@ impl Channel {
                 out.write_done_at = Some(burst_end);
             }
             Command::Ref { rank } => {
-                let (first_row, count) = self.ranks[rank.rank as usize].issue_ref(now, t);
+                let (first_row, count, bank) = self.ranks[rank.rank as usize].issue_ref(now, t);
                 out.refreshed = Some((first_row, count));
+                out.refreshed_bank = bank;
             }
         }
         out

@@ -1,5 +1,6 @@
 //! DRAM system configuration: organization plus timing.
 
+use crate::family::RefreshGranularity;
 use crate::timing::TimingParams;
 
 /// Physical organization of the memory system.
@@ -11,6 +12,10 @@ pub struct Organization {
     pub ranks: u8,
     /// Banks per rank.
     pub banks: u8,
+    /// Bank groups per rank (1 = ungrouped, DDR3-style). Banks are split
+    /// evenly across groups; same-group commands pay the long spacing
+    /// (`tCCD_L`/`tRRD_L`), cross-group commands the short one.
+    pub bank_groups: u8,
     /// Rows per bank.
     pub rows: u32,
     /// Columns per row at cache-line granularity.
@@ -28,10 +33,16 @@ impl Organization {
             channels,
             ranks: 1,
             banks: 8,
+            bank_groups: 1,
             rows: 65_536,
             columns: 128,
             line_bytes: 64,
         }
+    }
+
+    /// Banks per bank group.
+    pub fn banks_per_group(&self) -> u8 {
+        self.banks / self.bank_groups.max(1)
     }
 
     /// Row-buffer size in bytes.
@@ -59,6 +70,7 @@ impl Organization {
             ("channels", u64::from(self.channels)),
             ("ranks", u64::from(self.ranks)),
             ("banks", u64::from(self.banks)),
+            ("bank_groups", u64::from(self.bank_groups)),
             ("rows", u64::from(self.rows)),
             ("columns", u64::from(self.columns)),
             ("line_bytes", u64::from(self.line_bytes)),
@@ -69,6 +81,12 @@ impl Organization {
             if !v.is_power_of_two() {
                 return Err(format!("{name} ({v}) must be a power of two"));
             }
+        }
+        if !self.banks.is_multiple_of(self.bank_groups) {
+            return Err(format!(
+                "banks ({}) must be a multiple of bank_groups ({})",
+                self.banks, self.bank_groups
+            ));
         }
         Ok(())
     }
@@ -83,6 +101,10 @@ pub struct DramConfig {
     pub timing: TimingParams,
     /// Retention window in milliseconds (refresh period for every cell).
     pub retention_ms: f64,
+    /// Refresh command scope: all-bank `REF` (DDR3/DDR4) or per-bank
+    /// `REFpb` (LPDDR4-style). Per-bank refresh locks only the target
+    /// bank out, for `tRFCpb` instead of `tRFC`.
+    pub refresh: RefreshGranularity,
 }
 
 impl DramConfig {
@@ -93,6 +115,7 @@ impl DramConfig {
             org: Organization::paper(1),
             timing: TimingParams::ddr3_1600(),
             retention_ms: 64.0,
+            refresh: RefreshGranularity::AllBank,
         }
     }
 
@@ -102,6 +125,19 @@ impl DramConfig {
             org: Organization::paper(2),
             timing: TimingParams::ddr3_1600(),
             retention_ms: 64.0,
+            refresh: RefreshGranularity::AllBank,
+        }
+    }
+
+    /// The configuration a device family resolves to: the family's
+    /// organization and refresh scope, with its structural timing
+    /// patched onto the family's default speed bin.
+    pub fn for_family(family: &crate::family::FamilyParams) -> Self {
+        Self {
+            org: family.organization(),
+            timing: family.apply_to(family.default_bin.timing()),
+            retention_ms: family.retention_ms,
+            refresh: family.refresh,
         }
     }
 
@@ -115,12 +151,14 @@ impl DramConfig {
                 channels: 8,
                 ranks: 1,
                 banks: 16,
+                bank_groups: 1,
                 rows: 16_384,
                 columns: 32,
                 line_bytes: 64,
             },
             timing: TimingParams::ddr3_1600(),
             retention_ms: 32.0,
+            refresh: RefreshGranularity::AllBank,
         }
     }
 
@@ -195,5 +233,32 @@ mod tests {
         let mut cfg = DramConfig::ddr3_1600_paper();
         cfg.org.banks = 6;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn groups_must_divide_banks() {
+        let mut cfg = DramConfig::ddr3_1600_paper();
+        cfg.org.banks = 8;
+        cfg.org.bank_groups = 16;
+        assert!(cfg.validate().is_err());
+        cfg.org.bank_groups = 4;
+        cfg.validate().unwrap();
+        assert_eq!(cfg.org.banks_per_group(), 2);
+    }
+
+    #[test]
+    fn family_configs_are_valid() {
+        for (_, _, fam) in crate::family::list_families() {
+            let cfg = DramConfig::for_family(&fam);
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name));
+            assert_eq!(cfg.refresh, fam.refresh);
+        }
+    }
+
+    #[test]
+    fn ddr3_family_config_matches_paper_config() {
+        let fam = crate::family::resolve(&crate::family::FamilySpec::default()).unwrap();
+        assert_eq!(DramConfig::for_family(&fam), DramConfig::ddr3_1600_paper());
     }
 }

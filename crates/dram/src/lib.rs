@@ -1,9 +1,14 @@
-//! Cycle-accurate DDR3 DRAM device model.
+//! Cycle-accurate DRAM device model.
 //!
 //! This crate is the reproduction's substitute for the DRAM half of
-//! Ramulator: a command-level, cycle-accurate model of a DDR3 memory
+//! Ramulator: a command-level, cycle-accurate model of a DRAM memory
 //! system — channels, ranks, banks, rows — that *enforces* the JEDEC
-//! timing constraints rather than merely simulating averages.
+//! timing constraints rather than merely simulating averages. The
+//! paper's device is DDR3-1600, but the checker is device-family aware:
+//! the [`family`] module describes DDR4-, LPDDR4x- and HBM2-style
+//! targets declaratively (bank groups, per-bank refresh,
+//! pseudo-channels), and the rank/bank state machines enforce whichever
+//! structure the configured family selects.
 //!
 //! The model is a timing checker in the Ramulator style: every bank, rank
 //! and channel keeps "earliest next issue" registers per command kind;
@@ -46,6 +51,7 @@ pub mod channel;
 pub mod command;
 pub mod config;
 pub mod error;
+pub mod family;
 pub mod rank;
 pub mod refresh;
 pub mod spec;
@@ -58,6 +64,10 @@ pub use channel::Channel;
 pub use command::{BankLoc, Command, CommandKind, RankLoc, RowId};
 pub use config::{DramConfig, Organization};
 pub use error::IssueError;
+pub use family::{
+    FamilyError, FamilyParams, FamilyRegistry, FamilySpec, FamilyValue, RefreshGranularity,
+    FAMILY_KEYS,
+};
 pub use rank::Rank;
 pub use spec::{TimingSpec, TimingValue, TIMING_KEYS};
 pub use stats::DeviceStats;
@@ -77,11 +87,16 @@ pub struct IssueOutcome {
     /// cycle at which each precharge *begins* — the instant the row's cells
     /// start leaking again, which is what ChargeCache timestamps.
     pub closed_rows: Vec<(BankLoc, RowId, BusCycle)>,
-    /// For `REF` commands: the row range (first row, count) replenished in
-    /// *every bank* of the refreshed rank, per the rotating refresh
-    /// schedule. Charge-aware mechanisms treat these rows as highly
-    /// charged (`LatencyMechanism::on_refresh_row` in `crates/core`).
+    /// For `REF` commands: the row range (first row, count) replenished,
+    /// per the rotating refresh schedule. Covers *every bank* of the
+    /// refreshed rank under all-bank refresh, or only
+    /// [`Self::refreshed_bank`] under per-bank refresh. Charge-aware
+    /// mechanisms treat these rows as highly charged
+    /// (`LatencyMechanism::on_refresh_row` in `crates/core`).
     pub refreshed: Option<(RowId, u32)>,
+    /// The single bank a per-bank `REFpb` covered; `None` for all-bank
+    /// `REF` (and for non-refresh commands).
+    pub refreshed_bank: Option<u8>,
 }
 
 /// A timestamped command, recorded for energy accounting and debugging.
@@ -206,11 +221,12 @@ impl DramDevice {
     }
 
     /// Age (in bus cycles) since the row was last refreshed, per the rank's
-    /// rotating auto-refresh schedule. Used by the NUAT mechanism.
+    /// rotating auto-refresh schedule (per-bank schedules under `REFpb`).
+    /// Used by the NUAT mechanism.
     pub fn refresh_age(&self, loc: BankLoc, row: RowId, now: BusCycle) -> BusCycle {
         self.channels[loc.channel as usize]
             .rank(loc.rank)
-            .refresh_age(row, now)
+            .refresh_age(loc.bank, row, now)
     }
 
     /// Earliest cycle at which the rank's next refresh becomes due.
@@ -218,6 +234,25 @@ impl DramDevice {
         self.channels[rank.channel as usize]
             .rank(rank.rank)
             .refresh_due()
+    }
+
+    /// The bank the rank's next `REFpb` will cover, or `None` when the
+    /// device uses all-bank refresh.
+    pub fn refresh_target(&self, rank: RankLoc) -> Option<u8> {
+        self.channels[rank.channel as usize]
+            .rank(rank.rank)
+            .refresh_target()
+    }
+
+    /// True when the rank only needs its refresh-target bank precharged
+    /// before a refresh (per-bank mode); all-bank refresh requires
+    /// [`Self::all_banks_precharged`].
+    pub fn refresh_ready(&self, rank: RankLoc) -> bool {
+        let r = self.channels[rank.channel as usize].rank(rank.rank);
+        match r.refresh_target() {
+            Some(bank) => r.bank(bank).is_precharged(),
+            None => r.all_banks_precharged(),
+        }
     }
 }
 

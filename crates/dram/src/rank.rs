@@ -5,54 +5,93 @@ use std::collections::VecDeque;
 use crate::bank::Bank;
 use crate::command::RowId;
 use crate::config::DramConfig;
+use crate::family::RefreshGranularity;
 use crate::refresh::RefreshState;
 use crate::timing::{ActTimings, TimingParams};
 use crate::BusCycle;
 
 /// One rank: a set of banks operated in lockstep on the shared buses.
 ///
-/// Enforces the rank-scoped DDR3 constraints:
+/// Enforces the rank-scoped constraints, device-family aware:
 ///
-/// * `tRRD` — minimum gap between ACTs to different banks;
+/// * `tRRD_S`/`tRRD_L` — minimum gap between ACTs to different banks
+///   (cross-group vs same-group; identical when the family has one
+///   bank group, which reduces to plain DDR3 `tRRD`);
 /// * `tFAW` — at most four ACTs in any `tFAW` window;
-/// * `tCCD` — column command spacing;
+/// * `tCCD_S`/`tCCD_L` — column command spacing (cross/same group);
 /// * read/write bus turnaround (`tWTR` and the `tCL`/`tCWL` gap);
-/// * `tRFC` — refresh lockout.
+/// * `tRFC` — all-bank refresh lockout, or `tRFCpb` per-bank.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rank {
     banks: Vec<Bank>,
+    /// Banks per bank group (`banks` when ungrouped).
+    banks_per_group: u8,
     /// Rows per bank (clamps the refresh schedule's reported row ranges:
     /// the bin count is timing-derived, so shrunk test organizations have
     /// more bins than rows).
     rows: u32,
-    /// Earliest next ACT to any bank (tRRD, tFAW).
+    /// Earliest next ACT to any bank (cross-group tRRD_S, tFAW).
     next_act: BusCycle,
-    /// Earliest next RD command (tCCD, WR→RD turnaround).
+    /// Earliest next RD command (cross-group tCCD_S, WR→RD turnaround).
     next_rd: BusCycle,
-    /// Earliest next WR command (tCCD, RD→WR turnaround).
+    /// Earliest next WR command (cross-group tCCD_S, RD→WR turnaround).
     next_wr: BusCycle,
+    /// Per-group earliest next ACT (same-group tRRD_L), indexed by group.
+    next_act_same: Vec<BusCycle>,
+    /// Per-group earliest next RD (same-group tCCD_L).
+    next_rd_same: Vec<BusCycle>,
+    /// Per-group earliest next WR (same-group tCCD_L).
+    next_wr_same: Vec<BusCycle>,
     /// Issue times of the last four ACTs (tFAW sliding window).
     act_window: VecDeque<BusCycle>,
-    /// Refresh rotation bookkeeping.
-    refresh: RefreshState,
+    /// True when refresh is per-bank (`REFpb`).
+    per_bank_refresh: bool,
+    /// Refresh rotation bookkeeping: one schedule for the whole rank in
+    /// all-bank mode, one per bank (phase-staggered) in per-bank mode.
+    refresh: Vec<RefreshState>,
 }
 
 impl Rank {
     /// Creates a rank for the given configuration.
     pub fn new(cfg: &DramConfig) -> Self {
+        let trefi = BusCycle::from(cfg.timing.trefi);
+        let bins = cfg.refresh_bins();
+        let rows_per_ref = cfg.rows_per_ref();
+        let banks = cfg.org.banks;
+        let groups = usize::from(cfg.org.bank_groups.max(1));
+        let per_bank_refresh = cfg.refresh == RefreshGranularity::PerBank;
+        let refresh = if per_bank_refresh {
+            // Stagger each bank's phase across the tREFI window so the
+            // aggregate REFpb cadence is banks/tREFI (LPDDR4 tREFIpb)
+            // while each bank keeps the full tREFI period.
+            (0..banks)
+                .map(|b| {
+                    let due = trefi * (BusCycle::from(b) + 1) / BusCycle::from(banks);
+                    RefreshState::new(bins, rows_per_ref, trefi).with_first_due(due.max(1))
+                })
+                .collect()
+        } else {
+            vec![RefreshState::new(bins, rows_per_ref, trefi)]
+        };
         Self {
-            banks: (0..cfg.org.banks).map(|_| Bank::new()).collect(),
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            banks_per_group: cfg.org.banks_per_group().max(1),
             rows: cfg.org.rows,
             next_act: 0,
             next_rd: 0,
             next_wr: 0,
+            next_act_same: vec![0; groups],
+            next_rd_same: vec![0; groups],
+            next_wr_same: vec![0; groups],
             act_window: VecDeque::with_capacity(4),
-            refresh: RefreshState::new(
-                cfg.refresh_bins(),
-                cfg.rows_per_ref(),
-                BusCycle::from(cfg.timing.trefi),
-            ),
+            per_bank_refresh,
+            refresh,
         }
+    }
+
+    /// The bank group `bank` belongs to.
+    fn group_of(&self, bank: u8) -> usize {
+        usize::from(bank / self.banks_per_group).min(self.next_act_same.len().saturating_sub(1))
     }
 
     /// Immutable access to a bank.
@@ -75,12 +114,18 @@ impl Rank {
         self.banks.iter().all(Bank::is_precharged)
     }
 
+    /// True when this rank refreshes one bank at a time (`REFpb`).
+    pub fn per_bank_refresh(&self) -> bool {
+        self.per_bank_refresh
+    }
+
     /// Earliest cycle an ACT may issue to `bank`, combining bank- and
     /// rank-scoped constraints.
     pub fn earliest_act(&self, bank: u8, now: BusCycle, t: &TimingParams) -> BusCycle {
         let mut at = self.banks[bank as usize]
             .earliest_act(now)
-            .max(self.next_act);
+            .max(self.next_act)
+            .max(self.next_act_same[self.group_of(bank)]);
         if self.act_window.len() == 4 {
             // A fifth ACT must wait for the oldest to leave the window.
             at = at.max(self.act_window[0] + BusCycle::from(t.tfaw));
@@ -90,19 +135,31 @@ impl Rank {
 
     /// Earliest cycle a RD may issue to `bank`.
     pub fn earliest_rd(&self, bank: u8, now: BusCycle) -> BusCycle {
-        self.banks[bank as usize].earliest_rd(now).max(self.next_rd)
+        self.banks[bank as usize]
+            .earliest_rd(now)
+            .max(self.next_rd)
+            .max(self.next_rd_same[self.group_of(bank)])
     }
 
     /// Earliest cycle a WR may issue to `bank`.
     pub fn earliest_wr(&self, bank: u8, now: BusCycle) -> BusCycle {
-        self.banks[bank as usize].earliest_wr(now).max(self.next_wr)
+        self.banks[bank as usize]
+            .earliest_wr(now)
+            .max(self.next_wr)
+            .max(self.next_wr_same[self.group_of(bank)])
     }
 
     /// Earliest cycle a REF may issue (requires the refresh to be due is
-    /// the *controller's* policy; this reports only timing legality).
+    /// the *controller's* policy; this reports only timing legality). In
+    /// per-bank mode only the target bank gates the command.
     pub fn earliest_ref(&self, now: BusCycle) -> BusCycle {
-        // REF is gated by every bank being able to "activate" (i.e. out of
-        // tRP / tRFC lockout); bank next_act registers encode exactly that.
+        // REF is gated by the covered banks being able to "activate"
+        // (i.e. out of tRP / tRFC lockout); bank next_act registers
+        // encode exactly that.
+        if self.per_bank_refresh {
+            let target = self.refresh_target().unwrap_or(0);
+            return self.banks[target as usize].earliest_act(now);
+        }
         self.banks
             .iter()
             .map(|b| b.earliest_act(now))
@@ -120,7 +177,9 @@ impl Rank {
         row: RowId,
     ) {
         self.banks[bank as usize].issue_act(now, act, t, row);
-        self.next_act = self.next_act.max(now + BusCycle::from(t.trrd));
+        self.next_act = self.next_act.max(now + BusCycle::from(t.trrd_s));
+        let g = self.group_of(bank);
+        self.next_act_same[g] = self.next_act_same[g].max(now + BusCycle::from(t.trrd_l));
         if self.act_window.len() == 4 {
             self.act_window.pop_front();
         }
@@ -136,7 +195,9 @@ impl Rank {
         auto_pre: bool,
     ) -> Option<(RowId, BusCycle)> {
         let closed = self.banks[bank as usize].issue_rd(now, t, auto_pre);
-        self.next_rd = self.next_rd.max(now + BusCycle::from(t.tccd));
+        self.next_rd = self.next_rd.max(now + BusCycle::from(t.tccd_s));
+        let g = self.group_of(bank);
+        self.next_rd_same[g] = self.next_rd_same[g].max(now + BusCycle::from(t.tccd_l));
         // RD→WR: write data may not collide with the read burst;
         // WR issues no earlier than tCL + tBL + 2 − tCWL after the RD.
         let turnaround = BusCycle::from(t.tcl + t.tbl + 2).saturating_sub(BusCycle::from(t.tcwl));
@@ -153,7 +214,9 @@ impl Rank {
         auto_pre: bool,
     ) -> Option<(RowId, BusCycle)> {
         let closed = self.banks[bank as usize].issue_wr(now, t, auto_pre);
-        self.next_wr = self.next_wr.max(now + BusCycle::from(t.tccd));
+        self.next_wr = self.next_wr.max(now + BusCycle::from(t.tccd_s));
+        let g = self.group_of(bank);
+        self.next_wr_same[g] = self.next_wr_same[g].max(now + BusCycle::from(t.tccd_l));
         // WR→RD: tWTR after the end of write data.
         self.next_rd = self
             .next_rd
@@ -161,40 +224,76 @@ impl Rank {
         closed
     }
 
-    /// Applies a REF at `now`. Returns the row range (first row, count;
-    /// per bank) the REF replenished, so the controller can inform
-    /// charge-aware mechanisms.
+    /// Applies a REF at `now`. Returns the row range (first row, count)
+    /// the REF replenished plus the bank it covered (`None` = every bank
+    /// of the rank), so the controller can inform charge-aware
+    /// mechanisms.
+    ///
+    /// All-bank mode locks every bank out for `tRFC`; per-bank mode
+    /// locks only the schedule's target bank out, for `tRFCpb`.
     ///
     /// # Panics
     ///
-    /// Panics (in debug) if any bank still has an open row.
-    pub fn issue_ref(&mut self, now: BusCycle, t: &TimingParams) -> (RowId, u32) {
-        debug_assert!(self.all_banks_precharged());
-        for b in &mut self.banks {
-            b.apply_refresh(now, t);
-        }
-        let (first, count) = self.refresh.next_bin_rows();
-        self.refresh.apply_ref(now);
+    /// Panics (in debug) if a covered bank still has an open row.
+    pub fn issue_ref(&mut self, now: BusCycle, t: &TimingParams) -> (RowId, u32, Option<u8>) {
+        let (schedule, covered) = if self.per_bank_refresh {
+            let target = self.refresh_target().unwrap_or(0);
+            self.banks[target as usize].apply_refresh_lockout(now, t.trfcpb);
+            (target as usize, Some(target))
+        } else {
+            debug_assert!(self.all_banks_precharged());
+            for b in &mut self.banks {
+                b.apply_refresh(now, t);
+            }
+            (0, None)
+        };
+        let (first, count) = self.refresh[schedule].next_bin_rows();
+        self.refresh[schedule].apply_ref(now);
         // The schedule's bin count is timing-derived, so organizations
         // with fewer rows than bins (shrunk test configs) have bins past
         // the last physical row: report only rows that exist.
         let end = (first + count).min(self.rows);
-        (first.min(self.rows), end.saturating_sub(first))
+        (first.min(self.rows), end.saturating_sub(first), covered)
     }
 
-    /// Cycle at which the next REF becomes due.
+    /// Cycle at which the next REF becomes due (the earliest schedule in
+    /// per-bank mode).
     pub fn refresh_due(&self) -> BusCycle {
-        self.refresh.due_at()
+        self.refresh
+            .iter()
+            .map(RefreshState::due_at)
+            .min()
+            .unwrap_or(BusCycle::MAX)
     }
 
-    /// Age of `row`'s last refresh at `now`.
-    pub fn refresh_age(&self, row: RowId, now: BusCycle) -> BusCycle {
-        self.refresh.refresh_age(row, now)
+    /// The bank the next `REFpb` will cover, or `None` in all-bank mode.
+    /// Ties resolve to the lowest bank index, deterministically.
+    pub fn refresh_target(&self) -> Option<u8> {
+        if !self.per_bank_refresh {
+            return None;
+        }
+        self.refresh
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.due_at())
+            .map(|(b, _)| b as u8)
     }
 
-    /// Total REF commands issued to this rank.
+    /// Age of `row`'s last refresh at `now`, as seen by `bank` (all
+    /// banks share one schedule in all-bank mode).
+    pub fn refresh_age(&self, bank: u8, row: RowId, now: BusCycle) -> BusCycle {
+        let schedule = if self.per_bank_refresh {
+            bank as usize
+        } else {
+            0
+        };
+        self.refresh[schedule].refresh_age(row, now)
+    }
+
+    /// Total REF commands issued to this rank (summed over banks in
+    /// per-bank mode).
     pub fn refs_issued(&self) -> u64 {
-        self.refresh.issued()
+        self.refresh.iter().map(RefreshState::issued).sum()
     }
 }
 
@@ -205,6 +304,28 @@ mod tests {
 
     fn setup() -> (Rank, TimingParams) {
         let cfg = DramConfig::ddr3_1600_paper();
+        (Rank::new(&cfg), cfg.timing)
+    }
+
+    /// A DDR4-like grouped configuration: 4 groups of 4 banks with
+    /// stretched same-group spacing.
+    fn grouped() -> (Rank, TimingParams) {
+        let mut cfg = DramConfig::ddr3_1600_paper();
+        cfg.org.banks = 16;
+        cfg.org.bank_groups = 4;
+        cfg.timing.tccd_l = 6;
+        cfg.timing.tccd_s = 4;
+        cfg.timing.trrd_l = 8;
+        cfg.timing.trrd_s = 5;
+        cfg.validate().unwrap();
+        (Rank::new(&cfg), cfg.timing)
+    }
+
+    fn per_bank() -> (Rank, TimingParams) {
+        let mut cfg = DramConfig::ddr3_1600_paper();
+        cfg.refresh = RefreshGranularity::PerBank;
+        cfg.timing.trfcpb = 104;
+        cfg.validate().unwrap();
         (Rank::new(&cfg), cfg.timing)
     }
 
@@ -262,12 +383,100 @@ mod tests {
     }
 
     #[test]
+    fn grouped_activates_pay_long_spacing_within_a_group() {
+        let (mut r, t) = grouped();
+        // Banks 0 and 1 share group 0; bank 4 is in group 1.
+        r.issue_act(0, 0, t.act_timings(), &t, 1);
+        assert_eq!(r.earliest_act(1, 0, &t), u64::from(t.trrd_l));
+        assert_eq!(r.earliest_act(4, 0, &t), u64::from(t.trrd_s));
+    }
+
+    #[test]
+    fn grouped_columns_pay_long_spacing_within_a_group() {
+        let (mut r, t) = grouped();
+        for b in [0u8, 1, 4] {
+            let at = r.earliest_act(b, 0, &t);
+            r.issue_act(b, at, t.act_timings(), &t, 1);
+        }
+        let rd_at = r.earliest_rd(0, 100);
+        r.issue_rd(0, rd_at, &t, false);
+        // Same group (bank 1): tCCD_L. Other group (bank 4): tCCD_S.
+        assert_eq!(r.earliest_rd(1, 0), rd_at + u64::from(t.tccd_l));
+        assert_eq!(r.earliest_rd(4, 0), rd_at + u64::from(t.tccd_s));
+    }
+
+    #[test]
+    fn single_group_reduces_to_ddr3_spacing() {
+        let (mut a, t) = setup();
+        let (mut b, _) = setup();
+        // Identical command streams must produce identical state when
+        // the group timings equal the base timings.
+        for (bank, at) in [(0u8, 0u64), (3, 20), (7, 40)] {
+            a.issue_act(bank, at, t.act_timings(), &t, 1);
+            b.issue_act(bank, at, t.act_timings(), &t, 1);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.earliest_act(5, 0, &t), b.earliest_act(5, 0, &t));
+    }
+
+    #[test]
     fn refresh_locks_out_all_banks() {
         let (mut r, t) = setup();
         r.issue_ref(100, &t);
         for b in 0..8 {
             assert_eq!(r.earliest_act(b, 0, &t), 100 + u64::from(t.trfc));
         }
+    }
+
+    #[test]
+    fn per_bank_refresh_locks_only_the_target() {
+        let (mut r, t) = per_bank();
+        let target = r.refresh_target().expect("per-bank mode has a target");
+        let (_, _, covered) = r.issue_ref(100, &t);
+        assert_eq!(covered, Some(target));
+        assert_eq!(
+            r.earliest_act(target, 0, &t),
+            100 + u64::from(t.trfcpb),
+            "target bank locked for tRFCpb"
+        );
+        for b in 0..8u8 {
+            if b != target {
+                assert_eq!(r.earliest_act(b, 0, &t), 0, "bank {b} must stay open");
+            }
+        }
+    }
+
+    #[test]
+    fn per_bank_schedules_are_staggered_and_rotate() {
+        let (mut r, t) = per_bank();
+        let first_due = r.refresh_due();
+        assert!(first_due < u64::from(t.trefi), "stagger spreads REFpb out");
+        let first = r.refresh_target().unwrap();
+        r.issue_ref(first_due, &t);
+        let second = r.refresh_target().unwrap();
+        assert_ne!(first, second, "rotation moves to the next bank");
+        // Aggregate cadence: 8 banks → 8 REFpb per tREFI window.
+        let mut now = first_due;
+        for _ in 0..7 {
+            now = r.refresh_due();
+            r.issue_ref(now, &t);
+        }
+        assert!(now <= u64::from(t.trefi));
+        assert_eq!(r.refs_issued(), 8);
+    }
+
+    #[test]
+    fn per_bank_refresh_age_is_tracked_per_bank() {
+        let (mut r, t) = per_bank();
+        let target = r.refresh_target().unwrap();
+        let (first, count, _) = r.issue_ref(1000, &t);
+        assert!(count > 0);
+        assert_eq!(r.refresh_age(target, first, 1000), 0);
+        let other = (target + 1) % 8;
+        assert!(
+            r.refresh_age(other, first, 1000) > 0,
+            "other banks unaffected"
+        );
     }
 
     #[test]
@@ -280,7 +489,7 @@ mod tests {
         let mut r = Rank::new(&cfg);
         let mut reported = 0u32;
         for i in 0..200u64 {
-            let (first, count) = r.issue_ref((i + 1) * u64::from(t.trefi), &t);
+            let (first, count, _) = r.issue_ref((i + 1) * u64::from(t.trefi), &t);
             assert!(
                 u64::from(first) + u64::from(count) <= 1024,
                 "REF reported phantom rows {first}+{count}"

@@ -103,6 +103,17 @@ impl RefreshState {
         }
     }
 
+    /// Shifts the first due time to `due` (builder style), keeping the
+    /// `tREFI` period. Per-bank refresh staggers each bank's schedule
+    /// across the `tREFI` window so the aggregate `REFpb` rate is
+    /// `banks / tREFI` — the LPDDR4 `tREFIpb` cadence — instead of all
+    /// banks falling due on the same cycle.
+    #[must_use]
+    pub fn with_first_due(mut self, due: BusCycle) -> Self {
+        self.due_at = due;
+        self
+    }
+
     /// Number of refresh bins.
     pub fn bins(&self) -> u32 {
         self.bins
@@ -247,6 +258,15 @@ mod tests {
         assert_eq!(r.refresh_age(8, 12_500), 0);
         assert_eq!(r.refresh_age(15, 12_500), 0);
         assert_ne!(r.refresh_age(16, 12_500), 0);
+    }
+
+    #[test]
+    fn first_due_can_be_staggered() {
+        let mut r = RefreshState::with_order(16, 4, 100, false).with_first_due(25);
+        assert_eq!(r.due_at(), 25);
+        r.apply_ref(25);
+        // The period stays tREFI; only the phase shifted.
+        assert_eq!(r.due_at(), 125);
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub struct TimingSpec {
 /// [`TimingParams`] cycle field plus `tck` (the clock period in ns).
 pub const TIMING_KEYS: &[&str] = &[
     "tck", "trcd", "tcl", "tcwl", "trp", "tras", "trc", "tbl", "tccd", "trtp", "twr", "twtr",
-    "trrd", "tfaw", "trfc", "trefi", "trtrs",
+    "trrd", "tfaw", "trfc", "trefi", "trtrs", "tccd_l", "tccd_s", "trrd_l", "trrd_s", "trfcpb",
 ];
 
 impl TimingSpec {
@@ -197,11 +197,19 @@ impl TimingSpec {
         self.params.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
-    /// True when this is the bare default spec (`ddr3-1600`, no
-    /// overrides) — the configuration every pre-preset result was
-    /// produced under.
+    /// True when this spec resolves to the same parameter set as the
+    /// bare default (`ddr3-1600`) — the configuration every pre-preset
+    /// result was produced under.
+    ///
+    /// The comparison is structural, not textual: an explicitly-written
+    /// `ddr3-1600()` or a redundant override (`ddr3-1600(trcd=11)`)
+    /// behaves exactly like the bare default, while any spec that fails
+    /// to resolve is by definition not the default.
     pub fn is_default(&self) -> bool {
-        self.preset == SpeedBin::Ddr3_1600.name() && self.params.is_empty()
+        if self.preset == SpeedBin::Ddr3_1600.name() && self.params.is_empty() {
+            return true;
+        }
+        self.resolve().is_ok_and(|t| t == TimingParams::ddr3_1600())
     }
 
     /// Resolves the spec into a concrete, validated parameter set: the
@@ -224,6 +232,11 @@ impl TimingSpec {
             ));
         };
         let mut t = bin.timing();
+        // Group-spacing fields inherit their base value (`tccd_l`/`tccd_s`
+        // from `tccd`, `trrd_l`/`trrd_s` from `trrd`, `trfcpb` from
+        // `trfc`) unless explicitly overridden, so a plain `tccd=6`
+        // override keeps its historical meaning of "all column spacing".
+        let explicit = |k: &str| self.params.iter().any(|(key, _)| key == k);
         for (key, value) in &self.params {
             let cycles = |v: TimingValue| -> Result<u32, String> {
                 match v {
@@ -248,15 +261,41 @@ impl TimingSpec {
                 "tras" => t.tras = cycles(*value)?,
                 "trc" => t.trc = cycles(*value)?,
                 "tbl" => t.tbl = cycles(*value)?,
-                "tccd" => t.tccd = cycles(*value)?,
+                "tccd" => {
+                    t.tccd = cycles(*value)?;
+                    if !explicit("tccd_l") {
+                        t.tccd_l = t.tccd;
+                    }
+                    if !explicit("tccd_s") {
+                        t.tccd_s = t.tccd;
+                    }
+                }
                 "trtp" => t.trtp = cycles(*value)?,
                 "twr" => t.twr = cycles(*value)?,
                 "twtr" => t.twtr = cycles(*value)?,
-                "trrd" => t.trrd = cycles(*value)?,
+                "trrd" => {
+                    t.trrd = cycles(*value)?;
+                    if !explicit("trrd_l") {
+                        t.trrd_l = t.trrd;
+                    }
+                    if !explicit("trrd_s") {
+                        t.trrd_s = t.trrd;
+                    }
+                }
                 "tfaw" => t.tfaw = cycles(*value)?,
-                "trfc" => t.trfc = cycles(*value)?,
+                "trfc" => {
+                    t.trfc = cycles(*value)?;
+                    if !explicit("trfcpb") {
+                        t.trfcpb = t.trfc;
+                    }
+                }
                 "trefi" => t.trefi = cycles(*value)?,
                 "trtrs" => t.trtrs = cycles(*value)?,
+                "tccd_l" => t.tccd_l = cycles(*value)?,
+                "tccd_s" => t.tccd_s = cycles(*value)?,
+                "trrd_l" => t.trrd_l = cycles(*value)?,
+                "trrd_s" => t.trrd_s = cycles(*value)?,
+                "trfcpb" => t.trfcpb = cycles(*value)?,
                 other => {
                     return Err(format!(
                         "unknown timing parameter {other:?} (known: {})",

@@ -76,6 +76,23 @@ pub struct TimingParams {
     pub trefi: u32,
     /// Rank-to-rank switch penalty on the data bus.
     pub trtrs: u32,
+    /// Column-to-column delay within one bank group (`tCCD_L`). Equal to
+    /// [`TimingParams::tccd`] on ungrouped devices; device families with
+    /// bank groups (DDR4, HBM2) stretch it via `FamilyParams::apply_to`.
+    pub tccd_l: u32,
+    /// Column-to-column delay across bank groups (`tCCD_S`). Equal to
+    /// [`TimingParams::tccd`] on ungrouped devices.
+    pub tccd_s: u32,
+    /// Activate-to-activate within one bank group (`tRRD_L`). Equal to
+    /// [`TimingParams::trrd`] on ungrouped devices.
+    pub trrd_l: u32,
+    /// Activate-to-activate across bank groups (`tRRD_S`). Equal to
+    /// [`TimingParams::trrd`] on ungrouped devices.
+    pub trrd_s: u32,
+    /// Per-bank refresh cycle time (`tRFCpb`); the lockout a single-bank
+    /// `REF` imposes on its target bank under per-bank refresh. Equal to
+    /// [`TimingParams::trfc`] on families without per-bank refresh.
+    pub trfcpb: u32,
 }
 
 /// Named speed/standard presets (paper Section 7.2: ChargeCache applies
@@ -96,11 +113,17 @@ pub enum SpeedBin {
     Ddr4_2400,
     /// LPDDR3-1600-class timing (mobile; relaxed core timings).
     Lpddr3_1600,
+    /// LPDDR4x-3200-class timing (mobile; long analog core timings on a
+    /// fast 1600 MHz bus, BL16).
+    #[allow(non_camel_case_types)]
+    Lpddr4x_3200,
+    /// HBM2-class timing (stacked; 1000 MHz bus, small rows, BL4).
+    Hbm2_1000,
 }
 
 impl SpeedBin {
     /// All presets, slowest DDR3 bin first.
-    pub const ALL: [SpeedBin; 7] = [
+    pub const ALL: [SpeedBin; 9] = [
         SpeedBin::Ddr3_1066,
         SpeedBin::Ddr3_1333,
         SpeedBin::Ddr3_1600,
@@ -108,6 +131,8 @@ impl SpeedBin {
         SpeedBin::Ddr3_2133,
         SpeedBin::Ddr4_2400,
         SpeedBin::Lpddr3_1600,
+        SpeedBin::Lpddr4x_3200,
+        SpeedBin::Hbm2_1000,
     ];
 
     /// The JEDEC DDR3 speed grades, slowest first (the
@@ -135,12 +160,30 @@ impl SpeedBin {
             SpeedBin::Ddr3_2133 => "ddr3-2133",
             SpeedBin::Ddr4_2400 => "ddr4-2400",
             SpeedBin::Lpddr3_1600 => "lpddr3-1600",
+            SpeedBin::Lpddr4x_3200 => "lpddr4x-3200",
+            SpeedBin::Hbm2_1000 => "hbm2-1000",
         }
     }
 
     /// The bin whose [`SpeedBin::name`] is `name`, if any.
     pub fn from_name(name: &str) -> Option<SpeedBin> {
         SpeedBin::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// The device family this bin is listed under
+    /// (`cc-sim --list-timings` groups presets by family; the legacy
+    /// LPDDR3 bin is grouped with the LPDDR family).
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            SpeedBin::Ddr3_1066
+            | SpeedBin::Ddr3_1333
+            | SpeedBin::Ddr3_1600
+            | SpeedBin::Ddr3_1866
+            | SpeedBin::Ddr3_2133 => "ddr3",
+            SpeedBin::Ddr4_2400 => "ddr4",
+            SpeedBin::Lpddr3_1600 | SpeedBin::Lpddr4x_3200 => "lpddr4x",
+            SpeedBin::Hbm2_1000 => "hbm2",
+        }
     }
 
     /// One-line description for `cc-sim --list-timings`.
@@ -155,6 +198,10 @@ impl SpeedBin {
             SpeedBin::Ddr3_2133 => "DDR3-2133 14-14-14, 1067 MHz bus (tCK 0.9375 ns)",
             SpeedBin::Ddr4_2400 => "DDR4-2400-class 17-17-17 on the DDR3 model (tCK 0.833 ns)",
             SpeedBin::Lpddr3_1600 => "LPDDR3-1600-class, relaxed mobile core timings (tCK 1.25 ns)",
+            SpeedBin::Lpddr4x_3200 => {
+                "LPDDR4x-3200-class, long analog core timings, BL16 (tCK 0.625 ns)"
+            }
+            SpeedBin::Hbm2_1000 => "HBM2-class stacked timing, small rows, BL4 (tCK 1.0 ns)",
         }
     }
 }
@@ -184,6 +231,74 @@ impl TimingParams {
             trfc: 208,
             trefi: 6250,
             trtrs: 2,
+            tccd_l: 4,
+            tccd_s: 4,
+            trrd_l: 5,
+            trrd_s: 5,
+            trfcpb: 208,
+        }
+    }
+
+    /// LPDDR4x-3200-class parameters: a fast 1600 MHz bus with the long
+    /// analog core timings of mobile DRAM (tRCD 18 ns → 29 cycles) and a
+    /// BL16 burst. `tRFCpb` matches `tRFC` here; the per-bank lockout is
+    /// a *family* property (`FamilyParams::apply_to` halves it for the
+    /// `lpddr4x` family's per-bank refresh).
+    pub fn lpddr4x_3200() -> Self {
+        Self {
+            tck_ns: 0.625,
+            trcd: 29,
+            tcl: 28,
+            tcwl: 14,
+            trp: 29,
+            tras: 68,
+            trc: 97,
+            tbl: 8,
+            tccd: 8,
+            trtp: 12,
+            twr: 29,
+            twtr: 16,
+            trrd: 16,
+            tfaw: 64,
+            trfc: 448,
+            trefi: 6240,
+            trtrs: 2,
+            tccd_l: 8,
+            tccd_s: 8,
+            trrd_l: 16,
+            trrd_s: 16,
+            trfcpb: 448,
+        }
+    }
+
+    /// HBM2-class parameters: a 1000 MHz bus, short BL4 bursts into small
+    /// rows, and a compact four-activate window. Bank-group spacing
+    /// (`tCCD_L`/`tRRD_L`) is a *family* property applied by
+    /// `FamilyParams::apply_to`; the bare bin is ungrouped.
+    pub fn hbm2_1000() -> Self {
+        Self {
+            tck_ns: 1.0,
+            trcd: 14,
+            tcl: 14,
+            tcwl: 7,
+            trp: 14,
+            tras: 34,
+            trc: 48,
+            tbl: 2,
+            tccd: 2,
+            trtp: 4,
+            twr: 15,
+            twtr: 6,
+            trrd: 4,
+            tfaw: 16,
+            trfc: 260,
+            trefi: 3900,
+            trtrs: 2,
+            tccd_l: 2,
+            tccd_s: 2,
+            trrd_l: 4,
+            trrd_s: 4,
+            trfcpb: 260,
         }
     }
 
@@ -199,6 +314,8 @@ impl TimingParams {
             SpeedBin::Ddr3_2133 => Self::from_ns(0.9375, 13.125, 33.0, 13.125, 14, 10, 260.0),
             SpeedBin::Ddr4_2400 => Self::from_ns(0.833, 14.16, 32.0, 14.16, 17, 12, 350.0),
             SpeedBin::Lpddr3_1600 => Self::from_ns(1.25, 18.0, 42.0, 18.0, 12, 8, 210.0),
+            SpeedBin::Lpddr4x_3200 => Self::lpddr4x_3200(),
+            SpeedBin::Hbm2_1000 => Self::hbm2_1000(),
         }
     }
 
@@ -217,6 +334,8 @@ impl TimingParams {
         let trcd = cyc(trcd_ns);
         let tras = cyc(tras_ns);
         let trp = cyc(trp_ns);
+        let trrd = cyc(6.0);
+        let trfc = cyc(trfc_ns);
         Self {
             tck_ns,
             trcd,
@@ -230,11 +349,16 @@ impl TimingParams {
             trtp: cyc(7.5),
             twr: cyc(15.0),
             twtr: cyc(7.5),
-            trrd: cyc(6.0),
+            trrd,
             tfaw: cyc(30.0),
-            trfc: cyc(trfc_ns),
+            trfc,
             trefi: cyc(7812.5),
             trtrs: 2,
+            tccd_l: 4,
+            tccd_s: 4,
+            trrd_l: trrd,
+            trrd_s: trrd,
+            trfcpb: trfc,
         }
     }
 
@@ -291,6 +415,24 @@ impl TimingParams {
         if self.trefi <= self.trfc {
             return Err("tREFI must exceed tRFC".into());
         }
+        if self.tccd_l < self.tccd_s {
+            return Err(format!(
+                "tCCD_L ({}) must be at least tCCD_S ({})",
+                self.tccd_l, self.tccd_s
+            ));
+        }
+        if self.trrd_l < self.trrd_s {
+            return Err(format!(
+                "tRRD_L ({}) must be at least tRRD_S ({})",
+                self.trrd_l, self.trrd_s
+            ));
+        }
+        if self.tccd_s < self.tbl {
+            return Err("tCCD_S must cover the burst length".into());
+        }
+        if self.trfcpb > self.trfc {
+            return Err("tRFCpb must not exceed tRFC".into());
+        }
         for (name, v) in [
             ("trcd", self.trcd),
             ("tcl", self.tcl),
@@ -299,6 +441,9 @@ impl TimingParams {
             ("tras", self.tras),
             ("tbl", self.tbl),
             ("trrd", self.trrd),
+            ("tccd_s", self.tccd_s),
+            ("trrd_s", self.trrd_s),
+            ("trfcpb", self.trfcpb),
         ] {
             if v == 0 {
                 return Err(format!("{name} must be non-zero"));

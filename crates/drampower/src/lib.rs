@@ -163,7 +163,13 @@ impl EnergyModel {
             * scale;
         let e_rd = (self.idd.idd4r_ma - self.idd.idd3n_ma) * f64::from(t.tbl) * tck * scale;
         let e_wr = (self.idd.idd4w_ma - self.idd.idd3n_ma) * f64::from(t.tbl) * tck * scale;
-        let e_ref = (self.idd.idd5b_ma - self.idd.idd2n_ma) * f64::from(t.trfc) * tck * scale;
+        // Per-bank refresh (REFpb) burns IDD5B for only tRFCpb and covers
+        // one bank: charge each REF record its actual lockout window.
+        let ref_lockout = match self.cfg.refresh {
+            dram::family::RefreshGranularity::AllBank => t.trfc,
+            dram::family::RefreshGranularity::PerBank => t.trfcpb,
+        };
+        let e_ref = (self.idd.idd5b_ma - self.idd.idd2n_ma) * f64::from(ref_lockout) * tck * scale;
 
         // Background: reconstruct per-rank open-bank occupancy over time.
         // Ranks are identified by (channel, rank) pairs found in the log;

@@ -527,13 +527,19 @@ impl ChannelCtrl {
                 rank,
             };
             if self.refresh_pending[rank as usize] {
-                if device.all_banks_precharged(rl) {
+                if device.refresh_ready(rl) {
                     if let Ok(t) = device.earliest_issue(&Command::Ref { rank: rl }, now) {
                         consider(t);
                     }
                 } else {
+                    // Per-bank refresh only needs its target bank drained;
+                    // all-bank refresh drains the whole rank.
                     let banks = device.config().org.banks;
+                    let target = device.refresh_target(rl);
                     for bank in 0..banks {
+                        if target.is_some_and(|t| t != bank) {
+                            continue;
+                        }
                         let loc = BankLoc {
                             channel: self.channel,
                             rank,
@@ -831,7 +837,7 @@ impl ChannelCtrl {
                 continue;
             }
             let cmd = Command::Ref { rank: rl };
-            if device.all_banks_precharged(rl) {
+            if device.refresh_ready(rl) {
                 if device.can_issue(&cmd, now) {
                     let out = device.issue(&cmd, now, device.config().timing.act_timings());
                     self.stats.refreshes += 1;
@@ -847,10 +853,15 @@ impl ChannelCtrl {
                         self.set_bank_ready(loc.flat_index(self.banks_per_rank), now);
                     }
                     // Inform the mechanism of every row the REF just
-                    // replenished (same range in every bank of the rank).
+                    // replenished: the same range in every bank of the
+                    // rank for all-bank REF, or only the covered bank for
+                    // per-bank REFpb.
                     if let Some((first_row, count)) = out.refreshed {
                         let banks = device.config().org.banks;
                         for bank in 0..banks {
+                            if out.refreshed_bank.is_some_and(|b| b != bank) {
+                                continue;
+                            }
                             let loc = BankLoc {
                                 channel: self.channel,
                                 rank,
@@ -865,9 +876,14 @@ impl ChannelCtrl {
                 }
                 continue;
             }
-            // Precharge any open bank that is ready.
+            // Precharge any open bank that is ready (only the refresh
+            // target under per-bank refresh — other banks keep serving).
             let banks = device.config().org.banks;
+            let target = device.refresh_target(rl);
             for bank in 0..banks {
+                if target.is_some_and(|t| t != bank) {
+                    continue;
+                }
                 let loc = BankLoc {
                     channel: self.channel,
                     rank,

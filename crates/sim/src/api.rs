@@ -111,7 +111,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use chargecache::{registry, MechanismSpec, ParamValue};
-use dram::TimingSpec;
+use dram::{FamilySpec, TimingSpec};
 use traces::{MixSpec, WorkloadSpec};
 
 use crate::cache::DiskCache;
@@ -260,6 +260,7 @@ impl std::fmt::Debug for Variant {
 #[derive(Debug, Clone, Default)]
 pub struct Experiment {
     subjects: Vec<Subject>,
+    families: Vec<FamilySpec>,
     timings: Vec<TimingSpec>,
     mechanisms: Vec<MechanismSpec>,
     variants: Vec<Variant>,
@@ -304,6 +305,26 @@ impl Experiment {
     #[must_use]
     pub fn mixes(mut self, mixes: impl IntoIterator<Item = MixSpec>) -> Self {
         self.subjects.extend(mixes.into_iter().map(Subject::Mix));
+        self
+    }
+
+    /// Adds one device family to the family axis (defaults to the single
+    /// paper `ddr3` device when the axis is left empty). Each cell's
+    /// configuration is installed through [`SystemConfig::set_family`]:
+    /// the family's geometry, refresh granularity and structural timings
+    /// apply, and a cell whose timing axis is the bare default adopts
+    /// the family's default speed bin.
+    #[must_use]
+    pub fn family(mut self, f: FamilySpec) -> Self {
+        self.families.push(f);
+        self
+    }
+
+    /// Appends to the family axis ([`Experiment::run`] rejects
+    /// duplicates: they would alias in [`SweepResult`] lookups).
+    #[must_use]
+    pub fn families(mut self, fs: impl IntoIterator<Item = FamilySpec>) -> Self {
+        self.families.extend(fs);
         self
     }
 
@@ -410,24 +431,40 @@ impl Experiment {
     }
 
     /// The system configuration of one cell (public so callers can audit
-    /// exactly what a cell will run). The timing spec installs first
-    /// (clock ratio, resolved DRAM parameters), then the
+    /// exactly what a cell will run). The family installs first
+    /// (geometry, refresh granularity, default bin), then the timing
+    /// spec (clock ratio, resolved DRAM parameters), then the
     /// experiment-wide [`Experiment::configure`] override, then the
     /// cell's variant.
     ///
+    /// A default `ddr3` family is *not* re-installed: the subject's base
+    /// configuration (1-channel single-core, 2-channel eight-core)
+    /// already describes the paper device, and skipping the install
+    /// keeps pre-family sweeps bit-identical. Under a non-default family
+    /// a bare-default timing axis adopts the family's default bin.
+    ///
     /// # Errors
     ///
-    /// Returns a message if `timing` fails [`TimingSpec::resolve`].
+    /// Returns a message if `family` fails [`dram::family::resolve`] or
+    /// `timing` fails [`TimingSpec::resolve`].
     pub fn cell_config(
         &self,
         subject: &Subject,
+        family: &FamilySpec,
         timing: &TimingSpec,
         mechanism: &MechanismSpec,
         variant: &Variant,
     ) -> Result<SystemConfig, String> {
         let mut cfg = subject.base_config(mechanism);
-        cfg.set_timing(timing.clone())
-            .map_err(|e| format!("timing {timing}: {e}"))?;
+        let family_default = family.is_default();
+        if !family_default {
+            cfg.set_family(family.clone())
+                .map_err(|e| format!("family {family}: {e}"))?;
+        }
+        if family_default || !timing.is_default() {
+            cfg.set_timing(timing.clone())
+                .map_err(|e| format!("timing {timing}: {e}"))?;
+        }
         if let Some(c) = &self.configure {
             (c.apply)(&mut cfg);
         }
@@ -488,6 +525,16 @@ impl Experiment {
                 )));
             }
         }
+        let families = if self.families.is_empty() {
+            vec![FamilySpec::default()]
+        } else {
+            self.families.clone()
+        };
+        for (i, f) in families.iter().enumerate() {
+            if families[..i].contains(f) {
+                return Err(InvalidConfig(format!("duplicate family {f}")));
+            }
+        }
         let timings = if self.timings.is_empty() {
             vec![TimingSpec::default()]
         } else {
@@ -500,34 +547,40 @@ impl Experiment {
         }
         let params = self.params.unwrap_or_default();
 
-        // Grid cells: subject-major, then timing, mechanism, variant.
+        // Grid cells: subject-major, then family, timing, mechanism,
+        // variant.
         let mut cells: Vec<CellPlan> = Vec::new();
         for subject in &self.subjects {
-            for timing in &timings {
-                for mech in &mechanisms {
-                    for variant in &variants {
-                        let cfg = self
-                            .cell_config(subject, timing, mech, variant)
-                            .map_err(InvalidConfig)?;
-                        cfg.validate().map_err(InvalidConfig)?;
-                        cells.push(CellPlan {
-                            subject: subject.name().to_string(),
-                            apps: subject.apps().to_vec(),
-                            timing: timing.clone(),
-                            // The *effective* spec — the axis spec after
-                            // the variant's parameter patches — so the
-                            // JSON names the exact configuration run.
-                            mechanism: cfg.mechanism.clone(),
-                            variant: variant.label.clone(),
-                            cfg,
-                            params,
-                        });
+            for family in &families {
+                for timing in &timings {
+                    for mech in &mechanisms {
+                        for variant in &variants {
+                            let cfg = self
+                                .cell_config(subject, family, timing, mech, variant)
+                                .map_err(InvalidConfig)?;
+                            cfg.validate().map_err(InvalidConfig)?;
+                            cells.push(CellPlan {
+                                subject: subject.name().to_string(),
+                                apps: subject.apps().to_vec(),
+                                family: family.clone(),
+                                // The *effective* specs — after family
+                                // bin adoption and the variant's
+                                // parameter patches — so the JSON names
+                                // the exact configuration run.
+                                timing: cfg.timing.clone(),
+                                mechanism: cfg.mechanism.clone(),
+                                variant: variant.label.clone(),
+                                cfg,
+                                params,
+                            });
+                        }
                     }
                 }
             }
         }
         Ok(SweepPlan {
             params,
+            families,
             timings,
             mechanisms,
             variants: variants.iter().map(|v| v.label.clone()).collect(),
@@ -575,6 +628,13 @@ impl Experiment {
                         .into(),
                 ));
             }
+            if plan.families.len() > 1 {
+                return Err(InvalidConfig(
+                    "alone-IPC denominators are ambiguous across a multi-device \
+                     family axis; run one sweep per family"
+                        .into(),
+                ));
+            }
             for subject in &self.subjects {
                 for app in subject.apps() {
                     if alone_names.iter().any(|n| n == app.name) {
@@ -582,8 +642,18 @@ impl Experiment {
                     }
                     alone_names.push(app.name.to_string());
                     let mut cfg = SystemConfig::paper_single_core(alone_mech.clone());
-                    cfg.set_timing(plan.timings[0].clone())
-                        .map_err(InvalidConfig)?;
+                    // Mirror cell_config: the denominators must describe
+                    // the same device as the cells.
+                    let family = &plan.families[0];
+                    let family_default = family.is_default();
+                    if !family_default {
+                        cfg.set_family(family.clone())
+                            .map_err(|e| InvalidConfig(format!("family {family}: {e}")))?;
+                    }
+                    if family_default || !plan.timings[0].is_default() {
+                        cfg.set_timing(plan.timings[0].clone())
+                            .map_err(InvalidConfig)?;
+                    }
                     if let Some(e) = self.engine {
                         cfg.engine = e;
                     }
@@ -624,6 +694,7 @@ impl Experiment {
 
         Ok(SweepResult {
             params: plan.params,
+            families: plan.families,
             timings: plan.timings,
             mechanisms: plan.mechanisms,
             variants: plan.variants,
@@ -645,14 +716,16 @@ impl Experiment {
 pub struct SweepPlan {
     /// Run-length parameters shared by every cell.
     pub params: ExpParams,
+    /// Device-family axis, in sweep order.
+    pub families: Vec<FamilySpec>,
     /// Timing axis, in sweep order.
     pub timings: Vec<TimingSpec>,
     /// Mechanism axis (canonicalized), in sweep order.
     pub mechanisms: Vec<MechanismSpec>,
     /// Variant labels, in sweep order.
     pub variants: Vec<String>,
-    /// One plan per grid cell, subject-major then timing then mechanism
-    /// then variant.
+    /// One plan per grid cell, subject-major then family then timing
+    /// then mechanism then variant.
     pub cells: Vec<CellPlan>,
 }
 
@@ -667,7 +740,10 @@ pub struct CellPlan {
     pub subject: String,
     /// The per-core application list.
     pub apps: Vec<WorkloadSpec>,
-    /// DRAM timing spec of this cell.
+    /// Device-family spec of this cell.
+    pub family: FamilySpec,
+    /// Effective DRAM timing spec of this cell (after the family's
+    /// default bin is adopted, when the axis left timing at its default).
     pub timing: TimingSpec,
     /// Effective mechanism spec (the axis spec after variant patches).
     pub mechanism: MechanismSpec,
@@ -707,6 +783,7 @@ impl CellPlan {
         Cell {
             subject: self.subject,
             apps: self.apps.iter().map(|a| a.name.to_string()).collect(),
+            family: self.family,
             timing: self.timing,
             mechanism: self.mechanism,
             variant: self.variant,
@@ -1032,7 +1109,9 @@ pub struct Cell {
     pub subject: String,
     /// Application name per core.
     pub apps: Vec<String>,
-    /// DRAM timing spec of this cell.
+    /// Device-family spec of this cell.
+    pub family: FamilySpec,
+    /// Effective DRAM timing spec of this cell.
     pub timing: TimingSpec,
     /// Mechanism spec of this cell.
     pub mechanism: MechanismSpec,
@@ -1080,8 +1159,8 @@ impl Cell {
         match &self.outcome {
             Ok(r) => r,
             Err(e) => panic!(
-                "cell {}/{}/{}/{} failed: {e}",
-                self.subject, self.timing, self.mechanism, self.variant
+                "cell {}/{}/{}/{}/{} failed: {e}",
+                self.subject, self.family, self.timing, self.mechanism, self.variant
             ),
         }
     }
@@ -1132,6 +1211,9 @@ impl Cell {
 pub struct SweepResult {
     /// Run-length parameters shared by every cell.
     pub params: ExpParams,
+    /// Device-family axis, in sweep order (a single `ddr3` unless the
+    /// experiment set one).
+    pub families: Vec<FamilySpec>,
     /// Timing axis, in sweep order (a single `ddr3-1600` unless the
     /// experiment set one).
     pub timings: Vec<TimingSpec>,
@@ -1139,7 +1221,8 @@ pub struct SweepResult {
     pub mechanisms: Vec<MechanismSpec>,
     /// Variant labels, in sweep order.
     pub variants: Vec<String>,
-    /// All cells, subject-major then timing then mechanism then variant.
+    /// All cells, subject-major then family then timing then mechanism
+    /// then variant.
     pub cells: Vec<Cell>,
     /// Alone-run IPC per workload (weighted-speedup denominators), in
     /// first-occurrence order. Empty unless
@@ -1177,6 +1260,27 @@ impl SweepResult {
             c.subject == subject
                 && c.variant == variant
                 && c.timing.to_string() == timing
+                && spec_matches(&c.mechanism, mechanism)
+        })
+    }
+
+    /// Looks up one cell by subject, family spec string, mechanism and
+    /// variant label. `family` matches the cell's full spec string
+    /// (`"lpddr4x"`, `"ddr4(bank_groups=2)"`); `mechanism` matches as in
+    /// [`SweepResult::cell`]. This is the lookup for family sweeps, where
+    /// each family's cells carry that family's own default timing spec
+    /// and [`SweepResult::cell_at`] would need the effective bin name.
+    pub fn cell_in(
+        &self,
+        subject: &str,
+        family: &str,
+        mechanism: &str,
+        variant: &str,
+    ) -> Option<&Cell> {
+        self.cells.iter().find(|c| {
+            c.subject == subject
+                && c.variant == variant
+                && c.family.to_string() == family
                 && spec_matches(&c.mechanism, mechanism)
         })
     }
@@ -1264,6 +1368,11 @@ impl SweepResult {
         assemble_sweep_json(
             &self.params,
             &self
+                .families
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>(),
+            &self
                 .timings
                 .iter()
                 .map(|t| t.to_string())
@@ -1280,7 +1389,7 @@ impl SweepResult {
     }
 }
 
-/// Assembles a complete `chargecache-sweep/v4` document from its parts:
+/// Assembles a complete `chargecache-sweep/v5` document from its parts:
 /// the run-length parameters, the axis labels (spec strings, in sweep
 /// order), the `alone_ipc` member ([`Json::Null`] when absent) and one
 /// [`Cell::to_json`] object per cell, in grid order.
@@ -1291,6 +1400,7 @@ impl SweepResult {
 /// one.
 pub fn assemble_sweep_json(
     params: &ExpParams,
+    families: &[String],
     timings: &[String],
     mechanisms: &[String],
     variants: &[String],
@@ -1307,8 +1417,12 @@ pub fn assemble_sweep_json(
         ("seed".into(), Json::uint(params.seed)),
     ]);
     Json::Obj(vec![
-        ("schema".into(), Json::str(crate::json::SCHEMA_V4)),
+        ("schema".into(), Json::str(crate::json::SCHEMA_V5)),
         ("params".into(), params),
+        (
+            "families".into(),
+            Json::Arr(families.iter().map(Json::str).collect()),
+        ),
         (
             "timings".into(),
             Json::Arr(timings.iter().map(Json::str).collect()),
@@ -1334,7 +1448,7 @@ fn spec_matches(spec: &MechanismSpec, query: &str) -> bool {
 }
 
 impl Cell {
-    /// Encodes this cell as its `chargecache-sweep/v4` `cells[]` object —
+    /// Encodes this cell as its `chargecache-sweep/v5` `cells[]` object —
     /// the same encoding [`SweepResult::to_json`] embeds, and the wire
     /// format `cc-simd` streams per finished cell.
     pub fn to_json(&self) -> Json {
@@ -1345,6 +1459,7 @@ impl Cell {
 fn cell_json(c: &Cell) -> Json {
     let identity = vec![
         ("subject".into(), Json::str(&c.subject)),
+        ("family".into(), Json::str(c.family.to_string())),
         ("timing".into(), Json::str(c.timing.to_string())),
         ("mechanism".into(), Json::str(c.mechanism.to_string())),
         ("variant".into(), Json::str(&c.variant)),
@@ -1601,10 +1716,11 @@ mod tests {
         let doc = crate::json::parse(&sweep.to_json()).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some(crate::json::SCHEMA_V4)
+            Some(crate::json::SCHEMA_V5)
         );
         let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
         assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("family").and_then(Json::as_str), Some("ddr3"));
         assert!(cells[0].get("error").is_none());
         let ipc = cells[0].get("ipc").and_then(Json::as_arr).unwrap()[0]
             .as_num()

@@ -15,7 +15,7 @@
 //! One file per result, named `{key:032x}.run`:
 //!
 //! ```text
-//! magic    [u8; 8]   b"CCRUN\0v1"
+//! magic    [u8; 8]   b"CCRUN\0v2"
 //! version  u32 LE    ENTRY_VERSION
 //! key      u128 LE   must match the filename-derived key
 //! len      u64 LE    payload length in bytes
@@ -35,12 +35,19 @@
 //! 1. Healthy: entries verify, loads hit, stores land atomically
 //!    (temp file + rename, so concurrent writers and crashes can never
 //!    leave a partially-written entry under a final name).
-//! 2. Corrupt entry (bad magic/version/key/length/checksum, or a payload
+//! 2. Entry from another format version (a well-formed `CCRUN` header
+//!    whose version differs from [`ENTRY_VERSION`]): a clean,
+//!    quarantine-free miss — the entry is simply not this format, not
+//!    corrupt — and the cell is re-simulated. (In practice an old entry
+//!    is rarely even opened: the version is folded into
+//!    [`content_key`], so a format bump changes every filename and old
+//!    entries linger as unreferenced files until `gc` evicts them.)
+//! 3. Corrupt entry (bad magic/key/length/checksum, or a payload
 //!    that fails [`RunResult::decode`](crate::RunResult::decode)): the
 //!    file is quarantined by renaming to `<name>.corrupt` — never
 //!    trusted, never deleted — and the cell is re-simulated exactly as a
 //!    cache miss.
-//! 3. Unwritable or uncreatable cache directory: the cache opens in
+//! 4. Unwritable or uncreatable cache directory: the cache opens in
 //!    *degraded* mode — every load is a miss, every store a no-op — and
 //!    the sweep runs on the in-memory memoizer alone.
 //!
@@ -57,13 +64,20 @@ use fasthash::{checksum_64, content_hash_128};
 
 /// Version of the on-disk entry layout (header field). Bump whenever the
 /// header, footer, or [`RunResult::encode`](crate::RunResult::encode)
-/// payload layout changes; old entries are then quarantined and
-/// re-simulated instead of misdecoded.
-pub const ENTRY_VERSION: u32 = 1;
+/// payload layout changes, or when the job identity gains a member that
+/// old entries could silently alias (the device-family axis forced the
+/// 1 → 2 bump); old entries then miss cleanly — version-miss, never
+/// quarantined — and are re-simulated instead of misdecoded.
+pub const ENTRY_VERSION: u32 = 2;
 
 /// Entry file magic. The version byte rides along so a hex dump of a
 /// cache directory is self-describing.
-const MAGIC: [u8; 8] = *b"CCRUN\0v1";
+const MAGIC: [u8; 8] = *b"CCRUN\0v2";
+
+/// The version-independent magic prefix shared by every entry format.
+/// A file carrying it is *some* version of an entry, so a version
+/// mismatch is a clean miss rather than quarantine-worthy corruption.
+const MAGIC_PREFIX: [u8; 7] = *b"CCRUN\0v";
 
 /// Suffix appended to quarantined entry files.
 const QUARANTINE_SUFFIX: &str = ".corrupt";
@@ -177,8 +191,11 @@ impl DiskCache {
     }
 
     /// Loads and verifies the payload stored under `key`. A missing file
-    /// is a plain miss; an unverifiable file is quarantined and reported
-    /// as a miss (the caller re-simulates, the same as the miss path).
+    /// is a plain miss, and so is an entry from another format version
+    /// (left in place, quarantine-free — `store` will overwrite it, or
+    /// [`DiskCache::gc`] will evict it); a corrupt file is quarantined
+    /// and reported as a miss (the caller re-simulates, the same as the
+    /// miss path).
     pub fn load(&self, key: u128) -> Option<Vec<u8>> {
         if self.is_degraded() {
             return None;
@@ -192,7 +209,7 @@ impl DiskCache {
             }
         };
         match verify(&bytes, key) {
-            Some(payload) => {
+            Verified::Ok(payload) => {
                 self.hits.fetch_add(1, Relaxed);
                 // Touch the entry so [`DiskCache::gc`]'s LRU order sees
                 // it as recently used, not just recently stored.
@@ -203,7 +220,11 @@ impl DiskCache {
                     .and_then(|f| f.set_modified(SystemTime::now()));
                 Some(payload.to_vec())
             }
-            None => {
+            Verified::VersionMiss => {
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+            Verified::Corrupt => {
                 self.quarantine(&path);
                 self.misses.fetch_add(1, Relaxed);
                 None
@@ -415,41 +436,58 @@ fn encode_entry(key: u128, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verifies an entry read from disk and returns its payload slice.
-/// Every failure mode — short file, bad magic, wrong version, key
-/// mismatch (a file renamed or copied to the wrong name), length
-/// disagreement between header and footer, checksum mismatch — returns
-/// `None`.
-fn verify(bytes: &[u8], key: u128) -> Option<&[u8]> {
+/// Outcome of verifying an entry read from disk.
+enum Verified<'a> {
+    /// A well-formed current-version entry; the payload slice.
+    Ok(&'a [u8]),
+    /// A well-formed `CCRUN` header from a *different* format version:
+    /// not corruption, just not this format. Treated as a clean miss.
+    VersionMiss,
+    /// Anything else — short file, foreign magic, key mismatch, length
+    /// disagreement, checksum failure. Quarantine-worthy.
+    Corrupt,
+}
+
+/// Verifies an entry read from disk. A file that merely belongs to
+/// another entry-format version (recognizable `CCRUN` magic prefix, but
+/// a different version in the magic byte or header field) is
+/// [`Verified::VersionMiss`]; every other failure mode — short file,
+/// foreign magic, key mismatch (a file renamed or copied to the wrong
+/// name), length disagreement between header and footer, checksum
+/// mismatch — is [`Verified::Corrupt`].
+fn verify(bytes: &[u8], key: u128) -> Verified<'_> {
+    // A short file that still starts with the magic prefix is a torn or
+    // truncated write, not another version — but if even the prefix is
+    // absent we cannot tell, and Corrupt covers both.
     if bytes.len() < HEADER_LEN + FOOTER_LEN {
-        return None;
+        return Verified::Corrupt;
     }
     let (header, rest) = bytes.split_at(HEADER_LEN);
-    if header[..8] != MAGIC {
-        return None;
+    if header[..7] != MAGIC_PREFIX {
+        return Verified::Corrupt;
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().ok()?);
-    if version != ENTRY_VERSION {
-        return None;
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if header[7] != MAGIC[7] || version != ENTRY_VERSION {
+        return Verified::VersionMiss;
     }
-    let stored_key = u128::from_le_bytes(header[12..28].try_into().ok()?);
+    let stored_key = u128::from_le_bytes(header[12..28].try_into().unwrap());
     if stored_key != key {
-        return None;
+        return Verified::Corrupt;
     }
-    let len = u64::from_le_bytes(header[28..36].try_into().ok()?) as usize;
+    let len = u64::from_le_bytes(header[28..36].try_into().unwrap()) as usize;
     if rest.len() != len + FOOTER_LEN {
-        return None;
+        return Verified::Corrupt;
     }
     let (payload, footer) = rest.split_at(len);
-    let footer_len = u64::from_le_bytes(footer[..8].try_into().ok()?) as usize;
+    let footer_len = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
     if footer_len != len {
-        return None;
+        return Verified::Corrupt;
     }
-    let footer_sum = u64::from_le_bytes(footer[8..16].try_into().ok()?);
+    let footer_sum = u64::from_le_bytes(footer[8..16].try_into().unwrap());
     if footer_sum != checksum_64(payload) {
-        return None;
+        return Verified::Corrupt;
     }
-    Some(payload)
+    Verified::Ok(payload)
 }
 
 #[cfg(test)]
@@ -498,18 +536,41 @@ mod tests {
         fs::write(&path, &good[..good.len() - 3]).unwrap();
         assert_eq!(c.load(key), None);
 
-        // Wrong entry version.
-        let mut vbad = good.clone();
-        vbad[8] ^= 0xFF;
-        fs::write(&path, &vbad).unwrap();
-        assert_eq!(c.load(key), None);
-
         // Key mismatch (entry copied to the wrong filename).
         let other = encode_entry(content_key("other job"), b"good payload");
         fs::write(&path, &other).unwrap();
         assert_eq!(c.load(key), None);
 
-        assert_eq!(c.stats().quarantined, 4);
+        assert_eq!(c.stats().quarantined, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_version_entry_misses_cleanly_without_quarantine() {
+        let dir = tmp_dir("version-miss");
+        let c = DiskCache::open(&dir);
+        let key = content_key("job");
+        let path = c.path_for(key);
+
+        // A well-formed entry from a previous format: version field
+        // (and magic version byte) differ, everything else intact.
+        let mut old = encode_entry(key, b"stale layout");
+        old[7] = b'1';
+        old[8..12].copy_from_slice(&1u32.to_le_bytes());
+        fs::write(&path, &old).unwrap();
+
+        // Clean miss: no quarantine, the file stays under its own name.
+        assert_eq!(c.load(key), None);
+        assert_eq!(c.stats().quarantined, 0);
+        assert!(path.exists(), "version-miss entry was removed or renamed");
+        assert!(!path.with_extension("run.corrupt").exists());
+
+        // Re-simulating and re-storing overwrites it in place, and the
+        // fresh entry hits.
+        c.store(key, b"fresh payload");
+        assert_eq!(c.load(key).as_deref(), Some(&b"fresh payload"[..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.quarantined), (1, 1, 1, 0));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -2,7 +2,7 @@
 
 use chargecache::{registry, MechanismSpec};
 use cpu::{CoreConfig, LlcConfig};
-use dram::{DramConfig, TimingSpec};
+use dram::{DramConfig, FamilySpec, TimingSpec};
 use memctrl::CtrlConfig;
 
 /// The paper's core clock in GHz (Table 1); [`SystemConfig::set_timing`]
@@ -83,6 +83,14 @@ pub struct SystemConfig {
     /// `dram.timing` carries its resolution. Defaults to the paper's
     /// `ddr3-1600` device.
     pub timing: TimingSpec,
+    /// DRAM device-family selection (`ddr3`, `ddr4`, `lpddr4x`,
+    /// `hbm2(refresh=per-bank)`, …): the structural side of the device —
+    /// bank groups, per-bank refresh, channel/pseudo-channel geometry.
+    /// Source of truth recorded per sweep cell; `dram.org`,
+    /// `dram.refresh` and the group timings in `dram.timing` carry its
+    /// resolution — change families through
+    /// [`SystemConfig::set_family`], which keeps them in sync.
+    pub family: FamilySpec,
     /// Main-loop engine (cycle-skipping by default).
     pub engine: Engine,
     /// Record the per-command DRAM log for energy accounting. Costs an
@@ -103,6 +111,7 @@ impl SystemConfig {
             ctrl: CtrlConfig::paper_single_core(),
             mechanism,
             timing: TimingSpec::default(),
+            family: FamilySpec::default(),
             engine: Engine::default(),
             measure_energy: true,
         }
@@ -119,6 +128,7 @@ impl SystemConfig {
             ctrl: CtrlConfig::paper_multi_core(),
             mechanism,
             timing: TimingSpec::default(),
+            family: FamilySpec::default(),
             engine: Engine::default(),
             measure_energy: true,
         }
@@ -137,6 +147,12 @@ impl SystemConfig {
     /// parameter set ([`TimingSpec::resolve`]).
     pub fn set_timing(&mut self, spec: TimingSpec) -> Result<(), String> {
         let t = spec.resolve()?;
+        // The device family's structural timings (group spacing, tRFCpb)
+        // always overlay the bin; the default ddr3 family patches
+        // nothing, keeping pre-family behavior bit-identical.
+        let fam = dram::family::resolve(&self.family)
+            .map_err(|e| format!("family {}: {e}", self.family))?;
+        let t = fam.apply_to(t);
         self.cpu_per_bus = (CPU_GHZ * t.tck_ns).round().max(1.0) as u64;
         self.dram.timing = t;
         self.timing = spec;
@@ -150,6 +166,42 @@ impl SystemConfig {
     /// Returns a message if the spec fails to resolve.
     pub fn with_timing(mut self, spec: TimingSpec) -> Result<Self, String> {
         self.set_timing(spec)?;
+        Ok(self)
+    }
+
+    /// Installs a device family: resolves it, replaces the DRAM
+    /// organization, retention window and refresh granularity, and
+    /// re-applies the timing so the family's structural timings overlay
+    /// the selected bin. If the timing spec is still the bare default,
+    /// the family's default speed bin is adopted (selecting `lpddr4x`
+    /// without naming a bin means LPDDR4x timings, not DDR3-1600 on
+    /// LPDDR geometry); an explicitly chosen timing spec is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the family spec is unknown or resolves to a
+    /// structurally invalid device ([`dram::family::FamilyError`]).
+    pub fn set_family(&mut self, spec: FamilySpec) -> Result<(), String> {
+        let fam = dram::family::resolve(&spec).map_err(|e| format!("family {spec}: {e}"))?;
+        self.dram.org = fam.organization();
+        self.dram.retention_ms = fam.retention_ms;
+        self.dram.refresh = fam.refresh;
+        let timing = if self.timing.is_default() {
+            fam.default_timing_spec()
+        } else {
+            self.timing.clone()
+        };
+        self.family = spec;
+        self.set_timing(timing)
+    }
+
+    /// Builder form of [`SystemConfig::set_family`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the family spec fails to resolve.
+    pub fn with_family(mut self, spec: FamilySpec) -> Result<Self, String> {
+        self.set_family(spec)?;
         Ok(self)
     }
 
@@ -168,6 +220,19 @@ impl SystemConfig {
         self.llc.validate()?;
         self.dram.validate()?;
         self.ctrl.validate()?;
+        // The family spec is resolved first: it overlays structural
+        // timings on the bin and fixes the refresh granularity. Unknown
+        // families, incoherent group spacing and unsupported per-bank
+        // refresh all surface here as typed FamilyError messages.
+        let fam = dram::family::resolve(&self.family)
+            .map_err(|e| format!("family {}: {e}", self.family))?;
+        if self.dram.refresh != fam.refresh {
+            return Err(format!(
+                "dram.refresh does not match the family spec {} — set families \
+                 through SystemConfig::set_family",
+                self.family
+            ));
+        }
         // The timing spec is the source of truth the sweep JSON records;
         // a `dram.timing` that drifted from it would make every cell's
         // `timing` field a lie. Resolution also rejects incoherent specs
@@ -176,11 +241,11 @@ impl SystemConfig {
             .timing
             .resolve()
             .map_err(|e| format!("timing {}: {e}", self.timing))?;
-        if resolved != self.dram.timing {
+        if fam.apply_to(resolved) != self.dram.timing {
             return Err(format!(
-                "dram.timing does not match the timing spec {} — set timings \
-                 through SystemConfig::set_timing",
-                self.timing
+                "dram.timing does not match the timing spec {} under family {} — \
+                 set timings through SystemConfig::set_timing",
+                self.timing, self.family
             ));
         }
         // Mechanism parameters are validated by their registered factory,
@@ -270,6 +335,59 @@ mod tests {
         c.timing = "no-such-preset".parse().unwrap();
         let err = c.validate().unwrap_err();
         assert!(err.contains("unknown timing preset"), "{err}");
+    }
+
+    #[test]
+    fn set_family_applies_geometry_refresh_and_default_bin() {
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.set_family("lpddr4x".parse().unwrap()).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.dram.refresh, dram::RefreshGranularity::PerBank);
+        assert_eq!(c.dram.org.channels, 2);
+        assert_eq!(c.dram.retention_ms, 32.0);
+        // The bare-default timing adopts the family's bin (tCK 0.625 ns
+        // → 4 GHz / 1600 MHz = 2.5 → 3 CPU cycles per bus cycle).
+        assert_eq!(c.timing.to_string(), "lpddr4x-3200");
+        assert_eq!(c.cpu_per_bus, 3);
+
+        let mut d = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        d.set_family("ddr4".parse().unwrap()).unwrap();
+        d.validate().unwrap();
+        assert_eq!(d.dram.org.bank_groups, 4);
+        assert!(d.dram.timing.tccd_l > d.dram.timing.tccd_s);
+    }
+
+    #[test]
+    fn explicit_timing_survives_family_change_with_group_overlay() {
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.set_timing("ddr3-1866".parse().unwrap()).unwrap();
+        c.set_family("ddr4".parse().unwrap()).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.timing.to_string(), "ddr3-1866");
+        // The family's group spacing overlays the chosen bin.
+        assert_eq!(c.dram.timing.tccd_l, 6);
+        assert_eq!(c.dram.timing.trrd_l, 8);
+    }
+
+    #[test]
+    fn default_family_keeps_paper_config_bit_identical() {
+        let a = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        let mut b = a.clone();
+        b.set_family(dram::FamilySpec::default()).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn drifted_refresh_granularity_fails_validation() {
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.dram.refresh = dram::RefreshGranularity::PerBank;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("set_family"), "{err}");
+
+        let mut c = SystemConfig::paper_single_core(MechanismSpec::baseline());
+        c.family = "ddr3(refresh=per-bank)".parse().unwrap();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("per-bank"), "{err}");
     }
 
     #[test]

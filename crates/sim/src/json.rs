@@ -28,17 +28,29 @@ pub const SCHEMA_V2: &str = "chargecache-sweep/v2";
 /// could have simulated). [`parse_sweep`] still reads it.
 pub const SCHEMA_V3: &str = "chargecache-sweep/v3";
 
-/// The current sweep schema: v3 plus per-cell fault isolation. A cell
+/// The PR 7 sweep schema: v3 plus per-cell fault isolation. A cell
 /// that failed (panicking mechanism, mid-run configuration error) keeps
 /// its identity members (`subject`/`timing`/`mechanism`/`variant`/
 /// `apps`) and carries an `error` object
 /// (`{"kind","message","attempts"}`) instead of metric members.
 /// Successful cells are encoded exactly as in v3 — a sweep with no
 /// failures differs from its v3 encoding only in this schema string.
+/// [`parse_sweep`] still reads it.
 pub const SCHEMA_V4: &str = "chargecache-sweep/v4";
+
+/// The current sweep schema: v4 plus the DRAM device-family axis — a
+/// top-level `families` array and a per-cell `family` field, both
+/// [`dram::FamilySpec`] strings (`"ddr4"`, `"lpddr4x(channels=4)"`).
+/// v1–v4 documents, which predate the family layer, are read as
+/// implicitly `"ddr3"` (the only device structure they could have
+/// simulated).
+pub const SCHEMA_V5: &str = "chargecache-sweep/v5";
 
 /// The timing spec string v1/v2 documents are normalized to.
 const V1_V2_TIMING: &str = "ddr3-1600";
+
+/// The family spec string v1–v4 documents are normalized to.
+const PRE_V5_FAMILY: &str = "ddr3";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -373,7 +385,7 @@ impl Parser<'_> {
 }
 
 // ---------------------------------------------------------------------------
-// Typed sweep documents (v1–v4)
+// Typed sweep documents (v1–v5)
 // ---------------------------------------------------------------------------
 
 /// A failed cell's error record (v4; see [`parse_sweep`]).
@@ -392,6 +404,8 @@ pub struct SweepCellError {
 pub struct SweepCellDoc {
     /// Subject (workload or mix) name.
     pub subject: String,
+    /// Device-family spec string (v5; v1–v4 cells read as `"ddr3"`).
+    pub family: String,
     /// Timing spec string (v3; v1/v2 cells read as `"ddr3-1600"`).
     pub timing: String,
     /// Mechanism spec string, normalized to the v2 naming (v1 ids like
@@ -422,8 +436,10 @@ pub struct SweepCellDoc {
 /// A parsed sweep document (see [`parse_sweep`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepDoc {
-    /// Schema version: 1, 2, 3 or 4.
+    /// Schema version: 1, 2, 3, 4 or 5.
     pub schema_version: u32,
+    /// Device-family axis as spec strings (v5; `["ddr3"]` for v1–v4).
+    pub families: Vec<String>,
     /// Timing axis as spec strings (v3; `["ddr3-1600"]` for v1/v2).
     pub timings: Vec<String>,
     /// Mechanism axis as normalized spec strings.
@@ -474,13 +490,14 @@ fn num_field(v: &Json, key: &str) -> Result<f64, String> {
 
 /// Parses a sweep document of any schema version into a [`SweepDoc`].
 ///
-/// v4 (`chargecache-sweep/v4`) is read as-is, including failed cells
-/// (the `error` member populates [`SweepCellDoc::error`] and the metric
-/// fields default). v1–v3 documents read exactly as before: v1/v2,
-/// which predate configurable timing, get a `["ddr3-1600"]` timing axis
-/// and `"ddr3-1600"` per cell, and v1 mechanism ids are normalized to
-/// the v2+ spec naming — so downstream tooling written against the
-/// current schema reads archived results unchanged.
+/// v5 (`chargecache-sweep/v5`) is read as-is. Earlier versions read
+/// exactly as before, with absent axes normalized to the only device
+/// they could have described: v1–v4 get a `["ddr3"]` family axis and
+/// `"ddr3"` per cell, v1/v2 additionally get a `["ddr3-1600"]` timing
+/// axis and `"ddr3-1600"` per cell, and v1 mechanism ids are normalized
+/// to the v2+ spec naming — so downstream tooling written against the
+/// current schema reads archived results unchanged. Failed cells (v4+)
+/// populate [`SweepCellDoc::error`] and default the metric fields.
 ///
 /// # Errors
 ///
@@ -494,6 +511,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         SCHEMA_V2 => 2,
         SCHEMA_V3 => 3,
         SCHEMA_V4 => 4,
+        SCHEMA_V5 => 5,
         other => return Err(format!("unknown sweep schema {other:?}")),
     };
     let normalize = |s: &str| -> String {
@@ -524,6 +542,11 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         str_arr("timings")?
     } else {
         vec![V1_V2_TIMING.to_string()]
+    };
+    let families = if schema_version >= 5 {
+        str_arr("families")?
+    } else {
+        vec![PRE_V5_FAMILY.to_string()]
     };
     let (alone_mechanism, alone_ipc) = match doc.get("alone_ipc") {
         None | Some(Json::Null) => (None, Vec::new()),
@@ -564,10 +587,17 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         } else {
             V1_V2_TIMING.to_string()
         };
-        // A v4 failed cell: identity members + error object, no metrics.
+        let family = if schema_version >= 5 {
+            str_field(cell, "family")?
+        } else {
+            PRE_V5_FAMILY.to_string()
+        };
+        // A v4+ failed cell: identity members + error object, no
+        // metrics.
         if let Some(err) = cell.get("error").filter(|_| schema_version >= 4) {
             cells.push(SweepCellDoc {
                 subject: str_field(cell, "subject")?,
+                family,
                 timing,
                 mechanism: normalize(&str_field(cell, "mechanism")?),
                 variant: str_field(cell, "variant")?,
@@ -606,6 +636,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         };
         cells.push(SweepCellDoc {
             subject: str_field(cell, "subject")?,
+            family,
             timing,
             mechanism: normalize(&str_field(cell, "mechanism")?),
             variant: str_field(cell, "variant")?,
@@ -621,6 +652,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
     }
     Ok(SweepDoc {
         schema_version,
+        families,
         timings,
         mechanisms,
         variants,
@@ -708,6 +740,9 @@ mod tests {
         // Pre-v3 documents could only describe the paper's device.
         assert_eq!(doc.timings, ["ddr3-1600"]);
         assert_eq!(doc.cells[0].timing, "ddr3-1600");
+        // Pre-v5 documents could only describe a DDR3-structured device.
+        assert_eq!(doc.families, ["ddr3"]);
+        assert_eq!(doc.cells[0].family, "ddr3");
         assert_eq!(doc.alone_mechanism.as_deref(), Some("chargecache"));
         assert_eq!(doc.alone_ipc, vec![("tpch2".to_string(), 0.5)]);
         let cell = doc.cell("tpch2", "chargecache", "128").unwrap();
@@ -737,6 +772,7 @@ mod tests {
         }"#;
         let doc = parse_sweep(v4).unwrap();
         assert_eq!(doc.schema_version, 4);
+        assert_eq!(doc.families, ["ddr3"], "v4 normalizes to a ddr3 axis");
         let ok = doc.cell("tpch2", "baseline", "paper").unwrap();
         assert!(ok.error.is_none());
         assert_eq!(ok.ipc, [0.75]);

@@ -130,7 +130,7 @@ impl Client {
 
     /// Submits a sweep and blocks until the daemon has streamed every
     /// cell, reassembling them (in grid order, regardless of arrival
-    /// order) into a v4 document.
+    /// order) into a v5 document.
     pub fn run_sweep(&mut self, spec: &SweepSpec) -> Result<ServedSweep, ClientError> {
         let submit = Json::Obj(vec![
             ("type".into(), Json::str("submit")),
@@ -155,6 +155,7 @@ impl Client {
             max_cycle_factor: uint_member(p, "max_cycle_factor")?,
             seed: uint_member(p, "seed")?,
         };
+        let families = str_array(&accepted, "families")?;
         let timings = str_array(&accepted, "timings")?;
         let mechanisms = str_array(&accepted, "mechanisms")?;
         let variants = str_array(&accepted, "variants")?;
@@ -208,7 +209,15 @@ impl Client {
                 })
             })
             .collect::<Result<_, _>>()?;
-        let doc = assemble_sweep_json(&params, &timings, &mechanisms, &variants, Json::Null, cells);
+        let doc = assemble_sweep_json(
+            &params,
+            &families,
+            &timings,
+            &mechanisms,
+            &variants,
+            Json::Null,
+            cells,
+        );
         Ok(ServedSweep { job, failed, doc })
     }
 }

@@ -22,8 +22,8 @@
 //!
 //! ```text
 //! {"type":"accepted","job":"j1","cells":N,"params":{...},
-//!  "timings":[...],"mechanisms":[...],"variants":[...]}
-//! {"type":"cell","job":"j1","index":I,"cell":{...}}     v4 cell object
+//!  "families":[...],"timings":[...],"mechanisms":[...],"variants":[...]}
+//! {"type":"cell","job":"j1","index":I,"cell":{...}}     v5 cell object
 //! {"type":"done","job":"j1","cells":N,"failed":F}
 //! {"type":"aborted","job":"j1","dropped":N}             shutdown drop
 //! {"type":"cancelled","job":"j1","dropped":N}

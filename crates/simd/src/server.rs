@@ -600,6 +600,15 @@ fn accepted_json(job: &str, plan: &SweepPlan) -> Json {
             ]),
         ),
         (
+            "families".into(),
+            Json::Arr(
+                plan.families
+                    .iter()
+                    .map(|f| Json::str(f.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
             "timings".into(),
             Json::Arr(
                 plan.timings

@@ -1,15 +1,17 @@
 //! Wire form of a sweep grid.
 //!
 //! A [`SweepSpec`] names an [`Experiment`] in the existing subject ×
-//! mechanism × timing × variant vocabulary, as plain strings (mechanism
-//! and timing specs in their `name(key=val,...)` grammar, subjects as
-//! workload or mix names). Parsing validates everything up front — an
-//! invalid spec is rejected at the protocol boundary with a typed
-//! `bad-spec` error, never deep inside the daemon's queue.
+//! family × timing × mechanism × variant vocabulary, as plain strings
+//! (mechanism, family and timing specs in their `name(key=val,...)`
+//! grammar, subjects as workload or mix names). Parsing validates
+//! everything up front — an invalid spec is rejected at the protocol
+//! boundary with a typed `bad-spec` error, never deep inside the
+//! daemon's queue.
 //!
 //! ```text
 //! {"subjects":["mcf","w3"],
 //!  "mechanisms":["baseline","chargecache(entries=128)"],
+//!  "families":["ddr3","lpddr4x"],
 //!  "timings":["ddr3-1600"],
 //!  "variants":[{"label":"64","params":{"entries":"64"}}],
 //!  "engine":"event-skip",
@@ -18,13 +20,13 @@
 //! ```
 //!
 //! Every member except `subjects` is optional: mechanisms default to the
-//! paper's five, timings to the paper device, variants to the single
-//! `paper` variant, and params to [`ExpParams::bench`] *as resolved by
-//! the daemon* — clients that need deterministic run lengths (the
-//! `cc-sim --server` client always does) send `params` explicitly.
+//! paper's five, families and timings to the paper device, variants to
+//! the single `paper` variant, and params to [`ExpParams::bench`] *as
+//! resolved by the daemon* — clients that need deterministic run lengths
+//! (the `cc-sim --server` client always does) send `params` explicitly.
 
 use chargecache::{registry, MechanismSpec, ParamValue};
-use dram::TimingSpec;
+use dram::{FamilySpec, TimingSpec};
 use sim::api::{Experiment, Variant};
 use sim::json::Json;
 use sim::{Engine, ExpParams};
@@ -64,6 +66,8 @@ pub struct SweepSpec {
     pub subjects: Vec<String>,
     /// Mechanism axis (validated, canonicalized specs).
     pub mechanisms: Vec<MechanismSpec>,
+    /// Device-family axis; empty means the paper's DDR3 structure.
+    pub families: Vec<FamilySpec>,
     /// Timing axis; empty means the paper's default device.
     pub timings: Vec<TimingSpec>,
     /// Variant axis; empty means the single `paper` variant.
@@ -114,6 +118,18 @@ impl SweepSpec {
                 let spec = registry::canonicalize(&s.parse::<MechanismSpec>()?);
                 registry::validate_spec(&spec)?;
                 mechanisms.push(spec);
+            }
+        }
+
+        let mut families = Vec::new();
+        if let Some(arr) = j.get("families").and_then(Json::as_arr) {
+            for f in arr {
+                let s = f
+                    .as_str()
+                    .ok_or_else(|| format!("families must be spec strings, got {f}"))?;
+                let spec: FamilySpec = s.parse()?;
+                dram::family::resolve(&spec).map_err(|e| e.to_string())?;
+                families.push(spec);
             }
         }
 
@@ -177,6 +193,7 @@ impl SweepSpec {
         Ok(SweepSpec {
             subjects,
             mechanisms,
+            families,
             timings,
             variants,
             params,
@@ -197,6 +214,15 @@ impl SweepSpec {
                     self.mechanisms
                         .iter()
                         .map(|m| Json::str(m.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "families".into(),
+                Json::Arr(
+                    self.families
+                        .iter()
+                        .map(|f| Json::str(f.to_string()))
                         .collect(),
                 ),
             ),
@@ -272,6 +298,9 @@ impl SweepSpec {
             }
         }
         exp = exp.mechanisms(&self.mechanisms);
+        for f in &self.families {
+            exp = exp.family(f.clone());
+        }
         for t in &self.timings {
             exp = exp.timing(t.clone());
         }
@@ -307,6 +336,7 @@ mod tests {
         let spec = SweepSpec {
             subjects: vec!["mcf".into(), "w3".into()],
             mechanisms: vec![MechanismSpec::baseline(), MechanismSpec::chargecache()],
+            families: vec!["ddr3".parse().unwrap()],
             timings: vec!["ddr3-1866".parse().unwrap()],
             variants: vec![VariantSpec {
                 label: "64".into(),
@@ -319,9 +349,30 @@ mod tests {
         let back = SweepSpec::from_json(&j).expect("roundtrip parse");
         assert_eq!(back, spec);
         let plan = back.experiment().unwrap().plan().unwrap();
-        // 2 subjects × 1 timing × 2 mechanisms × 1 variant.
+        // 2 subjects × 1 family × 1 timing × 2 mechanisms × 1 variant.
         assert_eq!(plan.cells.len(), 4);
         assert_eq!(plan.variants, vec!["64".to_string()]);
+    }
+
+    #[test]
+    fn family_axis_rides_the_wire_and_expands_the_grid() {
+        let spec = SweepSpec {
+            subjects: vec!["mcf".into()],
+            mechanisms: vec![MechanismSpec::baseline(), MechanismSpec::chargecache()],
+            families: vec!["ddr3".parse().unwrap(), "lpddr4x".parse().unwrap()],
+            timings: Vec::new(),
+            variants: Vec::new(),
+            params: ExpParams::tiny(),
+            engine: None,
+        };
+        let back = SweepSpec::from_json(&spec.to_json()).expect("roundtrip parse");
+        assert_eq!(back, spec);
+        let plan = back.experiment().unwrap().plan().unwrap();
+        // 1 subject × 2 families × 1 timing × 2 mechanisms × 1 variant.
+        assert_eq!(plan.cells.len(), 4);
+        // Each family's cells carry its own effective timing spec.
+        assert_eq!(plan.cells[0].timing.to_string(), "ddr3-1600");
+        assert_eq!(plan.cells[2].timing.to_string(), "lpddr4x-3200");
     }
 
     #[test]
@@ -335,6 +386,8 @@ mod tests {
             .contains("no subjects"));
         assert!(parse("{\"subjects\":[\"mcf\"],\"mechanisms\":[\"warp-drive\"]}").is_err());
         assert!(parse("{\"subjects\":[\"mcf\"],\"timings\":[\"ddr9-9999\"]}").is_err());
+        assert!(parse("{\"subjects\":[\"mcf\"],\"families\":[\"ddr9\"]}").is_err());
+        assert!(parse("{\"subjects\":[\"mcf\"],\"families\":[\"ddr4(tccd_l=1)\"]}").is_err());
         assert!(parse("{\"subjects\":[\"mcf\"],\"engine\":\"quantum\"}")
             .unwrap_err()
             .contains("unknown engine"));

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! cc-sim --list-mechanisms                      # registered mechanism specs
-//! cc-sim --list-timings                         # DRAM timing presets
+//! cc-sim --list-timings                         # DRAM timing presets, by family
+//! cc-sim --list-families                        # DRAM device families
 //! cc-sim --list-workloads                       # 22 workloads + 20 mixes
 //! cc-sim run  --workload mcf --mechanism chargecache
 //! cc-sim run  --workload mcf --mechanism 'chargecache(entries=1024,duration=2ms)'
 //! cc-sim run  --workload mcf --mechanism refresh-cc   # plugin mechanism
 //! cc-sim run  --workload mcf --mechanism all    # the paper's five
 //! cc-sim run  --workload mcf --timing ddr3-2133 # a faster speed bin
-//! cc-sim run  --workload mcf --json             # machine-readable sweep (v4)
+//! cc-sim run  --workload mcf --family lpddr4x   # another device family
+//! cc-sim run  --workload mcf --json             # machine-readable sweep (v5)
 //! cc-sim run  --workload mcf --json --cache-dir .cc-cache   # resumable
 //! cc-sim mix  --index 3 --mechanism all         # one eight-core mix
 //! cc-sim run  --workload mcf --json --server /tmp/cc.sock  # via cc-simd
@@ -26,7 +28,11 @@
 //! factory with its parameter defaults. `--timing` accepts any JEDEC
 //! speed-bin preset in the matching `preset(key=val,...)` grammar
 //! (`ddr3-1066` … `ddr3-2133`, `ddr4-2400`, `lpddr3-1600`), with
-//! per-parameter overrides like `ddr3-1866(trcd=12)`.
+//! per-parameter overrides like `ddr3-1866(trcd=12)`. `--family`
+//! accepts any registered device family in the same grammar (`ddr3`,
+//! `ddr4`, `lpddr4x`, `hbm2`, with overrides like
+//! `ddr4(bank_groups=2)`); `--list-families` prints each family's
+//! geometry.
 //!
 //! Common `run`/`mix` flags: `--timing SPEC`, `--entries N`,
 //! `--duration MS` (parameter patches applied to every mechanism that
@@ -69,7 +75,7 @@ use std::process::ExitCode;
 
 use chargecache::{registry, MechanismSpec, OverheadModel, ParamValue};
 use chargecache_repro::mechs::register_extended_mechanisms;
-use dram::TimingSpec;
+use dram::{FamilySpec, TimingSpec};
 use sim::api::{Experiment, SweepResult};
 use sim::exp::{default_threads, ExpParams};
 use sim::{DiskCache, RunResult};
@@ -103,6 +109,7 @@ fn main() -> ExitCode {
         "list" | "--list-workloads" => cmd_list(),
         "--list-mechanisms" => cmd_list_mechanisms(),
         "--list-timings" => cmd_list_timings(),
+        "--list-families" => cmd_list_families(),
         "run" => RunArgs::parse(rest)
             .map_err(CliError::Usage)
             .and_then(|a| cmd_run(&a)),
@@ -146,7 +153,8 @@ cc-sim — ChargeCache (HPCA 2016) reproduction CLI
 
 USAGE:
   cc-sim --list-mechanisms            registered mechanism specs + defaults
-  cc-sim --list-timings               DRAM timing presets (JEDEC speed bins)
+  cc-sim --list-timings               DRAM timing presets, grouped by family
+  cc-sim --list-families              DRAM device families + geometry
   cc-sim --list-workloads             the 22 workloads and 20 mixes (alias: list)
   cc-sim run  --workload <name> --mechanism <spec|all> [options]
   cc-sim mix  --index <1..20>   --mechanism <spec|all> [options]
@@ -170,8 +178,16 @@ TIMING SPECS:
     --timing 'ddr3-1866(trcd=12,tfaw=26)'
   see `cc-sim --list-timings` for presets and their resolved parameters
 
+FAMILY SPECS:
+  a registered device family, optionally with overrides, e.g.
+    --family ddr3                                (the paper's device structure)
+    --family lpddr4x                             (per-bank refresh, 32 ms)
+    --family 'ddr4(bank_groups=2)'
+  see `cc-sim --list-families` for families and their geometries
+
 OPTIONS (run/mix):
-  --timing SPEC   DRAM timing preset spec         [default ddr3-1600]
+  --family SPEC   DRAM device family spec         [default ddr3]
+  --timing SPEC   DRAM timing preset spec         [default: family's bin]
   --entries N     HCRAC entries per core patch    [default: per mechanism]
   --duration MS   caching duration patch, in ms   [default: per mechanism]
   --insts N       measured instructions per core  [default 120000 × CC_SCALE]
@@ -179,7 +195,7 @@ OPTIONS (run/mix):
   --seed N        trace seed                      [default 42]
   --threads N     sweep worker threads            [default: all cores]
   --csv           machine-readable CSV output
-  --json          machine-readable JSON sweep (schema chargecache-sweep/v4)
+  --json          machine-readable JSON sweep (schema chargecache-sweep/v5)
   --out FILE      write the --json sweep to FILE instead of stdout
   --cache-dir DIR persist finished cells to a disk run cache (resumable;
                   defaults to $CC_CACHE_DIR when set)
@@ -239,6 +255,7 @@ struct SweepArgs {
     /// Whether `--mechanism` appeared at least once: the first use
     /// replaces the default axis, later uses accumulate.
     mechanisms_set: bool,
+    family: Option<FamilySpec>,
     timing: Option<TimingSpec>,
     entries: Option<usize>,
     duration: Option<f64>,
@@ -259,6 +276,7 @@ impl Default for SweepArgs {
         Self {
             mechanisms: MechanismSpec::paper_all().to_vec(),
             mechanisms_set: false,
+            family: None,
             timing: None,
             entries: None,
             duration: None,
@@ -297,6 +315,12 @@ impl SweepArgs {
                 spec.resolve()
                     .map_err(|e| format!("{e} — see `cc-sim --list-timings`"))?;
                 self.timing = Some(spec);
+            }
+            "family" => {
+                let spec: FamilySpec = cur.value(flag)?.parse()?;
+                dram::family::resolve(&spec)
+                    .map_err(|e| format!("{e} — see `cc-sim --list-families`"))?;
+                self.family = Some(spec);
             }
             "entries" => self.entries = Some(cur.parsed(flag)?),
             "duration" => self.duration = Some(cur.parsed(flag)?),
@@ -404,6 +428,9 @@ impl SweepArgs {
             .mechanisms(&self.specs()?)
             .params(self.params())
             .threads(self.threads.unwrap_or_else(default_threads));
+        if let Some(f) = &self.family {
+            exp = exp.family(f.clone());
+        }
         if let Some(t) = &self.timing {
             exp = exp.timing(t.clone());
         }
@@ -461,8 +488,8 @@ fn finish_sweep(args: &SweepArgs, sweep: &SweepResult) -> Result<(), CliError> {
     for cell in sweep.failed_cells() {
         if let Some(e) = cell.error() {
             eprintln!(
-                "cell {}/{}/{}/{} failed: {e}",
-                cell.subject, cell.timing, cell.mechanism, cell.variant
+                "cell {}/{}/{}/{}/{} failed: {e}",
+                cell.subject, cell.family, cell.timing, cell.mechanism, cell.variant
             );
         }
     }
@@ -487,6 +514,7 @@ fn run_served(a: &SweepArgs, subject: &str) -> Result<(), CliError> {
     let spec = SweepSpec {
         subjects: vec![subject.to_string()],
         mechanisms: a.specs().map_err(CliError::Usage)?,
+        families: a.family.clone().into_iter().collect(),
         timings: a.timing.clone().into_iter().collect(),
         variants: Vec::new(),
         params: a.params(),
@@ -700,22 +728,54 @@ fn cmd_list_mechanisms() -> Result<(), CliError> {
 }
 
 fn cmd_list_timings() -> Result<(), CliError> {
-    println!("DRAM timing presets (name — CL-tRCD-tRP @ tCK):");
-    for (name, describe, t) in TimingSpec::presets() {
-        println!(
-            "  {name:<12} {}-{}-{} @ {} ns",
-            t.tcl, t.trcd, t.trp, t.tck_ns
-        );
-        println!("               {describe}");
-        println!(
-            "               tRAS={} tRC={} tFAW={} tRRD={} tRFC={} tREFI={}",
-            t.tras, t.trc, t.tfaw, t.trrd, t.trfc, t.trefi
-        );
+    println!("DRAM timing presets (name — CL-tRCD-tRP @ tCK), grouped by family:");
+    // Group the bins by device family, in order of first appearance.
+    let mut families: Vec<&str> = Vec::new();
+    for bin in &dram::SpeedBin::ALL {
+        if !families.contains(&bin.family_name()) {
+            families.push(bin.family_name());
+        }
+    }
+    for family in families {
+        println!("\nfamily {family}:");
+        for bin in dram::SpeedBin::ALL
+            .iter()
+            .filter(|b| b.family_name() == family)
+        {
+            let t = bin.timing();
+            println!(
+                "  {:<14} {}-{}-{} @ {} ns",
+                bin.name(),
+                t.tcl,
+                t.trcd,
+                t.trp,
+                t.tck_ns
+            );
+            println!("                 {}", bin.describe());
+            println!(
+                "                 tRAS={} tRC={} tFAW={} tRRD={} tRFC={} tREFI={}",
+                t.tras, t.trc, t.tfaw, t.trrd, t.trfc, t.trefi
+            );
+        }
     }
     println!(
         "\nspec grammar: preset(key=val,...)   e.g. 'ddr3-1866(trcd=12,tfaw=26)'\n\
          override keys: {}",
         dram::TIMING_KEYS.join(", ")
+    );
+    Ok(())
+}
+
+fn cmd_list_families() -> Result<(), CliError> {
+    println!("DRAM device families (name — geometry):");
+    for (name, describe, params) in dram::family::list_families() {
+        println!("  {name:<10} {}", params.geometry_line());
+        println!("             {describe}");
+    }
+    println!(
+        "\nspec grammar: family(key=val,...)   e.g. 'ddr4(bank_groups=2)'\n\
+         override keys: {}",
+        dram::FAMILY_KEYS.join(", ")
     );
     Ok(())
 }

@@ -199,13 +199,14 @@ fn cc_sim_json_is_valid_and_thread_count_invariant() {
     let doc = sim::json::parse(serial.trim()).expect("cc-sim --json emits valid JSON");
     assert_eq!(
         doc.get("schema").and_then(|s| s.as_str()),
-        Some(sim::json::SCHEMA_V4)
+        Some(sim::json::SCHEMA_V5)
     );
     let cells = doc.get("cells").and_then(|c| c.as_arr()).unwrap();
     assert_eq!(cells.len(), MechanismSpec::paper_all().len());
     // And the typed parser reads the CLI's output directly.
-    let typed = sim::json::parse_sweep(&serial).expect("typed v4 parse");
-    assert_eq!(typed.schema_version, 4);
+    let typed = sim::json::parse_sweep(&serial).expect("typed v5 parse");
+    assert_eq!(typed.schema_version, 5);
+    assert_eq!(typed.families, ["ddr3"]);
     assert_eq!(typed.timings, ["ddr3-1600"]);
     assert!(typed.cell("tpch2", "chargecache", "paper").is_some());
     for cell in cells {
@@ -264,8 +265,8 @@ fn cc_sim_exit_codes_distinguish_failure_classes() {
 #[test]
 fn cc_sim_isolates_a_panicking_cell_and_exits_3() {
     // The `faulty` plugin registers only under CC_FAULT_INJECTION; its
-    // cell must fail alone (typed v4 error, named on stderr) while the
-    // baseline cell completes, and the process must exit 3.
+    // cell must fail alone (typed error object, named on stderr) while
+    // the baseline cell completes, and the process must exit 3.
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_cc-sim"))
         .env_remove("CC_CACHE_DIR")
         .env("CC_FAULT_INJECTION", "1")
@@ -287,8 +288,8 @@ fn cc_sim_isolates_a_panicking_cell_and_exits_3() {
         .expect("cc-sim runs");
     assert_eq!(out.status.code(), Some(3), "cell failure exit code");
     let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
-    let typed = sim::json::parse_sweep(&stdout).expect("typed v4 parse");
-    assert_eq!(typed.schema_version, 4);
+    let typed = sim::json::parse_sweep(&stdout).expect("typed v5 parse");
+    assert_eq!(typed.schema_version, 5);
     let ok = typed
         .cell("tpch2", "baseline", "paper")
         .expect("baseline cell");
@@ -300,7 +301,7 @@ fn cc_sim_isolates_a_panicking_cell_and_exits_3() {
     assert!(err.message.contains("injected fault"), "{}", err.message);
     let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
     assert!(
-        stderr.contains("cell tpch2/ddr3-1600/faulty/paper failed"),
+        stderr.contains("cell tpch2/ddr3/ddr3-1600/faulty/paper failed"),
         "{stderr}"
     );
 }

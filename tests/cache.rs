@@ -154,7 +154,7 @@ fn corrupt_entries_fall_back_to_bit_identical_resimulation() {
     );
 
     // Three distinct corruptions: truncation (torn write), payload bit
-    // flip, wrong entry version.
+    // flip, key mismatch (entry copied to the wrong filename).
     let bytes = fs::read(&entries[0]).unwrap();
     fs::write(&entries[0], &bytes[..bytes.len() - 5]).unwrap();
     let mut bytes = fs::read(&entries[1]).unwrap();
@@ -162,7 +162,7 @@ fn corrupt_entries_fall_back_to_bit_identical_resimulation() {
     bytes[mid] ^= 0x01;
     fs::write(&entries[1], &bytes).unwrap();
     let mut bytes = fs::read(&entries[2]).unwrap();
-    bytes[8] ^= 0xFF; // version field of the header
+    bytes[12] ^= 0xFF; // key field of the header
     fs::write(&entries[2], &bytes).unwrap();
 
     // Every corrupt entry is quarantined and re-simulated; the output is
@@ -186,6 +186,62 @@ fn corrupt_entries_fall_back_to_bit_identical_resimulation() {
     assert!(corpses >= 2, "quarantined entries should be kept on disk");
 
     // The re-simulated cells were re-stored: a third run is all hits.
+    api::clear_run_cache();
+    let before = api::run_cache_executions();
+    let third = experiment(Some(&dir)).run().unwrap().to_json();
+    assert_eq!(api::run_cache_executions() - before, 0);
+    assert_eq!(third, cold);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_format_version_entries_miss_cleanly_and_resimulate() {
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let dir = tmp_dir("version-miss");
+
+    api::clear_run_cache();
+    let cold = experiment(Some(&dir)).run().unwrap().to_json();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "run"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty());
+
+    // Rewrite one entry as a well-formed record from the previous
+    // format: version byte in the magic and version field both say 1.
+    let mut bytes = fs::read(&entries[0]).unwrap();
+    bytes[7] = b'1';
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    fs::write(&entries[0], &bytes).unwrap();
+
+    // The stale entry is a clean miss — re-simulated, never quarantined,
+    // and the output stays byte-identical to the cold run.
+    api::clear_run_cache();
+    let quarantined_before = DiskCache::shared(&dir).stats().quarantined;
+    let before = api::run_cache_executions();
+    let resumed = experiment(Some(&dir)).run().unwrap().to_json();
+    assert_eq!(resumed, cold, "version-miss fallback changed results");
+    assert!(
+        api::run_cache_executions() - before > 0,
+        "stale-format entry was trusted instead of re-simulated"
+    );
+    let s = DiskCache::shared(&dir).stats();
+    assert_eq!(
+        s.quarantined - quarantined_before,
+        0,
+        "a version miss must not quarantine"
+    );
+    let corpses = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".corrupt"))
+        .count();
+    assert_eq!(corpses, 0, "no .corrupt corpses for a version miss");
+
+    // The re-store overwrote the stale file in place: a third run is
+    // all hits with zero executions.
     api::clear_run_cache();
     let before = api::run_cache_executions();
     let third = experiment(Some(&dir)).run().unwrap().to_json();
@@ -313,11 +369,11 @@ fn panicking_mechanism_fails_only_its_own_cell() {
         );
     }
 
-    // The v4 JSON round-trips the error cell through the typed parser.
+    // The JSON round-trips the error cell through the typed parser.
     let doc = sim::json::parse_sweep(&sweep.to_json()).unwrap();
-    assert_eq!(doc.schema_version, 4);
+    assert_eq!(doc.schema_version, 5);
     let cell = doc.cell("tpch2", "test-panic", "paper").unwrap();
-    let e = cell.error.as_ref().expect("error object in v4 JSON");
+    let e = cell.error.as_ref().expect("error object in the JSON");
     assert_eq!(e.kind, "panic");
     assert_eq!(e.attempts, 2);
     assert!(doc

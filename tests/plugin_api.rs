@@ -243,7 +243,7 @@ fn cc_sim_lists_and_runs_plugin_mechanisms() {
         .expect("cc-sim runs");
     assert!(out.status.success(), "cc-sim failed: {out:?}");
     let doc = sim::json::parse_sweep(&String::from_utf8(out.stdout).unwrap()).unwrap();
-    assert_eq!(doc.schema_version, 4);
+    assert_eq!(doc.schema_version, 5);
     assert_eq!(doc.mechanisms, ["refresh-cc(entries=256)"]);
     assert!(doc.cell("tpch2", "refresh-cc", "paper").is_some());
 }

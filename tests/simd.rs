@@ -49,6 +49,7 @@ fn spec(subjects: &[&str], mechanisms: Vec<MechanismSpec>, params: ExpParams) ->
     SweepSpec {
         subjects: subjects.iter().map(|s| s.to_string()).collect(),
         mechanisms,
+        families: Vec::new(),
         timings: Vec::new(),
         variants: Vec::new(),
         params,

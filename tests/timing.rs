@@ -241,9 +241,9 @@ fn timing_axis_sweeps_speed_bins_with_per_bin_results() {
         "all bins produced identical runs: {ipcs:?}"
     );
 
-    // The v4 JSON round-trips the axis and the per-cell spec strings.
+    // The v5 JSON round-trips the axis and the per-cell spec strings.
     let doc = sim::json::parse_sweep(&sweep.to_json()).unwrap();
-    assert_eq!(doc.schema_version, 4);
+    assert_eq!(doc.schema_version, 5);
     assert_eq!(doc.timings.len(), 5);
     assert_eq!(doc.cells.len(), 10);
     assert!(doc.cells.iter().any(|c| c.timing == "ddr3-2133"));
