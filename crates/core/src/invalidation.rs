@@ -78,6 +78,26 @@ impl PeriodicInvalidator {
     pub fn cycles_to_next(&self, now: u64) -> u64 {
         self.next_fire.saturating_sub(now)
     }
+
+    /// Serializes the counter pair's mutable state (checkpoint support).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use fasthash::codec::*;
+        put_u64(out, self.next_fire);
+        put_usize(out, self.ec);
+    }
+
+    /// Restores state saved by [`Self::save_state`] into a counter pair
+    /// built with the same period and entry count.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        use fasthash::codec::*;
+        self.next_fire = take_u64(input, "invalidator next_fire")?;
+        let ec = take_usize(input, "invalidator ec")?;
+        if ec >= self.entries {
+            return Err(format!("invalidator ec {ec} out of range"));
+        }
+        self.ec = ec;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

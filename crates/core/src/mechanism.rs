@@ -89,6 +89,31 @@ pub trait LatencyMechanism: Send {
     /// The mechanism's registered name (matches
     /// [`crate::MechanismSpec::name`] for registry-built instances).
     fn name(&self) -> &str;
+
+    /// Serializes the mechanism's complete mutable state for
+    /// checkpointing, returning `true` on success. The default returns
+    /// `false` — "not supported" — which disables mid-run checkpointing
+    /// for runs using this mechanism (they still produce correct results;
+    /// they just restart from zero after a crash). Implementations must
+    /// write a byte stream that [`Self::load_state`] can consume and that
+    /// is deterministic for equal state (sort any hash-map iteration).
+    fn save_state(&self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Restores state written by [`Self::save_state`] into a freshly
+    /// constructed instance with identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the stream is truncated, corrupt, or
+    /// the mechanism does not support checkpointing (the default).
+    fn load_state(&mut self, _input: &mut &[u8]) -> Result<(), String> {
+        Err(format!(
+            "mechanism '{}' does not support checkpoint restore",
+            self.name()
+        ))
+    }
 }
 
 /// Pushes the HCRAC counter block into a sink.
@@ -132,6 +157,16 @@ impl LatencyMechanism for Baseline {
 
     fn name(&self) -> &str {
         "baseline"
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        fasthash::codec::put_u64(out, self.activates);
+        true
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        self.activates = fasthash::codec::take_u64(input, "baseline activates")?;
+        Ok(())
     }
 }
 
@@ -335,6 +370,58 @@ impl LatencyMechanism for ChargeCache {
     fn name(&self) -> &str {
         "chargecache"
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use fasthash::codec::*;
+        put_usize(out, self.caches.len());
+        for c in &self.caches {
+            c.save_state(out);
+        }
+        put_usize(out, self.invalidators.len());
+        for inv in &self.invalidators {
+            inv.save_state(out);
+        }
+        for v in [
+            self.next_sweep,
+            self.next_fire_min,
+            self.activates,
+            self.reduced_activates,
+            self.clamped_activates,
+        ] {
+            put_u64(out, v);
+        }
+        true
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        use fasthash::codec::*;
+        let nc = take_len(input, 8, "hcrac instances")?;
+        if nc != self.caches.len() {
+            return Err(format!(
+                "hcrac instance mismatch: checkpoint has {nc}, mechanism has {}",
+                self.caches.len()
+            ));
+        }
+        for c in &mut self.caches {
+            c.load_state(input)?;
+        }
+        let ni = take_len(input, 8, "invalidators")?;
+        if ni != self.invalidators.len() {
+            return Err(format!(
+                "invalidator count mismatch: checkpoint has {ni}, mechanism has {}",
+                self.invalidators.len()
+            ));
+        }
+        for inv in &mut self.invalidators {
+            inv.load_state(input)?;
+        }
+        self.next_sweep = take_u64(input, "next_sweep")?;
+        self.next_fire_min = take_u64(input, "next_fire_min")?;
+        self.activates = take_u64(input, "cc activates")?;
+        self.reduced_activates = take_u64(input, "cc reduced")?;
+        self.clamped_activates = take_u64(input, "cc clamped")?;
+        Ok(())
+    }
 }
 
 /// NUAT: activations of recently-refreshed rows use reduced timings.
@@ -432,6 +519,26 @@ impl LatencyMechanism for Nuat {
     fn name(&self) -> &str {
         "nuat"
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use fasthash::codec::*;
+        for v in [
+            self.activates,
+            self.reduced_activates,
+            self.clamped_activates,
+        ] {
+            put_u64(out, v);
+        }
+        true
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        use fasthash::codec::*;
+        self.activates = take_u64(input, "nuat activates")?;
+        self.reduced_activates = take_u64(input, "nuat reduced")?;
+        self.clamped_activates = take_u64(input, "nuat clamped")?;
+        Ok(())
+    }
 }
 
 /// ChargeCache with NUAT as the fallback for HCRAC misses.
@@ -501,6 +608,15 @@ impl LatencyMechanism for CcNuat {
     fn name(&self) -> &str {
         "cc-nuat"
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        self.cc.save_state(out) && self.nuat.save_state(out)
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        self.cc.load_state(input)?;
+        self.nuat.load_state(input)
+    }
 }
 
 /// Idealized low-latency DRAM: every activation is a ChargeCache hit.
@@ -543,6 +659,16 @@ impl LatencyMechanism for LlDram {
 
     fn name(&self) -> &str {
         "lldram"
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        fasthash::codec::put_u64(out, self.activates);
+        true
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        self.activates = fasthash::codec::take_u64(input, "lldram activates")?;
+        Ok(())
     }
 }
 

@@ -134,6 +134,34 @@ impl MechanismReport {
         }
     }
 
+    /// Serializes the counter table (checkpoint support). First-report
+    /// order is part of the deterministic state, so it is preserved.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use fasthash::codec::*;
+        put_usize(out, self.counters.len());
+        for (name, value) in &self.counters {
+            put_str(out, name);
+            put_u64(out, *value);
+        }
+    }
+
+    /// Decodes a table saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the truncation or encoding fault.
+    pub fn load_state(input: &mut &[u8]) -> Result<Self, String> {
+        use fasthash::codec::*;
+        let n = take_len(input, 16, "report counters")?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = take_str(input, "report counter name")?;
+            let value = take_u64(input, "report counter value")?;
+            counters.push((name, value));
+        }
+        Ok(Self { counters })
+    }
+
     /// Subtracts a warmup-boundary snapshot, element-wise by name.
     ///
     /// # Panics

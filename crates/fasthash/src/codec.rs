@@ -1,0 +1,209 @@
+//! Little-endian binary codec primitives for checkpoint serialization.
+//!
+//! Every crate that participates in `System::checkpoint()` writes its
+//! state through these helpers so the byte format is uniform: fixed-width
+//! little-endian integers, floats as IEEE-754 bit patterns
+//! ([`f64::to_bits`]), booleans as one byte, and length-prefixed
+//! sequences. Readers take a `&mut &[u8]` cursor and return `Err` with a
+//! short description instead of panicking, so a truncated or corrupt
+//! checkpoint degrades to a clean restart rather than aborting the run.
+//!
+//! Like [`crate::content_hash_128`], this is a frozen wire format:
+//! checkpoints written by one build must be readable (or cleanly
+//! rejected by the version header) by the next.
+
+/// Decode error: what was being read when the input ran out or a tag was
+/// invalid.
+pub type CodecError = String;
+
+/// Result alias for the `take_*` readers.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// Appends one byte.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32` little-endian.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64` little-endian.
+#[inline]
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `usize` as `u64` little-endian.
+#[inline]
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a boolean as one byte (0 or 1).
+#[inline]
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn short(what: &str) -> CodecError {
+    format!("checkpoint truncated reading {what}")
+}
+
+/// Reads `n` raw bytes, advancing the cursor.
+pub fn take_bytes<'a>(input: &mut &'a [u8], n: usize, what: &str) -> CodecResult<&'a [u8]> {
+    if input.len() < n {
+        return Err(short(what));
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+/// Reads one byte.
+pub fn take_u8(input: &mut &[u8], what: &str) -> CodecResult<u8> {
+    Ok(take_bytes(input, 1, what)?[0])
+}
+
+/// Reads a little-endian `u32`.
+pub fn take_u32(input: &mut &[u8], what: &str) -> CodecResult<u32> {
+    let b = take_bytes(input, 4, what)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+/// Reads a little-endian `u64`.
+pub fn take_u64(input: &mut &[u8], what: &str) -> CodecResult<u64> {
+    let b = take_bytes(input, 8, what)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+/// Reads a little-endian `i64`.
+pub fn take_i64(input: &mut &[u8], what: &str) -> CodecResult<i64> {
+    let b = take_bytes(input, 8, what)?;
+    Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+/// Reads a `u64` and converts it to `usize`, rejecting values that do not
+/// fit (cannot happen for checkpoints written on the same platform, but a
+/// corrupt length must not panic the decoder).
+pub fn take_usize(input: &mut &[u8], what: &str) -> CodecResult<usize> {
+    let v = take_u64(input, what)?;
+    usize::try_from(v).map_err(|_| format!("length overflow reading {what}"))
+}
+
+/// Reads an `f64` from its bit pattern.
+pub fn take_f64(input: &mut &[u8], what: &str) -> CodecResult<f64> {
+    Ok(f64::from_bits(take_u64(input, what)?))
+}
+
+/// Reads a boolean, rejecting bytes other than 0 or 1.
+pub fn take_bool(input: &mut &[u8], what: &str) -> CodecResult<bool> {
+    match take_u8(input, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(format!("invalid bool byte {b} reading {what}")),
+    }
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn take_str(input: &mut &[u8], what: &str) -> CodecResult<String> {
+    let len = take_usize(input, what)?;
+    if len > input.len() {
+        return Err(short(what));
+    }
+    let b = take_bytes(input, len, what)?;
+    String::from_utf8(b.to_vec()).map_err(|_| format!("invalid UTF-8 reading {what}"))
+}
+
+/// Reads a sequence length and sanity-checks it against the bytes left:
+/// each element needs at least `min_elem_bytes`, so a corrupt length
+/// cannot trigger a huge allocation before the decode fails anyway.
+pub fn take_len(input: &mut &[u8], min_elem_bytes: usize, what: &str) -> CodecResult<usize> {
+    let len = take_usize(input, what)?;
+    if min_elem_bytes > 0 && len > input.len() / min_elem_bytes {
+        return Err(format!("implausible length {len} reading {what}"));
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_i64(&mut out, -42);
+        put_f64(&mut out, -0.0);
+        put_bool(&mut out, true);
+        put_str(&mut out, "hello");
+        let mut cur = out.as_slice();
+        assert_eq!(take_u8(&mut cur, "a").unwrap(), 7);
+        assert_eq!(take_u32(&mut cur, "b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(take_u64(&mut cur, "c").unwrap(), u64::MAX - 1);
+        assert_eq!(take_i64(&mut cur, "d").unwrap(), -42);
+        assert_eq!(
+            take_f64(&mut cur, "e").unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert!(take_bool(&mut cur, "f").unwrap());
+        assert_eq!(take_str(&mut cur, "g").unwrap(), "hello");
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 99);
+        let mut cur = &out[..5];
+        let err = take_u64(&mut cur, "field").unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut cur: &[u8] = &[2];
+        assert!(take_bool(&mut cur, "flag").is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut out = Vec::new();
+        put_usize(&mut out, 1 << 40);
+        let mut cur = out.as_slice();
+        assert!(take_len(&mut cur, 8, "vec").is_err());
+    }
+
+    #[test]
+    fn nan_roundtrips_bit_exact() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut out = Vec::new();
+        put_f64(&mut out, weird);
+        let mut cur = out.as_slice();
+        assert_eq!(take_f64(&mut cur, "x").unwrap().to_bits(), weird.to_bits());
+    }
+}

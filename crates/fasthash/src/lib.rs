@@ -11,6 +11,8 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
+pub mod codec;
+
 /// Multiplicative constant: the fractional bits of the golden ratio, the
 /// same mixing constant the Firefox/rustc hasher family uses.
 const K: u64 = 0x517c_c1b7_2722_0a95;

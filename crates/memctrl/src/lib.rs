@@ -276,6 +276,45 @@ impl MemorySystem {
         }
         agg
     }
+
+    /// Serializes the complete memory-system state — request-id counter,
+    /// every channel controller (queues, calendars, mechanism, trackers)
+    /// and the DRAM device — for checkpointing. Returns `false`, leaving
+    /// `out` untouched, when any channel's mechanism does not support
+    /// checkpoint save/restore.
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use fasthash::codec::*;
+        let mut body = Vec::new();
+        put_u64(&mut body, self.next_id);
+        put_usize(&mut body, self.channels.len());
+        for ch in &self.channels {
+            if !ch.save_state(&mut body) {
+                return false;
+            }
+        }
+        self.device.save_state(&mut body);
+        out.extend_from_slice(&body);
+        true
+    }
+
+    /// Restores state saved by [`Self::save_state`] into a system built
+    /// with the same configuration and mechanism. On error the system may
+    /// be partially updated; callers discard it.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        use fasthash::codec::*;
+        self.next_id = take_u64(input, "request id counter")?;
+        let n = take_len(input, 1, "channel count")?;
+        if n != self.channels.len() {
+            return Err(format!(
+                "channel count mismatch: checkpoint has {n}, system has {}",
+                self.channels.len()
+            ));
+        }
+        for ch in &mut self.channels {
+            ch.load_state(input)?;
+        }
+        self.device.load_state(input)
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,56 @@ impl CtrlStats {
         }
     }
 
+    /// Serializes every counter (checkpoint support).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use fasthash::codec::*;
+        for v in [
+            self.reads,
+            self.writes,
+            self.forwarded_reads,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.refreshes,
+            self.read_latency_sum,
+            self.read_latency_count,
+            self.sched_passes,
+            self.sched_bank_visits,
+            self.index_release_misses,
+        ] {
+            put_u64(out, v);
+        }
+        for &b in &self.read_latency_hist {
+            put_u64(out, b);
+        }
+    }
+
+    /// Decodes counters saved by [`Self::save_state`].
+    pub fn load_state(input: &mut &[u8]) -> Result<Self, String> {
+        use fasthash::codec::*;
+        let mut s = Self::default();
+        for f in [
+            &mut s.reads,
+            &mut s.writes,
+            &mut s.forwarded_reads,
+            &mut s.row_hits,
+            &mut s.row_misses,
+            &mut s.row_conflicts,
+            &mut s.refreshes,
+            &mut s.read_latency_sum,
+            &mut s.read_latency_count,
+            &mut s.sched_passes,
+            &mut s.sched_bank_visits,
+            &mut s.index_release_misses,
+        ] {
+            *f = take_u64(input, "ctrl stat")?;
+        }
+        for b in s.read_latency_hist.iter_mut() {
+            *b = take_u64(input, "latency histogram bucket")?;
+        }
+        Ok(s)
+    }
+
     /// Element-wise accumulation.
     pub fn absorb(&mut self, o: &CtrlStats) {
         self.reads += o.reads;

@@ -1059,6 +1059,16 @@ fn execute_job(
             }
         }
     }
+    // Periodic checkpointing engages when the job asks for it and a
+    // healthy cache directory exists to hold the files; a degraded (or
+    // absent) cache leaves no durable home for checkpoints, so the run
+    // falls back to the plain non-checkpointed driver.
+    let ckpt = if job.params.checkpoint_interval > 0 {
+        disk.filter(|d| !d.is_degraded())
+            .map(|d| crate::ckpt::CheckpointStore::new(d.dir()))
+    } else {
+        None
+    };
     let mut attempts = 0;
     loop {
         attempts += 1;
@@ -1066,8 +1076,15 @@ fn execute_job(
         // `AssertUnwindSafe`: the closure owns clones of the job inputs
         // and a poisoned run's partial state is dropped wholesale, so no
         // broken invariant can leak into the next attempt.
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            run_configured(job.cfg.clone(), &job.apps, &job.params)
+        let run = catch_unwind(AssertUnwindSafe(|| match &ckpt {
+            Some(store) => crate::ckpt::run_checkpointed(
+                job.cfg.clone(),
+                &job.apps,
+                &job.params,
+                store,
+                content,
+            ),
+            None => run_configured(job.cfg.clone(), &job.apps, &job.params),
         }));
         match run {
             Ok(Ok(r)) => {
@@ -1076,6 +1093,11 @@ fn execute_job(
                 // cell behind for the resuming run.
                 if let Some(d) = disk {
                     d.store(content, &r.encode());
+                }
+                // The cell is durable as a result now; its checkpoint
+                // has served its purpose.
+                if let Some(store) = &ckpt {
+                    store.remove(content);
                 }
                 return Ok(Arc::new(r));
             }

@@ -62,6 +62,88 @@ use std::time::SystemTime;
 
 use fasthash::{checksum_64, content_hash_128};
 
+/// Deterministic I/O fault injection for the persistence layer (this
+/// cache and the checkpoint store in [`crate::ckpt`]).
+///
+/// Reuses the `CC_FAULT_INJECTION` master switch that already gates the
+/// test-only `faulty` mechanism plugin. Beyond acting as that boolean
+/// gate, the variable now accepts comma-separated tokens:
+///
+/// * `io-write=N` — the N-th persisted-entry *write* attempt since
+///   process start fails with an injected I/O error,
+/// * `io-rename=N` — the N-th atomic *rename* into place fails,
+/// * `io-read=N` — the N-th entry *read* fails,
+/// * `ckpt-exit=N` — the process exits (code 86) right after the N-th
+///   checkpoint lands on disk, simulating a crash at a checkpoint
+///   boundary for the kill-anywhere resume tests.
+///
+/// Counts are 1-based and process-wide; operations are only counted
+/// while their token is present, so an unrelated `CC_FAULT_INJECTION=1`
+/// leaves the shim inert. All failures exercise the same degrade paths
+/// real I/O errors would: store failures bump counters and the sweep
+/// continues, read failures are clean misses.
+pub(crate) mod fault {
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static WRITES: AtomicU64 = AtomicU64::new(0);
+    static RENAMES: AtomicU64 = AtomicU64::new(0);
+    static READS: AtomicU64 = AtomicU64::new(0);
+    static CKPT_EXITS: AtomicU64 = AtomicU64::new(0);
+
+    /// The 1-based trip point for `kind`, if armed.
+    fn target(kind: &str) -> Option<u64> {
+        let spec = std::env::var("CC_FAULT_INJECTION").ok()?;
+        for token in spec.split(',') {
+            if let Some((k, v)) = token.trim().split_once('=') {
+                if k == kind {
+                    return v.parse().ok();
+                }
+            }
+        }
+        None
+    }
+
+    /// Counts one `kind` operation; true when this one must fail.
+    fn trips(counter: &AtomicU64, kind: &str) -> bool {
+        match target(kind) {
+            Some(n) => counter.fetch_add(1, Relaxed) + 1 == n,
+            None => false,
+        }
+    }
+
+    fn check(counter: &AtomicU64, kind: &str) -> std::io::Result<()> {
+        if trips(counter, kind) {
+            Err(std::io::Error::other(format!("injected {kind} fault")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gate before writing an entry's bytes.
+    pub(crate) fn before_write() -> std::io::Result<()> {
+        check(&WRITES, "io-write")
+    }
+
+    /// Gate before renaming a temp file into place.
+    pub(crate) fn before_rename() -> std::io::Result<()> {
+        check(&RENAMES, "io-rename")
+    }
+
+    /// Gate before reading an entry back.
+    pub(crate) fn before_read() -> std::io::Result<()> {
+        check(&READS, "io-read")
+    }
+
+    /// Called after each checkpoint store lands; exits the process when
+    /// the `ckpt-exit` trip point is reached (kill-anywhere testing).
+    pub(crate) fn after_checkpoint_stored() {
+        if trips(&CKPT_EXITS, "ckpt-exit") {
+            eprintln!("cc-sim: injected crash after checkpoint (CC_FAULT_INJECTION ckpt-exit)");
+            std::process::exit(86);
+        }
+    }
+}
+
 /// Version of the on-disk entry layout (header field). Bump whenever the
 /// header, footer, or [`RunResult::encode`](crate::RunResult::encode)
 /// payload layout changes, or when the job identity gains a member that
@@ -201,7 +283,7 @@ impl DiskCache {
             return None;
         }
         let path = self.path_for(key);
-        let bytes = match fs::read(&path) {
+        let bytes = match fault::before_read().and_then(|()| fs::read(&path)) {
             Ok(b) => b,
             Err(_) => {
                 self.misses.fetch_add(1, Relaxed);
@@ -250,9 +332,11 @@ impl DiskCache {
         let entry = encode_entry(key, payload);
         let ok = (|| -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
+            fault::before_write()?;
             f.write_all(&entry)?;
             f.sync_data()?;
             drop(f);
+            fault::before_rename()?;
             fs::rename(&tmp, &final_path)
         })();
         match ok {

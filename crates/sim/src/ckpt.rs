@@ -1,0 +1,374 @@
+//! Mid-run checkpoint/restore: periodic durable snapshots of a running
+//! [`System`] so a killed process resumes a long cell
+//! from the newest checkpoint instead of restarting it from zero.
+//!
+//! # Resume ladder
+//!
+//! A cell executed through [`crate::run_cell`] now climbs four rungs:
+//!
+//! 1. process-wide memoizer (completed in this process),
+//! 2. disk run cache (completed by any process; [`crate::cache`]),
+//! 3. **checkpoint** (started but not completed; this module),
+//! 4. simulate from zero.
+//!
+//! # Entry format
+//!
+//! One file per in-progress cell, named `{content_key:032x}.ckpt` in the
+//! run-cache directory — a sibling of the `.run` entries with the same
+//! envelope discipline ([`crate::cache`]): magic + version + content-key
+//! echo header, payload, repeated-length + FNV-1a-64 checksum footer,
+//! atomic temp-file + rename stores, quarantine-on-corrupt
+//! (`<name>.ckpt.corrupt`), and version mismatches treated as clean
+//! misses. The run cache's `gc` only matches `.run` names, so
+//! checkpoints are never evicted by it; they are deleted by
+//! [`CheckpointStore::remove`] the moment their cell completes.
+//!
+//! The payload is the run-driver position (phase, next chunk target,
+//! absolute phase deadline), the warmup-boundary snapshot when the
+//! measured phase has begun, and the complete deterministic system state
+//! ([`System::save_state`]) — floats as IEEE-754 bit patterns, every map
+//! sorted, so identical runs produce identical checkpoint bytes.
+//!
+//! # Kill-anywhere guarantee
+//!
+//! Checkpoints are taken only at run boundaries (between
+//! `run_until_retired` chunks), where a system's transient engine state
+//! (sleep bookkeeping, completion buffers, bus counters) is empty or
+//! derivable. A run resumed from *any* checkpoint — including one whose
+//! process died mid-store, since stores are atomic — retires the same
+//! instructions through the same cycles and produces a bit-identical
+//! [`RunResult`] to an uninterrupted run (`tests/checkpoint.rs`).
+//! Mechanisms that do not implement the `LatencyMechanism`
+//! save/load hooks silently run without checkpointing.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use fasthash::checksum_64;
+use traces::WorkloadSpec;
+
+use crate::cache::fault;
+use crate::config::{InvalidConfig, SystemConfig};
+use crate::exp::{build_system, ExpParams};
+use crate::metrics::RunResult;
+use crate::system::{Snapshot, System};
+
+/// Version of the on-disk checkpoint layout. Bump whenever the payload
+/// layout changes — including any `save_state` in the crates below this
+/// one — so stale checkpoints miss cleanly and the cell restarts from
+/// zero instead of misdecoding.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Checkpoint file magic (version byte rides along, as in the run cache).
+const MAGIC: [u8; 8] = *b"CCCKP\0v1";
+
+/// Version-independent prefix: a file carrying it is *some* checkpoint
+/// version, so a mismatch is a clean miss, not corruption.
+const MAGIC_PREFIX: [u8; 7] = *b"CCCKP\0v";
+
+/// Header: magic + version + content-key echo + payload length.
+const HEADER_LEN: usize = 8 + 4 + 16 + 8;
+
+/// Footer: repeated payload length + FNV-1a-64 checksum.
+const FOOTER_LEN: usize = 8 + 8;
+
+static STORES: AtomicU64 = AtomicU64::new(0);
+static STORE_FAILURES: AtomicU64 = AtomicU64::new(0);
+static RESUMES: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static REMOVED: AtomicU64 = AtomicU64::new(0);
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide checkpoint counters (see [`checkpoint_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints persisted successfully.
+    pub stores: u64,
+    /// Store attempts that failed (I/O error; the run continues).
+    pub store_failures: u64,
+    /// Runs resumed from a valid checkpoint.
+    pub resumes: u64,
+    /// Corrupt checkpoints quarantined (the cell restarted from zero).
+    pub quarantined: u64,
+    /// Checkpoints deleted after their cell completed.
+    pub removed: u64,
+}
+
+/// Snapshot of the process-wide checkpoint counters. Counters are global
+/// (not per-store) so daemon workers and concurrent sweeps aggregate.
+pub fn checkpoint_stats() -> CheckpointStats {
+    CheckpointStats {
+        stores: STORES.load(Relaxed),
+        store_failures: STORE_FAILURES.load(Relaxed),
+        resumes: RESUMES.load(Relaxed),
+        quarantined: QUARANTINED.load(Relaxed),
+        removed: REMOVED.load(Relaxed),
+    }
+}
+
+/// Handle to the checkpoint files of one cache directory. Stateless
+/// apart from the path: counters live process-wide.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store writing next to the run-cache entries in `dir`. The
+    /// caller is responsible for the directory being writable (pair it
+    /// with a healthy, non-degraded [`crate::DiskCache`] on the same
+    /// directory).
+    pub fn new(dir: &Path) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// Checkpoint file path for a cell's content key.
+    pub fn path_for(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.ckpt"))
+    }
+
+    /// Loads and verifies the checkpoint payload for `key`. Missing
+    /// files and version mismatches are clean misses; corrupt files are
+    /// quarantined and reported as misses (the cell restarts from zero).
+    pub fn load(&self, key: u128) -> Option<Vec<u8>> {
+        let path = self.path_for(key);
+        let bytes = fault::before_read()
+            .ok()
+            .and_then(|()| fs::read(&path).ok())?;
+        if bytes.len() < HEADER_LEN + FOOTER_LEN || bytes[..7] != MAGIC_PREFIX {
+            self.quarantine(&path);
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if bytes[7] != MAGIC[7] || version != CKPT_VERSION {
+            return None; // another format version: clean miss
+        }
+        let stored_key = u128::from_le_bytes(bytes[12..28].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        if stored_key != key || bytes.len() != HEADER_LEN + len + FOOTER_LEN {
+            self.quarantine(&path);
+            return None;
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+        let footer = &bytes[HEADER_LEN + len..];
+        let footer_len = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
+        let footer_sum = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        if footer_len != len || footer_sum != checksum_64(payload) {
+            self.quarantine(&path);
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Persists `payload` under `key` atomically (temp file + rename,
+    /// exactly like the run cache). Failures only bump
+    /// [`CheckpointStats::store_failures`]; the run continues without
+    /// durability for that boundary.
+    pub fn store(&self, key: u128, payload: &[u8]) {
+        let final_path = self.path_for(key);
+        let tmp = self.dir.join(format!(
+            ".{key:032x}.{}.{}.ckpt-tmp",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Relaxed)
+        ));
+        let mut entry = Vec::with_capacity(HEADER_LEN + payload.len() + FOOTER_LEN);
+        entry.extend_from_slice(&MAGIC);
+        entry.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        entry.extend_from_slice(&key.to_le_bytes());
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(payload);
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(&checksum_64(payload).to_le_bytes());
+        let ok = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            fault::before_write()?;
+            f.write_all(&entry)?;
+            f.sync_data()?;
+            drop(f);
+            fault::before_rename()?;
+            fs::rename(&tmp, &final_path)
+        })();
+        match ok {
+            Ok(()) => {
+                STORES.fetch_add(1, Relaxed);
+                fault::after_checkpoint_stored();
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                STORE_FAILURES.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Deletes the checkpoint for a completed cell (best-effort).
+    pub fn remove(&self, key: u128) {
+        if fs::remove_file(self.path_for(key)).is_ok() {
+            REMOVED.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Quarantines an unverifiable checkpoint (`<name>.corrupt`) so it
+    /// is never trusted again but remains inspectable.
+    fn quarantine(&self, path: &Path) {
+        let mut q = path.as_os_str().to_os_string();
+        q.push(".corrupt");
+        if fs::rename(path, &q).is_err() {
+            let _ = fs::remove_file(path);
+        }
+        QUARANTINED.fetch_add(1, Relaxed);
+    }
+}
+
+/// Run-driver position encoded at the head of every checkpoint payload.
+struct Position {
+    /// 0 = warmup, 1 = measured.
+    phase: u8,
+    /// Retired-instruction target of the next chunk.
+    target: u64,
+    /// Absolute cycle deadline of the current phase.
+    deadline: u64,
+    /// Warmup-boundary snapshot (measured phase only).
+    warm: Option<Snapshot>,
+}
+
+/// Serializes one checkpoint payload. Returns `None` when the mechanism
+/// does not support state capture (checkpointing silently disabled).
+fn encode_payload(
+    phase: u8,
+    target: u64,
+    deadline: u64,
+    warm: Option<&Snapshot>,
+    sys: &System,
+) -> Option<Vec<u8>> {
+    use fasthash::codec::*;
+    let mut out = Vec::with_capacity(4096);
+    put_u8(&mut out, phase);
+    put_u64(&mut out, target);
+    put_u64(&mut out, deadline);
+    if phase == 1 {
+        warm.expect("measured-phase checkpoint carries the warmup snapshot")
+            .save_state(&mut out);
+    }
+    sys.save_state(&mut out).then_some(out)
+}
+
+/// Decodes a checkpoint payload into a freshly built system. On error
+/// the system may be partially mutated; the caller rebuilds it.
+fn decode_payload(mut input: &[u8], sys: &mut System) -> Result<Position, String> {
+    use fasthash::codec::*;
+    let input = &mut input;
+    let phase = take_u8(input, "checkpoint phase")?;
+    if phase > 1 {
+        return Err(format!("invalid checkpoint phase {phase}"));
+    }
+    let target = take_u64(input, "checkpoint target")?;
+    let deadline = take_u64(input, "checkpoint deadline")?;
+    let warm = if phase == 1 {
+        Some(Snapshot::load_state(input)?)
+    } else {
+        None
+    };
+    sys.load_state(input)?;
+    if !input.is_empty() {
+        return Err(format!("{} trailing checkpoint bytes", input.len()));
+    }
+    Ok(Position {
+        phase,
+        target,
+        deadline,
+        warm,
+    })
+}
+
+/// Like [`crate::run_configured`], but runs in checkpoint-interval
+/// chunks: resumes from the newest valid checkpoint under `key` if one
+/// exists, persists a checkpoint at every chunk boundary, and produces
+/// a [`RunResult`] bit-identical to an uninterrupted run. Corrupt or
+/// stale checkpoints degrade to a restart from zero; mechanisms without
+/// state-capture support run without checkpointing.
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] exactly as [`crate::run_configured`] does.
+pub(crate) fn run_checkpointed(
+    cfg: SystemConfig,
+    apps: &[WorkloadSpec],
+    p: &ExpParams,
+    store: &CheckpointStore,
+    key: u128,
+) -> Result<RunResult, InvalidConfig> {
+    let interval = p.checkpoint_interval.max(1);
+    let end_target = p.warmup_insts + p.insts_per_core;
+    let mut sys = build_system(cfg.clone(), apps, p)?;
+    let mut pos = Position {
+        phase: 0,
+        target: interval.min(p.warmup_insts),
+        deadline: p.max_cycles(),
+        warm: None,
+    };
+    if let Some(payload) = store.load(key) {
+        match decode_payload(&payload, &mut sys) {
+            Ok(resumed) => {
+                pos = resumed;
+                RESUMES.fetch_add(1, Relaxed);
+            }
+            Err(_) => {
+                // The envelope verified but the payload did not decode
+                // (e.g. written by a build whose state layout drifted
+                // without a version bump): quarantine it and restart
+                // from zero on a clean system.
+                store.quarantine(&store.path_for(key));
+                sys = build_system(cfg, apps, p)?;
+            }
+        }
+    }
+    // Once a mechanism declines state capture, stop re-serializing: the
+    // run still executes in chunks (bit-identical either way), just
+    // without durability.
+    let mut supported = true;
+    if pos.phase == 0 {
+        loop {
+            let budget = pos.deadline.saturating_sub(sys.now());
+            let reached = sys.run_until_retired(pos.target, budget);
+            if pos.target >= p.warmup_insts || !reached {
+                break;
+            }
+            pos.target = (pos.target + interval).min(p.warmup_insts);
+            if supported {
+                match encode_payload(0, pos.target, pos.deadline, None, &sys) {
+                    Some(payload) => store.store(key, &payload),
+                    None => supported = false,
+                }
+            }
+        }
+        // Warmup boundary, identical to `run_configured`: discard the
+        // warmup energy log and take the measurement snapshot.
+        sys.memory_mut().device_mut().take_log();
+        pos = Position {
+            phase: 1,
+            target: (p.warmup_insts + interval).min(end_target),
+            deadline: sys.now() + p.max_cycles(),
+            warm: Some(sys.snapshot()),
+        };
+    }
+    let warm = pos.warm.take().expect("measured phase has a snapshot");
+    let reached = loop {
+        let budget = pos.deadline.saturating_sub(sys.now());
+        let reached = sys.run_until_retired(pos.target, budget);
+        if pos.target >= end_target || !reached {
+            break reached;
+        }
+        pos.target = (pos.target + interval).min(end_target);
+        if supported {
+            match encode_payload(1, pos.target, pos.deadline, Some(&warm), &sys) {
+                Some(payload) => store.store(key, &payload),
+                None => supported = false,
+            }
+        }
+    };
+    Ok(sys.result_since(&warm, !reached))
+}

@@ -15,7 +15,7 @@ use crate::metrics::RunResult;
 use crate::system::System;
 
 /// Run-length parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExpParams {
     /// Instructions each core must retire in the measured interval.
     pub insts_per_core: u64,
@@ -25,6 +25,28 @@ pub struct ExpParams {
     pub max_cycle_factor: u64,
     /// Seed for trace generation.
     pub seed: u64,
+    /// Checkpoint every this many retired instructions per core
+    /// (0 = never). Durability plumbing, **not** simulation identity: a
+    /// checkpointed run produces a bit-identical [`RunResult`], so this
+    /// field is deliberately excluded from the `Debug` output the run
+    /// cache keys on (see the manual `Debug` impl below) and from the
+    /// sweep JSON.
+    pub checkpoint_interval: u64,
+}
+
+/// Hand-rolled to print exactly what the pre-`checkpoint_interval`
+/// derive printed: the cache key (`Job::key` in `crate::api`) and the
+/// disk-cache content hash are `Debug`-derived, and the interval must
+/// not split otherwise-identical cells into distinct cache entries.
+impl std::fmt::Debug for ExpParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpParams")
+            .field("insts_per_core", &self.insts_per_core)
+            .field("warmup_insts", &self.warmup_insts)
+            .field("max_cycle_factor", &self.max_cycle_factor)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 impl ExpParams {
@@ -46,6 +68,7 @@ impl ExpParams {
             warmup_insts: 25_000 * scale,
             max_cycle_factor: 150,
             seed: 42,
+            checkpoint_interval: 0,
         }
     }
 
@@ -56,6 +79,7 @@ impl ExpParams {
             warmup_insts: 2_000,
             max_cycle_factor: 300,
             seed: 42,
+            checkpoint_interval: 0,
         }
     }
 

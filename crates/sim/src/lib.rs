@@ -33,6 +33,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod ckpt;
 pub mod config;
 pub mod exp;
 pub mod json;
@@ -44,6 +45,7 @@ pub use api::{
     Probe, SweepPlan, SweepResult, Variant,
 };
 pub use cache::{CacheStats, DiskCache, GcStats};
+pub use ckpt::{checkpoint_stats, CheckpointStats, CheckpointStore};
 pub use config::{Engine, InvalidConfig, SystemConfig};
 pub use dram::{SpeedBin, TimingSpec};
 pub use exp::{alone_ipc, par_map, run_configured, run_eight_core, run_single_core, ExpParams};

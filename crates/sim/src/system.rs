@@ -408,6 +408,127 @@ impl System {
         reached
     }
 
+    /// Serializes the complete deterministic state of the system —
+    /// cores (including trace positions), LLC, in-flight fills and
+    /// waiters, writeback backlog, and the full memory system — so an
+    /// equally-configured fresh system restored from the bytes continues
+    /// the run bit-identically.
+    ///
+    /// Must be called at a *run boundary* (right after
+    /// [`System::run_until_retired`] returns): every core is awake, the
+    /// completion buffer is drained, and the bus counters are derivable
+    /// from `now`, so none of that state needs to be serialized.
+    ///
+    /// Returns `false` — leaving `out` untouched — when the configured
+    /// mechanism does not support checkpointing (extension and plugin
+    /// mechanisms opt in via `LatencyMechanism::save_state`).
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        use fasthash::codec::*;
+        debug_assert!(
+            self.sleep.iter().all(|s| !s.asleep),
+            "checkpoint taken with sleeping cores (not at a run boundary)"
+        );
+        debug_assert!(self.completions.is_empty());
+        let mut body = Vec::new();
+        put_u64(&mut body, self.now);
+        put_usize(&mut body, self.cores.len());
+        for c in &self.cores {
+            c.save_state(&mut body);
+        }
+        self.llc.save_state(&mut body);
+        let mut fills: Vec<(RequestId, u64)> = self.fills.iter().map(|(&k, &v)| (k, v)).collect();
+        fills.sort_unstable();
+        put_usize(&mut body, fills.len());
+        for (id, line) in fills {
+            put_u64(&mut body, id);
+            put_u64(&mut body, line);
+        }
+        let mut lines: Vec<u64> = self.waiters.keys().copied().collect();
+        lines.sort_unstable();
+        put_usize(&mut body, lines.len());
+        for line in lines {
+            let ws = &self.waiters[&line];
+            put_u64(&mut body, line);
+            put_usize(&mut body, ws.len());
+            for &(core, load) in ws {
+                put_usize(&mut body, core);
+                put_u64(&mut body, load);
+            }
+        }
+        put_usize(&mut body, self.wb_backlog.len());
+        for &(line, core) in &self.wb_backlog {
+            put_u64(&mut body, line);
+            put_usize(&mut body, core);
+        }
+        if !self.mem.save_state(&mut body) {
+            return false;
+        }
+        out.extend_from_slice(&body);
+        true
+    }
+
+    /// Restores state saved by [`System::save_state`] into a freshly
+    /// built system of the same configuration and workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch or truncation. The system
+    /// may be partially mutated on error; discard it and rebuild.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> Result<(), String> {
+        use fasthash::codec::*;
+        self.now = take_u64(input, "system clock")?;
+        let n = take_len(input, 1, "core count")?;
+        if n != self.cores.len() {
+            return Err(format!(
+                "checkpoint has {n} cores, system has {}",
+                self.cores.len()
+            ));
+        }
+        for c in &mut self.cores {
+            c.load_state(input)?;
+        }
+        self.llc.load_state(input)?;
+        let fills = take_len(input, 16, "in-flight fills")?;
+        self.fills.clear();
+        for _ in 0..fills {
+            let id = take_u64(input, "fill request id")?;
+            let line = take_u64(input, "fill line")?;
+            self.fills.insert(id, line);
+        }
+        let lines = take_len(input, 16, "waiter lines")?;
+        self.waiters.clear();
+        for _ in 0..lines {
+            let line = take_u64(input, "waiter line")?;
+            let m = take_len(input, 16, "waiters per line")?;
+            let mut ws = Vec::with_capacity(m);
+            for _ in 0..m {
+                let core = take_usize(input, "waiter core")?;
+                if core >= self.cores.len() {
+                    return Err(format!("waiter core {core} out of range"));
+                }
+                ws.push((core, take_u64(input, "waiter load id")?));
+            }
+            self.waiters.insert(line, ws);
+        }
+        let wb = take_len(input, 16, "writeback backlog")?;
+        self.wb_backlog.clear();
+        for _ in 0..wb {
+            let line = take_u64(input, "backlog line")?;
+            let core = take_usize(input, "backlog core")?;
+            if core >= self.cores.len() {
+                return Err(format!("backlog core {core} out of range"));
+            }
+            self.wb_backlog.push_back((line, core));
+        }
+        self.mem.load_state(input)?;
+        for s in &mut self.sleep {
+            *s = SleepState::AWAKE;
+        }
+        self.completions.clear();
+        self.resync_clock();
+        Ok(())
+    }
+
     /// Snapshot of all measurable state (used for warmup deltas).
     pub(crate) fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -456,6 +577,40 @@ pub(crate) struct Snapshot {
     retired: Vec<u64>,
     ctrl: memctrl::CtrlStats,
     mech: chargecache::MechanismReport,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot (mid-measurement checkpoints carry the
+    /// warmup boundary so `result_since` can subtract it after resume).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        use fasthash::codec::*;
+        put_u64(out, self.now);
+        put_usize(out, self.retired.len());
+        for &r in &self.retired {
+            put_u64(out, r);
+        }
+        self.ctrl.save_state(out);
+        self.mech.save_state(out);
+    }
+
+    /// Decodes a snapshot saved by [`Snapshot::save_state`].
+    pub(crate) fn load_state(input: &mut &[u8]) -> Result<Self, String> {
+        use fasthash::codec::*;
+        let now = take_u64(input, "snapshot clock")?;
+        let n = take_len(input, 8, "snapshot cores")?;
+        let mut retired = Vec::with_capacity(n);
+        for _ in 0..n {
+            retired.push(take_u64(input, "snapshot retired")?);
+        }
+        let ctrl = memctrl::CtrlStats::load_state(input)?;
+        let mech = chargecache::MechanismReport::load_state(input)?;
+        Ok(Self {
+            now,
+            retired,
+            ctrl,
+            mech,
+        })
+    }
 }
 
 fn ctrl_sub(a: &mut memctrl::CtrlStats, b: &memctrl::CtrlStats) {

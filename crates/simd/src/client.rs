@@ -83,10 +83,45 @@ pub struct Client {
     writer: UnixStream,
 }
 
+/// Connection attempts before [`Client::connect`] gives up.
+const CONNECT_ATTEMPTS: u32 = 5;
+
+/// Backoff before the second connection attempt; doubles per retry
+/// (10 ms, 20 ms, 40 ms, 80 ms — 150 ms worst case in total).
+const CONNECT_BACKOFF_MS: u64 = 10;
+
 impl Client {
-    /// Connects to the daemon socket.
+    /// Connects to the daemon socket, retrying with bounded exponential
+    /// backoff when the daemon is not (yet) accepting.
+    ///
+    /// A freshly spawned `cc-simd` takes a moment to bind its socket, so
+    /// a missing socket file or a refused connection is retried up to
+    /// five times, sleeping 10 ms and
+    /// doubling between attempts. Any other error — permissions, a path
+    /// that is not a socket — fails immediately, and so does the final
+    /// attempt: the worst case adds ~150 ms before the caller sees the
+    /// same `io::Error` a single attempt would have produced.
     pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
-        let stream = UnixStream::connect(socket)?;
+        let socket = socket.as_ref();
+        let mut backoff = std::time::Duration::from_millis(CONNECT_BACKOFF_MS);
+        let mut attempt = 1;
+        let stream = loop {
+            match UnixStream::connect(socket) {
+                Ok(s) => break s,
+                Err(e)
+                    if attempt < CONNECT_ATTEMPTS
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                        ) =>
+                {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -154,6 +189,10 @@ impl Client {
             warmup_insts: uint_member(p, "warmup_insts")?,
             max_cycle_factor: uint_member(p, "max_cycle_factor")?,
             seed: uint_member(p, "seed")?,
+            // Not part of the wire protocol: checkpointing is a
+            // durability concern of whoever executes the cell, so the
+            // daemon applies its own configured interval server-side.
+            checkpoint_interval: 0,
         };
         let families = str_array(&accepted, "families")?;
         let timings = str_array(&accepted, "timings")?;

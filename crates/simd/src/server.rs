@@ -61,6 +61,12 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Disk run-cache directory shared by every job, when set.
     pub cache_dir: Option<PathBuf>,
+    /// Checkpoint every in-flight cell to the cache directory each time
+    /// a core retires this many instructions, so a killed daemon resumes
+    /// long cells mid-run on restart. `0` disables checkpointing; the
+    /// interval is a durability knob of this daemon, never part of a
+    /// cell's identity or of the wire protocol. Requires `cache_dir`.
+    pub checkpoint_interval: u64,
     /// Bounded queue depth: maximum distinct cells queued (running cells
     /// excluded). Submissions that would exceed it are rejected with
     /// `queue-full`.
@@ -78,6 +84,7 @@ impl ServerConfig {
             socket: socket.into(),
             threads: default_threads(),
             cache_dir: None,
+            checkpoint_interval: 0,
             queue_depth: 4096,
             client_quota: 1024,
         }
@@ -97,6 +104,7 @@ struct Shared {
     work: Condvar,
     drained: Condvar,
     disk: Option<Arc<DiskCache>>,
+    checkpoint_interval: u64,
     queue_depth: usize,
     client_quota: usize,
     stop_accepting: AtomicBool,
@@ -179,6 +187,11 @@ impl Server {
             work: Condvar::new(),
             drained: Condvar::new(),
             disk,
+            checkpoint_interval: if cfg.cache_dir.is_some() {
+                cfg.checkpoint_interval
+            } else {
+                0
+            },
             queue_depth: cfg.queue_depth.max(1),
             client_quota: cfg.client_quota.max(1),
             stop_accepting: AtomicBool::new(false),
@@ -239,7 +252,7 @@ impl Server {
 
 fn worker(shared: &Shared) {
     loop {
-        let (key, plan) = {
+        let (key, mut plan) = {
             let mut st = shared.state.lock().expect("daemon state poisoned");
             loop {
                 let mut picked = None;
@@ -263,6 +276,10 @@ fn worker(shared: &Shared) {
                 st = shared.work.wait(st).expect("daemon state poisoned");
             }
         };
+        // The daemon's durability policy, applied at execution time: the
+        // interval is excluded from cell identity, so the cache key (and
+        // every byte of the streamed cell) is unchanged by it.
+        plan.params.checkpoint_interval = shared.checkpoint_interval;
         let outcome = plan.run(shared.disk.as_deref());
         let mut sends: Vec<(Arc<Out>, Json)> = Vec::new();
         {

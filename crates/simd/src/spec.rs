@@ -175,6 +175,9 @@ impl SweepSpec {
                 warmup_insts: uint_member(p, "warmup_insts")?,
                 max_cycle_factor: uint_member(p, "max_cycle_factor")?,
                 seed: uint_member(p, "seed")?,
+                // Not on the wire: the executing side decides durability
+                // (the daemon applies its own `--checkpoint-interval`).
+                checkpoint_interval: 0,
             },
             None => ExpParams::bench(),
         };

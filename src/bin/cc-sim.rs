@@ -37,7 +37,8 @@
 //! Common `run`/`mix` flags: `--timing SPEC`, `--entries N`,
 //! `--duration MS` (parameter patches applied to every mechanism that
 //! supports them), `--insts N`, `--warmup N`, `--seed N`, `--threads N`,
-//! `--csv`, `--json`, `--out FILE`, `--cache-dir DIR`, `--no-cache`.
+//! `--csv`, `--json`, `--out FILE`, `--cache-dir DIR`, `--no-cache`,
+//! `--checkpoint-interval N`.
 //!
 //! # Durability
 //!
@@ -50,6 +51,12 @@
 //! as an `error` object in `--json` output), and the process exits 3.
 //! `cache-gc --budget SIZE` trims the cache to a byte budget, evicting
 //! least-recently-used entries first.
+//!
+//! `--checkpoint-interval N` additionally checkpoints every *in-flight*
+//! cell to the cache directory every N retired instructions per core, so
+//! a `SIGKILL`ed sweep resumes long cells from their newest checkpoint —
+//! not just at completed-cell granularity — and still produces JSON byte
+//! for byte identical to an uninterrupted run.
 //!
 //! # Served sweeps
 //!
@@ -200,6 +207,11 @@ OPTIONS (run/mix):
   --cache-dir DIR persist finished cells to a disk run cache (resumable;
                   defaults to $CC_CACHE_DIR when set)
   --no-cache      ignore --cache-dir and $CC_CACHE_DIR
+  --checkpoint-interval N
+                  checkpoint each in-flight cell to the cache directory
+                  every N retired instructions per core, so a killed run
+                  resumes mid-cell instead of restarting the cell from
+                  zero (needs --cache-dir or $CC_CACHE_DIR)
   --server SOCK   submit the sweep to a cc-simd daemon instead of
                   simulating in-process (requires --json; the daemon
                   owns the cache, so cache/thread flags are rejected)
@@ -268,6 +280,7 @@ struct SweepArgs {
     out: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    checkpoint_interval: Option<u64>,
     server: Option<PathBuf>,
 }
 
@@ -289,6 +302,7 @@ impl Default for SweepArgs {
             out: None,
             cache_dir: None,
             no_cache: false,
+            checkpoint_interval: None,
             server: None,
         }
     }
@@ -339,6 +353,13 @@ impl SweepArgs {
             "out" => self.out = Some(PathBuf::from(cur.value(flag)?)),
             "cache-dir" => self.cache_dir = Some(PathBuf::from(cur.value(flag)?)),
             "no-cache" => self.no_cache = true,
+            "checkpoint-interval" => {
+                let n: u64 = cur.parsed(flag)?;
+                if n == 0 {
+                    return Err("--checkpoint-interval must be at least 1 instruction".into());
+                }
+                self.checkpoint_interval = Some(n);
+            }
             "server" => self.server = Some(PathBuf::from(cur.value(flag)?)),
             _ => return Ok(false),
         }
@@ -371,6 +392,21 @@ impl SweepArgs {
                         .into(),
                 );
             }
+            if self.checkpoint_interval.is_some() {
+                return Err(
+                    "--checkpoint-interval has no effect with --server (durability belongs to \
+                     whoever executes the cells; configure the daemon with `cc-simd serve \
+                     --checkpoint-interval`)"
+                        .into(),
+                );
+            }
+        }
+        if self.checkpoint_interval.is_some() && self.effective_cache_dir().is_none() {
+            return Err(
+                "--checkpoint-interval needs a cache directory to write checkpoints into \
+                 (pair it with --cache-dir DIR or $CC_CACHE_DIR)"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -399,6 +435,9 @@ impl SweepArgs {
         }
         if let Some(n) = self.seed {
             p.seed = n;
+        }
+        if let Some(n) = self.checkpoint_interval {
+            p.checkpoint_interval = n;
         }
         p
     }
@@ -478,6 +517,13 @@ impl SweepArgs {
                 s.quarantined,
                 s.store_failures,
             );
+            if self.checkpoint_interval.is_some() {
+                let c = sim::checkpoint_stats();
+                eprintln!(
+                    "checkpoints: stored={} resumed={} removed={} quarantined={} store_failures={}",
+                    c.stores, c.resumes, c.removed, c.quarantined, c.store_failures,
+                );
+            }
         }
     }
 }

@@ -41,6 +41,11 @@ SERVE OPTIONS:
   --cache-dir DIR   shared disk run cache             [default: $CC_CACHE_DIR]
   --queue-depth N   max queued cells, daemon-wide     [default 4096]
   --client-quota N  max outstanding cells per client  [default 1024]
+  --checkpoint-interval N
+                    checkpoint in-flight cells to the cache directory
+                    every N retired instructions per core, so a killed
+                    daemon resumes long cells mid-run on restart
+                    (needs --cache-dir)        [default: off]
 
 SIZES:
   --budget takes plain bytes or a binary suffix: 64k, 512M, 2G
@@ -117,6 +122,7 @@ fn serve(args: &[String]) -> Result<(), Failure> {
             "cache-dir",
             "queue-depth",
             "client-quota",
+            "checkpoint-interval",
         ],
     )?;
     let mut cfg = ServerConfig::new(f.socket()?);
@@ -134,6 +140,16 @@ fn serve(args: &[String]) -> Result<(), Failure> {
     }
     if let Some(v) = f.get("client-quota") {
         cfg.client_quota = parse_pos(v, "client-quota")?;
+    }
+    if let Some(v) = f.get("checkpoint-interval") {
+        if cfg.cache_dir.is_none() {
+            return Err(Failure::Usage(
+                "--checkpoint-interval needs --cache-dir (or $CC_CACHE_DIR): checkpoints \
+                 live next to the run-cache entries"
+                    .into(),
+            ));
+        }
+        cfg.checkpoint_interval = parse_pos(v, "checkpoint-interval")? as u64;
     }
     let threads = cfg.threads;
     let cache = cfg
